@@ -1,0 +1,635 @@
+//! The BDD manager: node arena, unique table, and memoized operations.
+
+use std::collections::HashMap;
+
+use crate::cube::{Assignment, Cube, CubeIter};
+
+/// A handle to a BDD node owned by a [`Manager`].
+///
+/// Handles are cheap to copy and compare; two handles from the same manager
+/// are equal if and only if they denote the same boolean function (the arena
+/// is hash-consed, so ROBDD canonicity gives structural equality for free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false handle. Valid in every manager.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true handle. Valid in every manager.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns true if this handle is the constant `false`.
+    pub fn is_const_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns true if this handle is the constant `true`.
+    pub fn is_const_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns true if this handle is either constant.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// One decision node. `var` is the decision level; `low` is the cofactor for
+/// `var = 0`, `high` for `var = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: Bdd,
+    high: Bdd,
+}
+
+/// Binary operations memoized in the apply cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+    Diff,
+}
+
+impl Op {
+    /// Evaluate the operation on constants (returns None when not yet decided).
+    fn terminal(self, f: Bdd, g: Bdd) -> Option<Bdd> {
+        match self {
+            Op::And => {
+                if f.is_const_false() || g.is_const_false() {
+                    Some(Bdd::FALSE)
+                } else if f.is_const_true() {
+                    Some(g)
+                } else if g.is_const_true() || f == g {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            Op::Or => {
+                if f.is_const_true() || g.is_const_true() {
+                    Some(Bdd::TRUE)
+                } else if f.is_const_false() {
+                    Some(g)
+                } else if g.is_const_false() || f == g {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    Some(Bdd::FALSE)
+                } else if f.is_const_false() {
+                    Some(g)
+                } else if g.is_const_false() {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            Op::Diff => {
+                // f & !g
+                if f.is_const_false() || g.is_const_true() || f == g {
+                    Some(Bdd::FALSE)
+                } else if g.is_const_false() {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether the operation is commutative (lets us normalize cache keys).
+    fn commutative(self) -> bool {
+        matches!(self, Op::And | Op::Or | Op::Xor)
+    }
+}
+
+/// The BDD manager: owns all nodes and provides every operation.
+///
+/// The variable order is fixed at construction: variable `0` is the topmost
+/// decision level. Campion's symbolic layer chooses an order that keeps
+/// related header bits adjacent (most-significant destination-IP bit first),
+/// which keeps prefix constraints linear-sized.
+pub struct Manager {
+    num_vars: u32,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Manager {
+    /// Create a manager over `num_vars` boolean variables, ordered `0..num_vars`.
+    pub fn new(num_vars: u32) -> Self {
+        // Index 0 and 1 are reserved for the terminals. Their stored `var` is
+        // `num_vars` (one past the last real level) so that terminal `var`
+        // compares greater than every decision level.
+        let terminal = Node {
+            var: num_vars,
+            low: Bdd::FALSE,
+            high: Bdd::FALSE,
+        };
+        Manager {
+            num_vars,
+            nodes: vec![
+                terminal,
+                Node {
+                    var: num_vars,
+                    low: Bdd::TRUE,
+                    high: Bdd::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables in this manager's order.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of allocated nodes (including the two terminals). Useful for
+    /// benchmarks and scalability reporting.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant-false function.
+    pub fn false_(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// The constant-true function.
+    pub fn true_(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// Is `f` the constant true?
+    pub fn is_true(&self, f: Bdd) -> bool {
+        f.is_const_true()
+    }
+
+    /// Is `f` the constant false?
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f.is_const_false()
+    }
+
+    fn var_of(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn low_of(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].low
+    }
+
+    fn high_of(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].high
+    }
+
+    /// Get-or-create the node `(var, low, high)`, applying the ROBDD
+    /// reduction rule (`low == high` collapses to the child).
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        debug_assert!(var < self.num_vars, "variable {var} out of range");
+        debug_assert!(var < self.var_of(low) && var < self.var_of(high));
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let idx = Bdd(u32::try_from(self.nodes.len()).expect("BDD arena overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, idx);
+        idx
+    }
+
+    /// The function `var = 1` (a single positive literal).
+    pub fn var(&mut self, var: u32) -> Bdd {
+        self.mk(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The function `var = 0` (a single negative literal).
+    pub fn nvar(&mut self, var: u32) -> Bdd {
+        self.mk(var, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A literal: positive if `value`, else negative.
+    pub fn literal(&mut self, var: u32, value: bool) -> Bdd {
+        if value {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_const_false() {
+            return Bdd::TRUE;
+        }
+        if f.is_const_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let (var, low, high) = (self.var_of(f), self.low_of(f), self.high_of(f));
+        let nl = self.not(low);
+        let nh = self.not(high);
+        let r = self.mk(var, nl, nh);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+        if let Some(r) = op.terminal(f, g) {
+            return r;
+        }
+        let key = if op.commutative() && g < f {
+            (op, g, f)
+        } else {
+            (op, f, g)
+        };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let var = vf.min(vg);
+        let (fl, fh) = if vf == var {
+            (self.low_of(f), self.high_of(f))
+        } else {
+            (f, f)
+        };
+        let (gl, gh) = if vg == var {
+            (self.low_of(g), self.high_of(g))
+        } else {
+            (g, g)
+        };
+        let low = self.apply(op, fl, gl);
+        let high = self.apply(op, fh, gh);
+        let r = self.mk(var, low, high);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Set difference `f ∧ ¬g` — the workhorse of `SemanticDiff` and
+    /// `HeaderLocalize` (remainder sets, excluded prefixes).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Diff, f, g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let d = self.diff(f, g);
+        self.not(d)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Conjunction over many operands (true for the empty list).
+    pub fn and_all(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_const_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over many operands (false for the empty list).
+    pub fn or_all(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_const_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// If-then-else: `(c ∧ t) ∨ (¬c ∧ e)`. This is how the symbolic layer
+    /// folds a route map's clause chain into per-path predicates.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        if c.is_const_true() {
+            return t;
+        }
+        if c.is_const_false() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t.is_const_true() && e.is_const_false() {
+            return c;
+        }
+        let key = (c, t, e);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let var = self.var_of(c).min(self.var_of(t)).min(self.var_of(e));
+        let cof = |m: &Manager, f: Bdd, hi: bool| -> Bdd {
+            if m.var_of(f) == var {
+                if hi {
+                    m.high_of(f)
+                } else {
+                    m.low_of(f)
+                }
+            } else {
+                f
+            }
+        };
+        let (cl, tl, el) = (cof(self, c, false), cof(self, t, false), cof(self, e, false));
+        let (ch, th, eh) = (cof(self, c, true), cof(self, t, true), cof(self, e, true));
+        let low = self.ite(cl, tl, el);
+        let high = self.ite(ch, th, eh);
+        let r = self.mk(var, low, high);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Are `f` and `g` the same function? (Constant time: hash-consing makes
+    /// handle equality canonical.)
+    pub fn equivalent(&self, f: Bdd, g: Bdd) -> bool {
+        f == g
+    }
+
+    /// Cofactor of `f` with variable `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let v = self.var_of(f);
+        if v > var {
+            // `var` does not appear in `f` (it is below the restricted level).
+            return f;
+        }
+        if v == var {
+            return if value { self.high_of(f) } else { self.low_of(f) };
+        }
+        // v < var: rebuild. Memoization via the ite cache keyed on a literal
+        // would be possible; restriction is rare in Campion so keep it simple.
+        let (low, high) = (self.low_of(f), self.high_of(f));
+        let l = self.restrict(low, var, value);
+        let h = self.restrict(high, var, value);
+        self.mk(v, l, h)
+    }
+
+    /// Existential quantification of a set of variables:
+    /// `∃ vars . f = f[var↦0] ∨ f[var↦1]` for each var, applied bottom-up.
+    ///
+    /// `vars` must be sorted ascending. Memoized per call — quantification
+    /// over shared subgraphs is linear in the BDD size.
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let mut memo = HashMap::new();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        let v = self.var_of(f);
+        // Drop quantified variables above f's top level: they are free in f.
+        // (Memo entries stay valid: a node's result only depends on the
+        // variables at or below its own level.)
+        let mut rest = vars;
+        while let Some((&first, tail)) = rest.split_first() {
+            if first < v {
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (low, high) = (self.low_of(f), self.high_of(f));
+        let r = if rest[0] == v {
+            let l = self.exists_rec(low, &rest[1..], memo);
+            let h = self.exists_rec(high, &rest[1..], memo);
+            self.or(l, h)
+        } else {
+            let l = self.exists_rec(low, rest, memo);
+            let h = self.exists_rec(high, rest, memo);
+            self.mk(v, l, h)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Number of satisfying assignments over the full variable set.
+    ///
+    /// Uses `u128` counts, sufficient for the ≤ 120-variable layouts the
+    /// symbolic layer uses (the route-advertisement layout is < 80 variables).
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 127` and the count would overflow `u128`.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        assert!(
+            self.num_vars <= 127,
+            "sat_count supports at most 127 variables"
+        );
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        // sat_count_rec(f) counts assignments to the variables strictly below
+        // f's level (i.e. levels var_of(f)..num_vars exclusive of var_of(f)
+        // itself for non-terminals). Scale up for the levels above the root.
+        let below = self.sat_count_rec(f, &mut memo);
+        below << self.var_of(f)
+    }
+
+    /// Counts satisfying assignments of `f` over variable levels
+    /// `var_of(f) .. num_vars`.
+    fn sat_count_rec(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f.is_const_false() {
+            return 0;
+        }
+        if f.is_const_true() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = self.nodes[f.0 as usize];
+        let cl = self.sat_count_rec(node.low, memo) << (self.var_of(node.low) - node.var - 1);
+        let ch = self.sat_count_rec(node.high, memo) << (self.var_of(node.high) - node.var - 1);
+        let total = cl + ch;
+        memo.insert(f, total);
+        total
+    }
+
+    /// Evaluate `f` under a complete assignment.
+    pub fn eval(&self, f: Bdd, assignment: &Assignment) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let node = self.nodes[cur.0 as usize];
+            cur = if assignment.get(node.var) {
+                node.high
+            } else {
+                node.low
+            };
+        }
+        cur.is_const_true()
+    }
+
+    /// Is `f` satisfiable? (Constant time.)
+    pub fn is_sat(&self, f: Bdd) -> bool {
+        !f.is_const_false()
+    }
+
+    /// The lexicographically-first satisfying cube: at each node prefer the
+    /// `low` (false) branch when it can still reach `true`. Variables skipped
+    /// on the path are unconstrained (`None` in the cube).
+    ///
+    /// Returns `None` when `f` is unsatisfiable.
+    pub fn first_sat(&self, f: Bdd) -> Option<Cube> {
+        if f.is_const_false() {
+            return None;
+        }
+        let mut values: Vec<Option<bool>> = vec![None; self.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_const() {
+            let node = self.nodes[cur.0 as usize];
+            if !node.low.is_const_false() {
+                values[node.var as usize] = Some(false);
+                cur = node.low;
+            } else {
+                values[node.var as usize] = Some(true);
+                cur = node.high;
+            }
+        }
+        Some(Cube::new(values))
+    }
+
+    /// The lexicographically-first *complete* satisfying assignment
+    /// (unconstrained variables resolved to `false`).
+    pub fn first_sat_assignment(&self, f: Bdd) -> Option<Assignment> {
+        self.first_sat(f).map(|c| c.complete_with(false))
+    }
+
+    /// Like [`Manager::first_sat`], but preferring the `high` (true) branch
+    /// at each node. Campion's example extraction uses this so the first
+    /// listed atom appears in the example (matching the paper's Table 2(b),
+    /// which shows `10:10` rather than `10:11`).
+    pub fn first_sat_preferring_true(&self, f: Bdd) -> Option<Cube> {
+        if f.is_const_false() {
+            return None;
+        }
+        let mut values: Vec<Option<bool>> = vec![None; self.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_const() {
+            let node = self.nodes[cur.0 as usize];
+            if !node.high.is_const_false() {
+                values[node.var as usize] = Some(true);
+                cur = node.high;
+            } else {
+                values[node.var as usize] = Some(false);
+                cur = node.low;
+            }
+        }
+        Some(Cube::new(values))
+    }
+
+    /// Iterate over all satisfying cubes of `f` in deterministic
+    /// (lexicographic, low-first) order. Each yielded [`Cube`] is a disjoint
+    /// path to `true`; the cubes partition the satisfying set.
+    pub fn sat_cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter::new(self, f)
+    }
+
+    /// Iterate over satisfying cubes ordered most-general-first (fewest
+    /// constrained variables), lazily — no full cube materialization.
+    pub fn sat_cubes_general(&self, f: Bdd) -> crate::cube::GeneralCubeIter<'_> {
+        crate::cube::GeneralCubeIter::new(self, f)
+    }
+
+    /// The set of variables on which `f` actually depends, ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n.0 as usize];
+            vars.insert(node.var);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of nodes reachable from `f` (a size measure for reports).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n.0 as usize];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        count
+    }
+
+    pub(crate) fn node(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let n = self.nodes[f.0 as usize];
+        (n.var, n.low, n.high)
+    }
+}

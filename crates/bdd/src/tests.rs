@@ -1,0 +1,361 @@
+//! Unit and property tests for the BDD engine.
+
+use crate::{Assignment, Bdd, Manager};
+
+#[test]
+fn terminals_are_distinct() {
+    let m = Manager::new(3);
+    assert!(m.is_true(Bdd::TRUE));
+    assert!(m.is_false(Bdd::FALSE));
+    assert_ne!(Bdd::TRUE, Bdd::FALSE);
+}
+
+#[test]
+fn var_and_nvar_are_complements() {
+    let mut m = Manager::new(3);
+    let x = m.var(1);
+    let nx = m.nvar(1);
+    assert_eq!(m.not(x), nx);
+    assert_eq!(m.not(nx), x);
+    let both = m.and(x, nx);
+    assert!(m.is_false(both));
+    let either = m.or(x, nx);
+    assert!(m.is_true(either));
+}
+
+#[test]
+fn hash_consing_canonicalizes() {
+    let mut m = Manager::new(4);
+    let a = m.var(0);
+    let b = m.var(1);
+    let f1 = m.and(a, b);
+    let f2 = m.and(b, a);
+    assert_eq!(f1, f2, "commutativity should yield identical handles");
+    let g1 = m.or(a, b);
+    let na = m.not(a);
+    let nb = m.not(b);
+    let ng = m.and(na, nb);
+    let g2 = m.not(ng);
+    assert_eq!(g1, g2, "De Morgan should yield identical handles");
+}
+
+#[test]
+fn reduction_rule_collapses_redundant_nodes() {
+    let mut m = Manager::new(2);
+    let x = m.var(0);
+    // (x ∧ true) ∨ (¬x ∧ true) = true; no node should survive reduction.
+    let nx = m.not(x);
+    let f = m.or(x, nx);
+    assert!(m.is_true(f));
+    assert_eq!(m.size(f), 0);
+}
+
+#[test]
+fn ite_matches_definition() {
+    let mut m = Manager::new(3);
+    let c = m.var(0);
+    let t = m.var(1);
+    let e = m.var(2);
+    let via_ite = m.ite(c, t, e);
+    let ct = m.and(c, t);
+    let nc = m.not(c);
+    let nce = m.and(nc, e);
+    let manual = m.or(ct, nce);
+    assert_eq!(via_ite, manual);
+}
+
+#[test]
+fn diff_is_and_not() {
+    let mut m = Manager::new(3);
+    let a = m.var(0);
+    let b = m.var(1);
+    let d = m.diff(a, b);
+    let nb = m.not(b);
+    let manual = m.and(a, nb);
+    assert_eq!(d, manual);
+}
+
+#[test]
+fn sat_count_simple() {
+    let mut m = Manager::new(4);
+    assert_eq!(m.sat_count(Bdd::TRUE), 16);
+    assert_eq!(m.sat_count(Bdd::FALSE), 0);
+    let x = m.var(0);
+    assert_eq!(m.sat_count(x), 8);
+    let y = m.var(3);
+    assert_eq!(m.sat_count(y), 8);
+    let xy = m.and(x, y);
+    assert_eq!(m.sat_count(xy), 4);
+    let xoy = m.or(x, y);
+    assert_eq!(m.sat_count(xoy), 12);
+}
+
+#[test]
+fn restrict_cofactors() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let f = m.and(x, y);
+    let f_x1 = m.restrict(f, 0, true);
+    assert_eq!(f_x1, y);
+    let f_x0 = m.restrict(f, 0, false);
+    assert!(m.is_false(f_x0));
+    // Restricting a variable not in the support is the identity.
+    let f_z = m.restrict(f, 2, true);
+    assert_eq!(f_z, f);
+}
+
+#[test]
+fn exists_removes_support() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let f = m.and(x, y);
+    let ex = m.exists(f, &[0]);
+    assert_eq!(ex, y);
+    let exy = m.exists(f, &[0, 1]);
+    assert!(m.is_true(exy));
+    // forall x . (x ∧ y) = false
+    let fa = m.forall(f, &[0]);
+    assert!(m.is_false(fa));
+    // forall x . (x ∨ ¬x) = true
+    let nx = m.not(x);
+    let taut = m.or(x, nx);
+    let fa2 = m.forall(taut, &[0]);
+    assert!(m.is_true(fa2));
+}
+
+#[test]
+fn support_reports_dependencies() {
+    let mut m = Manager::new(5);
+    let a = m.var(1);
+    let b = m.var(3);
+    let f = m.xor(a, b);
+    assert_eq!(m.support(f), vec![1, 3]);
+    assert_eq!(m.support(Bdd::TRUE), Vec::<u32>::new());
+}
+
+#[test]
+fn first_sat_prefers_low_branch() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let f = m.or(x, y);
+    // Lexicographically first model: x=0, y=1.
+    let cube = m.first_sat(f).unwrap();
+    assert_eq!(cube.get(0), Some(false));
+    assert_eq!(cube.get(1), Some(true));
+    assert_eq!(cube.get(2), None);
+    assert!(m.first_sat(Bdd::FALSE).is_none());
+}
+
+#[test]
+fn eval_follows_assignment() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let z = m.var(2);
+    let f = m.and(x, z);
+    let mut a = Assignment::all_false(3);
+    assert!(!m.eval(f, &a));
+    a.set(0, true);
+    a.set(2, true);
+    assert!(m.eval(f, &a));
+    a.set(2, false);
+    assert!(!m.eval(f, &a));
+}
+
+#[test]
+fn sat_cubes_partition_the_onset() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let z = m.var(2);
+    let xy = m.and(x, y);
+    let f = m.or(xy, z);
+    let cubes: Vec<_> = m.sat_cubes(f).collect();
+    assert!(!cubes.is_empty());
+    // Disjoint cubes whose total weight equals the sat count.
+    let total: u128 = cubes
+        .iter()
+        .map(|c| 1u128 << (3 - c.fixed_count()))
+        .sum();
+    assert_eq!(total, m.sat_count(f));
+    // Every cube's completion satisfies f.
+    for c in &cubes {
+        assert!(m.eval(f, &c.complete_with(false)));
+        assert!(m.eval(f, &c.complete_with(true)));
+    }
+}
+
+#[test]
+fn sat_cubes_deterministic_order() {
+    let mut m = Manager::new(2);
+    let x = m.var(0);
+    let y = m.var(1);
+    let f = m.or(x, y);
+    let firsts: Vec<_> = m
+        .sat_cubes(f)
+        .map(|c| c.complete_with(false))
+        .collect();
+    // Expect (0,1) then (1,·) — low branch first.
+    assert_eq!(firsts[0].values(), &[false, true]);
+    assert!(firsts[1].get(0));
+}
+
+#[test]
+fn decode_be_reads_msb_first() {
+    let mut a = Assignment::all_false(8);
+    a.set(0, true); // msb of 0..4
+    a.set(3, true); // lsb of 0..4
+    assert_eq!(a.decode_be(0..4), 0b1001);
+    assert_eq!(a.decode_be(4..8), 0);
+}
+
+mod properties {
+    //! Property tests compare every BDD operation against a brute-force
+    //! truth-table evaluator on a small random formula language.
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny boolean expression tree for differential testing.
+    #[derive(Debug, Clone)]
+    enum Expr {
+        Var(u32),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+        Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    }
+
+    const NVARS: u32 = 6;
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = (0..NVARS).prop_map(Expr::Var);
+        leaf.prop_recursive(4, 32, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone(), inner)
+                    .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            ]
+        })
+    }
+
+    fn eval_expr(e: &Expr, a: &Assignment) -> bool {
+        match e {
+            Expr::Var(v) => a.get(*v),
+            Expr::Not(x) => !eval_expr(x, a),
+            Expr::And(x, y) => eval_expr(x, a) && eval_expr(y, a),
+            Expr::Or(x, y) => eval_expr(x, a) || eval_expr(y, a),
+            Expr::Xor(x, y) => eval_expr(x, a) != eval_expr(y, a),
+            Expr::Ite(c, t, f) => {
+                if eval_expr(c, a) {
+                    eval_expr(t, a)
+                } else {
+                    eval_expr(f, a)
+                }
+            }
+        }
+    }
+
+    fn build(m: &mut Manager, e: &Expr) -> Bdd {
+        match e {
+            Expr::Var(v) => m.var(*v),
+            Expr::Not(x) => {
+                let b = build(m, x);
+                m.not(b)
+            }
+            Expr::And(x, y) => {
+                let (a, b) = (build(m, x), build(m, y));
+                m.and(a, b)
+            }
+            Expr::Or(x, y) => {
+                let (a, b) = (build(m, x), build(m, y));
+                m.or(a, b)
+            }
+            Expr::Xor(x, y) => {
+                let (a, b) = (build(m, x), build(m, y));
+                m.xor(a, b)
+            }
+            Expr::Ite(c, t, f) => {
+                let (c, t, f) = (build(m, c), build(m, t), build(m, f));
+                m.ite(c, t, f)
+            }
+        }
+    }
+
+    fn assignments() -> impl Iterator<Item = Assignment> {
+        (0u32..(1 << NVARS)).map(|bits| {
+            Assignment::new((0..NVARS).map(|v| (bits >> v) & 1 == 1).collect())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn bdd_matches_truth_table(e in expr_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            for a in assignments() {
+                prop_assert_eq!(m.eval(f, &a), eval_expr(&e, &a));
+            }
+        }
+
+        #[test]
+        fn sat_count_matches_truth_table(e in expr_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let expected = assignments().filter(|a| eval_expr(&e, a)).count() as u128;
+            prop_assert_eq!(m.sat_count(f), expected);
+        }
+
+        #[test]
+        fn cubes_cover_exactly_the_onset(e in expr_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let cubes: Vec<_> = m.sat_cubes(f).collect();
+            for a in assignments() {
+                let covered = cubes.iter().any(|c| {
+                    (0..NVARS).all(|v| c.get(v).is_none_or(|b| b == a.get(v)))
+                });
+                prop_assert_eq!(covered, eval_expr(&e, &a));
+            }
+        }
+
+        #[test]
+        fn exists_is_disjunction_of_cofactors(e in expr_strategy(), var in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let ex = m.exists(f, &[var]);
+            let c0 = m.restrict(f, var, false);
+            let c1 = m.restrict(f, var, true);
+            let manual = m.or(c0, c1);
+            prop_assert_eq!(ex, manual);
+        }
+
+        #[test]
+        fn double_negation_is_identity(e in expr_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let nn = m.not(f);
+            let nn = m.not(nn);
+            prop_assert_eq!(nn, f);
+        }
+
+        #[test]
+        fn first_sat_satisfies(e in expr_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            if let Some(a) = m.first_sat_assignment(f) {
+                prop_assert!(m.eval(f, &a));
+            } else {
+                prop_assert!(m.is_false(f));
+            }
+        }
+    }
+}

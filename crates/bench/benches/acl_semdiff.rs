@@ -1,0 +1,32 @@
+//! Criterion bench for the §5.4 scaling claim: SemanticDiff runtime on
+//! Capirca-like ACL pairs with 10 injected differences.
+//!
+//! The full 10 000-rule point lives in the `scalability` binary (criterion
+//! iteration at that size would take minutes); here we sample the curve up
+//! to 2 000 rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use campion_bench::load;
+use campion_core::{compare_routers, CampionOptions};
+use campion_gen::capirca_acl_pair;
+
+fn acl_semdiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acl_semdiff");
+    group.sample_size(10);
+    for size in [100usize, 500, 1000, 2000] {
+        let (cisco, juniper) = capirca_acl_pair(size, 10.min(size / 2), 0xC0FFEE + size as u64);
+        let rc = load(&cisco);
+        let rj = load(&juniper);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let report = compare_routers(&rc, &rj, &CampionOptions::default());
+                std::hint::black_box(report.acl_diffs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, acl_semdiff);
+criterion_main!(benches);

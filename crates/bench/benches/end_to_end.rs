@@ -1,0 +1,52 @@
+//! Criterion bench for the paper's end-to-end runtime claim: comparing a
+//! router pair (parse → lower → all checks → present) takes seconds at
+//! most (§5.1: "within five seconds for each pair"; §5.4: "total runtime
+//! to compare the core and border pairs was 3 seconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use campion_bench::load;
+use campion_cfg::parse_config;
+use campion_core::{compare_routers, CampionOptions};
+use campion_gen::{scenario1, university_border_pair, university_core_pair};
+use campion_ir::lower;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+
+    let (cc, cj) = university_core_pair();
+    group.bench_function("university_core_pair", |b| {
+        b.iter(|| {
+            let r1 = lower(&parse_config(&cc).expect("valid")).expect("lowerable");
+            let r2 = lower(&parse_config(&cj).expect("valid")).expect("lowerable");
+            let report = compare_routers(&r1, &r2, &CampionOptions::default());
+            std::hint::black_box(report.total_differences())
+        })
+    });
+
+    let (bc, bj) = university_border_pair();
+    group.bench_function("university_border_pair", |b| {
+        b.iter(|| {
+            let r1 = lower(&parse_config(&bc).expect("valid")).expect("lowerable");
+            let r2 = lower(&parse_config(&bj).expect("valid")).expect("lowerable");
+            let report = compare_routers(&r1, &r2, &CampionOptions::default());
+            std::hint::black_box(report.total_differences())
+        })
+    });
+
+    // One representative data-center pair (diff only; parse cached).
+    let pair = scenario1(8, 1001).into_iter().next().expect("pairs");
+    let r1 = load(&pair.cisco);
+    let r2 = load(&pair.juniper);
+    group.bench_function("datacenter_tor_pair_diff_only", |b| {
+        b.iter(|| {
+            let report = compare_routers(&r1, &r2, &CampionOptions::default());
+            std::hint::black_box(report.total_differences())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

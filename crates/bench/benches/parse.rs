@@ -1,0 +1,33 @@
+//! Criterion bench for configuration parsing (§5.4 reports Batfish parse
+//! time comparable to SemanticDiff at 10 000 rules; this measures our
+//! front-end on the same generated inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use campion_cfg::parse_config;
+use campion_gen::capirca_acl_pair;
+use campion_ir::lower;
+
+fn parse_and_lower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.sample_size(10);
+    for size in [100usize, 1000, 5000] {
+        let (cisco, juniper) = capirca_acl_pair(size, 10.min(size / 2), 0xC0FFEE + size as u64);
+        group.bench_with_input(BenchmarkId::new("cisco", size), &cisco, |b, text| {
+            b.iter(|| {
+                let r = lower(&parse_config(text).expect("valid")).expect("lowerable");
+                std::hint::black_box(r.acls.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("juniper", size), &juniper, |b, text| {
+            b.iter(|| {
+                let r = lower(&parse_config(text).expect("valid")).expect("lowerable");
+                std::hint::black_box(r.acls.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parse_and_lower);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 5: the Minesweeper-style baseline on the §2.2 static routes —
+//! one packet, no prefix, no admin distance, no text.
+
+use campion_bench::load;
+use campion_cfg::samples::{STATIC_CISCO, STATIC_JUNIPER};
+
+fn main() {
+    let c = load(STATIC_CISCO);
+    let j = load(STATIC_JUNIPER);
+    let cex = campion_minesweeper::check_static_routes(&c, &j).expect("statics differ");
+    println!("Reproducing Table 5 — Minesweeper baseline on static routes\n");
+    println!("{cex}\n");
+    assert_eq!(cex.dst_ip.to_string(), "10.1.1.2");
+    println!(
+        "[shape check] only a concrete dstIp and forwarding verdicts — the\n\
+         operator must still find the static route by hand ✓"
+    );
+}

@@ -1,0 +1,98 @@
+//! # campion-bench — the experiment harness
+//!
+//! One binary per table or figure of the paper's evaluation (see the
+//! experiment index in DESIGN.md and the measured results in
+//! EXPERIMENTS.md):
+//!
+//! | binary        | reproduces |
+//! |---------------|------------|
+//! | `table2`      | Table 2 — Campion on Figure 1 (route maps) |
+//! | `table3`      | Table 3 — Minesweeper baseline on Figure 1 |
+//! | `cex_count`   | §2.1 — iterated counterexamples until coverage |
+//! | `table4`      | Table 4 — Campion on the §2.2 static routes |
+//! | `table5`      | Table 5 — Minesweeper baseline on the same |
+//! | `table6`      | Table 6 — the three data-center scenarios |
+//! | `table7`      | Table 7 — gateway ACL debugging example |
+//! | `table8`      | Table 8 — the university core/border pairs |
+//! | `scalability` | §5.4 — SemanticDiff runtime vs ACL size |
+//! | `fig3_demo`   | Figure 3 — the ddNF/GetMatch worked example |
+//!
+//! Criterion benches (`cargo bench`) cover the §5.4 scaling curves and the
+//! end-to-end per-pair runtime claim (<5 s).
+
+#![warn(missing_docs)]
+
+use campion_cfg::parse_config;
+use campion_ir::{lower, RouterIr};
+
+/// Parse and lower one configuration, panicking with context on failure
+/// (the harness only feeds generated or checked-in configs).
+pub fn load(text: &str) -> RouterIr {
+    lower(&parse_config(text).unwrap_or_else(|e| panic!("parse error: {e}")))
+        .unwrap_or_else(|e| panic!("lowering error: {e}"))
+}
+
+/// The Table 7 gateway ACL pair: a Cisco ACL rejecting a source range that
+/// the Juniper filter's whitelist term accepts (addresses follow the
+/// paper's anonymized values).
+pub fn table7_pair() -> (String, String) {
+    let cisco = "\
+hostname gateway-cisco
+ip access-list extended VM_FILTER_1
+ permit tcp 9.140.0.0 0.0.1.255 any eq 22
+ deny ip 9.140.0.0 0.0.1.255 any
+ permit ip any any
+"
+    .to_string();
+    let juniper = "\
+system { host-name gateway-juniper; }
+firewall {
+    family inet {
+        filter VM_FILTER_1 {
+            term permit_ssh {
+                from {
+                    source-address 9.140.0.0/23;
+                    protocol tcp;
+                    destination-port 22;
+                }
+                then accept;
+            }
+            term permit_whitelist {
+                then accept;
+            }
+        }
+    }
+}
+"
+    .to_string();
+    (cisco, juniper)
+}
+
+/// Render a compact one-line-per-row table to stdout.
+pub fn print_rows(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("{}", fmt_row(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    for r in rows {
+        println!("{}", fmt_row(r.clone()));
+    }
+}

@@ -1,0 +1,372 @@
+//! The Cisco IOS abstract syntax tree.
+//!
+//! Every node carries a [`Span`] into the original text; collections keep
+//! definition order (which is semantically meaningful for route maps and
+//! ACLs, and presentation-meaningful everywhere else).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use campion_net::{Community, IpProtocol, PortRange, Prefix, WildcardMask};
+
+use crate::span::{SourceText, Span};
+
+/// Permit or deny — the action vocabulary shared by prefix lists, community
+/// lists, ACLs and route-map entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineAction {
+    /// Accept the matched input.
+    Permit,
+    /// Reject the matched input.
+    Deny,
+}
+
+impl LineAction {
+    /// True for [`LineAction::Permit`].
+    pub fn permits(self) -> bool {
+        matches!(self, LineAction::Permit)
+    }
+}
+
+impl std::fmt::Display for LineAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineAction::Permit => write!(f, "permit"),
+            LineAction::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One `ip prefix-list NAME [seq N] permit|deny P [ge X] [le Y]` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixListEntry {
+    /// Sequence number (explicit or assigned in order).
+    pub seq: u32,
+    /// Permit or deny.
+    pub action: LineAction,
+    /// The matched prefix.
+    pub prefix: Prefix,
+    /// `ge` bound; defaults to the prefix's own length.
+    pub ge: u8,
+    /// `le` bound; defaults to `ge` (exact match when neither given).
+    pub le: u8,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A named `ip prefix-list`: an ordered list of entries with first-match
+/// semantics and an implicit trailing deny.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrefixList {
+    /// Entries in sequence order.
+    pub entries: Vec<PrefixListEntry>,
+}
+
+/// One `ip community-list standard NAME permit|deny c1 [c2 ...]` line.
+///
+/// A standard community-list **line** matches a route only when the route
+/// carries *all* the listed communities; the *list* matches when any line
+/// does. (The common single-community-per-line style therefore gives
+/// "any of these" semantics — the crux of Figure 1's second bug.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityListEntry {
+    /// Permit or deny.
+    pub action: LineAction,
+    /// Conjunction of communities this line requires (standard lists).
+    pub communities: Vec<Community>,
+    /// Regex over the community set (expanded lists); `None` for standard.
+    pub regex: Option<String>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A named community list (standard or expanded).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommunityList {
+    /// Entries in definition order, first match wins.
+    pub entries: Vec<CommunityListEntry>,
+}
+
+/// An address matcher inside an ACL rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclAddr {
+    /// `any`.
+    Any,
+    /// `host A.B.C.D`.
+    Host(Ipv4Addr),
+    /// `A.B.C.D W.W.W.W` — base plus wildcard bits.
+    Wildcard(WildcardMask),
+}
+
+impl AclAddr {
+    /// Does the matcher accept this address?
+    pub fn matches(&self, ip: Ipv4Addr) -> bool {
+        match self {
+            AclAddr::Any => true,
+            AclAddr::Host(h) => *h == ip,
+            AclAddr::Wildcard(w) => w.matches(ip),
+        }
+    }
+
+    /// Normalize into a wildcard-mask view.
+    pub fn as_wildcard(&self) -> WildcardMask {
+        match self {
+            AclAddr::Any => WildcardMask::ANY,
+            AclAddr::Host(h) => WildcardMask::host(*h),
+            AclAddr::Wildcard(w) => *w,
+        }
+    }
+}
+
+impl std::fmt::Display for AclAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AclAddr::Any => write!(f, "any"),
+            AclAddr::Host(h) => write!(f, "host {h}"),
+            AclAddr::Wildcard(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+/// One rule of an extended ACL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclRule {
+    /// Sequence number (explicit, or assigned by position).
+    pub seq: u32,
+    /// Permit or deny.
+    pub action: LineAction,
+    /// Protocol selector (`ip`, `tcp`, `udp`, `icmp`, or a number).
+    pub protocol: IpProtocol,
+    /// Source address matcher.
+    pub src: AclAddr,
+    /// Source port constraint (TCP/UDP only).
+    pub src_ports: PortRange,
+    /// Destination address matcher.
+    pub dst: AclAddr,
+    /// Destination port constraint (TCP/UDP only).
+    pub dst_ports: PortRange,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A named or numbered extended ACL: ordered rules, first match wins,
+/// implicit trailing deny.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Acl {
+    /// Rules in order.
+    pub rules: Vec<AclRule>,
+}
+
+/// A `match` clause in a route-map entry. Clauses of different kinds are
+/// conjunctive; multiple values within one clause are disjunctive (standard
+/// IOS semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteMapMatch {
+    /// `match ip address prefix-list N1 [N2 ...]`.
+    IpAddressPrefixList(Vec<String>),
+    /// `match ip address ACL...` (match routes whose prefix the ACL permits).
+    IpAddress(Vec<String>),
+    /// `match community C1 [C2 ...]`.
+    Community(Vec<String>),
+    /// `match tag T`.
+    Tag(u32),
+    /// `match metric M`.
+    Metric(u32),
+}
+
+/// A `set` clause in a route-map entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteMapSet {
+    /// `set local-preference N`.
+    LocalPreference(u32),
+    /// `set metric N`.
+    Metric(u32),
+    /// `set community c1 [c2 ...] [additive]`.
+    Community {
+        /// Communities to attach.
+        communities: Vec<Community>,
+        /// Keep existing communities (`additive`) or replace them.
+        additive: bool,
+    },
+    /// `set comm-list NAME delete`.
+    CommListDelete(String),
+    /// `set ip next-hop A.B.C.D`.
+    NextHop(Ipv4Addr),
+    /// `set weight N`.
+    Weight(u32),
+    /// `set tag N`.
+    Tag(u32),
+}
+
+/// One `route-map NAME permit|deny SEQ` entry with its match/set body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMapEntry {
+    /// Sequence number.
+    pub seq: u32,
+    /// Permit (accept, after applying sets) or deny (reject).
+    pub action: LineAction,
+    /// Conjunction of match clauses (empty = match everything).
+    pub matches: Vec<RouteMapMatch>,
+    /// Set clauses applied on permit.
+    pub sets: Vec<RouteMapSet>,
+    /// `continue` to a later sequence (parsed, surfaced as unsupported).
+    pub continue_seq: Option<u32>,
+    /// Source location, covering the header and body lines.
+    pub span: Span,
+}
+
+/// A named route map: entries ordered by sequence number, first match wins,
+/// implicit deny when no entry matches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteMap {
+    /// Entries in sequence order.
+    pub entries: Vec<RouteMapEntry>,
+}
+
+/// An `ip route` static route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next-hop address (`None` when the route points at an interface).
+    pub next_hop: Option<Ipv4Addr>,
+    /// Egress interface, when specified instead of / before a next hop.
+    pub interface: Option<String>,
+    /// Administrative distance (IOS default 1).
+    pub admin_distance: u8,
+    /// Route tag, if any.
+    pub tag: Option<u32>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `interface` stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name as written (`GigabitEthernet0/0`, `Loopback0`, ...).
+    pub name: String,
+    /// Primary address and mask, if configured.
+    pub address: Option<(Ipv4Addr, Prefix)>,
+    /// `ip ospf cost N`.
+    pub ospf_cost: Option<u32>,
+    /// `ip ospf P area A` (interface-mode OSPF enable).
+    pub ospf_area: Option<u32>,
+    /// `ip access-group NAME in`.
+    pub acl_in: Option<String>,
+    /// `ip access-group NAME out`.
+    pub acl_out: Option<String>,
+    /// `shutdown` present.
+    pub shutdown: bool,
+    /// `description ...` text.
+    pub description: Option<String>,
+    /// Source location of the whole stanza.
+    pub span: Span,
+}
+
+/// Per-neighbor BGP configuration collected from `neighbor X ...` lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpNeighbor {
+    /// Neighbor address.
+    pub addr: Ipv4Addr,
+    /// `remote-as`.
+    pub remote_as: Option<u32>,
+    /// Inbound route map name.
+    pub route_map_in: Option<String>,
+    /// Outbound route map name.
+    pub route_map_out: Option<String>,
+    /// `send-community` configured (IOS default: off).
+    pub send_community: bool,
+    /// `route-reflector-client` configured.
+    pub route_reflector_client: bool,
+    /// `next-hop-self` configured.
+    pub next_hop_self: bool,
+    /// `description`.
+    pub description: Option<String>,
+    /// Span covering this neighbor's lines.
+    pub span: Span,
+}
+
+/// A `redistribute PROTO [route-map NAME]` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redistribution {
+    /// Source protocol (`connected`, `static`, `ospf`, `bgp`...).
+    pub protocol: String,
+    /// Filter applied during redistribution.
+    pub route_map: Option<String>,
+    /// Fixed metric, if set.
+    pub metric: Option<u32>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The `router bgp ASN` stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpConfig {
+    /// Local AS number.
+    pub asn: u32,
+    /// `bgp router-id`.
+    pub router_id: Option<Ipv4Addr>,
+    /// Neighbors keyed by address.
+    pub neighbors: BTreeMap<Ipv4Addr, BgpNeighbor>,
+    /// `network P mask M [route-map N]` originations.
+    pub networks: Vec<(Prefix, Option<String>, Span)>,
+    /// Redistributions into BGP.
+    pub redistribute: Vec<Redistribution>,
+    /// `distance bgp EXTERNAL INTERNAL LOCAL`.
+    pub distance: Option<(u8, u8, u8)>,
+    /// Whole-stanza span.
+    pub span: Span,
+}
+
+/// The `router ospf N` stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfConfig {
+    /// Process id.
+    pub process_id: u32,
+    /// `router-id`.
+    pub router_id: Option<Ipv4Addr>,
+    /// `network ADDR WILDCARD area A` statements.
+    pub networks: Vec<(WildcardMask, u32, Span)>,
+    /// `passive-interface NAME` entries.
+    pub passive_interfaces: Vec<String>,
+    /// `distance N`.
+    pub distance: Option<u8>,
+    /// Reference bandwidth (`auto-cost reference-bandwidth N`), Mbps.
+    pub reference_bandwidth: Option<u64>,
+    /// Redistributions into OSPF.
+    pub redistribute: Vec<Redistribution>,
+    /// Whole-stanza span.
+    pub span: Span,
+}
+
+/// A parsed Cisco IOS configuration.
+#[derive(Debug, Clone)]
+pub struct CiscoConfig {
+    /// `hostname`.
+    pub hostname: String,
+    /// Prefix lists by name.
+    pub prefix_lists: BTreeMap<String, PrefixList>,
+    /// Community lists by name.
+    pub community_lists: BTreeMap<String, CommunityList>,
+    /// Extended ACLs by name (numbered ACLs use their number as name).
+    pub acls: BTreeMap<String, Acl>,
+    /// Route maps by name.
+    pub route_maps: BTreeMap<String, RouteMap>,
+    /// Static routes in definition order.
+    pub static_routes: Vec<StaticRoute>,
+    /// Interfaces by name.
+    pub interfaces: BTreeMap<String, Interface>,
+    /// BGP process, if configured.
+    pub bgp: Option<BgpConfig>,
+    /// OSPF process, if configured.
+    pub ospf: Option<OspfConfig>,
+    /// The original text, for snippet extraction.
+    pub source: SourceText,
+}
+
+impl CiscoConfig {
+    /// Quote the configuration text for a span (text localization).
+    pub fn snippet(&self, span: Span) -> String {
+        self.source.snippet_dedented(span)
+    }
+}

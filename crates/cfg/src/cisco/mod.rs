@@ -1,0 +1,15 @@
+//! Cisco IOS configuration: AST and parser.
+//!
+//! IOS configs are line-oriented: top-level commands start in column zero
+//! and stanza bodies (`interface`, `router bgp`, `route-map` entries, named
+//! ACLs) are indented continuation lines. The parser walks the file once,
+//! dispatching on the first tokens of each top-level command.
+
+mod ast;
+mod parser;
+
+pub use ast::*;
+pub use parser::parse_cisco;
+
+#[cfg(test)]
+mod tests;

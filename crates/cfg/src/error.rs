@@ -1,0 +1,48 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A configuration parse error, pinned to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was found (0 = whole file).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Build an error at a specific line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Build a file-level error.
+    pub fn file(message: impl Into<String>) -> Self {
+        ParseError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "config parse error: {}", self.message)
+        } else {
+            write!(f, "config parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<campion_net::ParseNetError> for ParseError {
+    fn from(e: campion_net::ParseNetError) -> Self {
+        ParseError::file(e.message)
+    }
+}

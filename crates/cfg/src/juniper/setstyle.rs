@@ -1,0 +1,293 @@
+//! `set`-style (flattened) JunOS input.
+//!
+//! `show configuration | display set` prints one `set` command per line;
+//! operators frequently exchange configs in this form. This module folds
+//! such lines back into the statement tree the extraction layer consumes.
+//!
+//! Reconstruction needs to know, for each keyword, how many tokens after it
+//! belong to the *statement head* (its arguments) before nesting resumes —
+//! e.g. `policy-statement POL` consumes one name, `term t1` one name,
+//! `from community COMM` is a leaf whose words all stay together. The
+//! schema below covers the grammar subset the typed extractor understands;
+//! unknown keywords terminate nesting and keep the remaining tokens as one
+//! leaf statement, which matches how the extractor treats unmodeled leaves.
+
+use crate::error::ParseError;
+use crate::span::Span;
+
+use super::tree::Stmt;
+
+/// Containers that take `n` name arguments and then nest further.
+fn container_arity(keyword: &str) -> Option<usize> {
+    Some(match keyword {
+        "system" | "policy-options" | "routing-options" | "protocols" | "firewall"
+        | "interfaces" | "static" | "bgp" | "ospf" => 0,
+        "policy-statement" | "term" | "prefix-list" | "group" | "area" | "filter" | "unit"
+        | "route" | "neighbor" | "interface" => 1,
+        "family" => 1, // family inet { ... }
+        "from" | "then" => 0,
+        _ => return None,
+    })
+}
+
+/// Does this token start an interfaces stanza body (the interface name
+/// itself is the container)?
+fn is_leaf_keyword(keyword: &str) -> bool {
+    matches!(
+        keyword,
+        "host-name"
+            | "autonomous-system"
+            | "router-id"
+            | "import"
+            | "export"
+            | "peer-as"
+            | "cluster"
+            | "type"
+            | "members"
+            | "community"
+            | "route-filter"
+            | "prefix-list-filter"
+            | "local-preference"
+            | "metric"
+            | "accept"
+            | "reject"
+            | "next-hop"
+            | "next"
+            | "tag"
+            | "preference"
+            | "discard"
+            | "source-address"
+            | "destination-address"
+            | "protocol"
+            | "source-port"
+            | "destination-port"
+            | "address"
+            | "disable"
+            | "description"
+            | "passive"
+            | "reference-bandwidth"
+    )
+}
+
+/// Is this text in `set`-style form? (Every non-empty line starts with
+/// `set` or `delete`.)
+pub fn looks_like_set_style(text: &str) -> bool {
+    let mut any = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if !t.starts_with("set ") {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Convert `set`-style lines into a statement tree.
+pub fn parse_set_style(text: &str) -> Result<Vec<Stmt>, ParseError> {
+    let mut roots: Vec<Stmt> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = t.strip_prefix("set ") else {
+            return Err(ParseError::at(line_no, "expected a `set` command"));
+        };
+        let tokens = tokenize(rest, line_no)?;
+        insert_path(&mut roots, &tokens, line_no)?;
+    }
+    Ok(roots)
+}
+
+/// Split on whitespace, honoring quoted strings and `[ ... ]` groups
+/// (bracket contents flatten, like the brace parser does).
+fn tokenize(rest: &str, line: u32) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = rest.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' | '[' | ']' => {}
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(ParseError::at(line, "unterminated string")),
+                    }
+                }
+                out.push(s);
+            }
+            _ => {
+                let mut s = String::new();
+                s.push(c);
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '[' || ch == ']' || ch == '"' {
+                        break;
+                    }
+                    s.push(ch);
+                    chars.next();
+                }
+                out.push(s);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(ParseError::at(line, "empty set command"));
+    }
+    Ok(out)
+}
+
+/// Walk the token path, descending through known containers and attaching
+/// the remainder as one leaf statement.
+fn insert_path(roots: &mut Vec<Stmt>, tokens: &[String], line: u32) -> Result<(), ParseError> {
+    let mut idx = 0;
+    fn descend<'a>(
+        level: &'a mut Vec<Stmt>,
+        head: &[String],
+        line: u32,
+    ) -> &'a mut Vec<Stmt> {
+        // Find or create a container whose words == head.
+        let pos = level.iter().position(|s| s.words == head);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                level.push(Stmt {
+                    words: head.to_vec(),
+                    children: Vec::new(),
+                    span: Span::line(line),
+                });
+                level.len() - 1
+            }
+        };
+        // Containers created by earlier lines keep their original span
+        // start; extend the end to cover this line.
+        level[pos].span = level[pos].span.merge(Span::line(line));
+        &mut level[pos].children
+    }
+    let mut current: &mut Vec<Stmt> = roots;
+    while idx < tokens.len() {
+        let kw = tokens[idx].as_str();
+        if is_leaf_keyword(kw) {
+            break;
+        }
+        match container_arity(kw) {
+            Some(arity) if idx + arity < tokens.len() => {
+                let head = &tokens[idx..=idx + arity];
+                current = descend(current, head, line);
+                idx += arity + 1;
+                // Inside `interfaces`, the next token is the interface name
+                // (a container with no keyword of its own).
+                if kw == "interfaces" && idx < tokens.len() {
+                    let name = &tokens[idx..=idx];
+                    current = descend(current, name, line);
+                    idx += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    if idx < tokens.len() {
+        current.push(Stmt {
+            words: tokens[idx..].to_vec(),
+            children: Vec::new(),
+            span: Span::line(line),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juniper::parse_juniper;
+
+    const SET_STYLE: &str = "\
+set system host-name core-set
+set policy-options prefix-list NETS 10.9.0.0/16
+set policy-options prefix-list NETS 10.100.0.0/16
+set policy-options community COMM members [ 10:10 10:11 ]
+set policy-options policy-statement POL term rule1 from prefix-list NETS
+set policy-options policy-statement POL term rule1 then reject
+set policy-options policy-statement POL term rule2 from community COMM
+set policy-options policy-statement POL term rule2 then reject
+set policy-options policy-statement POL term rule3 then local-preference 30
+set policy-options policy-statement POL term rule3 then accept
+set routing-options autonomous-system 65100
+set routing-options static route 10.1.1.2/31 next-hop 10.2.2.2
+set protocols bgp group ibgp type internal
+set protocols bgp group ibgp neighbor 10.0.101.2 export POL
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.1.2/24
+";
+
+    #[test]
+    fn detection() {
+        assert!(looks_like_set_style(SET_STYLE));
+        assert!(!looks_like_set_style("policy-options { }"));
+        assert!(!looks_like_set_style(""));
+    }
+
+    #[test]
+    fn set_style_parses_like_braces() {
+        let cfg = parse_juniper(SET_STYLE).expect("set-style parses");
+        assert_eq!(cfg.hostname, "core-set");
+        assert_eq!(cfg.prefix_lists["NETS"].prefixes.len(), 2);
+        let comm = &cfg.communities["COMM"];
+        assert_eq!(comm.members.len(), 2);
+        let pol = &cfg.policies["POL"];
+        assert_eq!(pol.terms.len(), 3);
+        assert_eq!(pol.terms[2].then.len(), 2);
+        assert_eq!(cfg.static_routes.len(), 1);
+        assert_eq!(
+            cfg.static_routes[0].next_hop.unwrap().to_string(),
+            "10.2.2.2"
+        );
+        let bgp = cfg.bgp.expect("bgp parsed");
+        let (_, export) = bgp
+            .effective_export("10.0.101.2".parse().expect("addr"))
+            .expect("neighbor");
+        assert_eq!(export, vec!["POL"]);
+        let iface = &cfg.interfaces["ge-0/0/0"];
+        assert_eq!(
+            iface.units[&0].address.expect("addr").1.to_string(),
+            "10.0.1.0/24"
+        );
+    }
+
+    #[test]
+    fn set_style_equivalent_to_brace_style() {
+        use crate::samples::FIGURE1_JUNIPER;
+        let braces = parse_juniper(FIGURE1_JUNIPER).expect("braces parse");
+        let set_text = "\
+set policy-options prefix-list NETS 10.9.0.0/16
+set policy-options prefix-list NETS 10.100.0.0/16
+set policy-options community COMM members [ 10:10 10:11 ]
+set policy-options policy-statement POL term rule1 from prefix-list NETS
+set policy-options policy-statement POL term rule1 then reject
+set policy-options policy-statement POL term rule2 from community COMM
+set policy-options policy-statement POL term rule2 then reject
+set policy-options policy-statement POL term rule3 then local-preference 30
+set policy-options policy-statement POL term rule3 then accept
+";
+        let set = parse_juniper(set_text).expect("set-style parses");
+        assert_eq!(braces.prefix_lists["NETS"].prefixes.len(),
+                   set.prefix_lists["NETS"].prefixes.len());
+        assert_eq!(braces.communities["COMM"].members, set.communities["COMM"].members);
+        assert_eq!(braces.policies["POL"].terms.len(), set.policies["POL"].terms.len());
+        for (a, b) in braces.policies["POL"].terms.iter().zip(&set.policies["POL"].terms) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.then, b.then);
+        }
+    }
+
+    #[test]
+    fn bad_set_lines_error() {
+        assert!(parse_set_style("set \"unterminated\n").is_err());
+        assert!(parse_set_style("set\n").is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The generic JunOS statement tree.
+//!
+//! Grammar (whitespace-separated tokens; `#` and `/* */` comments ignored):
+//!
+//! ```text
+//! config    := statement*
+//! statement := words ';'            (leaf)
+//!            | words '{' config '}' (stanza)
+//! words     := (WORD | '[' WORD* ']')+
+//! ```
+//!
+//! Bracketed lists are flattened into the word sequence (the extraction
+//! layer knows the arity of each keyword), so
+//! `members [ 10:10 10:11 ];` yields the words `members 10:10 10:11`.
+
+use crate::error::ParseError;
+use crate::span::Span;
+
+/// One statement in the tree: its words, its children (empty for leaves)
+/// and the source span it covers (including the closing brace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement's tokens, with bracket groups flattened.
+    pub words: Vec<String>,
+    /// Child statements for `{ ... }` stanzas.
+    pub children: Vec<Stmt>,
+    /// Lines covered by the whole statement.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// True when the statement has no children (ends with `;`).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// First word, if any.
+    pub fn keyword(&self) -> Option<&str> {
+        self.words.first().map(String::as_str)
+    }
+
+    /// Children whose first word equals `kw`.
+    pub fn find_all<'a>(&'a self, kw: &'a str) -> impl Iterator<Item = &'a Stmt> + 'a {
+        self.children.iter().filter(move |c| c.keyword() == Some(kw))
+    }
+
+    /// The unique child starting with `kw`, if present.
+    pub fn find(&self, kw: &str) -> Option<&Stmt> {
+        self.children.iter().find(|c| c.keyword() == Some(kw))
+    }
+
+    /// Words after the keyword.
+    pub fn args(&self) -> &[String] {
+        if self.words.is_empty() {
+            &[]
+        } else {
+            &self.words[1..]
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    LBrace,
+    RBrace,
+    Semi,
+    LBracket,
+    RBracket,
+}
+
+/// Tokenize JunOS text, tracking the line of every token.
+fn lex(text: &str) -> Result<Vec<(u32, Tok)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut in_block_comment = false;
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let mut rest = raw_line;
+        loop {
+            if in_block_comment {
+                match rest.find("*/") {
+                    Some(p) => {
+                        in_block_comment = false;
+                        rest = &rest[p + 2..];
+                    }
+                    None => break,
+                }
+            }
+            rest = rest.trim_start();
+            if rest.is_empty() || rest.starts_with('#') {
+                break;
+            }
+            if rest.starts_with("/*") {
+                in_block_comment = true;
+                rest = &rest[2..];
+                continue;
+            }
+            let c = rest.chars().next().expect("nonempty");
+            let single = match c {
+                '{' => Some(Tok::LBrace),
+                '}' => Some(Tok::RBrace),
+                ';' => Some(Tok::Semi),
+                '[' => Some(Tok::LBracket),
+                ']' => Some(Tok::RBracket),
+                _ => None,
+            };
+            if let Some(t) = single {
+                toks.push((line_no, t));
+                rest = &rest[1..];
+                continue;
+            }
+            if c == '"' {
+                // Quoted word (descriptions, regexes with spaces).
+                match rest[1..].find('"') {
+                    Some(p) => {
+                        toks.push((line_no, Tok::Word(rest[1..1 + p].to_string())));
+                        rest = &rest[p + 2..];
+                    }
+                    None => {
+                        return Err(ParseError::at(line_no, "unterminated string"));
+                    }
+                }
+                continue;
+            }
+            // A bare word runs to the next delimiter or whitespace.
+            let end = rest
+                .find(|ch: char| ch.is_whitespace() || "{};[]#\"".contains(ch))
+                .unwrap_or(rest.len());
+            toks.push((line_no, Tok::Word(rest[..end].to_string())));
+            rest = &rest[end..];
+        }
+    }
+    if in_block_comment {
+        return Err(ParseError::file("unterminated block comment"));
+    }
+    Ok(toks)
+}
+
+/// Parse JunOS text into a list of top-level statements.
+pub fn parse_tree(text: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(text)?;
+    let mut pos = 0;
+    let stmts = parse_stmts(&toks, &mut pos)?;
+    if pos != toks.len() {
+        let (line, _) = toks[pos];
+        return Err(ParseError::at(line, "unexpected '}'"));
+    }
+    Ok(stmts)
+}
+
+fn parse_stmts(toks: &[(u32, Tok)], pos: &mut usize) -> Result<Vec<Stmt>, ParseError> {
+    let mut stmts = Vec::new();
+    while let Some((line, tok)) = toks.get(*pos) {
+        match tok {
+            Tok::RBrace => break,
+            Tok::Semi => {
+                // Stray semicolon: tolerate.
+                *pos += 1;
+            }
+            Tok::Word(_) | Tok::LBracket => {
+                stmts.push(parse_stmt(toks, pos)?);
+            }
+            Tok::LBrace => {
+                return Err(ParseError::at(*line, "'{' without a preceding keyword"));
+            }
+            Tok::RBracket => {
+                return Err(ParseError::at(*line, "']' without matching '['"));
+            }
+        }
+    }
+    Ok(stmts)
+}
+
+fn parse_stmt(toks: &[(u32, Tok)], pos: &mut usize) -> Result<Stmt, ParseError> {
+    let start_line = toks[*pos].0;
+    let mut words = Vec::new();
+    loop {
+        match toks.get(*pos) {
+            Some((_, Tok::Word(w))) => {
+                words.push(w.clone());
+                *pos += 1;
+            }
+            Some((line, Tok::LBracket)) => {
+                *pos += 1;
+                loop {
+                    match toks.get(*pos) {
+                        Some((_, Tok::Word(w))) => {
+                            words.push(w.clone());
+                            *pos += 1;
+                        }
+                        Some((_, Tok::RBracket)) => {
+                            *pos += 1;
+                            break;
+                        }
+                        Some((l, other)) => {
+                            return Err(ParseError::at(
+                                *l,
+                                format!("unexpected {other:?} inside '[' list"),
+                            ));
+                        }
+                        None => return Err(ParseError::at(*line, "unterminated '[' list")),
+                    }
+                }
+            }
+            Some((line, Tok::Semi)) => {
+                *pos += 1;
+                return Ok(Stmt {
+                    words,
+                    children: Vec::new(),
+                    span: Span::lines(start_line, *line),
+                });
+            }
+            Some((line, Tok::LBrace)) => {
+                *pos += 1;
+                let children = parse_stmts(toks, pos)?;
+                match toks.get(*pos) {
+                    Some((end_line, Tok::RBrace)) => {
+                        let end = *end_line;
+                        *pos += 1;
+                        return Ok(Stmt {
+                            words,
+                            children,
+                            span: Span::lines(start_line, end),
+                        });
+                    }
+                    _ => return Err(ParseError::at(*line, "unterminated '{' block")),
+                }
+            }
+            Some((line, Tok::RBrace)) => {
+                return Err(ParseError::at(*line, "statement missing ';' before '}'"));
+            }
+            Some((line, Tok::RBracket)) => {
+                return Err(ParseError::at(*line, "']' without matching '['"));
+            }
+            None => {
+                return Err(ParseError::at(
+                    start_line,
+                    "statement missing ';' at end of input",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_stanza() {
+        let stmts = parse_tree("system { host-name border1; }").unwrap();
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].words, vec!["system"]);
+        let hn = &stmts[0].children[0];
+        assert_eq!(hn.words, vec!["host-name", "border1"]);
+        assert!(hn.is_leaf());
+    }
+
+    #[test]
+    fn bracket_lists_flatten() {
+        let stmts = parse_tree("community COMM members [ 10:10 10:11 ];").unwrap();
+        assert_eq!(
+            stmts[0].words,
+            vec!["community", "COMM", "members", "10:10", "10:11"]
+        );
+    }
+
+    #[test]
+    fn spans_cover_blocks() {
+        let text = "policy-statement POL {\n  term rule1 {\n    then reject;\n  }\n}\n";
+        let stmts = parse_tree(text).unwrap();
+        assert_eq!(stmts[0].span, Span::lines(1, 5));
+        let term = &stmts[0].children[0];
+        assert_eq!(term.span, Span::lines(2, 4));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = "# a comment\nrouting-options {\n /* block\n comment */ static { route 0.0.0.0/0 next-hop 10.0.0.1; }\n}\n";
+        let stmts = parse_tree(text).unwrap();
+        assert_eq!(stmts[0].words, vec!["routing-options"]);
+        let st = &stmts[0].children[0];
+        assert_eq!(st.words, vec!["static"]);
+    }
+
+    #[test]
+    fn quoted_words() {
+        let stmts = parse_tree("description \"to core router\";").unwrap();
+        assert_eq!(stmts[0].words, vec!["description", "to core router"]);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_tree("foo {\nbar\n}").unwrap_err();
+        assert_eq!(err.line, 3, "missing semicolon detected at closing brace");
+        assert!(parse_tree("a b c").is_err(), "missing terminator");
+        assert!(parse_tree("}").is_err());
+    }
+
+    #[test]
+    fn find_helpers() {
+        let stmts = parse_tree("a { b 1; b 2; c 3; }").unwrap();
+        let a = &stmts[0];
+        assert_eq!(a.find_all("b").count(), 2);
+        assert_eq!(a.find("c").unwrap().args(), &["3".to_string()]);
+        assert!(a.find("d").is_none());
+    }
+}

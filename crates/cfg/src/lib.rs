@@ -1,0 +1,43 @@
+//! # campion-cfg — router configuration parsers
+//!
+//! Hand-written parsers for the two vendor formats the paper's tool can
+//! fully localize: **Cisco IOS** (line-oriented) and **Juniper JunOS**
+//! (hierarchical braces). This crate plays the role Batfish's parsing
+//! front-end plays for the original Campion: it turns raw configuration text
+//! into vendor ASTs, and every AST element carries a [`Span`] back into the
+//! original text so that *text localization* can print the exact lines
+//! responsible for a behavioral difference.
+//!
+//! The supported feature set is the one Campion analyzes (Table 1 of the
+//! paper): prefix lists, community lists, ACLs / firewall filters, route
+//! maps / policy statements, static routes, BGP neighbor configuration,
+//! OSPF interface configuration, and administrative distances.
+//!
+//! ```
+//! use campion_cfg::{parse_config, VendorConfig};
+//! let cfg = parse_config("\
+//! hostname r1
+//! ip route 10.1.1.2 255.255.255.254 10.2.2.2
+//! ").unwrap();
+//! match cfg {
+//!     VendorConfig::Cisco(c) => assert_eq!(c.static_routes.len(), 1),
+//!     VendorConfig::Juniper(_) => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cisco;
+pub mod juniper;
+
+mod detect;
+pub mod samples;
+mod error;
+mod span;
+
+pub use detect::{detect_vendor, parse_config, VendorConfig};
+pub use error::ParseError;
+pub use span::{SourceText, Span, Vendor};
+
+#[cfg(test)]
+mod robustness;

@@ -1,0 +1,63 @@
+//! Configuration excerpts from the paper, shared by tests, examples and the
+//! benchmark harness.
+
+/// The Cisco route-map excerpt of the paper's Figure 1(a), verbatim modulo
+/// the paper's line wrap.
+pub const FIGURE1_CISCO: &str = "\
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address prefix-list NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+";
+
+/// The Juniper policy excerpt of the paper's Figure 1(b), formatted as real
+/// JunOS (the paper's listing is line-wrapped; semantically identical).
+pub const FIGURE1_JUNIPER: &str = "\
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+";
+
+/// The static-route example of §2.2 (Table 4): present in the Cisco router.
+pub const STATIC_CISCO: &str = "\
+hostname cisco_router
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+";
+
+/// The static-route example of §2.2: absent from the Juniper router.
+pub const STATIC_JUNIPER: &str = "\
+system { host-name juniper_router; }
+routing-options {
+    static {
+        route 192.0.2.0/24 next-hop 10.2.2.2;
+    }
+}
+";

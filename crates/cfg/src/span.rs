@@ -1,0 +1,135 @@
+//! Source locations: the foundation of text localization.
+
+use std::fmt;
+
+/// Which configuration language a piece of text was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Cisco IOS, line-oriented.
+    CiscoIos,
+    /// Juniper JunOS, hierarchical braces.
+    JuniperJunos,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::CiscoIos => write!(f, "Cisco IOS"),
+            Vendor::JuniperJunos => write!(f, "Juniper JunOS"),
+        }
+    }
+}
+
+/// An inclusive range of 1-based line numbers in the original configuration.
+///
+/// Every parsed element keeps its span so Campion's `Present` step can quote
+/// the exact configuration text responsible for a difference — the paper's
+/// *text localization*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First line, 1-based, inclusive.
+    pub start: u32,
+    /// Last line, 1-based, inclusive.
+    pub end: u32,
+}
+
+impl Default for Span {
+    /// A placeholder span pointing at the first line; used by containers
+    /// that are populated incrementally.
+    fn default() -> Self {
+        Span { start: 1, end: 1 }
+    }
+}
+
+impl Span {
+    /// A single-line span.
+    pub fn line(n: u32) -> Self {
+        Span { start: n, end: n }
+    }
+
+    /// A multi-line span.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `start == 0`.
+    pub fn lines(start: u32, end: u32) -> Self {
+        assert!(start >= 1 && start <= end, "invalid span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of lines covered.
+    pub fn line_count(self) -> u32 {
+        self.end - self.start + 1
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "line {}", self.start)
+        } else {
+            write!(f, "lines {}-{}", self.start, self.end)
+        }
+    }
+}
+
+/// The original configuration text, retained for snippet extraction.
+///
+/// Campion "unparses" IR elements back to configuration text by simply
+/// slicing the original source with the element's span — guaranteed to match
+/// what the operator wrote, whitespace and all.
+#[derive(Debug, Clone)]
+pub struct SourceText {
+    lines: Vec<String>,
+}
+
+impl SourceText {
+    /// Capture the configuration text.
+    pub fn new(text: &str) -> Self {
+        SourceText {
+            lines: text.lines().map(str::to_owned).collect(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// A single line by 1-based number (`None` when out of range).
+    pub fn line(&self, n: u32) -> Option<&str> {
+        self.lines.get((n as usize).checked_sub(1)?).map(String::as_str)
+    }
+
+    /// The text covered by `span`, joined with newlines. Lines outside the
+    /// file are silently dropped (spans are trusted but not load-bearing).
+    pub fn snippet(&self, span: Span) -> String {
+        (span.start..=span.end)
+            .filter_map(|n| self.line(n))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Like [`SourceText::snippet`], but with leading indentation trimmed
+    /// uniformly (for display in reports).
+    pub fn snippet_dedented(&self, span: Span) -> String {
+        let raw = self.snippet(span);
+        let min_indent = raw
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.len() - l.trim_start().len())
+            .min()
+            .unwrap_or(0);
+        raw.lines()
+            .map(|l| if l.len() >= min_indent { &l[min_indent..] } else { l })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

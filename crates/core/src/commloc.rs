@@ -1,0 +1,187 @@
+//! Community localization — the extension the paper sketches in §3.2 and
+//! §4 ("It is possible to extend HeaderLocalize to provide exhaustive
+//! information across multiple parts of a route advertisement") but left
+//! unimplemented: instead of a single example community, report the
+//! **complete set of community conditions** under which a difference
+//! manifests.
+//!
+//! The difference predicate is projected onto the community-atom variables
+//! and decomposed into its satisfying cubes; each cube is a conjunction of
+//! required/forbidden atoms ("with 10:10, without 10:11"). The cubes are
+//! disjoint and together cover exactly the community dimension of the
+//! difference, mirroring what the prefix-range representation does for the
+//! destination-prefix dimension.
+
+use campion_bdd::Bdd;
+use campion_symbolic::{AtomKey, RouteSpace, PROTO_VARS};
+
+/// One community condition: atoms that must be present and atoms that must
+/// be absent (unmentioned atoms are irrelevant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityCondition {
+    /// Atoms the route must carry.
+    pub with: Vec<AtomKey>,
+    /// Atoms the route must not carry.
+    pub without: Vec<AtomKey>,
+}
+
+impl std::fmt::Display for CommunityCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if !self.with.is_empty() {
+            let cs: Vec<String> = self.with.iter().map(|a| a.to_string()).collect();
+            parts.push(format!("with {}", cs.join(", ")));
+        }
+        if !self.without.is_empty() {
+            let cs: Vec<String> = self.without.iter().map(|a| a.to_string()).collect();
+            parts.push(format!("without {}", cs.join(", ")));
+        }
+        if parts.is_empty() {
+            parts.push("any communities".to_string());
+        }
+        write!(f, "{}", parts.join("; "))
+    }
+}
+
+/// The exhaustive community localization of a difference.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommunityLocalization {
+    /// Disjoint conditions whose union is the community dimension of the
+    /// difference. Empty means the difference does not constrain
+    /// communities at all.
+    pub conditions: Vec<CommunityCondition>,
+}
+
+impl CommunityLocalization {
+    /// True when the difference is community-independent.
+    pub fn is_unconstrained(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+impl std::fmt::Display for CommunityLocalization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_unconstrained() {
+            return write!(f, "(any communities)");
+        }
+        let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join("\nor "))
+    }
+}
+
+/// Localize the community dimension of a difference predicate.
+///
+/// Projects `input` onto the community-atom variables (existentially
+/// quantifying everything else) and enumerates the satisfying cubes. When
+/// the projection is the constant `true` — the difference happens whatever
+/// the communities are — the result is unconstrained.
+pub fn community_localize(space: &mut RouteSpace, input: Bdd) -> CommunityLocalization {
+    let atoms = space.atoms().to_vec();
+    if atoms.is_empty() {
+        return CommunityLocalization::default();
+    }
+    let comm_base = PROTO_VARS.end;
+    let comm_end = comm_base + atoms.len() as u32;
+    // Quantify away everything but the atom variables.
+    let mut other: Vec<u32> = (0..comm_base).collect();
+    other.extend(comm_end..space.num_vars());
+    let projected = space.manager.exists(input, &other);
+    if space.manager.is_true(projected) {
+        return CommunityLocalization::default();
+    }
+    let mut conditions = Vec::new();
+    for cube in space.manager.sat_cubes(projected) {
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for (i, atom) in atoms.iter().enumerate() {
+            match cube.get(comm_base + i as u32) {
+                Some(true) => with.push(atom.clone()),
+                Some(false) => without.push(atom.clone()),
+                None => {}
+            }
+        }
+        conditions.push(CommunityCondition { with, without });
+    }
+    CommunityLocalization { conditions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campion_cfg::parse_config;
+    use campion_cfg::samples::{FIGURE1_CISCO, FIGURE1_JUNIPER};
+    use campion_ir::lower;
+    use campion_net::Community;
+
+    use crate::semantic::{policy_paths, semantic_diff};
+
+    #[test]
+    fn figure1_difference2_communities_are_exhaustive() {
+        let c = lower(&parse_config(FIGURE1_CISCO).expect("parse")).expect("lower");
+        let j = lower(&parse_config(FIGURE1_JUNIPER).expect("parse")).expect("lower");
+        let p1 = &c.policies["POL"];
+        let p2 = &j.policies["POL"];
+        let mut space = RouteSpace::for_policies(&[p1, p2]);
+        let u = space.universe();
+        let paths1 = policy_paths(&mut space, p1, u);
+        let paths2 = policy_paths(&mut space, p2, u);
+        let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+        assert_eq!(diffs.len(), 2);
+        // Difference 2 (community bug): the exact condition is
+        // "exactly one of 10:10, 10:11".
+        let loc = community_localize(&mut space, diffs[1].input);
+        assert_eq!(loc.conditions.len(), 2, "{loc}");
+        let c10 = AtomKey::Literal(Community::new(10, 10));
+        let c11 = AtomKey::Literal(Community::new(10, 11));
+        assert!(loc
+            .conditions
+            .iter()
+            .any(|c| c.with == vec![c10.clone()] && c.without == vec![c11.clone()]));
+        assert!(loc
+            .conditions
+            .iter()
+            .any(|c| c.with == vec![c11.clone()] && c.without == vec![c10.clone()]));
+        let rendered = loc.to_string();
+        assert!(rendered.contains("with 10:10; without 10:11"), "{rendered}");
+    }
+
+    #[test]
+    fn figure1_difference1_community_conditions() {
+        let c = lower(&parse_config(FIGURE1_CISCO).expect("parse")).expect("lower");
+        let j = lower(&parse_config(FIGURE1_JUNIPER).expect("parse")).expect("lower");
+        let p1 = &c.policies["POL"];
+        let p2 = &j.policies["POL"];
+        let mut space = RouteSpace::for_policies(&[p1, p2]);
+        let u = space.universe();
+        let paths1 = policy_paths(&mut space, p1, u);
+        let paths2 = policy_paths(&mut space, p2, u);
+        let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+        // Difference 1 constrains communities only negatively (must not
+        // carry both, or Juniper would reject too): not both 10:10 & 10:11.
+        let loc = community_localize(&mut space, diffs[0].input);
+        assert!(!loc.is_unconstrained());
+        // Every condition forbids at least one of the two communities.
+        for cond in &loc.conditions {
+            assert!(!cond.without.is_empty(), "{loc}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_when_no_community_vars() {
+        let c = lower(
+            &parse_config("route-map A permit 10\nroute-map B deny 10\n").expect("parse"),
+        )
+        .expect("lower");
+        let p1 = &c.policies["A"];
+        let p2 = &c.policies["B"];
+        let mut space = RouteSpace::for_policies(&[p1, p2]);
+        let u = space.universe();
+        let paths1 = policy_paths(&mut space, p1, u);
+        let paths2 = policy_paths(&mut space, p2, u);
+        let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+        assert_eq!(diffs.len(), 1);
+        let loc = community_localize(&mut space, diffs[0].input);
+        assert!(loc.is_unconstrained());
+        assert_eq!(loc.to_string(), "(any communities)");
+    }
+}

@@ -1,0 +1,390 @@
+//! HeaderLocalize (§3.2): express a difference's input set minimally in
+//! terms of the prefix ranges appearing in the configurations.
+//!
+//! The algorithm mirrors the paper exactly:
+//!
+//! 1. extract every prefix range from the two configurations, add the
+//!    universe `U = (0.0.0.0/0, 0-32)`, and close the set under
+//!    intersection;
+//! 2. build the ddNF DAG: one node per distinct range *set* (BDD-keyed, so
+//!    structurally different ranges denoting the same set share a node),
+//!    with a cover edge `(m, n)` exactly when `λ(n) ⊂ λ(m)` with nothing in
+//!    between;
+//! 3. run the recursive `GetMatch` over the DAG: a node's *remainder* (its
+//!    range minus its children) is either inside or outside the target set
+//!    `S`, which drives inclusion of the node's range minus the non-matching
+//!    children (computed by recursing with `¬S`);
+//! 4. remove *nested differences* in a single pass:
+//!    `C − (F − G)` becomes `{C − F, G}`.
+
+use campion_bdd::{Bdd, Manager};
+use campion_net::PrefixRange;
+use campion_symbolic::{PacketSpace, RouteSpace};
+
+/// Abstracts "a BDD space in which a prefix range denotes a set", so the
+/// same ddNF machinery serves route maps (prefix + length dimensions) and
+/// ACLs (pure address dimensions for source or destination).
+pub trait RangeEncoder {
+    /// The underlying manager.
+    fn manager(&mut self) -> &mut Manager;
+    /// The set denoted by a prefix range in this space.
+    fn encode(&mut self, r: &PrefixRange) -> Bdd;
+}
+
+impl RangeEncoder for RouteSpace {
+    fn manager(&mut self) -> &mut Manager {
+        &mut self.manager
+    }
+    fn encode(&mut self, r: &PrefixRange) -> Bdd {
+        self.prefix_range_bdd(r)
+    }
+}
+
+/// Destination-address view of a packet space: a range `(P, lo-hi)` denotes
+/// the packets whose destination lies under `P` (length bounds are
+/// irrelevant for address sets).
+pub struct DstAddrSpace<'a>(pub &'a mut PacketSpace);
+
+impl RangeEncoder for DstAddrSpace<'_> {
+    fn manager(&mut self) -> &mut Manager {
+        &mut self.0.manager
+    }
+    fn encode(&mut self, r: &PrefixRange) -> Bdd {
+        self.0.dst_prefix_bdd(&r.prefix)
+    }
+}
+
+/// Source-address view of a packet space.
+pub struct SrcAddrSpace<'a>(pub &'a mut PacketSpace);
+
+impl RangeEncoder for SrcAddrSpace<'_> {
+    fn manager(&mut self) -> &mut Manager {
+        &mut self.0.manager
+    }
+    fn encode(&mut self, r: &PrefixRange) -> Bdd {
+        self.0.src_prefix_bdd(&r.prefix)
+    }
+}
+
+/// One term of the final representation: a base range minus zero or more
+/// excluded ranges (all nesting already removed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeTerm {
+    /// The included range.
+    pub base: PrefixRange,
+    /// Ranges subtracted from it.
+    pub minus: Vec<PrefixRange>,
+}
+
+impl std::fmt::Display for RangeTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.base)?;
+        for m in &self.minus {
+            write!(f, " − ({m})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of header localization: `S = ⋃ terms`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeaderLocalization {
+    /// The union of difference terms.
+    pub terms: Vec<RangeTerm>,
+    /// True when the ddNF decomposition was exact (every cell was fully
+    /// inside or outside `S`). Always true for sets built from the
+    /// configurations' own ranges; retained as a safety signal.
+    pub exact: bool,
+}
+
+impl HeaderLocalization {
+    /// All included (base) ranges, for the report's "Included Prefixes" row.
+    pub fn included(&self) -> Vec<PrefixRange> {
+        self.terms.iter().map(|t| t.base).collect()
+    }
+
+    /// All excluded ranges, for the "Excluded Prefixes" row.
+    pub fn excluded(&self) -> Vec<PrefixRange> {
+        self.terms.iter().flat_map(|t| t.minus.iter().copied()).collect()
+    }
+}
+
+impl std::fmt::Display for HeaderLocalization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}", parts.join(" ∪ "))
+    }
+}
+
+/// The ddNF DAG over prefix ranges. Build it once per compared pair with
+/// [`RangeDag::build`] and localize many difference sets against it.
+pub struct RangeDag {
+    /// Node ranges (label function λ).
+    ranges: Vec<PrefixRange>,
+    /// Node BDDs (the denoted prefix sets).
+    bdds: Vec<Bdd>,
+    /// Cover-edge children per node.
+    children: Vec<Vec<usize>>,
+    /// Index of the universe node.
+    root: usize,
+}
+
+impl RangeDag {
+    /// Build the ddNF over the given configuration ranges (plus the
+    /// universe, closed under intersection).
+    pub fn build<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> RangeDag {
+        build_ddnf(space, ranges)
+    }
+
+    /// Number of nodes (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when only the universe node exists.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.len() <= 1
+    }
+}
+
+type Ddnf = RangeDag;
+
+/// Close a range set under intersection and deduplicate by denoted set.
+fn closed_ranges<E: RangeEncoder>(
+    space: &mut E,
+    ranges: &[PrefixRange],
+) -> (Vec<PrefixRange>, Vec<Bdd>) {
+    let mut out: Vec<PrefixRange> = Vec::new();
+    let mut bdds: Vec<Bdd> = Vec::new();
+    let mut seen: std::collections::HashSet<Bdd> = std::collections::HashSet::new();
+    let mut push = |space: &mut E,
+                    out: &mut Vec<PrefixRange>,
+                    bdds: &mut Vec<Bdd>,
+                    r: PrefixRange| {
+        let b = space.encode(&r);
+        if space.manager().is_false(b) {
+            return;
+        }
+        if seen.insert(b) {
+            out.push(r);
+            bdds.push(b);
+        }
+    };
+    push(space, &mut out, &mut bdds, PrefixRange::universe());
+    for r in ranges {
+        push(space, &mut out, &mut bdds, *r);
+    }
+    // Fixpoint closure under pairwise intersection. Range intersection is
+    // again a range, so this terminates with at most O(n²) additions in
+    // practice (ranges from one config pair overlap little).
+    let mut i = 0;
+    while i < out.len() {
+        let mut j = 0;
+        while j < i {
+            if let Some(x) = out[i].intersect(&out[j]) {
+                push(space, &mut out, &mut bdds, x);
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    (out, bdds)
+}
+
+/// Build the ddNF DAG from the closed range set.
+fn build_ddnf<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> Ddnf {
+    let (ranges, bdds) = closed_ranges(space, ranges);
+    let n = ranges.len();
+    // containers[c] = nodes whose set strictly contains node c's set,
+    // decided on the BDDs (structurally different but equal ranges were
+    // already merged, so strictness is just inequality). The structural
+    // intersect is a cheap sound prefilter: disjoint ranges cannot be
+    // related, which makes this near-linear for the sparse range sets real
+    // configurations produce.
+    let mut containers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for m in 0..n {
+            if c == m || ranges[c].intersect(&ranges[m]).is_none() {
+                continue;
+            }
+            let extra = space.manager().diff(bdds[c], bdds[m]);
+            if space.manager().is_false(extra) {
+                containers[c].push(m);
+            }
+        }
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        // Cover edges: minimal containers of c (no other container of c
+        // sits strictly between).
+        for &m in &containers[c] {
+            let covered = containers[c]
+                .iter()
+                .any(|&k| k != m && containers[k].contains(&m));
+            if !covered {
+                children[m].push(c);
+            }
+        }
+    }
+    let root = ranges
+        .iter()
+        .position(|r| *r == PrefixRange::universe())
+        .expect("universe inserted first");
+    Ddnf {
+        ranges,
+        bdds,
+        children,
+        root,
+    }
+}
+
+/// `GetMatch` (paper §3.2): returns terms representing `S ∩ set(node)`,
+/// assuming every ddNF cell is inside or outside `S`. Terms may be nested
+/// (a minus item carrying its own minus list) until the cleanup pass.
+#[derive(Debug, Clone)]
+struct NestedTerm {
+    base: PrefixRange,
+    minus: Vec<NestedTerm>,
+}
+
+fn get_match<E: RangeEncoder>(
+    space: &mut E,
+    ddnf: &Ddnf,
+    s: Bdd,
+    node: usize,
+    exact: &mut bool,
+) -> Vec<NestedTerm> {
+    let range_bdd = ddnf.bdds[node];
+    let kids = &ddnf.children[node];
+    if kids.is_empty() {
+        // Leaf: included iff contained in S.
+        let outside = space.manager().diff(range_bdd, s);
+        if space.manager().is_false(outside) {
+            return vec![NestedTerm {
+                base: ddnf.ranges[node],
+                minus: Vec::new(),
+            }];
+        }
+        let inside = space.manager().and(range_bdd, s);
+        if space.manager().is_sat(inside) {
+            *exact = false; // cell splits S: decomposition inexact
+        }
+        return Vec::new();
+    }
+    // Remainder = range minus all children.
+    let mut remainder = range_bdd;
+    for &k in kids {
+        remainder = space.manager().diff(remainder, ddnf.bdds[k]);
+    }
+    let rem_outside = space.manager().diff(remainder, s);
+    let overlaps_s = {
+        let x = space.manager().and(range_bdd, s);
+        space.manager().is_sat(x)
+    };
+    // Include-branch: the remainder is inside S (an empty remainder counts,
+    // provided the range overlaps S at all — otherwise the node contributes
+    // nothing and we just recurse).
+    if space.manager().is_false(rem_outside) && overlaps_s {
+        // Remainder ⊆ S: include the range minus the children not in S.
+        let not_s = space.manager().not(s);
+        let mut minus = Vec::new();
+        for &k in kids {
+            minus.extend(get_match(space, ddnf, not_s, k, exact));
+        }
+        vec![NestedTerm {
+            base: ddnf.ranges[node],
+            minus,
+        }]
+    } else {
+        if space.manager().is_sat(remainder) {
+            let rem_inside = space.manager().and(remainder, s);
+            if space.manager().is_sat(rem_inside) {
+                *exact = false;
+            }
+        }
+        let mut out = Vec::new();
+        for &k in kids {
+            out.extend(get_match(space, ddnf, s, k, exact));
+        }
+        out
+    }
+}
+
+/// Remove nested differences in one pass: `C − (F − G)` → `{C − F, G}`.
+fn flatten(terms: Vec<NestedTerm>) -> Vec<RangeTerm> {
+    let mut out = Vec::new();
+    for t in terms {
+        let mut minus = Vec::new();
+        let mut extra = Vec::new();
+        for m in t.minus {
+            minus.push(m.base);
+            // Whatever the minus-term itself subtracted belongs back in S.
+            extra.extend(flatten(m.minus));
+        }
+        out.push(RangeTerm {
+            base: t.base,
+            minus,
+        });
+        out.extend(extra);
+    }
+    out
+}
+
+/// Header localization entry point: decompose a predicate `s` (already
+/// projected onto this encoder's range dimensions) over the prefix ranges
+/// mentioned by the two compared components (the paper's `R`).
+pub fn header_localize<E: RangeEncoder>(
+    space: &mut E,
+    s: Bdd,
+    config_ranges: &[PrefixRange],
+) -> HeaderLocalization {
+    let ddnf = RangeDag::build(space, config_ranges);
+    header_localize_with(space, s, &ddnf)
+}
+
+/// As [`header_localize`], against a prebuilt [`RangeDag`] — the fast path
+/// when one component pair produces several differences.
+pub fn header_localize_with<E: RangeEncoder>(
+    space: &mut E,
+    s: Bdd,
+    ddnf: &RangeDag,
+) -> HeaderLocalization {
+    let mut exact = true;
+    let nested = get_match(space, ddnf, s, ddnf.root, &mut exact);
+    let mut terms = flatten(nested);
+    // Deterministic output order, and deduplication: a shared DAG node can
+    // be reached through several parents and must be reported once.
+    for t in &mut terms {
+        t.minus.sort();
+        t.minus.dedup();
+    }
+    terms.sort_by(|a, b| (a.base, &a.minus).cmp(&(b.base, &b.minus)));
+    terms.dedup();
+    let loc = HeaderLocalization { terms, exact };
+    debug_assert!(
+        !loc.exact || reencode(space, &loc) == {
+            let u = space.encode(&PrefixRange::universe());
+            space.manager().and(s, u)
+        },
+        "HeaderLocalize must re-encode to exactly S"
+    );
+    loc
+}
+
+/// Re-encode a localization back into a BDD (the correctness check used by
+/// the property tests). The result is intersected with the universe range's
+/// own encoding, which carries the validity constraint (length ≤ 32) in
+/// route spaces.
+pub fn reencode<E: RangeEncoder>(space: &mut E, loc: &HeaderLocalization) -> Bdd {
+    let mut acc = Bdd::FALSE;
+    let valid = space.encode(&PrefixRange::universe());
+    for t in &loc.terms {
+        let mut b = space.encode(&t.base);
+        for m in &t.minus {
+            let mb = space.encode(m);
+            b = space.manager().diff(b, mb);
+        }
+        acc = space.manager().or(acc, b);
+    }
+    space.manager().and(acc, valid)
+}

@@ -1,0 +1,163 @@
+//! MatchPolicies (§4): pair corresponding components between two routers.
+//!
+//! Heuristics mirror the paper: BGP import/export policies are paired by
+//! the shared neighbor address; redistribution filters by source protocol;
+//! ACLs by name; remaining same-named policies by name. Components present
+//! in only one router are reported as unmatched.
+
+use std::collections::BTreeSet;
+
+use campion_ir::RouterIr;
+
+/// One pair of route policies to compare semantically. `None` means "no
+/// policy configured" (compared against the permissive identity policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyPair {
+    /// Why these were paired ("export to neighbor 10.0.0.2", ...).
+    pub context: String,
+    /// Policy name in the first router.
+    pub name1: Option<String>,
+    /// Policy name in the second router.
+    pub name2: Option<String>,
+}
+
+/// The output of component matching.
+#[derive(Debug, Clone, Default)]
+pub struct MatchedComponents {
+    /// Route-policy pairs (BGP import/export, redistribution, by-name).
+    pub policy_pairs: Vec<PolicyPair>,
+    /// ACL names present in both routers.
+    pub acl_pairs: Vec<String>,
+    /// Reports about unpairable components.
+    pub unmatched: Vec<String>,
+}
+
+/// Pair up the components of two routers.
+pub fn match_policies(r1: &RouterIr, r2: &RouterIr) -> MatchedComponents {
+    let mut out = MatchedComponents::default();
+    let mut paired1: BTreeSet<String> = BTreeSet::new();
+    let mut paired2: BTreeSet<String> = BTreeSet::new();
+
+    // BGP neighbors: pair import and export policies per shared neighbor.
+    if let (Some(b1), Some(b2)) = (&r1.bgp, &r2.bgp) {
+        for (addr, n1) in &b1.neighbors {
+            let Some(n2) = b2.neighbors.get(addr) else {
+                // Presence differences belong to StructuralDiff; nothing to
+                // pair here.
+                continue;
+            };
+            for (dir, p1, p2) in [
+                ("import from", &n1.import_policy, &n2.import_policy),
+                ("export to", &n1.export_policy, &n2.export_policy),
+            ] {
+                if p1.is_none() && p2.is_none() {
+                    continue;
+                }
+                if let Some(n) = p1 {
+                    paired1.insert(n.clone());
+                }
+                if let Some(n) = p2 {
+                    paired2.insert(n.clone());
+                }
+                out.policy_pairs.push(PolicyPair {
+                    context: format!("{dir} neighbor {addr}"),
+                    name1: p1.clone(),
+                    name2: p2.clone(),
+                });
+            }
+        }
+    }
+
+    // Redistribution filters, paired by (target protocol, source protocol).
+    for (target, rs1, rs2) in [
+        ("OSPF", &r1.ospf_redistribute, &r2.ospf_redistribute),
+        (
+            "BGP",
+            &r1.bgp.as_ref().map(|b| b.redistribute.clone()).unwrap_or_default(),
+            &r2.bgp.as_ref().map(|b| b.redistribute.clone()).unwrap_or_default(),
+        ),
+    ] {
+        for rd1 in rs1.iter() {
+            match rs2.iter().find(|rd2| rd2.from_protocol == rd1.from_protocol) {
+                Some(rd2) => {
+                    if rd1.policy.is_none() && rd2.policy.is_none() {
+                        continue;
+                    }
+                    if let Some(n) = &rd1.policy {
+                        paired1.insert(n.clone());
+                    }
+                    if let Some(n) = &rd2.policy {
+                        paired2.insert(n.clone());
+                    }
+                    out.policy_pairs.push(PolicyPair {
+                        context: format!(
+                            "redistribution of {} into {target}",
+                            rd1.from_protocol
+                        ),
+                        name1: rd1.policy.clone(),
+                        name2: rd2.policy.clone(),
+                    });
+                }
+                None => out.unmatched.push(format!(
+                    "{}: redistribution of {} into {target} has no counterpart in {}",
+                    r1.name, rd1.from_protocol, r2.name
+                )),
+            }
+        }
+        for rd2 in rs2.iter() {
+            if !rs1.iter().any(|rd1| rd1.from_protocol == rd2.from_protocol) {
+                out.unmatched.push(format!(
+                    "{}: redistribution of {} into {target} has no counterpart in {}",
+                    r2.name, rd2.from_protocol, r1.name
+                ));
+            }
+        }
+    }
+
+    // Remaining policies with equal names (covers standalone comparisons
+    // like the paper's Figure 1, where no BGP context is present).
+    for name in r1.policies.keys() {
+        if r2.policies.contains_key(name)
+            && !paired1.contains(name)
+            && !paired2.contains(name)
+            && !name.contains('+')
+        {
+            out.policy_pairs.push(PolicyPair {
+                context: format!("policy {name} (matched by name)"),
+                name1: Some(name.clone()),
+                name2: Some(name.clone()),
+            });
+            paired1.insert(name.clone());
+            paired2.insert(name.clone());
+        }
+    }
+    for (router, policies, paired, other) in [
+        (&r1.name, &r1.policies, &paired1, &r2.name),
+        (&r2.name, &r2.policies, &paired2, &r1.name),
+    ] {
+        for name in policies.keys() {
+            if !paired.contains(name) && !name.contains('+') {
+                out.unmatched.push(format!(
+                    "{router}: policy {name} has no counterpart in {other}"
+                ));
+            }
+        }
+    }
+
+    // ACLs by name.
+    for name in r1.acls.keys() {
+        if r2.acls.contains_key(name) {
+            out.acl_pairs.push(name.clone());
+        } else {
+            out.unmatched
+                .push(format!("{}: ACL {name} has no counterpart in {}", r1.name, r2.name));
+        }
+    }
+    for name in r2.acls.keys() {
+        if !r1.acls.contains_key(name) {
+            out.unmatched
+                .push(format!("{}: ACL {name} has no counterpart in {}", r2.name, r1.name));
+        }
+    }
+    out
+}

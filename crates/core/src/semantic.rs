@@ -1,0 +1,269 @@
+//! SemanticDiff (§3.1): path equivalence classes and their pairwise
+//! comparison.
+//!
+//! Both ACLs and route policies are sequences of *if-then-else* guards, so
+//! the space of inputs partitions by which guards fire. Each class carries
+//! the BDD predicate selecting it, the composed [`ActionEffect`] of its
+//! path, and the spans/labels of the clauses on the path (for text
+//! localization). Comparing two components is then a pairwise intersection:
+//! classes with a nonempty intersection and different effects are
+//! behavioral differences — the quintuples `(i, a₁, a₂, t₁, t₂)` of the
+//! paper.
+
+use campion_bdd::Bdd;
+use campion_cfg::Span;
+use campion_ir::{AclIr, RoutePolicy, Terminal};
+use campion_symbolic::{ActionEffect, PacketSpace, RouteSpace};
+
+/// One path equivalence class through a component.
+#[derive(Debug, Clone)]
+pub struct PolicyPath {
+    /// Inputs taking this path (already intersected with the universe).
+    pub predicate: Bdd,
+    /// The path's composed, normalized effect.
+    pub effect: ActionEffect,
+    /// Labels of the clauses that fired on this path (empty for the
+    /// implicit default).
+    pub labels: Vec<String>,
+    /// Spans of the fired clauses.
+    pub spans: Vec<Span>,
+    /// Whether the policy's implicit default decided this path.
+    pub is_default: bool,
+    /// Whether any fired clause matched on a non-prefix field (community,
+    /// tag, metric, protocol). Drives the paper's "single example for other
+    /// fields" presentation rule.
+    pub non_prefix_match: bool,
+}
+
+/// Safety valve: fall-through-heavy policies can in principle produce
+/// exponentially many paths; beyond this many live states we give up rather
+/// than hang (never reached by realistic configurations).
+const MAX_PATHS: usize = 65_536;
+
+/// Enumerate the path equivalence classes of a route policy.
+///
+/// Fall-through clauses (JunOS non-terminating terms, `next term`, Cisco
+/// `continue`) fork the exploration: the symbolic route state carries their
+/// rewrites forward so later matches observe them.
+///
+/// # Panics
+/// Panics if the policy exceeds `MAX_PATHS` (65 536) classes.
+pub fn policy_paths(space: &mut RouteSpace, policy: &RoutePolicy, universe: Bdd) -> Vec<PolicyPath> {
+    struct Frame {
+        idx: usize,
+        predicate: Bdd,
+        effect: ActionEffect,
+        state: campion_symbolic::SymbolicRoute,
+        labels: Vec<String>,
+        spans: Vec<Span>,
+        non_prefix: bool,
+    }
+    let mut out = Vec::new();
+    let initial = space.initial_state();
+    let mut stack = vec![Frame {
+        idx: 0,
+        predicate: universe,
+        effect: ActionEffect::default(),
+        state: initial,
+        labels: Vec::new(),
+        spans: Vec::new(),
+        non_prefix: false,
+    }];
+    while let Some(f) = stack.pop() {
+        assert!(
+            out.len() + stack.len() < MAX_PATHS,
+            "policy {} exceeds {MAX_PATHS} path classes",
+            policy.name
+        );
+        if space.manager.is_false(f.predicate) {
+            continue;
+        }
+        if f.idx == policy.clauses.len() {
+            // Implicit default.
+            let mut effect = f.effect;
+            effect.accept = policy.default_terminal == Terminal::Accept;
+            out.push(PolicyPath {
+                predicate: f.predicate,
+                effect: effect.normalized(),
+                labels: f.labels,
+                spans: f.spans,
+                is_default: true,
+                non_prefix_match: f.non_prefix,
+            });
+            continue;
+        }
+        let clause = &policy.clauses[f.idx];
+        let mut cond = Bdd::TRUE;
+        for m in &clause.matches {
+            let b = space.match_bdd(m, &f.state);
+            cond = space.manager.and(cond, b);
+        }
+        let fire = space.manager.and(f.predicate, cond);
+        let skip = space.manager.diff(f.predicate, cond);
+        // Non-matching branch: continue with unchanged state.
+        if space.manager.is_sat(skip) {
+            stack.push(Frame {
+                idx: f.idx + 1,
+                predicate: skip,
+                effect: f.effect.clone(),
+                state: f.state.clone(),
+                labels: f.labels.clone(),
+                spans: f.spans.clone(),
+                non_prefix: f.non_prefix,
+            });
+        }
+        // Matching branch.
+        if space.manager.is_sat(fire) {
+            let mut effect = f.effect;
+            effect.apply_all(&clause.sets);
+            let mut labels = f.labels;
+            labels.push(clause.label.clone());
+            let mut spans = f.spans;
+            spans.push(clause.span);
+            let non_prefix = f.non_prefix
+                || clause
+                    .matches
+                    .iter()
+                    .any(|m| !matches!(m, campion_ir::Match::Prefix(_)));
+            match clause.terminal {
+                Terminal::Accept | Terminal::Reject => {
+                    effect.accept = clause.terminal == Terminal::Accept;
+                    out.push(PolicyPath {
+                        predicate: fire,
+                        effect: effect.normalized(),
+                        labels,
+                        spans,
+                        is_default: false,
+                        non_prefix_match: non_prefix,
+                    });
+                }
+                Terminal::Fallthrough => {
+                    let mut state = f.state;
+                    space.apply_sets(&mut state, &clause.sets);
+                    stack.push(Frame {
+                        idx: f.idx + 1,
+                        predicate: fire,
+                        effect,
+                        state,
+                        labels,
+                        spans,
+                        non_prefix,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate the path equivalence classes of an ACL (rules are always
+/// terminal, so this is linear: one class per reachable rule plus the
+/// implicit trailing deny).
+pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<PolicyPath> {
+    let mut out = Vec::new();
+    let mut remaining = universe;
+    for rule in &acl.rules {
+        let cond = space.rule_bdd(rule);
+        let fire = space.manager.and(remaining, cond);
+        remaining = space.manager.diff(remaining, cond);
+        if space.manager.is_sat(fire) {
+            out.push(PolicyPath {
+                predicate: fire,
+                effect: ActionEffect::terminal(rule.permit),
+                labels: vec![rule.label.clone()],
+                spans: vec![rule.span],
+                is_default: false,
+                non_prefix_match: true,
+            });
+        }
+    }
+    if space.manager.is_sat(remaining) {
+        out.push(PolicyPath {
+            predicate: remaining,
+            effect: ActionEffect::terminal(false),
+            labels: Vec::new(),
+            spans: Vec::new(),
+            is_default: true,
+            non_prefix_match: true,
+        });
+    }
+    out
+}
+
+/// One behavioral difference between two components: the paper's quintuple
+/// `(i, a₁, a₂, t₁, t₂)`.
+#[derive(Debug, Clone)]
+pub struct SemanticDifference {
+    /// The impacted inputs.
+    pub input: Bdd,
+    /// Action taken by the first component.
+    pub effect1: ActionEffect,
+    /// Action taken by the second component.
+    pub effect2: ActionEffect,
+    /// Clause labels on the first component's path.
+    pub labels1: Vec<String>,
+    /// Clause labels on the second component's path.
+    pub labels2: Vec<String>,
+    /// Spans on the first component's path.
+    pub spans1: Vec<Span>,
+    /// Spans on the second component's path.
+    pub spans2: Vec<Span>,
+    /// Whether each side's implicit default decided.
+    pub default1: bool,
+    /// See `default1`.
+    pub default2: bool,
+    /// Whether either side's path matched on a non-prefix field.
+    pub non_prefix_match: bool,
+}
+
+/// Pairwise comparison of two components' path classes. `manager_and` is
+/// abstracted so route maps and ACLs share the code.
+pub fn semantic_diff(
+    manager: &mut campion_bdd::Manager,
+    paths1: &[PolicyPath],
+    paths2: &[PolicyPath],
+) -> Vec<SemanticDifference> {
+    let mut out = Vec::new();
+    for p1 in paths1 {
+        for p2 in paths2 {
+            if p1.effect == p2.effect {
+                continue;
+            }
+            let inter = manager.and(p1.predicate, p2.predicate);
+            if manager.is_sat(inter) {
+                out.push(SemanticDifference {
+                    input: inter,
+                    effect1: p1.effect.clone(),
+                    effect2: p2.effect.clone(),
+                    labels1: p1.labels.clone(),
+                    labels2: p2.labels.clone(),
+                    spans1: p1.spans.clone(),
+                    spans2: p2.spans.clone(),
+                    default1: p1.is_default,
+                    default2: p2.is_default,
+                    non_prefix_match: p1.non_prefix_match || p2.non_prefix_match,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: are two route policies behaviorally equivalent (no
+/// semantic differences over the shared input space)?
+pub fn policies_equivalent(p1: &RoutePolicy, p2: &RoutePolicy) -> bool {
+    let mut space = RouteSpace::for_policies(&[p1, p2]);
+    let u = space.universe();
+    let paths1 = policy_paths(&mut space, p1, u);
+    let paths2 = policy_paths(&mut space, p2, u);
+    semantic_diff(&mut space.manager, &paths1, &paths2).is_empty()
+}
+
+/// Convenience: are two ACLs behaviorally equivalent?
+pub fn acls_equivalent(a1: &AclIr, a2: &AclIr) -> bool {
+    let mut space = PacketSpace::new();
+    let u = space.universe();
+    let paths1 = acl_paths(&mut space, a1, u);
+    let paths2 = acl_paths(&mut space, a2, u);
+    semantic_diff(&mut space.manager, &paths1, &paths2).is_empty()
+}

@@ -1,0 +1,705 @@
+//! Tests for the Campion core pipeline, anchored on the paper's §2 examples.
+
+use campion_cfg::parse_config;
+use campion_cfg::samples::{FIGURE1_CISCO, FIGURE1_JUNIPER, STATIC_CISCO, STATIC_JUNIPER};
+use campion_ir::{lower, RouterIr};
+use campion_net::PrefixRange;
+
+use crate::driver::{compare_routers, CampionOptions};
+use crate::headerloc::{header_localize, reencode};
+use crate::report::FindingSide;
+use crate::semantic::{acl_paths, policies_equivalent, policy_paths, semantic_diff};
+use campion_symbolic::RouteSpace;
+
+fn load(text: &str) -> RouterIr {
+    lower(&parse_config(text).unwrap()).unwrap()
+}
+
+fn fig1() -> (RouterIr, RouterIr) {
+    (load(FIGURE1_CISCO), load(FIGURE1_JUNIPER))
+}
+
+// ---------------------------------------------------------------- semantic
+
+#[test]
+fn figure1_path_counts() {
+    let (c, j) = fig1();
+    let p1 = &c.policies["POL"];
+    let p2 = &j.policies["POL"];
+    let mut space = RouteSpace::for_policies(&[p1, p2]);
+    let u = space.universe();
+    let paths1 = policy_paths(&mut space, p1, u);
+    let paths2 = policy_paths(&mut space, p2, u);
+    // Three reachable clauses each; clause 3 matches everything so the
+    // implicit default is unreachable.
+    assert_eq!(paths1.len(), 3);
+    assert_eq!(paths2.len(), 3);
+    // The classes partition the universe.
+    for paths in [&paths1, &paths2] {
+        let mut acc = campion_bdd::Bdd::FALSE;
+        for p in paths.iter() {
+            let inter = space.manager.and(acc, p.predicate);
+            assert!(space.manager.is_false(inter), "classes must be disjoint");
+            acc = space.manager.or(acc, p.predicate);
+        }
+        assert_eq!(acc, u, "classes must cover the universe");
+    }
+}
+
+#[test]
+fn figure1_produces_exactly_two_differences() {
+    let (c, j) = fig1();
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    assert_eq!(
+        report.route_map_diffs.len(),
+        2,
+        "the paper's Table 2 reports exactly two differences:\n{report}"
+    );
+
+    // Difference 1 (Table 2a): Cisco rejects via `deny 10`, Juniper accepts
+    // via rule3 with local-pref 30.
+    let d1 = &report.route_map_diffs[0];
+    assert_eq!(d1.action1, "REJECT");
+    assert_eq!(d1.action2, "SET LOCAL PREF 30\nACCEPT");
+    assert_eq!(
+        d1.included,
+        vec![
+            "10.9.0.0/16:16-32".parse::<PrefixRange>().unwrap(),
+            "10.100.0.0/16:16-32".parse().unwrap()
+        ]
+    );
+    assert_eq!(
+        d1.excluded,
+        vec![
+            "10.9.0.0/16:16-16".parse::<PrefixRange>().unwrap(),
+            "10.100.0.0/16:16-16".parse().unwrap()
+        ]
+    );
+    assert!(d1.text1.contains("route-map POL deny 10"));
+    assert!(d1.text1.contains("match ip address prefix-list NETS"));
+    assert!(d1.text2.contains("term rule3"));
+    assert!(d1.example.is_none(), "difference 1 is prefix-only");
+
+    // Difference 2 (Table 2b): community mismatch, all prefixes outside
+    // NETS.
+    let d2 = &report.route_map_diffs[1];
+    assert_eq!(d2.action1, "REJECT");
+    assert_eq!(d2.action2, "SET LOCAL PREF 30\nACCEPT");
+    assert_eq!(
+        d2.included,
+        vec!["0.0.0.0/0:0-32".parse::<PrefixRange>().unwrap()]
+    );
+    assert_eq!(
+        d2.excluded,
+        vec![
+            "10.9.0.0/16:16-32".parse::<PrefixRange>().unwrap(),
+            "10.100.0.0/16:16-32".parse().unwrap()
+        ]
+    );
+    let example = d2.example.as_ref().expect("community example");
+    assert!(
+        example.contains("10:10") || example.contains("10:11"),
+        "example must show a community: {example}"
+    );
+    assert!(d2.text1.contains("match community COMM"));
+}
+
+#[test]
+fn identical_policies_are_equivalent() {
+    let c1 = load(FIGURE1_CISCO);
+    let c2 = load(FIGURE1_CISCO);
+    let report = compare_routers(&c1, &c2, &CampionOptions::default());
+    assert!(report.is_equivalent(), "{report}");
+    assert!(policies_equivalent(&c1.policies["POL"], &c2.policies["POL"]));
+}
+
+#[test]
+fn corrected_juniper_config_is_equivalent() {
+    // Fix both Figure-1 bugs on the Juniper side: orlonger prefix matching
+    // and per-member community semantics — plus a terminal reject term to
+    // mirror Cisco's implicit deny.
+    let fixed = "\
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community C10 members 10:10;
+    community C11 members 10:11;
+    policy-statement POL {
+        term rule1 {
+            from prefix-list-filter NETS orlonger;
+            then reject;
+        }
+        term rule2a {
+            from community C10;
+            then reject;
+        }
+        term rule2b {
+            from community C11;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+";
+    let c = load(FIGURE1_CISCO);
+    let j = load(fixed);
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    assert!(
+        report.route_map_diffs.is_empty(),
+        "fixed config must be equivalent:\n{report}"
+    );
+}
+
+#[test]
+fn semantic_diff_is_symmetric_in_count() {
+    let (c, j) = fig1();
+    let p1 = &c.policies["POL"];
+    let p2 = &j.policies["POL"];
+    let mut s1 = RouteSpace::for_policies(&[p1, p2]);
+    let u1 = s1.universe();
+    let a = policy_paths(&mut s1, p1, u1);
+    let b = policy_paths(&mut s1, p2, u1);
+    let fwd = semantic_diff(&mut s1.manager, &a, &b).len();
+    let rev = semantic_diff(&mut s1.manager, &b, &a).len();
+    assert_eq!(fwd, rev);
+}
+
+// ----------------------------------------------------------------- static
+
+#[test]
+fn static_route_diff_matches_table4() {
+    let c = load(STATIC_CISCO);
+    let j = load(STATIC_JUNIPER);
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    // 10.1.1.2/31 only in Cisco; 192.0.2.0/24 only in Juniper.
+    let statics: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.component == "Static Routes")
+        .collect();
+    assert_eq!(statics.len(), 2);
+    let cisco_only = statics
+        .iter()
+        .find(|s| s.side == FindingSide::OnlyFirst)
+        .expect("cisco-only route");
+    assert_eq!(cisco_only.key, "10.1.1.2/31");
+    assert!(cisco_only.value1.contains("next-hop 10.2.2.2"));
+    assert!(cisco_only.value1.contains("AD 1"));
+    assert_eq!(cisco_only.value2, "None");
+    // Text localization points at the exact line.
+    let span = cisco_only.span1.expect("span");
+    assert_eq!(
+        c.snippet(span),
+        "ip route 10.1.1.2 255.255.255.254 10.2.2.2"
+    );
+}
+
+#[test]
+fn static_attr_differences_detected() {
+    let a = load("ip route 10.0.0.0 255.0.0.0 10.1.1.1\n");
+    let b = load("ip route 10.0.0.0 255.0.0.0 10.1.1.2\n");
+    let report = compare_routers(&a, &b, &CampionOptions::default());
+    assert_eq!(report.structural.len(), 1);
+    assert_eq!(report.structural[0].side, FindingSide::Both);
+    assert!(report.structural[0].value1.contains("10.1.1.1"));
+    assert!(report.structural[0].value2.contains("10.1.1.2"));
+    // Same next hops in different definition order: no difference.
+    let a2 = load("ip route 10.0.0.0 255.0.0.0 10.1.1.1\nip route 10.0.0.0 255.0.0.0 10.1.1.2\n");
+    let b2 = load("ip route 10.0.0.0 255.0.0.0 10.1.1.2\nip route 10.0.0.0 255.0.0.0 10.1.1.1\n");
+    assert!(compare_routers(&a2, &b2, &CampionOptions::default()).is_equivalent());
+}
+
+// -------------------------------------------------------------------- acl
+
+#[test]
+fn acl_diff_reports_address_and_text() {
+    let c = load(
+        "ip access-list extended VM_FILTER_1\n\
+         \x20deny ip 9.140.0.0 0.0.1.255 any\n\
+         \x20permit ip any any\n",
+    );
+    let j = load(
+        "firewall {
+            family inet {
+                filter VM_FILTER_1 {
+                    term permit_whitelist {
+                        then accept;
+                    }
+                }
+            }
+        }",
+    );
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    assert_eq!(report.acl_diffs.len(), 1, "{report}");
+    let d = &report.acl_diffs[0];
+    assert_eq!(d.action1, "REJECT");
+    assert_eq!(d.action2, "ACCEPT");
+    assert!(d.text1.contains("deny ip 9.140.0.0 0.0.1.255 any"));
+    assert!(d.text2.contains("term permit_whitelist"));
+    let ex = d.example.as_ref().unwrap();
+    assert!(ex.contains("srcIP: 9.140.0.0"), "got {ex}");
+}
+
+#[test]
+fn equivalent_acls_cross_vendor() {
+    let c = load(
+        "ip access-list extended F\n\
+         \x20permit tcp 10.0.0.0 0.0.255.255 any eq 443\n\
+         \x20deny ip any any\n",
+    );
+    let j = load(
+        "firewall {
+            family inet {
+                filter F {
+                    term t {
+                        from {
+                            source-address 10.0.0.0/16;
+                            protocol tcp;
+                            destination-port 443;
+                        }
+                        then accept;
+                    }
+                    term rest { then discard; }
+                }
+            }
+        }",
+    );
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    assert!(report.acl_diffs.is_empty(), "{report}");
+}
+
+#[test]
+fn acl_paths_partition() {
+    let c = load(
+        "ip access-list extended F\n\
+         \x20permit tcp any any eq 80\n\
+         \x20deny udp any any\n\
+         \x20permit ip any any\n",
+    );
+    let mut space = campion_symbolic::PacketSpace::new();
+    let u = space.universe();
+    let paths = acl_paths(&mut space, &c.acls["F"], u);
+    assert_eq!(paths.len(), 3, "third rule swallows the default");
+    let mut acc = campion_bdd::Bdd::FALSE;
+    for p in &paths {
+        let inter = space.manager.and(acc, p.predicate);
+        assert!(space.manager.is_false(inter));
+        acc = space.manager.or(acc, p.predicate);
+    }
+    assert!(space.manager.is_true(acc));
+}
+
+// -------------------------------------------------------------- headerloc
+
+#[test]
+fn headerloc_figure3_worked_example() {
+    // Reproduce the paper's Figure 3: seven ranges A..G with S = (B − D) ∪
+    // (C − F) ∪ G. We realize the figure's containment shape with concrete
+    // ranges:
+    //   A = U, B, C children of A; D, E under B; F under C; G under F.
+    let a = PrefixRange::universe();
+    let b: PrefixRange = "10.0.0.0/8:8-32".parse().unwrap();
+    let c: PrefixRange = "20.0.0.0/8:8-32".parse().unwrap();
+    let d: PrefixRange = "10.1.0.0/16:16-32".parse().unwrap();
+    let e: PrefixRange = "10.2.0.0/16:16-32".parse().unwrap();
+    let f: PrefixRange = "20.1.0.0/16:16-32".parse().unwrap();
+    let g: PrefixRange = "20.1.1.0/24:24-32".parse().unwrap();
+    let ranges = [a, b, c, d, e, f, g];
+
+    // Build S = (B − D) ∪ (C − F) ∪ G in a bare route space.
+    let dummy = campion_ir::RoutePolicy::permit_all("x");
+    let mut space = RouteSpace::for_policies(&[&dummy]);
+    let bb = space.prefix_range_bdd(&b);
+    let db = space.prefix_range_bdd(&d);
+    let cb = space.prefix_range_bdd(&c);
+    let fb = space.prefix_range_bdd(&f);
+    let gb = space.prefix_range_bdd(&g);
+    let bd = space.manager.diff(bb, db);
+    let cf = space.manager.diff(cb, fb);
+    let mut s = space.manager.or(bd, cf);
+    s = space.manager.or(s, gb);
+    // Also include E (a remainder-covered child of B): E ⊂ B − D.
+    let loc = header_localize(&mut space, s, &ranges);
+    assert!(loc.exact);
+    let rendered = loc.to_string();
+    assert_eq!(
+        rendered,
+        format!("{b} − ({d}) ∪ {c} − ({f}) ∪ {g}"),
+        "GetMatch must produce B − D, C − F, G"
+    );
+    // Re-encoding gives back exactly S.
+    let back = reencode(&mut space, &loc);
+    assert_eq!(back, s);
+}
+
+#[test]
+fn headerloc_whole_universe() {
+    let dummy = campion_ir::RoutePolicy::permit_all("x");
+    let mut space = RouteSpace::for_policies(&[&dummy]);
+    let u = space.universe();
+    let s = space.project_to_prefix(u);
+    let loc = header_localize(&mut space, s, &[]);
+    assert_eq!(loc.terms.len(), 1);
+    assert_eq!(loc.terms[0].base, PrefixRange::universe());
+    assert!(loc.terms[0].minus.is_empty());
+}
+
+#[test]
+fn headerloc_empty_set() {
+    let dummy = campion_ir::RoutePolicy::permit_all("x");
+    let mut space = RouteSpace::for_policies(&[&dummy]);
+    let loc = header_localize(&mut space, campion_bdd::Bdd::FALSE, &[]);
+    assert!(loc.terms.is_empty());
+    assert!(loc.exact);
+}
+
+#[test]
+fn headerloc_closure_under_intersection() {
+    // Two overlapping ranges: the difference set needs their intersection,
+    // which only exists in R by closure.
+    let r1: PrefixRange = "10.0.0.0/8:8-24".parse().unwrap();
+    let r2: PrefixRange = "10.0.0.0/8:16-32".parse().unwrap();
+    let dummy = campion_ir::RoutePolicy::permit_all("x");
+    let mut space = RouteSpace::for_policies(&[&dummy]);
+    let b1 = space.prefix_range_bdd(&r1);
+    let b2 = space.prefix_range_bdd(&r2);
+    let s = space.manager.and(b1, b2); // = (10.0.0.0/8, 16-24)
+    let loc = header_localize(&mut space, s, &[r1, r2]);
+    assert!(loc.exact);
+    let back = reencode(&mut space, &loc);
+    assert_eq!(back, s);
+    assert_eq!(loc.terms.len(), 1);
+    assert_eq!(loc.terms[0].base, "10.0.0.0/8:16-24".parse().unwrap());
+}
+
+// ------------------------------------------------------------- structural
+
+#[test]
+fn bgp_property_differences() {
+    let c = load(
+        "router bgp 65001\n\
+         \x20neighbor 10.0.0.2 remote-as 65002\n\
+         \x20neighbor 10.0.0.3 remote-as 65001\n",
+    );
+    let j = load(
+        "routing-options { autonomous-system 65001; }
+        protocols {
+            bgp {
+                group ibgp {
+                    type internal;
+                    neighbor 10.0.0.3;
+                }
+            }
+        }",
+    );
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    let bgp: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.component == "BGP Properties")
+        .collect();
+    // 10.0.0.2 present only in Cisco; 10.0.0.3 differs on send-community
+    // (IOS default off vs JunOS default on).
+    assert!(bgp.iter().any(|s| s.key == "10.0.0.2"));
+    assert!(
+        bgp.iter().any(|s| s.key.contains("send-community")),
+        "the paper's send-community default gap must be flagged: {report}"
+    );
+}
+
+#[test]
+fn ospf_cost_differences() {
+    let c = load(
+        "interface GigabitEthernet0/0\n\
+         \x20ip address 10.0.12.1 255.255.255.0\n\
+         \x20ip ospf cost 250\n\
+         router ospf 1\n\
+         \x20network 10.0.12.0 0.0.0.255 area 0\n",
+    );
+    let j = load(
+        "interfaces {
+            ge-0/0/0 { unit 0 { family inet { address 10.0.12.2/24; } } }
+        }
+        protocols {
+            ospf {
+                area 0.0.0.0 { interface ge-0/0/0.0 { metric 100; } }
+            }
+        }",
+    );
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    let ospf: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.component == "OSPF Properties")
+        .collect();
+    assert_eq!(ospf.len(), 1, "{report}");
+    assert!(ospf[0].description.contains("cost"));
+    assert!(ospf[0].value1.contains("250"));
+    assert!(ospf[0].value2.contains("100"));
+}
+
+#[test]
+fn connected_route_differences() {
+    let a = load(
+        "interface Gi0/0\n\
+         \x20ip address 10.0.1.1 255.255.255.0\n\
+         interface Gi0/1\n\
+         \x20ip address 10.0.2.1 255.255.255.0\n",
+    );
+    let b = load(
+        "interface Gi0/0\n\
+         \x20ip address 10.0.1.7 255.255.255.0\n",
+    );
+    let report = compare_routers(&a, &b, &CampionOptions::default());
+    let conn: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.component == "Connected Routes")
+        .collect();
+    assert_eq!(conn.len(), 1, "same /24 on Gi0/0; extra /24 on Gi0/1");
+    assert_eq!(conn[0].key, "10.0.2.0/24");
+}
+
+// ------------------------------------------------------------ full driver
+
+#[test]
+fn report_renders_and_is_stable() {
+    let (c, j) = fig1();
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    let text = format!("{report}");
+    assert!(text.contains("Included Prefixes"));
+    assert!(text.contains("10.9.0.0/16 : 16-32"));
+    assert!(text.contains("REJECT"));
+    // Deterministic across runs.
+    let again = format!("{}", compare_routers(&c, &j, &CampionOptions::default()));
+    assert_eq!(text, again);
+}
+
+#[test]
+fn options_disable_checks() {
+    let (c, j) = fig1();
+    let opts = CampionOptions {
+        check_route_maps: false,
+        ..CampionOptions::default()
+    };
+    let report = compare_routers(&c, &j, &opts);
+    assert!(report.route_map_diffs.is_empty());
+}
+
+#[test]
+fn unmatched_components_are_reported() {
+    let a = load("route-map ONLY_HERE permit 10\n");
+    let b = load("hostname other\n");
+    let report = compare_routers(&a, &b, &CampionOptions::default());
+    assert!(report
+        .unmatched
+        .iter()
+        .any(|u| u.contains("ONLY_HERE")), "{report}");
+}
+
+// ------------------------------------------------------------- properties
+
+mod properties {
+    use super::*;
+    use campion_ir::{RouteAdvert, RoutePolicy};
+    use campion_net::{Community, Prefix};
+    use proptest::prelude::*;
+
+    prop_compose! {
+        fn arb_advert()(
+            bits in any::<u32>(),
+            len in 0u8..=32,
+            c10 in any::<bool>(),
+            c11 in any::<bool>(),
+        ) -> RouteAdvert {
+            let mut comms = Vec::new();
+            if c10 { comms.push(Community::new(10, 10)); }
+            if c11 { comms.push(Community::new(10, 11)); }
+            RouteAdvert::bgp(Prefix::new(std::net::Ipv4Addr::from(bits), len))
+                .with_communities(comms)
+        }
+    }
+
+    /// Encode a concrete advertisement as a BDD assignment.
+    fn advert_assignment(
+        space: &RouteSpace,
+        advert: &RouteAdvert,
+    ) -> campion_bdd::Assignment {
+        let mut a = campion_bdd::Assignment::all_false(space.num_vars());
+        let bits = advert.prefix.bits();
+        for i in 0..32u32 {
+            a.set(i, (bits >> (31 - i)) & 1 == 1);
+        }
+        for i in 0..6u32 {
+            a.set(32 + i, (advert.prefix.len() >> (5 - i)) & 1 == 1);
+        }
+        a.set(39, true);
+        a.set(40, true); // protocol = BGP (3)
+        for (i, key) in space.atoms().iter().enumerate() {
+            if let campion_symbolic::AtomKey::Literal(c) = key {
+                if advert.has_community(*c) {
+                    a.set(41 + i as u32, true);
+                }
+            }
+        }
+        a
+    }
+
+    proptest! {
+        /// Soundness + completeness of SemanticDiff on Figure 1: a random
+        /// advertisement is covered by some reported difference IFF the two
+        /// concrete policies disagree on it.
+        #[test]
+        fn semantic_diff_covers_exactly_the_disagreements(advert in arb_advert()) {
+            let (c, j) = fig1();
+            let p1 = &c.policies["POL"];
+            let p2 = &j.policies["POL"];
+            let mut space = RouteSpace::for_policies(&[p1, p2]);
+            let u = space.universe();
+            let paths1 = policy_paths(&mut space, p1, u);
+            let paths2 = policy_paths(&mut space, p2, u);
+            let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+            let a = advert_assignment(&space, &advert);
+            let covered = diffs.iter().any(|d| space.manager.eval(d.input, &a));
+            let v1 = p1.evaluate(&advert);
+            let v2 = p2.evaluate(&advert);
+            // Disagreement on accept/reject, or on the transformed route.
+            let disagree = v1.accept != v2.accept
+                || (v1.accept && v2.accept && {
+                    let mut r1 = v1.route.clone();
+                    let r2 = v2.route.clone();
+                    // next_hop/weight not modeled in this pair.
+                    r1.protocol = r2.protocol;
+                    r1 != r2
+                });
+            prop_assert_eq!(covered, disagree, "advert {}", advert);
+        }
+
+        /// HeaderLocalize round-trips: the localized representation
+        /// re-encodes to exactly the projected difference set.
+        #[test]
+        fn headerloc_roundtrip_on_random_range_sets(
+            seeds in proptest::collection::vec((any::<u32>(), 0u8..=24, 0u8..=8, any::<bool>()), 1..6)
+        ) {
+            let dummy = RoutePolicy::permit_all("x");
+            let mut space = RouteSpace::for_policies(&[&dummy]);
+            let mut ranges = Vec::new();
+            let mut s = campion_bdd::Bdd::FALSE;
+            for (bits, len, extra, include) in seeds {
+                let hi = (len + extra).min(32);
+                let r = PrefixRange::new(
+                    Prefix::new(std::net::Ipv4Addr::from(bits), len), len, hi);
+                ranges.push(r);
+                if include {
+                    let b = space.prefix_range_bdd(&r);
+                    s = space.manager.or(s, b);
+                }
+            }
+            // Constrain to valid lengths like real path predicates.
+            let valid = space.prefix_range_bdd(&PrefixRange::universe());
+            s = space.manager.and(s, valid);
+            let loc = header_localize(&mut space, s, &ranges);
+            prop_assert!(loc.exact);
+            let back = reencode(&mut space, &loc);
+            prop_assert_eq!(back, s);
+        }
+
+        /// Minimality-ish sanity: localizing a single range yields exactly
+        /// that range with no exclusions.
+        #[test]
+        fn headerloc_single_range_is_itself(bits in any::<u32>(), len in 0u8..=28) {
+            let dummy = RoutePolicy::permit_all("x");
+            let mut space = RouteSpace::for_policies(&[&dummy]);
+            let r = PrefixRange::new(
+                Prefix::new(std::net::Ipv4Addr::from(bits), len), len, 32);
+            let s = space.prefix_range_bdd(&r);
+            let loc = header_localize(&mut space, s, &[r]);
+            prop_assert_eq!(loc.terms.len(), 1);
+            prop_assert!(loc.terms[0].minus.is_empty());
+            // The reported base denotes the same set.
+            let base = space.prefix_range_bdd(&loc.terms[0].base);
+            prop_assert_eq!(base, s);
+        }
+    }
+}
+
+// ------------------------------------------------------------- extensions
+
+/// Cisco `continue` produces fall-through paths whose accumulated sets
+/// survive into the final effect — and SemanticDiff distinguishes them.
+#[test]
+fn cisco_continue_fallthrough_semantics() {
+    let with_continue = load(
+        "route-map M permit 10\n\
+         \x20set metric 50\n\
+         \x20continue 20\n\
+         route-map M permit 20\n\
+         \x20set local-preference 200\n",
+    );
+    let without = load(
+        "route-map M permit 10\n\
+         \x20set local-preference 200\n",
+    );
+    let report = compare_routers(&with_continue, &without, &CampionOptions::default());
+    // The continue version also sets the metric: a behavioral difference.
+    assert_eq!(report.route_map_diffs.len(), 1, "{report}");
+    assert!(report.route_map_diffs[0].action1.contains("SET METRIC 50"));
+    assert!(report.route_map_diffs[0].action1.contains("SET LOCAL PREF 200"));
+}
+
+/// The exhaustive-communities option replaces the single example with the
+/// complete condition set.
+#[test]
+fn exhaustive_communities_option() {
+    let (c, j) = fig1();
+    let opts = CampionOptions {
+        exhaustive_communities: true,
+        ..CampionOptions::default()
+    };
+    let report = compare_routers(&c, &j, &opts);
+    let d2 = &report.route_map_diffs[1];
+    let ex = d2.example.as_ref().expect("conditions");
+    assert!(ex.contains("with 10:10; without 10:11"), "{ex}");
+    assert!(ex.contains("with 10:11; without 10:10"), "{ex}");
+    // Difference 1 constrains communities only as "not both": exhaustive
+    // mode reports that too (unlike the example heuristic).
+    let d1 = &report.route_map_diffs[0];
+    assert!(d1.example.is_some());
+}
+
+/// A policy referencing an undefined route map on one side compares against
+/// permit-all, so a permissive counterpart is equivalent but a restrictive
+/// one is flagged.
+#[test]
+fn missing_policy_compares_as_permit_all() {
+    let a = load(
+        "router bgp 65000\n\
+         \x20neighbor 10.0.0.2 remote-as 65001\n\
+         \x20neighbor 10.0.0.2 send-community\n",
+    );
+    let permissive = load(
+        "route-map ALL permit 10\n\
+         router bgp 65000\n\
+         \x20neighbor 10.0.0.2 remote-as 65001\n\
+         \x20neighbor 10.0.0.2 route-map ALL in\n\
+         \x20neighbor 10.0.0.2 send-community\n",
+    );
+    let restrictive = load(
+        "route-map NONE deny 10\n\
+         router bgp 65000\n\
+         \x20neighbor 10.0.0.2 remote-as 65001\n\
+         \x20neighbor 10.0.0.2 route-map NONE in\n\
+         \x20neighbor 10.0.0.2 send-community\n",
+    );
+    let r1 = compare_routers(&a, &permissive, &CampionOptions::default());
+    assert!(r1.route_map_diffs.is_empty(), "{r1}");
+    let r2 = compare_routers(&a, &restrictive, &CampionOptions::default());
+    assert_eq!(r2.route_map_diffs.len(), 1, "{r2}");
+}

@@ -1,0 +1,214 @@
+//! The Capirca-like random ACL generator (§5.4).
+//!
+//! Capirca compiles one abstract policy to multiple vendor formats; the
+//! paper used it to generate "nearly equivalent" Cisco and Juniper ACLs of
+//! a given size with 10 injected differences, then measured SemanticDiff's
+//! runtime at 1 000 and 10 000 rules. This generator does the same: it
+//! draws an abstract rule list, renders it in both dialects, and perturbs a
+//! chosen number of rules on the Juniper side.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One abstract ACL rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GenRule {
+    permit: bool,
+    /// 6 = tcp, 17 = udp, 0 = any.
+    proto: u8,
+    /// Source prefix as (address, length); `None` = any.
+    src: Option<(u32, u8)>,
+    /// Destination prefix.
+    dst: Option<(u32, u8)>,
+    /// Destination port; `None` = any.
+    dst_port: Option<u16>,
+}
+
+fn random_prefix(rng: &mut StdRng) -> (u32, u8) {
+    let len = rng.gen_range(8..=28);
+    let addr: u32 = rng.gen::<u32>() & (u32::MAX << (32 - len));
+    (addr, len)
+}
+
+fn random_rule(rng: &mut StdRng) -> GenRule {
+    let proto = *[0u8, 6, 6, 6, 17].get(rng.gen_range(0..5)).expect("index in range");
+    let src = if rng.gen_bool(0.7) {
+        Some(random_prefix(rng))
+    } else {
+        None
+    };
+    // Never generate a full catch-all (`permit ip any any`) mid-list: real
+    // Capirca policies are term-specific, and an early catch-all would
+    // shadow the whole remainder of the ACL.
+    let dst = if rng.gen_bool(0.7) || (src.is_none() && proto == 0) {
+        Some(random_prefix(rng))
+    } else {
+        None
+    };
+    GenRule {
+        permit: rng.gen_bool(0.8),
+        proto,
+        src,
+        dst,
+        dst_port: if proto != 0 && rng.gen_bool(0.6) {
+            Some(rng.gen_range(1..=u16::MAX))
+        } else {
+            None
+        },
+    }
+}
+
+/// A concrete probe packet aimed at a rule: source/destination network
+/// addresses, the rule's protocol (TCP when unconstrained) and port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Probe {
+    src: u32,
+    dst: u32,
+    proto: u8,
+    dst_port: u16,
+}
+
+fn probe_for(rule: &GenRule) -> Probe {
+    Probe {
+        src: rule.src.map(|(a, _)| a).unwrap_or(0x01020304),
+        dst: rule.dst.map(|(a, _)| a).unwrap_or(0x05060708),
+        proto: if rule.proto == 0 { 6 } else { rule.proto },
+        dst_port: rule.dst_port.unwrap_or(80),
+    }
+}
+
+fn rule_matches(rule: &GenRule, p: &Probe) -> bool {
+    let prefix_hit = |pref: Option<(u32, u8)>, addr: u32| match pref {
+        None => true,
+        Some((base, len)) => {
+            let m = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            addr & m == base
+        }
+    };
+    (rule.proto == 0 || rule.proto == p.proto)
+        && prefix_hit(rule.src, p.src)
+        && prefix_hit(rule.dst, p.dst)
+        && match rule.dst_port {
+            None => true,
+            Some(port) => (p.proto == 6 || p.proto == 17) && port == p.dst_port,
+        }
+}
+
+/// Index of the first matching rule (implicit deny = `None`).
+fn first_match(rules: &[GenRule], p: &Probe) -> Option<usize> {
+    rules.iter().position(|r| rule_matches(r, p))
+}
+
+fn ip(addr: u32) -> String {
+    std::net::Ipv4Addr::from(addr).to_string()
+}
+
+fn wildcard(len: u8) -> String {
+    let w = if len == 0 { u32::MAX } else { !(u32::MAX << (32 - u32::from(len))) };
+    ip(w)
+}
+
+fn render_cisco(name: &str, rules: &[GenRule]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ip access-list extended {name}");
+    for r in rules {
+        let action = if r.permit { "permit" } else { "deny" };
+        let proto = match r.proto {
+            6 => "tcp",
+            17 => "udp",
+            _ => "ip",
+        };
+        let src = match r.src {
+            Some((a, l)) => format!("{} {}", ip(a), wildcard(l)),
+            None => "any".to_string(),
+        };
+        let dst = match r.dst {
+            Some((a, l)) => format!("{} {}", ip(a), wildcard(l)),
+            None => "any".to_string(),
+        };
+        let port = match r.dst_port {
+            Some(p) => format!(" eq {p}"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, " {action} {proto} {src} {dst}{port}");
+    }
+    let _ = writeln!(out, " deny ip any any");
+    out
+}
+
+fn render_juniper(name: &str, rules: &[GenRule]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "firewall {{");
+    let _ = writeln!(out, "    family inet {{");
+    let _ = writeln!(out, "        filter {name} {{");
+    for (i, r) in rules.iter().enumerate() {
+        let _ = writeln!(out, "            term t{i} {{");
+        let has_from =
+            r.src.is_some() || r.dst.is_some() || r.proto != 0 || r.dst_port.is_some();
+        if has_from {
+            let _ = writeln!(out, "                from {{");
+            if let Some((a, l)) = r.src {
+                let _ = writeln!(out, "                    source-address {}/{};", ip(a), l);
+            }
+            if let Some((a, l)) = r.dst {
+                let _ = writeln!(out, "                    destination-address {}/{};", ip(a), l);
+            }
+            if r.proto != 0 {
+                let p = if r.proto == 6 { "tcp" } else { "udp" };
+                let _ = writeln!(out, "                    protocol {p};");
+            }
+            if let Some(p) = r.dst_port {
+                let _ = writeln!(out, "                    destination-port {p};");
+            }
+            let _ = writeln!(out, "                }}");
+        }
+        let action = if r.permit { "accept" } else { "discard" };
+        let _ = writeln!(out, "                then {action};");
+        let _ = writeln!(out, "            }}");
+    }
+    let _ = writeln!(out, "            term final {{");
+    let _ = writeln!(out, "                then discard;");
+    let _ = writeln!(out, "            }}");
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Generate a nearly-equivalent ACL pair: `rules` abstract rules rendered
+/// as a Cisco extended ACL and a Juniper inet filter, with `diffs` injected
+/// behavioral differences on the Juniper side. Deterministic in `seed`.
+///
+/// Returns `(cisco_config, juniper_config)`; the ACL is named `ACL-GEN` in
+/// both.
+pub fn capirca_acl_pair(rules: usize, diffs: usize, seed: u64) -> (String, String) {
+    assert!(diffs <= rules, "cannot inject more differences than rules");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<GenRule> = (0..rules).map(|_| random_rule(&mut rng)).collect();
+    let mut perturbed = base.clone();
+    // Flip the action of `diffs` distinct *reachable* rules. Reachability
+    // is probe-verified: the rule's own probe packet must first-match the
+    // rule, so the flip is guaranteed behaviorally visible (the probe's
+    // treatment changes).
+    let reachable: Vec<usize> = (0..rules)
+        .filter(|&i| first_match(&base, &probe_for(&base[i])) == Some(i))
+        .collect();
+    assert!(
+        reachable.len() >= diffs,
+        "only {} of {rules} rules are probe-reachable; cannot inject {diffs} differences",
+        reachable.len()
+    );
+    // Spread the perturbations across the reachable set, deterministically.
+    let _ = &mut rng;
+    let step = reachable.len() / diffs.max(1);
+    for k in 0..diffs {
+        let i = reachable[k * step.max(1)];
+        perturbed[i].permit = !perturbed[i].permit;
+    }
+    (
+        render_cisco("ACL-GEN", &base),
+        render_juniper("ACL-GEN", &perturbed),
+    )
+}

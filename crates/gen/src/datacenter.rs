@@ -1,0 +1,335 @@
+//! The data-center scenarios of §5.1 / Table 6, with seeded bug injection.
+//!
+//! Each scenario generates Cisco/Juniper configuration pairs shaped like
+//! the paper's Clos network roles, then injects the paper's bug classes:
+//!
+//! * **Scenario 1** (redundant ToR pairs): five missing-BGP-policy
+//!   fragments (prefixes absent from an import filter on one side) and two
+//!   wrong static next hops.
+//! * **Scenario 2** (router replacements): one wrong community number and
+//!   three wrong local-preferences, one of them on an iBGP
+//!   route-reflector pair — the paper's would-have-been-severe-outage bug.
+//! * **Scenario 3** (gateway ACLs): three ACL rule differences.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::capirca;
+
+/// A bug injected into the second (Juniper) side of a pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// A prefix present in the Cisco import filter is missing on Juniper.
+    MissingImportPrefix(String),
+    /// The static route for this prefix has a different next hop.
+    WrongStaticNextHop(String),
+    /// The export policy attaches a different community.
+    WrongCommunity {
+        /// What Cisco sets.
+        expected: String,
+        /// What Juniper sets.
+        actual: String,
+    },
+    /// The import policy sets a different local preference.
+    WrongLocalPref {
+        /// What Cisco sets.
+        expected: u32,
+        /// What Juniper sets.
+        actual: u32,
+        /// Whether this pair is the iBGP route-reflector replacement.
+        on_route_reflector: bool,
+    },
+    /// An ACL rule was perturbed (see [`capirca`]).
+    AclRuleDiff,
+}
+
+/// One generated router pair.
+#[derive(Debug, Clone)]
+pub struct ScenarioPair {
+    /// Role name, e.g. `tor-03`.
+    pub name: String,
+    /// The Cisco configuration.
+    pub cisco: String,
+    /// The Juniper configuration.
+    pub juniper: String,
+    /// Bugs injected into this pair (empty = intended-equivalent).
+    pub bugs: Vec<InjectedBug>,
+}
+
+fn prefix_str(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(16..=24);
+    let addr: u32 = rng.gen::<u32>() & (u32::MAX << (32 - len));
+    format!("{}/{}", std::net::Ipv4Addr::from(addr), len)
+}
+
+/// Parameters of one ToR-style pair.
+struct TorParams {
+    name: String,
+    import_prefixes: Vec<String>,
+    export_prefixes: Vec<String>,
+    statics: Vec<(String, String)>, // (prefix, next hop)
+    local_pref: u32,
+    community: String,
+    neighbor: String,
+    remote_as: u32,
+    /// iBGP with route-reflector-client config.
+    route_reflector: bool,
+}
+
+fn tor_params(rng: &mut StdRng, idx: usize, route_reflector: bool) -> TorParams {
+    let import_prefixes: Vec<String> = (0..rng.gen_range(3..6)).map(|_| prefix_str(rng)).collect();
+    let export_prefixes: Vec<String> = (0..rng.gen_range(2..4)).map(|_| prefix_str(rng)).collect();
+    let statics: Vec<(String, String)> = (0..2)
+        .map(|i| {
+            (
+                prefix_str(rng),
+                format!("10.{}.{}.{}", rng.gen_range(1..200), rng.gen_range(0..200), i + 1),
+            )
+        })
+        .collect();
+    TorParams {
+        name: format!("tor-{idx:02}"),
+        import_prefixes,
+        export_prefixes,
+        statics,
+        local_pref: 100 + 10 * rng.gen_range(1..5) as u32,
+        community: format!("65001:{}", rng.gen_range(100..999)),
+        neighbor: format!("10.200.{}.2", idx),
+        remote_as: if route_reflector { 65001 } else { 65002 },
+        route_reflector,
+    }
+}
+
+fn mask(len: u8) -> String {
+    let m = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+    std::net::Ipv4Addr::from(m).to_string()
+}
+
+fn split_prefix(p: &str) -> (String, u8) {
+    let (a, l) = p.split_once('/').expect("prefix has /");
+    (a.to_string(), l.parse().expect("length"))
+}
+
+fn render_tor_cisco(p: &TorParams) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "hostname {}-cisco", p.name);
+    for pre in &p.import_prefixes {
+        let _ = writeln!(o, "ip prefix-list IMPORT-FILTER permit {pre} le 32");
+    }
+    for pre in &p.export_prefixes {
+        let _ = writeln!(o, "ip prefix-list EXPORT-NETS permit {pre} le 32");
+    }
+    let _ = writeln!(o, "route-map IMPORT permit 10");
+    let _ = writeln!(o, " match ip address prefix-list IMPORT-FILTER");
+    let _ = writeln!(o, " set local-preference {}", p.local_pref);
+    let _ = writeln!(o, "route-map IMPORT deny 20");
+    let _ = writeln!(o, "route-map EXPORT permit 10");
+    let _ = writeln!(o, " match ip address prefix-list EXPORT-NETS");
+    let _ = writeln!(o, " set community {}", p.community);
+    let _ = writeln!(o, "route-map EXPORT deny 20");
+    for (pre, nh) in &p.statics {
+        let (a, l) = split_prefix(pre);
+        let _ = writeln!(o, "ip route {a} {} {nh} 5", mask(l));
+    }
+    let _ = writeln!(o, "router bgp 65001");
+    let _ = writeln!(o, " neighbor {} remote-as {}", p.neighbor, p.remote_as);
+    let _ = writeln!(o, " neighbor {} route-map IMPORT in", p.neighbor);
+    let _ = writeln!(o, " neighbor {} route-map EXPORT out", p.neighbor);
+    let _ = writeln!(o, " neighbor {} send-community", p.neighbor);
+    if p.route_reflector {
+        let _ = writeln!(o, " neighbor {} route-reflector-client", p.neighbor);
+    }
+    o
+}
+
+fn render_tor_juniper(p: &TorParams, bugs: &[InjectedBug]) -> String {
+    let missing: Vec<&String> = bugs
+        .iter()
+        .filter_map(|b| match b {
+            InjectedBug::MissingImportPrefix(pre) => Some(pre),
+            _ => None,
+        })
+        .collect();
+    let community = bugs
+        .iter()
+        .find_map(|b| match b {
+            InjectedBug::WrongCommunity { actual, .. } => Some(actual.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| p.community.clone());
+    let local_pref = bugs
+        .iter()
+        .find_map(|b| match b {
+            InjectedBug::WrongLocalPref { actual, .. } => Some(*actual),
+            _ => None,
+        })
+        .unwrap_or(p.local_pref);
+    let wrong_nh: Option<&String> = bugs.iter().find_map(|b| match b {
+        InjectedBug::WrongStaticNextHop(pre) => Some(pre),
+        _ => None,
+    });
+
+    let mut o = String::new();
+    let _ = writeln!(o, "system {{ host-name {}-juniper; }}", p.name);
+    let _ = writeln!(o, "policy-options {{");
+    let _ = writeln!(o, "    prefix-list IMPORT-FILTER {{");
+    for pre in &p.import_prefixes {
+        if !missing.contains(&pre) {
+            let _ = writeln!(o, "        {pre};");
+        }
+    }
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "    prefix-list EXPORT-NETS {{");
+    for pre in &p.export_prefixes {
+        let _ = writeln!(o, "        {pre};");
+    }
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "    community SVC members {community};");
+    let _ = writeln!(o, "    policy-statement IMPORT {{");
+    let _ = writeln!(o, "        term t1 {{");
+    let _ = writeln!(o, "            from prefix-list-filter IMPORT-FILTER orlonger;");
+    let _ = writeln!(o, "            then {{");
+    let _ = writeln!(o, "                local-preference {local_pref};");
+    let _ = writeln!(o, "                accept;");
+    let _ = writeln!(o, "            }}");
+    let _ = writeln!(o, "        }}");
+    let _ = writeln!(o, "        term t2 {{ then reject; }}");
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "    policy-statement EXPORT {{");
+    let _ = writeln!(o, "        term t1 {{");
+    let _ = writeln!(o, "            from prefix-list-filter EXPORT-NETS orlonger;");
+    let _ = writeln!(o, "            then {{");
+    let _ = writeln!(o, "                community set SVC;");
+    let _ = writeln!(o, "                accept;");
+    let _ = writeln!(o, "            }}");
+    let _ = writeln!(o, "        }}");
+    let _ = writeln!(o, "        term t2 {{ then reject; }}");
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "}}");
+    let _ = writeln!(o, "routing-options {{");
+    let _ = writeln!(o, "    autonomous-system 65001;");
+    let _ = writeln!(o, "    static {{");
+    for (pre, nh) in &p.statics {
+        let nh = if Some(pre) == wrong_nh {
+            // Perturb the last octet.
+            let mut parts: Vec<u32> = nh.split('.').map(|s| s.parse().expect("octet")).collect();
+            parts[3] = (parts[3] + 7) % 250 + 1;
+            format!("{}.{}.{}.{}", parts[0], parts[1], parts[2], parts[3])
+        } else {
+            nh.clone()
+        };
+        let _ = writeln!(o, "        route {pre} next-hop {nh};");
+    }
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "}}");
+    let _ = writeln!(o, "protocols {{");
+    let _ = writeln!(o, "    bgp {{");
+    let _ = writeln!(o, "        group peers {{");
+    if p.route_reflector {
+        let _ = writeln!(o, "            type internal;");
+        let _ = writeln!(o, "            cluster 192.0.2.1;");
+    } else {
+        let _ = writeln!(o, "            type external;");
+        let _ = writeln!(o, "            peer-as {};", p.remote_as);
+    }
+    let _ = writeln!(o, "            neighbor {} {{", p.neighbor);
+    let _ = writeln!(o, "                import IMPORT;");
+    let _ = writeln!(o, "                export EXPORT;");
+    let _ = writeln!(o, "            }}");
+    let _ = writeln!(o, "        }}");
+    let _ = writeln!(o, "    }}");
+    let _ = writeln!(o, "}}");
+    o
+}
+
+/// Scenario 1: `pairs` redundant ToR pairs; five of them get a missing
+/// import prefix, two get a wrong static next hop (Table 6 row 1).
+pub fn scenario1(pairs: usize, seed: u64) -> Vec<ScenarioPair> {
+    assert!(pairs >= 7, "need at least 7 pairs to place the 7 bugs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..pairs {
+        let params = tor_params(&mut rng, i, false);
+        let mut bugs = Vec::new();
+        if i < 5 {
+            // Missing BGP policy fragment: drop one import prefix.
+            let victim =
+                params.import_prefixes[rng.gen_range(0..params.import_prefixes.len())].clone();
+            bugs.push(InjectedBug::MissingImportPrefix(victim));
+        } else if i < 7 {
+            let victim = params.statics[rng.gen_range(0..params.statics.len())].0.clone();
+            bugs.push(InjectedBug::WrongStaticNextHop(victim));
+        }
+        out.push(ScenarioPair {
+            name: params.name.clone(),
+            cisco: render_tor_cisco(&params),
+            juniper: render_tor_juniper(&params, &bugs),
+            bugs,
+        });
+    }
+    out
+}
+
+/// Scenario 2: `pairs` router replacements (old Cisco → new Juniper); one
+/// gets a wrong community, three get wrong local-prefs — the first of them
+/// on the iBGP route-reflector replacement (Table 6 row 2).
+pub fn scenario2(pairs: usize, seed: u64) -> Vec<ScenarioPair> {
+    assert!(pairs >= 4, "need at least 4 pairs to place the 4 bugs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..pairs {
+        // Pair 0 is the route-reflector replacement.
+        let params = tor_params(&mut rng, i, i == 0);
+        let mut bugs = Vec::new();
+        if i == 0 {
+            bugs.push(InjectedBug::WrongLocalPref {
+                expected: params.local_pref,
+                actual: params.local_pref + 50,
+                on_route_reflector: true,
+            });
+        } else if i <= 2 {
+            bugs.push(InjectedBug::WrongLocalPref {
+                expected: params.local_pref,
+                actual: params.local_pref.saturating_sub(10),
+                on_route_reflector: false,
+            });
+        } else if i == 3 {
+            let wrong = format!("65001:{}", rng.gen_range(100..999));
+            bugs.push(InjectedBug::WrongCommunity {
+                expected: params.community.clone(),
+                actual: wrong,
+            });
+        }
+        out.push(ScenarioPair {
+            name: format!("replace-{i:02}"),
+            cisco: render_tor_cisco(&params),
+            juniper: render_tor_juniper(&params, &bugs),
+            bugs,
+        });
+    }
+    out
+}
+
+/// Scenario 3: gateway ACL pairs; three rule differences across the fleet
+/// (Table 6 row 3).
+pub fn scenario3(pairs: usize, rules_per_acl: usize, seed: u64) -> Vec<ScenarioPair> {
+    assert!(pairs >= 3, "need at least 3 pairs to place the 3 bugs");
+    let mut out = Vec::new();
+    for i in 0..pairs {
+        let diffs = usize::from(i < 3);
+        let (cisco, juniper) = capirca::capirca_acl_pair(rules_per_acl, diffs, seed + i as u64);
+        out.push(ScenarioPair {
+            name: format!("gateway-{i:02}"),
+            cisco: format!("hostname gateway-{i:02}-cisco\n{cisco}"),
+            juniper: format!("system {{ host-name gateway-{i:02}-juniper; }}\n{juniper}"),
+            bugs: if diffs > 0 {
+                vec![InjectedBug::AclRuleDiff]
+            } else {
+                Vec::new()
+            },
+        });
+    }
+    out
+}

@@ -1,0 +1,35 @@
+//! # campion-gen — synthetic workload generators
+//!
+//! The paper's evaluation ran on confidential configurations from a
+//! production cloud (§5.1) and a university campus (§5.2). This crate
+//! regenerates workloads with the same *shape* (see DESIGN.md §1):
+//!
+//! * [`capirca`] — a Capirca-like random ACL generator emitting matched
+//!   Cisco and Juniper ACLs with a controlled number of injected
+//!   differences, used for the §5.4 scalability experiment;
+//! * [`university`] — the two university router pairs (core and border)
+//!   with the exact bug classes of Table 8: prefix-list length semantics,
+//!   community any-vs-all, third-clause community match, fall-through
+//!   asymmetry, community-regex differences, a missing prefix-list entry,
+//!   plus the static-route and send-community structural findings;
+//! * [`datacenter`] — the three data-center scenarios of Table 6 with
+//!   seeded bug injection: redundant-pair drift (missing import prefixes,
+//!   wrong static next hops), router replacement errors (wrong community,
+//!   wrong local-prefs, a route-reflector local-pref bug), and gateway ACL
+//!   mismatches.
+//!
+//! All generators are deterministic in their seed, so every table in
+//! EXPERIMENTS.md regenerates bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod capirca;
+pub mod datacenter;
+pub mod university;
+
+pub use capirca::capirca_acl_pair;
+pub use datacenter::{scenario1, scenario2, scenario3, InjectedBug, ScenarioPair};
+pub use university::{university_border_pair, university_core_pair};
+
+#[cfg(test)]
+mod tests;

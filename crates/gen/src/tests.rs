@@ -1,0 +1,213 @@
+//! Generator tests: everything must parse, lower, and carry exactly the
+//! injected differences when run through Campion.
+
+use campion_cfg::parse_config;
+use campion_core::{compare_routers, CampionOptions};
+use campion_ir::{lower, RouterIr};
+
+use crate::*;
+
+fn load(text: &str) -> RouterIr {
+    lower(&parse_config(text).unwrap_or_else(|e| panic!("parse: {e}\n{text}")))
+        .unwrap_or_else(|e| panic!("lower: {e}\n{text}"))
+}
+
+#[test]
+fn capirca_pair_parses_and_is_deterministic() {
+    let (c1, j1) = capirca_acl_pair(50, 5, 42);
+    let (c2, j2) = capirca_acl_pair(50, 5, 42);
+    assert_eq!(c1, c2);
+    assert_eq!(j1, j2);
+    let (c3, _) = capirca_acl_pair(50, 5, 43);
+    assert_ne!(c1, c3, "different seeds differ");
+    let rc = load(&c1);
+    let rj = load(&j1);
+    assert_eq!(rc.acls["ACL-GEN"].rules.len(), 51, "50 rules + final deny");
+    assert_eq!(rj.acls["ACL-GEN"].rules.len(), 51);
+}
+
+#[test]
+fn capirca_zero_diffs_is_equivalent() {
+    for seed in [1, 7, 99] {
+        let (c, j) = capirca_acl_pair(40, 0, seed);
+        let rc = load(&c);
+        let rj = load(&j);
+        let report = compare_routers(&rc, &rj, &CampionOptions::default());
+        assert!(
+            report.acl_diffs.is_empty(),
+            "seed {seed} should be equivalent:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn capirca_injected_diffs_are_found() {
+    let (c, j) = capirca_acl_pair(40, 4, 7);
+    let rc = load(&c);
+    let rj = load(&j);
+    let report = compare_routers(&rc, &rj, &CampionOptions::default());
+    assert!(
+        !report.acl_diffs.is_empty(),
+        "injected differences must surface"
+    );
+}
+
+#[test]
+fn university_core_pair_loads() {
+    let (c, j) = university_core_pair();
+    let rc = load(&c);
+    let rj = load(&j);
+    assert!(rc.policies.contains_key("EXPORT1"));
+    assert!(rj.policies.contains_key("EXPORT1"));
+    assert_eq!(rc.static_routes.len(), 2);
+    assert_eq!(rj.static_routes.len(), 2);
+}
+
+/// Table 8(a), core routers: Export 1 → 5 raw differences, Export 2 → 1.
+#[test]
+fn university_core_semantic_counts_match_table8() {
+    let (c, j) = university_core_pair();
+    let rc = load(&c);
+    let rj = load(&j);
+    let report = compare_routers(&rc, &rj, &CampionOptions::default());
+    let count = |name: &str| {
+        report
+            .route_map_diffs
+            .iter()
+            .filter(|d| d.name1.contains(name))
+            .count()
+    };
+    assert_eq!(count("EXPORT1"), 5, "{report}");
+    assert_eq!(count("EXPORT2"), 1, "{report}");
+}
+
+/// Table 8(b): two classes of static-route differences and one BGP
+/// properties class (send-community).
+#[test]
+fn university_core_structural_matches_table8() {
+    let (c, j) = university_core_pair();
+    let rc = load(&c);
+    let rj = load(&j);
+    let report = compare_routers(&rc, &rj, &CampionOptions::default());
+    let statics: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.component == "Static Routes")
+        .collect();
+    // Class 1: same prefix, different attributes (10.50/16).
+    assert!(statics
+        .iter()
+        .any(|s| s.key == "10.50.0.0/16" && s.side == campion_core::FindingSide::Both));
+    // Class 2: present in one router only (both directions).
+    assert!(statics
+        .iter()
+        .any(|s| s.key == "10.1.1.2/31" && s.side == campion_core::FindingSide::OnlyFirst));
+    assert!(statics
+        .iter()
+        .any(|s| s.key == "10.60.0.0/16" && s.side == campion_core::FindingSide::OnlySecond));
+    // send-community latent difference on both neighbors.
+    let sc: Vec<_> = report
+        .structural
+        .iter()
+        .filter(|s| s.key.contains("send-community"))
+        .collect();
+    assert_eq!(sc.len(), 2, "{report}");
+}
+
+/// Table 8(a), border routers: Export 3 → 1, Export 4 → 1, Export 5 → 2,
+/// Import → 0.
+#[test]
+fn university_border_counts_match_table8() {
+    let (c, j) = university_border_pair();
+    let rc = load(&c);
+    let rj = load(&j);
+    let report = compare_routers(&rc, &rj, &CampionOptions::default());
+    let count = |name: &str| {
+        report
+            .route_map_diffs
+            .iter()
+            .filter(|d| d.name1.contains(name))
+            .count()
+    };
+    assert_eq!(count("EXPORT3"), 1, "{report}");
+    assert_eq!(count("EXPORT4"), 1, "{report}");
+    assert_eq!(count("EXPORT5"), 2, "{report}");
+    assert_eq!(count("IMPORT"), 0, "{report}");
+}
+
+/// Table 6 row 1: five BGP differences and two static differences across
+/// the redundant pairs, nothing else.
+#[test]
+fn scenario1_counts_match_table6() {
+    let pairs = scenario1(8, 1001);
+    let mut bgp = 0;
+    let mut stat = 0;
+    for p in &pairs {
+        let rc = load(&p.cisco);
+        let rj = load(&p.juniper);
+        let report = compare_routers(&rc, &rj, &CampionOptions::default());
+        bgp += report.route_map_diffs.len();
+        stat += report
+            .structural
+            .iter()
+            .filter(|s| s.component == "Static Routes")
+            .count();
+        if p.bugs.is_empty() {
+            assert!(
+                report.is_equivalent(),
+                "pair {} should be clean:\n{report}",
+                p.name
+            );
+        }
+    }
+    assert_eq!(bgp, 5);
+    assert_eq!(stat, 2);
+}
+
+/// Table 6 row 2: four BGP differences across the replacements; the
+/// route-reflector bug is among them.
+#[test]
+fn scenario2_counts_match_table6() {
+    let pairs = scenario2(30, 2002);
+    let mut bgp = 0;
+    for p in &pairs {
+        let rc = load(&p.cisco);
+        let rj = load(&p.juniper);
+        let report = compare_routers(&rc, &rj, &CampionOptions::default());
+        bgp += report.route_map_diffs.len();
+        if p.bugs.is_empty() {
+            assert!(report.is_equivalent(), "pair {}:\n{report}", p.name);
+        }
+    }
+    assert_eq!(bgp, 4);
+    assert!(pairs[0].bugs.iter().any(|b| matches!(
+        b,
+        InjectedBug::WrongLocalPref {
+            on_route_reflector: true,
+            ..
+        }
+    )));
+}
+
+/// Table 6 row 3: three ACL differences across the gateways.
+#[test]
+fn scenario3_counts_match_table6() {
+    let pairs = scenario3(5, 20, 3003);
+    let mut buggy_pairs = 0;
+    for p in &pairs {
+        let rc = load(&p.cisco);
+        let rj = load(&p.juniper);
+        let report = compare_routers(&rc, &rj, &CampionOptions::default());
+        if p.bugs.is_empty() {
+            assert!(
+                report.acl_diffs.is_empty(),
+                "pair {} should be clean:\n{report}",
+                p.name
+            );
+        } else {
+            assert!(!report.acl_diffs.is_empty(), "pair {}:\n{report}", p.name);
+            buggy_pairs += 1;
+        }
+    }
+    assert_eq!(buggy_pairs, 3);
+}

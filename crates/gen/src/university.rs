@@ -1,0 +1,273 @@
+//! The university network pairs of §5.2 / Table 8.
+//!
+//! Two Cisco/Juniper backup pairs. The templates are fixed (the bugs are
+//! the point, not the addresses) and seed every difference class the paper
+//! reports:
+//!
+//! **Core pair** — Export 1 carries the full Figure-1 bug set plus the
+//! third-clause community match and the fall-through asymmetry (5 raw
+//! differences); Export 2 repeats only the prefix-list length bug (1).
+//! Static routes differ in two classes (same prefix / different attributes,
+//! and present-in-one-only), and the Cisco side is missing
+//! `send-community` (the paper's latent BGP-properties finding).
+//!
+//! **Border pair** — Export 3 and Export 4 carry community-regex
+//! differences (1 each); Export 5 references a prefix list missing one
+//! entry from two clauses (2 raw differences, 1 root cause); the import
+//! policies are behaviorally equivalent (0).
+
+/// The core-router pair `(cisco, juniper)`.
+pub fn university_core_pair() -> (String, String) {
+    let cisco = "\
+hostname core-cisco
+!
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+ip prefix-list CAMPUS permit 172.16.0.0/12 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map EXPORT1 deny 10
+ match ip address prefix-list NETS
+route-map EXPORT1 deny 20
+ match community COMM
+route-map EXPORT1 permit 30
+ match ip address prefix-list CAMPUS
+ set local-preference 30
+!
+route-map EXPORT2 deny 10
+ match ip address prefix-list NETS
+route-map EXPORT2 permit 20
+ set local-preference 120
+!
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+ip route 10.50.0.0 255.255.0.0 10.2.2.3 200 tag 5
+!
+router bgp 65100
+ neighbor 10.0.101.2 remote-as 65100
+ neighbor 10.0.101.2 route-map EXPORT1 out
+ neighbor 10.0.102.2 remote-as 65100
+ neighbor 10.0.102.2 route-map EXPORT2 out
+"
+    .to_string();
+
+    let juniper = "\
+system { host-name core-juniper; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    prefix-list CAMPUS {
+        172.16.0.0/12;
+    }
+    community COMM members [ 10:10 10:11 ];
+    community EDU members 20:20;
+    policy-statement EXPORT1 {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            from {
+                prefix-list-filter CAMPUS orlonger;
+                community EDU;
+            }
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+    policy-statement EXPORT2 {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            then {
+                local-preference 120;
+                accept;
+            }
+        }
+    }
+}
+routing-options {
+    autonomous-system 65100;
+    static {
+        route 10.50.0.0/16 {
+            next-hop 10.2.2.99;
+            preference 180;
+            tag 5;
+        }
+        route 10.60.0.0/16 next-hop 10.2.2.4;
+    }
+}
+protocols {
+    bgp {
+        group ibgp {
+            type internal;
+            neighbor 10.0.101.2 {
+                export EXPORT1;
+            }
+            neighbor 10.0.102.2 {
+                export EXPORT2;
+            }
+        }
+    }
+}
+"
+    .to_string();
+    (cisco, juniper)
+}
+
+/// The border-router pair `(cisco, juniper)`.
+pub fn university_border_pair() -> (String, String) {
+    let cisco = "\
+hostname border-cisco
+!
+ip community-list expanded PEERS permit _65200:1[0-9]_
+ip community-list expanded CUST permit _65300:.*_
+ip community-list standard PREM permit 30:30
+!
+ip prefix-list AGG permit 198.18.0.0/15 le 32
+ip prefix-list AGG permit 198.51.100.0/24 le 32
+ip prefix-list BOGON permit 10.0.0.0/8 le 32
+!
+route-map EXPORT3 permit 10
+ match community PEERS
+ set local-preference 200
+route-map EXPORT3 deny 20
+!
+route-map EXPORT4 deny 10
+ match community CUST
+route-map EXPORT4 permit 20
+!
+route-map EXPORT5 permit 10
+ match ip address prefix-list AGG
+ match community PREM
+ set local-preference 300
+route-map EXPORT5 permit 20
+ match ip address prefix-list AGG
+ set local-preference 150
+route-map EXPORT5 deny 30
+!
+route-map IMPORT deny 10
+ match ip address prefix-list BOGON
+route-map IMPORT permit 20
+!
+router bgp 65000
+ neighbor 192.0.2.1 remote-as 65001
+ neighbor 192.0.2.1 route-map EXPORT3 out
+ neighbor 192.0.2.1 send-community
+ neighbor 192.0.2.5 remote-as 65002
+ neighbor 192.0.2.5 route-map EXPORT4 out
+ neighbor 192.0.2.5 send-community
+ neighbor 192.0.2.9 remote-as 65003
+ neighbor 192.0.2.9 route-map EXPORT5 out
+ neighbor 192.0.2.9 route-map IMPORT in
+ neighbor 192.0.2.9 send-community
+"
+    .to_string();
+
+    let juniper = "\
+system { host-name border-juniper; }
+policy-options {
+    prefix-list AGG {
+        198.18.0.0/15;
+    }
+    prefix-list BOGON {
+        10.0.0.0/8;
+    }
+    community PEERS members \"^65200:1[0-5]$\";
+    community CUST members \"^65300:[0-9]+$\";
+    community PREM members 30:30;
+    policy-statement EXPORT3 {
+        term t1 {
+            from community PEERS;
+            then {
+                local-preference 200;
+                accept;
+            }
+        }
+        term t2 {
+            then reject;
+        }
+    }
+    policy-statement EXPORT4 {
+        term t1 {
+            from community CUST;
+            then reject;
+        }
+        term t2 {
+            then accept;
+        }
+    }
+    policy-statement EXPORT5 {
+        term t1 {
+            from {
+                prefix-list-filter AGG orlonger;
+                community PREM;
+            }
+            then {
+                local-preference 300;
+                accept;
+            }
+        }
+        term t2 {
+            from prefix-list-filter AGG orlonger;
+            then {
+                local-preference 150;
+                accept;
+            }
+        }
+        term t3 {
+            then reject;
+        }
+    }
+    policy-statement IMPORT {
+        term t1 {
+            from prefix-list-filter BOGON orlonger;
+            then reject;
+        }
+        term t2 {
+            then accept;
+        }
+    }
+}
+routing-options { autonomous-system 65000; }
+protocols {
+    bgp {
+        group peer1 {
+            type external;
+            peer-as 65001;
+            neighbor 192.0.2.1 {
+                export EXPORT3;
+            }
+        }
+        group peer2 {
+            type external;
+            peer-as 65002;
+            neighbor 192.0.2.5 {
+                export EXPORT4;
+            }
+        }
+        group peer3 {
+            type external;
+            peer-as 65003;
+            neighbor 192.0.2.9 {
+                import IMPORT;
+                export EXPORT5;
+            }
+        }
+    }
+}
+"
+    .to_string();
+    (cisco, juniper)
+}

@@ -1,0 +1,45 @@
+//! Lowering errors.
+
+use std::fmt;
+
+use campion_cfg::Span;
+
+/// An error raised while lowering a vendor AST into the VI model — e.g. a
+/// route map referencing an undefined prefix list, or an invalid community
+/// regex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source, when known.
+    pub span: Option<Span>,
+}
+
+impl LowerError {
+    /// An error tied to a source location.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        LowerError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// A config-level error.
+    pub fn new(message: impl Into<String>) -> Self {
+        LowerError {
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "lowering error at {s}: {}", self.message),
+            None => write!(f, "lowering error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}

@@ -1,0 +1,51 @@
+//! # campion-ir — the vendor-independent router model
+//!
+//! This crate plays the role of Batfish's vendor-independent (VI) model in
+//! the original Campion: both vendor ASTs from [`campion_cfg`] lower into
+//! one set of types that the diffing, symbolic and simulation layers
+//! consume. Vendor *semantics* are resolved here — this is where the subtle
+//! cross-vendor gaps that the paper's Figure 1 exploits become explicit:
+//!
+//! * Cisco `ip prefix-list ... le 32` (a length **range**) versus Juniper
+//!   `prefix-list` references, which match **exact** lengths unless
+//!   qualified with `orlonger`/`upto` at the use site;
+//! * Cisco standard community lists, where each line usually carries one
+//!   community and the list matches **any** line, versus Juniper
+//!   `members [a b]`, which requires **all** members;
+//! * Cisco route maps' implicit trailing **deny** versus JunOS's
+//!   default-accept for BGP routes;
+//! * Cisco `send-community` being opt-in versus Juniper sending communities
+//!   by default;
+//! * Cisco static-route administrative distance defaulting to 1 versus
+//!   JunOS static preference defaulting to 5.
+//!
+//! All IR elements keep the [`Span`](campion_cfg::Span) of the vendor lines
+//! they came from, so text localization survives lowering.
+
+#![warn(missing_docs)]
+
+mod acl;
+mod error;
+mod lower_cisco;
+mod lower_juniper;
+mod policy;
+mod route;
+mod router;
+mod routing;
+pub mod translate;
+
+pub use acl::{AclIr, AclRuleIr};
+pub use error::LowerError;
+pub use policy::{
+    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PolicyVerdict, PrefixMatcher,
+    PrefixMatcherEntry, RoutePolicy, SetAction, Terminal,
+};
+pub use route::{RouteAdvert, RouteProtocol};
+pub use router::{lower, lower_cisco, lower_juniper, RouterIr};
+pub use translate::{to_junos, TranslateError};
+pub use routing::{
+    BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,456 @@
+//! Lowering Cisco IOS ASTs into the VI model.
+
+use std::collections::BTreeMap;
+
+use campion_cfg::cisco::{
+    self, AclAddr, CiscoConfig, CommunityList, LineAction, PrefixList, RouteMapMatch, RouteMapSet,
+};
+use campion_cfg::{Span, Vendor};
+use campion_net::regex::Regex;
+use campion_net::PrefixRange;
+
+use crate::acl::{AclIr, AclRuleIr};
+use crate::error::LowerError;
+use crate::policy::{
+    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher,
+    PrefixMatcherEntry, RoutePolicy, SetAction, Terminal,
+};
+use crate::route::RouteProtocol;
+use crate::router::RouterIr;
+use crate::routing::{BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr};
+
+/// Lower a Cisco configuration.
+pub fn lower_cisco(cfg: &CiscoConfig) -> Result<RouterIr, LowerError> {
+    let mut policies = BTreeMap::new();
+    for (name, rm) in &cfg.route_maps {
+        policies.insert(name.clone(), lower_route_map(cfg, name, rm)?);
+    }
+
+    let mut acls = BTreeMap::new();
+    for (name, acl) in &cfg.acls {
+        acls.insert(name.clone(), lower_acl(name, acl));
+    }
+
+    let static_routes = cfg
+        .static_routes
+        .iter()
+        .map(|r| StaticRouteIr {
+            prefix: r.prefix,
+            next_hop: match (&r.next_hop, &r.interface) {
+                (Some(ip), _) => NextHopIr::Ip(*ip),
+                // Null0 is IOS's discard interface; normalize for
+                // cross-vendor comparison with JunOS `discard`.
+                (None, Some(i)) if i.eq_ignore_ascii_case("null0") => NextHopIr::Discard,
+                (None, Some(i)) => NextHopIr::Interface(i.clone()),
+                (None, None) => unreachable!("parser requires one"),
+            },
+            admin_distance: r.admin_distance,
+            tag: r.tag,
+            span: r.span,
+        })
+        .collect();
+
+    let interfaces: BTreeMap<String, IfaceIr> = cfg
+        .interfaces
+        .iter()
+        .map(|(name, i)| {
+            (
+                name.clone(),
+                IfaceIr {
+                    name: name.clone(),
+                    address: i.address,
+                    acl_in: i.acl_in.clone(),
+                    acl_out: i.acl_out.clone(),
+                    shutdown: i.shutdown,
+                    description: i.description.clone(),
+                    span: i.span,
+                },
+            )
+        })
+        .collect();
+
+    let (ospf_interfaces, ospf_redistribute, ospf_distance) = lower_ospf(cfg, &interfaces);
+
+    let bgp = match &cfg.bgp {
+        Some(b) => Some(lower_bgp(b)?),
+        None => None,
+    };
+
+    Ok(RouterIr {
+        name: if cfg.hostname.is_empty() {
+            "cisco_router".to_string()
+        } else {
+            cfg.hostname.clone()
+        },
+        vendor: Vendor::CiscoIos,
+        policies,
+        acls,
+        static_routes,
+        interfaces,
+        ospf_interfaces,
+        ospf_redistribute,
+        ospf_distance,
+        bgp,
+        source: cfg.source.clone(),
+    })
+}
+
+/// A Cisco prefix list → ordered permit/deny range matcher.
+fn lower_prefix_list(name: &str, pl: &PrefixList) -> PrefixMatcher {
+    PrefixMatcher {
+        name: name.to_string(),
+        entries: pl
+            .entries
+            .iter()
+            .map(|e| PrefixMatcherEntry {
+                permit: e.action.permits(),
+                range: PrefixRange::new(e.prefix, e.ge, e.le),
+                span: e.span,
+            })
+            .collect(),
+    }
+}
+
+/// A Cisco standard/extended ACL used as a *route* matcher (`match ip
+/// address ACL`): the route's network address is tested against the ACL's
+/// source field, with any prefix length.
+fn lower_acl_as_prefix_matcher(
+    name: &str,
+    acl: &cisco::Acl,
+) -> Result<PrefixMatcher, LowerError> {
+    let mut entries = Vec::new();
+    for rule in &acl.rules {
+        let wc = match rule.src {
+            AclAddr::Any => campion_net::WildcardMask::ANY,
+            AclAddr::Host(h) => campion_net::WildcardMask::host(h),
+            AclAddr::Wildcard(w) => w,
+        };
+        let prefix = wc.as_prefix().ok_or_else(|| {
+            LowerError::at(
+                rule.span,
+                format!("ACL {name} uses a non-contiguous wildcard as a route matcher"),
+            )
+        })?;
+        entries.push(PrefixMatcherEntry {
+            permit: rule.action.permits(),
+            range: PrefixRange::new(prefix, 0, 32),
+            span: rule.span,
+        });
+    }
+    Ok(PrefixMatcher {
+        name: name.to_string(),
+        entries,
+    })
+}
+
+/// A Cisco community list → first-match permit/deny matcher. Regexes are
+/// validated here so later evaluation can unwrap.
+fn lower_community_list(
+    name: &str,
+    cl: &CommunityList,
+) -> Result<CommunityMatcher, LowerError> {
+    let mut entries = Vec::new();
+    let mut span: Option<Span> = None;
+    for e in &cl.entries {
+        span = Some(match span {
+            Some(s) => s.merge(e.span),
+            None => e.span,
+        });
+        let atoms = if let Some(rx) = &e.regex {
+            Regex::new(rx).map_err(|err| LowerError::at(e.span, err.message))?;
+            vec![CommAtom::Regex(rx.clone())]
+        } else {
+            e.communities.iter().map(|c| CommAtom::Literal(*c)).collect()
+        };
+        entries.push((e.action.permits(), atoms, e.span));
+    }
+    Ok(CommunityMatcher {
+        name: name.to_string(),
+        dialect: CommunityDialect::CiscoList(entries),
+        span: span.unwrap_or_default(),
+    })
+}
+
+fn lower_route_map(
+    cfg: &CiscoConfig,
+    name: &str,
+    rm: &cisco::RouteMap,
+) -> Result<RoutePolicy, LowerError> {
+    let mut clauses = Vec::new();
+    let mut span: Option<Span> = None;
+    for entry in &rm.entries {
+        span = Some(match span {
+            Some(s) => s.merge(entry.span),
+            None => entry.span,
+        });
+        let mut matches = Vec::new();
+        for m in &entry.matches {
+            match m {
+                RouteMapMatch::IpAddressPrefixList(names) => {
+                    let mut ms = Vec::new();
+                    for n in names {
+                        let pl = cfg.prefix_lists.get(n).ok_or_else(|| {
+                            LowerError::at(
+                                entry.span,
+                                format!("route-map {name} references undefined prefix-list {n}"),
+                            )
+                        })?;
+                        ms.push(lower_prefix_list(n, pl));
+                    }
+                    matches.push(Match::Prefix(ms));
+                }
+                RouteMapMatch::IpAddress(names) => {
+                    let mut ms = Vec::new();
+                    for n in names {
+                        let acl = cfg.acls.get(n).ok_or_else(|| {
+                            LowerError::at(
+                                entry.span,
+                                format!("route-map {name} references undefined ACL {n}"),
+                            )
+                        })?;
+                        ms.push(lower_acl_as_prefix_matcher(n, acl)?);
+                    }
+                    matches.push(Match::Prefix(ms));
+                }
+                RouteMapMatch::Community(names) => {
+                    let mut ms = Vec::new();
+                    for n in names {
+                        let cl = cfg.community_lists.get(n).ok_or_else(|| {
+                            LowerError::at(
+                                entry.span,
+                                format!("route-map {name} references undefined community-list {n}"),
+                            )
+                        })?;
+                        ms.push(lower_community_list(n, cl)?);
+                    }
+                    matches.push(Match::Community(ms));
+                }
+                RouteMapMatch::Tag(t) => matches.push(Match::Tag(*t)),
+                RouteMapMatch::Metric(m) => matches.push(Match::Metric(*m)),
+            }
+        }
+        let mut sets = Vec::new();
+        for s in &entry.sets {
+            sets.push(match s {
+                RouteMapSet::LocalPreference(v) => SetAction::LocalPref(*v),
+                RouteMapSet::Metric(v) => SetAction::Metric(*v),
+                RouteMapSet::Community {
+                    communities,
+                    additive,
+                } => {
+                    if *additive {
+                        SetAction::CommunityAdd(communities.clone())
+                    } else {
+                        SetAction::CommunitySet(communities.clone())
+                    }
+                }
+                RouteMapSet::CommListDelete(list_name) => {
+                    let cl = cfg.community_lists.get(list_name).ok_or_else(|| {
+                        LowerError::at(
+                            entry.span,
+                            format!(
+                                "route-map {name} deletes via undefined community-list {list_name}"
+                            ),
+                        )
+                    })?;
+                    // IOS deletes communities matched by *permit* entries.
+                    let mut atoms = Vec::new();
+                    for e in &cl.entries {
+                        if e.action == LineAction::Permit {
+                            if let Some(rx) = &e.regex {
+                                Regex::new(rx)
+                                    .map_err(|err| LowerError::at(e.span, err.message))?;
+                                atoms.push(CommAtom::Regex(rx.clone()));
+                            } else {
+                                atoms.extend(e.communities.iter().map(|c| CommAtom::Literal(*c)));
+                            }
+                        }
+                    }
+                    SetAction::CommunityDelete(atoms)
+                }
+                RouteMapSet::NextHop(ip) => SetAction::NextHop(Some(*ip)),
+                RouteMapSet::Weight(v) => SetAction::Weight(*v),
+                RouteMapSet::Tag(v) => SetAction::Tag(*v),
+            });
+        }
+        // `continue` (rare) falls through to the next clause; a permit entry
+        // without continue accepts, a deny entry rejects.
+        let terminal = if entry.continue_seq.is_some() {
+            Terminal::Fallthrough
+        } else if entry.action.permits() {
+            Terminal::Accept
+        } else {
+            Terminal::Reject
+        };
+        clauses.push(Clause {
+            label: format!("{} {}", entry.action, entry.seq),
+            matches,
+            sets,
+            terminal,
+            span: entry.span,
+        });
+    }
+    Ok(RoutePolicy {
+        name: name.to_string(),
+        clauses,
+        // Cisco route maps end with an implicit deny.
+        default_terminal: Terminal::Reject,
+        span: span.unwrap_or_default(),
+    })
+}
+
+fn lower_acl(name: &str, acl: &cisco::Acl) -> AclIr {
+    let mut span: Option<Span> = None;
+    let rules = acl
+        .rules
+        .iter()
+        .map(|r| {
+            span = Some(match span {
+                Some(s) => s.merge(r.span),
+                None => r.span,
+            });
+            AclRuleIr {
+                label: format!("seq {}", r.seq),
+                permit: r.action.permits(),
+                protocols: match r.protocol {
+                    campion_net::IpProtocol::Any => Vec::new(),
+                    p => vec![p],
+                },
+                src: match r.src {
+                    AclAddr::Any => Vec::new(),
+                    a => vec![a.as_wildcard()],
+                },
+                dst: match r.dst {
+                    AclAddr::Any => Vec::new(),
+                    a => vec![a.as_wildcard()],
+                },
+                src_ports: if r.src_ports.is_any() {
+                    Vec::new()
+                } else {
+                    vec![r.src_ports]
+                },
+                dst_ports: if r.dst_ports.is_any() {
+                    Vec::new()
+                } else {
+                    vec![r.dst_ports]
+                },
+                span: r.span,
+            }
+        })
+        .collect();
+    AclIr {
+        name: name.to_string(),
+        rules,
+        span: span.unwrap_or_default(),
+    }
+}
+
+/// Derive the set of OSPF-enabled interfaces from `router ospf` network
+/// statements and per-interface `ip ospf` commands.
+fn lower_ospf(
+    cfg: &CiscoConfig,
+    interfaces: &BTreeMap<String, IfaceIr>,
+) -> (Vec<OspfIfaceIr>, Vec<RedistIr>, Option<u8>) {
+    let Some(ospf) = &cfg.ospf else {
+        // Interface-mode OSPF (ip ospf N area A) can exist without the
+        // router stanza in our model only alongside it; without the stanza
+        // we still honor interface-mode areas.
+        let mut out = Vec::new();
+        for (name, iface) in &cfg.interfaces {
+            if let (Some(area), Some((_, subnet))) = (iface.ospf_area, iface.address) {
+                out.push(OspfIfaceIr {
+                    iface: name.clone(),
+                    subnet: Some(subnet),
+                    area,
+                    cost: iface.ospf_cost,
+                    passive: false,
+                    span: iface.span,
+                });
+            }
+        }
+        return (out, Vec::new(), None);
+    };
+    let mut out = Vec::new();
+    for (name, iface) in interfaces {
+        let Some((addr, subnet)) = iface.address else { continue };
+        let src = &cfg.interfaces[name];
+        // Interface-mode area wins; otherwise the first matching network
+        // statement enables OSPF (IOS most-specific-first is approximated by
+        // definition order, which is how operators write them).
+        let area = src.ospf_area.or_else(|| {
+            ospf.networks
+                .iter()
+                .find(|(wc, _, _)| wc.matches(addr))
+                .map(|(_, area, _)| *area)
+        });
+        let Some(area) = area else { continue };
+        let passive = ospf.passive_interfaces.iter().any(|p| p == name);
+        let span = src
+            .span
+            .merge(ospf.networks.iter().find(|(wc, _, _)| wc.matches(addr)).map(|(_, _, s)| *s).unwrap_or(src.span));
+        out.push(OspfIfaceIr {
+            iface: name.clone(),
+            subnet: Some(subnet),
+            area,
+            cost: src.ospf_cost,
+            passive,
+            span,
+        });
+    }
+    let redist = ospf
+        .redistribute
+        .iter()
+        .filter_map(|r| {
+            RouteProtocol::from_keyword(&r.protocol).map(|p| RedistIr {
+                from_protocol: p,
+                policy: r.route_map.clone(),
+                metric: r.metric,
+                span: r.span,
+            })
+        })
+        .collect();
+    (out, redist, ospf.distance)
+}
+
+fn lower_bgp(b: &cisco::BgpConfig) -> Result<BgpIr, LowerError> {
+    let neighbors = b
+        .neighbors
+        .iter()
+        .map(|(addr, n)| {
+            (
+                *addr,
+                BgpNeighborIr {
+                    addr: *addr,
+                    remote_as: n.remote_as,
+                    import_policy: n.route_map_in.clone(),
+                    export_policy: n.route_map_out.clone(),
+                    send_community: n.send_community,
+                    route_reflector_client: n.route_reflector_client,
+                    next_hop_self: n.next_hop_self,
+                    span: n.span,
+                },
+            )
+        })
+        .collect();
+    let redistribute = b
+        .redistribute
+        .iter()
+        .filter_map(|r| {
+            RouteProtocol::from_keyword(&r.protocol).map(|p| RedistIr {
+                from_protocol: p,
+                policy: r.route_map.clone(),
+                metric: r.metric,
+                span: r.span,
+            })
+        })
+        .collect();
+    Ok(BgpIr {
+        asn: b.asn,
+        router_id: b.router_id,
+        neighbors,
+        redistribute,
+        networks: b.networks.clone(),
+        distance: b.distance,
+        span: b.span,
+    })
+}

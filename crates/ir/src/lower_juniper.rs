@@ -1,0 +1,461 @@
+//! Lowering Juniper JunOS ASTs into the VI model.
+
+use std::collections::BTreeMap;
+
+use campion_cfg::juniper::{
+    FilterAction, FromClause, JuniperConfig, PolicyStatement, RouteFilterModifier, ThenClause,
+};
+use campion_cfg::{Span, Vendor};
+use campion_net::regex::Regex;
+use campion_net::{Prefix, PrefixRange, WildcardMask};
+
+use crate::acl::{AclIr, AclRuleIr};
+use crate::error::LowerError;
+use crate::policy::{
+    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher,
+    PrefixMatcherEntry, RoutePolicy, SetAction, Terminal,
+};
+use crate::route::RouteProtocol;
+use crate::router::RouterIr;
+use crate::routing::{BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr};
+
+/// Lower a Juniper configuration.
+pub fn lower_juniper(cfg: &JuniperConfig) -> Result<RouterIr, LowerError> {
+    let mut policies = BTreeMap::new();
+    for (name, ps) in &cfg.policies {
+        policies.insert(name.clone(), lower_policy(cfg, name, ps)?);
+    }
+
+    let mut acls = BTreeMap::new();
+    for (name, f) in &cfg.filters {
+        acls.insert(name.clone(), lower_filter(name, f));
+    }
+
+    let static_routes = cfg
+        .static_routes
+        .iter()
+        .map(|r| StaticRouteIr {
+            prefix: r.prefix,
+            next_hop: match r.next_hop {
+                Some(ip) => NextHopIr::Ip(ip),
+                None => NextHopIr::Discard,
+            },
+            admin_distance: r.preference,
+            tag: r.tag,
+            span: r.span,
+        })
+        .collect();
+
+    // Flatten interface units into `name.unit` (the form OSPF references).
+    let mut interfaces = BTreeMap::new();
+    for (name, iface) in &cfg.interfaces {
+        for (unit_no, unit) in &iface.units {
+            let flat = format!("{name}.{unit_no}");
+            interfaces.insert(
+                flat.clone(),
+                IfaceIr {
+                    name: flat,
+                    address: unit.address,
+                    acl_in: unit.filter_in.clone(),
+                    acl_out: unit.filter_out.clone(),
+                    shutdown: iface.disabled,
+                    description: iface.description.clone(),
+                    span: iface.span.merge(unit.span),
+                },
+            );
+        }
+    }
+
+    let mut ospf_interfaces = Vec::new();
+    let mut ospf_redistribute = Vec::new();
+    if let Some(ospf) = &cfg.ospf {
+        for (area, ifaces) in &ospf.areas {
+            for oi in ifaces {
+                let subnet = interfaces.get(&oi.name).and_then(|i| i.address.map(|(_, p)| p));
+                ospf_interfaces.push(OspfIfaceIr {
+                    iface: oi.name.clone(),
+                    subnet,
+                    area: *area,
+                    cost: oi.metric,
+                    passive: oi.passive,
+                    span: oi.span,
+                });
+            }
+        }
+        // JunOS redistributes via OSPF export policies; surface one redist
+        // edge per `from protocol` mentioned in the referenced policies.
+        for pol_name in &ospf.export {
+            if let Some(ps) = cfg.policies.get(pol_name) {
+                let mut protos = Vec::new();
+                for term in &ps.terms {
+                    for f in &term.from {
+                        if let FromClause::Protocol(kws) = f {
+                            for kw in kws {
+                                if let Some(p) = RouteProtocol::from_keyword(kw) {
+                                    if !protos.contains(&p) {
+                                        protos.push(p);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let span = ps.span;
+                if protos.is_empty() {
+                    protos.push(RouteProtocol::Bgp);
+                }
+                for p in protos {
+                    ospf_redistribute.push(RedistIr {
+                        from_protocol: p,
+                        policy: Some(pol_name.clone()),
+                        metric: None,
+                        span,
+                    });
+                }
+            }
+        }
+    }
+
+    let bgp = match &cfg.bgp {
+        Some(b) => Some(lower_bgp(cfg, b, &mut policies)?),
+        None => None,
+    };
+
+    Ok(RouterIr {
+        name: if cfg.hostname.is_empty() {
+            "juniper_router".to_string()
+        } else {
+            cfg.hostname.clone()
+        },
+        vendor: Vendor::JuniperJunos,
+        policies,
+        acls,
+        static_routes,
+        interfaces,
+        ospf_interfaces,
+        ospf_redistribute,
+        // JunOS expresses protocol preference via per-route `preference`;
+        // there is no single OSPF distance knob in our modeled subset.
+        ospf_distance: None,
+        bgp,
+        source: cfg.source.clone(),
+    })
+}
+
+/// Translate a route-filter modifier into a length range for `prefix`.
+/// Returns `None` when the modifier matches nothing (e.g. `longer` on /32).
+fn modifier_range(prefix: Prefix, m: RouteFilterModifier) -> Option<PrefixRange> {
+    let len = prefix.len();
+    match m {
+        RouteFilterModifier::Exact => Some(PrefixRange::new(prefix, len, len)),
+        RouteFilterModifier::OrLonger => Some(PrefixRange::new(prefix, len, 32)),
+        RouteFilterModifier::Longer => {
+            if len >= 32 {
+                None
+            } else {
+                Some(PrefixRange::new(prefix, len + 1, 32))
+            }
+        }
+        RouteFilterModifier::Upto(hi) => {
+            if hi < len {
+                None
+            } else {
+                Some(PrefixRange::new(prefix, len, hi))
+            }
+        }
+        RouteFilterModifier::PrefixLengthRange(lo, hi) => {
+            if lo > hi || hi > 32 {
+                None
+            } else {
+                Some(PrefixRange::new(prefix, lo, hi))
+            }
+        }
+    }
+}
+
+/// Resolve a community definition into a JunOS all-members matcher.
+fn lower_community(
+    cfg: &JuniperConfig,
+    name: &str,
+    at: Span,
+) -> Result<CommunityMatcher, LowerError> {
+    let def = cfg.communities.get(name).ok_or_else(|| {
+        LowerError::at(at, format!("reference to undefined community {name}"))
+    })?;
+    let mut atoms: Vec<CommAtom> = def
+        .members
+        .iter()
+        .map(|c| CommAtom::Literal(*c))
+        .collect();
+    for rx in &def.regexes {
+        Regex::new(rx).map_err(|e| LowerError::at(def.span, e.message))?;
+        atoms.push(CommAtom::Regex(rx.clone()));
+    }
+    Ok(CommunityMatcher {
+        name: name.to_string(),
+        dialect: CommunityDialect::JunosMembers(atoms),
+        span: def.span,
+    })
+}
+
+/// Literal members of a community definition, for `then community add/set`
+/// (which cannot add patterns).
+fn community_literals(
+    cfg: &JuniperConfig,
+    name: &str,
+    at: Span,
+) -> Result<Vec<campion_net::Community>, LowerError> {
+    let def = cfg.communities.get(name).ok_or_else(|| {
+        LowerError::at(at, format!("reference to undefined community {name}"))
+    })?;
+    if !def.regexes.is_empty() {
+        return Err(LowerError::at(
+            def.span,
+            format!("community {name} has regex members and cannot be added/set"),
+        ));
+    }
+    Ok(def.members.clone())
+}
+
+fn lower_policy(
+    cfg: &JuniperConfig,
+    name: &str,
+    ps: &PolicyStatement,
+) -> Result<RoutePolicy, LowerError> {
+    let mut clauses = Vec::new();
+    for term in &ps.terms {
+        let mut prefix_entries: Vec<PrefixMatcherEntry> = Vec::new();
+        let mut community_matchers = Vec::new();
+        let mut protocols = Vec::new();
+        let mut other_matches = Vec::new();
+        for f in &term.from {
+            match f {
+                FromClause::PrefixList(pl_name) => {
+                    let pl = cfg.prefix_lists.get(pl_name).ok_or_else(|| {
+                        LowerError::at(
+                            term.span,
+                            format!("term {} references undefined prefix-list {pl_name}", term.name),
+                        )
+                    })?;
+                    // Bare prefix-list reference: EXACT match only — the
+                    // crux of Figure 1's first bug.
+                    for (p, span) in &pl.prefixes {
+                        prefix_entries.push(PrefixMatcherEntry {
+                            permit: true,
+                            range: PrefixRange::exact(*p),
+                            span: *span,
+                        });
+                    }
+                }
+                FromClause::PrefixListFilter(pl_name, m) => {
+                    let pl = cfg.prefix_lists.get(pl_name).ok_or_else(|| {
+                        LowerError::at(
+                            term.span,
+                            format!("term {} references undefined prefix-list {pl_name}", term.name),
+                        )
+                    })?;
+                    for (p, span) in &pl.prefixes {
+                        if let Some(range) = modifier_range(*p, *m) {
+                            prefix_entries.push(PrefixMatcherEntry {
+                                permit: true,
+                                range,
+                                span: *span,
+                            });
+                        }
+                    }
+                }
+                FromClause::RouteFilter(p, m) => {
+                    if let Some(range) = modifier_range(*p, *m) {
+                        prefix_entries.push(PrefixMatcherEntry {
+                            permit: true,
+                            range,
+                            span: term.span,
+                        });
+                    }
+                }
+                FromClause::Community(names) => {
+                    for n in names {
+                        community_matchers.push(lower_community(cfg, n, term.span)?);
+                    }
+                }
+                FromClause::Protocol(kws) => {
+                    for kw in kws {
+                        if let Some(p) = RouteProtocol::from_keyword(kw) {
+                            protocols.push(p);
+                        }
+                    }
+                }
+                FromClause::Tag(t) => other_matches.push(Match::Tag(*t)),
+                FromClause::Metric(m) => other_matches.push(Match::Metric(*m)),
+            }
+        }
+        let mut matches = Vec::new();
+        if !prefix_entries.is_empty() {
+            matches.push(Match::Prefix(vec![PrefixMatcher {
+                name: String::new(),
+                entries: prefix_entries,
+            }]));
+        }
+        if !community_matchers.is_empty() {
+            matches.push(Match::Community(community_matchers));
+        }
+        if !protocols.is_empty() {
+            matches.push(Match::Protocol(protocols));
+        }
+        matches.extend(other_matches);
+
+        let mut sets = Vec::new();
+        let mut terminal = Terminal::Fallthrough;
+        for t in &term.then {
+            match t {
+                ThenClause::Accept => terminal = Terminal::Accept,
+                ThenClause::Reject => terminal = Terminal::Reject,
+                ThenClause::NextTerm | ThenClause::NextPolicy => {
+                    terminal = Terminal::Fallthrough
+                }
+                ThenClause::LocalPreference(v) => sets.push(SetAction::LocalPref(*v)),
+                ThenClause::Metric(v) => sets.push(SetAction::Metric(*v)),
+                ThenClause::CommunityAdd(n) => {
+                    sets.push(SetAction::CommunityAdd(community_literals(cfg, n, term.span)?))
+                }
+                ThenClause::CommunitySet(n) => {
+                    sets.push(SetAction::CommunitySet(community_literals(cfg, n, term.span)?))
+                }
+                ThenClause::CommunityDelete(n) => {
+                    let m = lower_community(cfg, n, term.span)?;
+                    sets.push(SetAction::CommunityDelete(
+                        m.atoms().into_iter().cloned().collect(),
+                    ));
+                }
+                ThenClause::NextHop(nh) => sets.push(SetAction::NextHop(*nh)),
+                ThenClause::Tag(v) => sets.push(SetAction::Tag(*v)),
+            }
+        }
+        clauses.push(Clause {
+            label: format!("term {}", term.name),
+            matches,
+            sets,
+            terminal,
+            span: term.span,
+        });
+    }
+    Ok(RoutePolicy {
+        name: name.to_string(),
+        clauses,
+        // JunOS default policy for BGP routes is accept — the fall-through
+        // asymmetry the paper's university study surfaced.
+        default_terminal: Terminal::Accept,
+        span: ps.span,
+    })
+}
+
+fn lower_filter(name: &str, f: &campion_cfg::juniper::FirewallFilter) -> AclIr {
+    let rules = f
+        .terms
+        .iter()
+        .map(|t| AclRuleIr {
+            label: format!("term {}", t.name),
+            permit: t.action == FilterAction::Accept,
+            protocols: t.from.protocols.clone(),
+            src: t
+                .from
+                .src_addrs
+                .iter()
+                .map(WildcardMask::from_prefix)
+                .collect(),
+            dst: t
+                .from
+                .dst_addrs
+                .iter()
+                .map(WildcardMask::from_prefix)
+                .collect(),
+            src_ports: t.from.src_ports.clone(),
+            dst_ports: t.from.dst_ports.clone(),
+            span: t.span,
+        })
+        .collect();
+    AclIr {
+        name: name.to_string(),
+        rules,
+        span: f.span,
+    }
+}
+
+fn lower_bgp(
+    cfg: &JuniperConfig,
+    b: &campion_cfg::juniper::JuniperBgp,
+    policies: &mut BTreeMap<String, RoutePolicy>,
+) -> Result<BgpIr, LowerError> {
+    // Materialize a policy chain under its joined name and return that name.
+    let mut resolve_chain = |chain: &[String], span: Span| -> Result<Option<String>, LowerError> {
+        match chain.len() {
+            0 => Ok(None),
+            1 => {
+                if !policies.contains_key(&chain[0]) {
+                    return Err(LowerError::at(
+                        span,
+                        format!("reference to undefined policy {}", chain[0]),
+                    ));
+                }
+                Ok(Some(chain[0].clone()))
+            }
+            _ => {
+                let joined = chain.join("+");
+                if !policies.contains_key(&joined) {
+                    let parts: Vec<RoutePolicy> = chain
+                        .iter()
+                        .map(|n| {
+                            policies.get(n).cloned().ok_or_else(|| {
+                                LowerError::at(
+                                    span,
+                                    format!("reference to undefined policy {n}"),
+                                )
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let refs: Vec<&RoutePolicy> = parts.iter().collect();
+                    policies.insert(joined.clone(), RoutePolicy::chain(joined.clone(), &refs));
+                }
+                Ok(Some(joined))
+            }
+        }
+    };
+
+    let mut neighbors = BTreeMap::new();
+    for (gname, g) in &b.groups {
+        let _ = gname;
+        for (addr, n) in &g.neighbors {
+            let import_chain = if n.import.is_empty() { &g.import } else { &n.import };
+            let export_chain = if n.export.is_empty() { &g.export } else { &n.export };
+            let import_policy = resolve_chain(import_chain, n.span)?;
+            let export_policy = resolve_chain(export_chain, n.span)?;
+            neighbors.insert(
+                *addr,
+                BgpNeighborIr {
+                    addr: *addr,
+                    remote_as: n.peer_as.or(g.peer_as).or(if g.internal {
+                        b.local_as
+                    } else {
+                        None
+                    }),
+                    import_policy,
+                    export_policy,
+                    // JunOS always sends communities.
+                    send_community: true,
+                    route_reflector_client: g.cluster.is_some(),
+                    next_hop_self: false,
+                    span: n.span.merge(g.span),
+                },
+            );
+        }
+    }
+    Ok(BgpIr {
+        asn: b.local_as.unwrap_or(0),
+        router_id: cfg.router_id,
+        neighbors,
+        redistribute: Vec::new(),
+        networks: Vec::new(),
+        distance: None,
+        span: b.span,
+    })
+}

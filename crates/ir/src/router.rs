@@ -1,0 +1,76 @@
+//! The complete per-router VI model and the lowering entry points.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use campion_cfg::{SourceText, Span, Vendor, VendorConfig};
+use campion_net::Prefix;
+
+use crate::acl::AclIr;
+use crate::error::LowerError;
+use crate::policy::RoutePolicy;
+use crate::routing::{BgpIr, IfaceIr, OspfIfaceIr, RedistIr, StaticRouteIr};
+
+/// A router configuration lowered into the vendor-independent model — the
+/// unit Campion compares.
+#[derive(Debug, Clone)]
+pub struct RouterIr {
+    /// Router hostname (or a caller-provided label).
+    pub name: String,
+    /// The configuration language the router was written in.
+    pub vendor: Vendor,
+    /// All route policies (route maps / policy statements), by name.
+    /// Juniper policy *chains* used by a neighbor are materialized here
+    /// under their joined name (`"A+B"`).
+    pub policies: BTreeMap<String, RoutePolicy>,
+    /// All ACLs / firewall filters, by name.
+    pub acls: BTreeMap<String, AclIr>,
+    /// Static routes.
+    pub static_routes: Vec<StaticRouteIr>,
+    /// Interfaces by name (Juniper units flattened to `name.unit`).
+    pub interfaces: BTreeMap<String, IfaceIr>,
+    /// OSPF-enabled interfaces with their compared attributes.
+    pub ospf_interfaces: Vec<OspfIfaceIr>,
+    /// Redistribution into OSPF.
+    pub ospf_redistribute: Vec<RedistIr>,
+    /// Configured OSPF admin distance, if any.
+    pub ospf_distance: Option<u8>,
+    /// The BGP process, if configured.
+    pub bgp: Option<BgpIr>,
+    /// Original configuration text, for text localization.
+    pub source: SourceText,
+}
+
+impl RouterIr {
+    /// The connected routes contributed by up, addressed interfaces.
+    pub fn connected_routes(&self) -> BTreeSet<Prefix> {
+        self.interfaces
+            .values()
+            .filter_map(IfaceIr::connected_route)
+            .collect()
+    }
+
+    /// Quote the original configuration for a span (text localization).
+    pub fn snippet(&self, span: Span) -> String {
+        self.source.snippet_dedented(span)
+    }
+
+    /// Look up a policy, treating an absent reference as the permissive
+    /// identity policy (routers apply no filter when none is configured).
+    pub fn policy_or_permit(&self, name: &str) -> RoutePolicy {
+        self.policies
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| RoutePolicy::permit_all(name))
+    }
+}
+
+/// Lower a parsed vendor configuration into the VI model.
+pub fn lower(cfg: &VendorConfig) -> Result<RouterIr, LowerError> {
+    match cfg {
+        VendorConfig::Cisco(c) => lower_cisco(c),
+        VendorConfig::Juniper(j) => lower_juniper(j),
+    }
+}
+
+pub use crate::lower_cisco::lower_cisco;
+pub use crate::lower_juniper::lower_juniper;

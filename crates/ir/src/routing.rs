@@ -1,0 +1,156 @@
+//! Vendor-independent routing components compared with `StructuralDiff`:
+//! static routes, connected routes, BGP neighbor properties, OSPF interface
+//! properties, administrative distances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use campion_cfg::Span;
+use campion_net::Prefix;
+
+use crate::route::RouteProtocol;
+
+/// Where a static route sends traffic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NextHopIr {
+    /// A next-hop IP address.
+    Ip(Ipv4Addr),
+    /// An egress interface (includes `Null0`).
+    Interface(String),
+    /// Juniper `discard`/`reject`.
+    Discard,
+}
+
+impl fmt::Display for NextHopIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NextHopIr::Ip(ip) => write!(f, "{ip}"),
+            NextHopIr::Interface(name) => write!(f, "{name}"),
+            NextHopIr::Discard => write!(f, "discard"),
+        }
+    }
+}
+
+/// A static route in the VI model. The paper compares these as tuples
+/// (§3.3): a difference is a route present in only one router, or present
+/// in both with different attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRouteIr {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next hop.
+    pub next_hop: NextHopIr,
+    /// Administrative distance / preference (vendor default already
+    /// resolved: 1 on IOS, 5 on JunOS).
+    pub admin_distance: u8,
+    /// Tag, if configured.
+    pub tag: Option<u32>,
+    /// Source line(s).
+    pub span: Span,
+}
+
+/// Per-neighbor BGP properties compared structurally (Table 1: "Other BGP
+/// Properties"). Policy references are compared semantically elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpNeighborIr {
+    /// Neighbor address — the pairing key between routers.
+    pub addr: Ipv4Addr,
+    /// Remote AS.
+    pub remote_as: Option<u32>,
+    /// Name of the effective import policy (chain joined with `+`).
+    pub import_policy: Option<String>,
+    /// Name of the effective export policy.
+    pub export_policy: Option<String>,
+    /// Whether communities are propagated to this neighbor. IOS: off unless
+    /// `send-community`; JunOS: always on — a default gap the paper's
+    /// university study surfaced.
+    pub send_community: bool,
+    /// Is the neighbor a route-reflector client?
+    pub route_reflector_client: bool,
+    /// `next-hop-self` behavior.
+    pub next_hop_self: bool,
+    /// Source lines for this neighbor's configuration.
+    pub span: Span,
+}
+
+/// A route redistribution edge (protocol → this process) with its filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedistIr {
+    /// Source protocol.
+    pub from_protocol: RouteProtocol,
+    /// Filter policy name (resolved into `RouterIr::policies`).
+    pub policy: Option<String>,
+    /// Fixed metric override.
+    pub metric: Option<u32>,
+    /// Source line.
+    pub span: Span,
+}
+
+/// The BGP process in the VI model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpIr {
+    /// Local AS.
+    pub asn: u32,
+    /// Router id, when configured.
+    pub router_id: Option<Ipv4Addr>,
+    /// Neighbors by address.
+    pub neighbors: BTreeMap<Ipv4Addr, BgpNeighborIr>,
+    /// Redistribution into BGP.
+    pub redistribute: Vec<RedistIr>,
+    /// Originated networks.
+    pub networks: Vec<(Prefix, Option<String>, Span)>,
+    /// Configured admin distances (external, internal, local), if any.
+    pub distance: Option<(u8, u8, u8)>,
+    /// Span of the BGP stanza.
+    pub span: Span,
+}
+
+/// One OSPF-enabled interface with the attributes the paper compares
+/// structurally (cost, area, passive status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfIfaceIr {
+    /// Interface name (vendor-local; pairing uses subnets too).
+    pub iface: String,
+    /// The interface subnet (pairing key across vendors, since backup
+    /// routers use different addresses in the same role).
+    pub subnet: Option<Prefix>,
+    /// OSPF area.
+    pub area: u32,
+    /// Configured cost/metric (`None` = vendor default from bandwidth).
+    pub cost: Option<u32>,
+    /// Passive interface.
+    pub passive: bool,
+    /// Source lines.
+    pub span: Span,
+}
+
+/// A (possibly routed) interface in the VI model; the source of connected
+/// routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfaceIr {
+    /// Interface name.
+    pub name: String,
+    /// Address and subnet, when configured.
+    pub address: Option<(Ipv4Addr, Prefix)>,
+    /// Inbound ACL binding.
+    pub acl_in: Option<String>,
+    /// Outbound ACL binding.
+    pub acl_out: Option<String>,
+    /// Administratively down.
+    pub shutdown: bool,
+    /// Description (used by pairing heuristics).
+    pub description: Option<String>,
+    /// Source lines.
+    pub span: Span,
+}
+
+impl IfaceIr {
+    /// The connected route this interface contributes, if up and addressed.
+    pub fn connected_route(&self) -> Option<Prefix> {
+        if self.shutdown {
+            return None;
+        }
+        self.address.map(|(_, p)| p)
+    }
+}

@@ -1,0 +1,495 @@
+//! Configuration translation: emit a vendor configuration from the VI
+//! model.
+//!
+//! The paper's Scenario 2 (§5.1) — router replacement — requires operators
+//! to *manually* rewrite a Cisco configuration in JunOS (or vice versa),
+//! "one of the riskiest update operations", and Campion then checks the
+//! hand-translation. This module automates the rewrite: lower the source
+//! configuration to the VI model, emit the target dialect, and let Campion
+//! verify the round trip (the integration tests do exactly that).
+//!
+//! Translation is *semantics-first*: the emitted text reproduces the VI
+//! behavior, not the source file's layout. Constructs the target dialect
+//! cannot express (e.g. suppressing community propagation on JunOS,
+//! non-contiguous wildcards in JunOS filters) are reported as
+//! [`TranslateError`]s rather than silently dropped.
+
+use std::fmt::Write as _;
+
+use crate::acl::AclIr;
+use crate::policy::{
+    Clause, CommAtom, CommunityDialect, Match, PrefixMatcher, RoutePolicy, SetAction, Terminal,
+};
+use crate::router::RouterIr;
+use crate::routing::NextHopIr;
+
+/// A construct the target dialect cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// What could not be translated and why.
+    pub message: String,
+}
+
+impl TranslateError {
+    fn new(msg: impl Into<String>) -> Self {
+        TranslateError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translate a router into Juniper JunOS text.
+///
+/// The output parses with [`campion_cfg::juniper`] and lowers to a
+/// behaviorally equivalent [`RouterIr`] (Campion itself is the validator —
+/// see `tests/translate.rs`).
+pub fn to_junos(r: &RouterIr) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    let w = &mut o;
+    if !r.name.is_empty() {
+        let _ = writeln!(w, "system {{ host-name {}; }}", r.name);
+    }
+
+    // Interfaces.
+    if !r.interfaces.is_empty() {
+        let _ = writeln!(w, "interfaces {{");
+        for iface in r.interfaces.values() {
+            // JunOS interface names are `name.unit`; reuse the base name
+            // with unit 0 when the source was flat.
+            let (base, unit) = match iface.name.rsplit_once('.') {
+                Some((b, u)) if u.parse::<u32>().is_ok() => (b.to_string(), u.to_string()),
+                _ => (iface.name.clone(), "0".to_string()),
+            };
+            let _ = writeln!(w, "    {base} {{");
+            if iface.shutdown {
+                let _ = writeln!(w, "        disable;");
+            }
+            if let Some(d) = &iface.description {
+                let _ = writeln!(w, "        description \"{d}\";");
+            }
+            let _ = writeln!(w, "        unit {unit} {{");
+            let _ = writeln!(w, "            family inet {{");
+            if let Some((addr, subnet)) = iface.address {
+                let _ = writeln!(w, "                address {addr}/{};", subnet.len());
+            }
+            if iface.acl_in.is_some() || iface.acl_out.is_some() {
+                let _ = writeln!(w, "                filter {{");
+                if let Some(a) = &iface.acl_in {
+                    let _ = writeln!(w, "                    input {a};");
+                }
+                if let Some(a) = &iface.acl_out {
+                    let _ = writeln!(w, "                    output {a};");
+                }
+                let _ = writeln!(w, "                }}");
+            }
+            let _ = writeln!(w, "            }}");
+            let _ = writeln!(w, "        }}");
+            let _ = writeln!(w, "    }}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+
+    // Policy options: communities then policy statements.
+    let mut policy_body = String::new();
+    let mut community_defs: Vec<(String, String)> = Vec::new();
+    for (name, p) in &r.policies {
+        if name.contains('+') {
+            continue; // materialized chains; the parts are translated
+        }
+        policy_body.push_str(&junos_policy(p, &mut community_defs)?);
+    }
+    if !policy_body.is_empty() || !community_defs.is_empty() {
+        let _ = writeln!(w, "policy-options {{");
+        community_defs.sort();
+        community_defs.dedup();
+        for (name, members) in &community_defs {
+            let _ = writeln!(w, "    community {name} members {members};");
+        }
+        w.push_str(&policy_body);
+        let _ = writeln!(w, "}}");
+    }
+
+    // Firewall filters.
+    if !r.acls.is_empty() {
+        let _ = writeln!(w, "firewall {{");
+        let _ = writeln!(w, "    family inet {{");
+        for acl in r.acls.values() {
+            w.push_str(&junos_filter(acl)?);
+        }
+        let _ = writeln!(w, "    }}");
+        let _ = writeln!(w, "}}");
+    }
+
+    // Routing options.
+    let has_statics = !r.static_routes.is_empty();
+    let asn = r.bgp.as_ref().map(|b| b.asn);
+    if has_statics || asn.is_some() {
+        let _ = writeln!(w, "routing-options {{");
+        if let Some(asn) = asn {
+            let _ = writeln!(w, "    autonomous-system {asn};");
+        }
+        if let Some(rid) = r.bgp.as_ref().and_then(|b| b.router_id) {
+            let _ = writeln!(w, "    router-id {rid};");
+        }
+        if has_statics {
+            let _ = writeln!(w, "    static {{");
+            for s in &r.static_routes {
+                let _ = writeln!(w, "        route {} {{", s.prefix);
+                match &s.next_hop {
+                    NextHopIr::Ip(ip) => {
+                        let _ = writeln!(w, "            next-hop {ip};");
+                    }
+                    NextHopIr::Discard => {
+                        let _ = writeln!(w, "            discard;");
+                    }
+                    NextHopIr::Interface(i) => {
+                        return Err(TranslateError::new(format!(
+                            "static route {} via interface {i} has no JunOS equivalent in \
+                             the modeled subset",
+                            s.prefix
+                        )));
+                    }
+                }
+                let _ = writeln!(w, "            preference {};", s.admin_distance);
+                if let Some(t) = s.tag {
+                    let _ = writeln!(w, "            tag {t};");
+                }
+                let _ = writeln!(w, "        }}");
+            }
+            let _ = writeln!(w, "    }}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+
+    // BGP.
+    if let Some(bgp) = &r.bgp {
+        if !bgp.networks.is_empty() {
+            return Err(TranslateError::new(
+                "Cisco `network` origination has no direct JunOS equivalent in the modeled \
+                 subset (JunOS originates via export policies); originate explicitly instead",
+            ));
+        }
+        let _ = writeln!(w, "protocols {{");
+        let _ = writeln!(w, "    bgp {{");
+        for (i, n) in bgp.neighbors.values().enumerate() {
+            if !n.send_community {
+                return Err(TranslateError::new(format!(
+                    "neighbor {}: JunOS always sends communities; a config without \
+                     send-community cannot be translated faithfully",
+                    n.addr
+                )));
+            }
+            let internal = n.remote_as == Some(bgp.asn);
+            let _ = writeln!(w, "        group peer{i} {{");
+            if internal {
+                let _ = writeln!(w, "            type internal;");
+                if n.route_reflector_client {
+                    let cluster = bgp
+                        .router_id
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "0.0.0.1".to_string());
+                    let _ = writeln!(w, "            cluster {cluster};");
+                }
+            } else {
+                let _ = writeln!(w, "            type external;");
+                if let Some(asn) = n.remote_as {
+                    let _ = writeln!(w, "            peer-as {asn};");
+                }
+            }
+            let _ = writeln!(w, "            neighbor {} {{", n.addr);
+            if let Some(p) = &n.import_policy {
+                let _ = writeln!(w, "                import {};", junos_chain(p));
+            }
+            if let Some(p) = &n.export_policy {
+                let _ = writeln!(w, "                export {};", junos_chain(p));
+            }
+            let _ = writeln!(w, "            }}");
+            let _ = writeln!(w, "        }}");
+        }
+        let _ = writeln!(w, "    }}");
+        let _ = writeln!(w, "}}");
+    }
+    Ok(o)
+}
+
+/// A materialized chain name `A+B` is emitted as the JunOS chain `[ A B ]`.
+fn junos_chain(name: &str) -> String {
+    if name.contains('+') {
+        format!("[ {} ]", name.split('+').collect::<Vec<_>>().join(" "))
+    } else {
+        name.to_string()
+    }
+}
+
+fn junos_policy(
+    p: &RoutePolicy,
+    community_defs: &mut Vec<(String, String)>,
+) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    let _ = writeln!(o, "    policy-statement {} {{", p.name);
+    for (i, clause) in p.clauses.iter().enumerate() {
+        let _ = writeln!(o, "        term t{i} {{");
+        let from = junos_from(p, i, clause, community_defs)?;
+        if !from.is_empty() {
+            let _ = writeln!(o, "            from {{");
+            o.push_str(&from);
+            let _ = writeln!(o, "            }}");
+        }
+        let _ = writeln!(o, "            then {{");
+        for s in &clause.sets {
+            o.push_str(&junos_set(p, i, s, community_defs)?);
+        }
+        match clause.terminal {
+            Terminal::Accept => {
+                let _ = writeln!(o, "                accept;");
+            }
+            Terminal::Reject => {
+                let _ = writeln!(o, "                reject;");
+            }
+            Terminal::Fallthrough => {
+                let _ = writeln!(o, "                next term;");
+            }
+        }
+        let _ = writeln!(o, "            }}");
+        let _ = writeln!(o, "        }}");
+    }
+    // The VI default terminal is made explicit so the translation never
+    // depends on JunOS's protocol-sensitive default policy.
+    let action = match p.default_terminal {
+        Terminal::Accept => "accept",
+        _ => "reject",
+    };
+    let _ = writeln!(o, "        term default {{");
+    let _ = writeln!(o, "            then {action};");
+    let _ = writeln!(o, "        }}");
+    let _ = writeln!(o, "    }}");
+    Ok(o)
+}
+
+fn junos_from(
+    p: &RoutePolicy,
+    clause_idx: usize,
+    clause: &Clause,
+    community_defs: &mut Vec<(String, String)>,
+) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    for m in &clause.matches {
+        match m {
+            Match::Prefix(pms) => {
+                for pm in pms {
+                    o.push_str(&junos_prefix_matcher(p, pm)?);
+                }
+            }
+            Match::Community(cms) => {
+                let mut names = Vec::new();
+                for (k, cm) in cms.iter().enumerate() {
+                    match &cm.dialect {
+                        CommunityDialect::JunosMembers(atoms) => {
+                            let name = format!("{}_t{clause_idx}_c{k}", p.name);
+                            community_defs.push((name.clone(), junos_members(atoms)?));
+                            names.push(name);
+                        }
+                        CommunityDialect::CiscoList(entries) => {
+                            // Each permit line (a conjunction) becomes its
+                            // own community; the disjunction across lines
+                            // becomes `from community [ ... ]` — the exact
+                            // correction of Figure 1's any-vs-all bug.
+                            for (e, (permit, atoms, _)) in entries.iter().enumerate() {
+                                if !permit {
+                                    return Err(TranslateError::new(format!(
+                                        "community list {} has deny lines; not expressible \
+                                         as JunOS community definitions",
+                                        cm.name
+                                    )));
+                                }
+                                let name = format!("{}_t{clause_idx}_c{k}_{e}", p.name);
+                                community_defs.push((name.clone(), junos_members(atoms)?));
+                                names.push(name);
+                            }
+                        }
+                    }
+                }
+                let _ = writeln!(o, "                community [ {} ];", names.join(" "));
+            }
+            Match::Tag(t) => {
+                let _ = writeln!(o, "                tag {t};");
+            }
+            Match::Metric(v) => {
+                let _ = writeln!(o, "                metric {v};");
+            }
+            Match::Protocol(ps) => {
+                let kws: Vec<&str> = ps
+                    .iter()
+                    .map(|p| match p {
+                        crate::route::RouteProtocol::Connected => "direct",
+                        crate::route::RouteProtocol::Static => "static",
+                        crate::route::RouteProtocol::Ospf => "ospf",
+                        crate::route::RouteProtocol::Bgp => "bgp",
+                        crate::route::RouteProtocol::Aggregate => "aggregate",
+                    })
+                    .collect();
+                let _ = writeln!(o, "                protocol [ {} ];", kws.join(" "));
+            }
+        }
+    }
+    Ok(o)
+}
+
+fn junos_prefix_matcher(p: &RoutePolicy, pm: &PrefixMatcher) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    for e in &pm.entries {
+        if !e.permit {
+            return Err(TranslateError::new(format!(
+                "policy {}: prefix matcher {} has deny entries; JunOS route-filter \
+                 translation of shadowing denies is not supported",
+                p.name,
+                if pm.name.is_empty() { "(inline)" } else { &pm.name }
+            )));
+        }
+        let r = &e.range;
+        let modifier = if r.min_len == r.prefix.len() && r.max_len == 32 {
+            "orlonger".to_string()
+        } else if r.min_len == r.prefix.len() && r.max_len == r.prefix.len() {
+            "exact".to_string()
+        } else if r.min_len == r.prefix.len() {
+            format!("upto /{}", r.max_len)
+        } else {
+            format!("prefix-length-range /{}-/{}", r.min_len, r.max_len)
+        };
+        let _ = writeln!(o, "                route-filter {} {modifier};", r.prefix);
+    }
+    Ok(o)
+}
+
+fn junos_members(atoms: &[CommAtom]) -> Result<String, TranslateError> {
+    let members: Vec<String> = atoms
+        .iter()
+        .map(|a| match a {
+            CommAtom::Literal(c) => c.to_string(),
+            CommAtom::Regex(r) => format!("\"{r}\""),
+        })
+        .collect();
+    if members.is_empty() {
+        return Err(TranslateError::new("empty community conjunction"));
+    }
+    Ok(if members.len() == 1 {
+        members.into_iter().next().expect("one member")
+    } else {
+        format!("[ {} ]", members.join(" "))
+    })
+}
+
+fn junos_set(
+    p: &RoutePolicy,
+    clause_idx: usize,
+    s: &SetAction,
+    community_defs: &mut Vec<(String, String)>,
+) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    match s {
+        SetAction::LocalPref(v) => {
+            let _ = writeln!(o, "                local-preference {v};");
+        }
+        SetAction::Metric(v) => {
+            let _ = writeln!(o, "                metric {v};");
+        }
+        SetAction::Tag(v) => {
+            let _ = writeln!(o, "                tag {v};");
+        }
+        SetAction::NextHop(Some(ip)) => {
+            let _ = writeln!(o, "                next-hop {ip};");
+        }
+        SetAction::NextHop(None) => {
+            let _ = writeln!(o, "                next-hop self;");
+        }
+        SetAction::CommunitySet(cs) => {
+            let name = format!("{}_t{clause_idx}_set", p.name);
+            let atoms: Vec<CommAtom> = cs.iter().map(|c| CommAtom::Literal(*c)).collect();
+            community_defs.push((name.clone(), junos_members(&atoms)?));
+            let _ = writeln!(o, "                community set {name};");
+        }
+        SetAction::CommunityAdd(cs) => {
+            let name = format!("{}_t{clause_idx}_add", p.name);
+            let atoms: Vec<CommAtom> = cs.iter().map(|c| CommAtom::Literal(*c)).collect();
+            community_defs.push((name.clone(), junos_members(&atoms)?));
+            let _ = writeln!(o, "                community add {name};");
+        }
+        SetAction::CommunityDelete(atoms) => {
+            let name = format!("{}_t{clause_idx}_del", p.name);
+            community_defs.push((name.clone(), junos_members(atoms)?));
+            let _ = writeln!(o, "                community delete {name};");
+        }
+        SetAction::Weight(_) => {
+            return Err(TranslateError::new(format!(
+                "policy {}: `set weight` is Cisco-local and has no JunOS equivalent",
+                p.name
+            )));
+        }
+    }
+    Ok(o)
+}
+
+fn junos_filter(acl: &AclIr) -> Result<String, TranslateError> {
+    let mut o = String::new();
+    let _ = writeln!(o, "        filter {} {{", acl.name);
+    for (i, rule) in acl.rules.iter().enumerate() {
+        let _ = writeln!(o, "            term t{i} {{");
+        let mut from = String::new();
+        for w in &rule.src {
+            let p = w.as_prefix().ok_or_else(|| {
+                TranslateError::new(format!(
+                    "ACL {}: non-contiguous wildcard {} is not expressible in JunOS",
+                    acl.name, w
+                ))
+            })?;
+            let _ = writeln!(from, "                    source-address {p};");
+        }
+        for w in &rule.dst {
+            let p = w.as_prefix().ok_or_else(|| {
+                TranslateError::new(format!(
+                    "ACL {}: non-contiguous wildcard {} is not expressible in JunOS",
+                    acl.name, w
+                ))
+            })?;
+            let _ = writeln!(from, "                    destination-address {p};");
+        }
+        if !rule.protocols.is_empty() {
+            let kws: Vec<String> = rule.protocols.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(from, "                    protocol [ {} ];", kws.join(" "));
+        }
+        if !rule.src_ports.is_empty() {
+            let rs: Vec<String> = rule
+                .src_ports
+                .iter()
+                .map(|r| if r.lo == r.hi { r.lo.to_string() } else { format!("{}-{}", r.lo, r.hi) })
+                .collect();
+            let _ = writeln!(from, "                    source-port [ {} ];", rs.join(" "));
+        }
+        if !rule.dst_ports.is_empty() {
+            let rs: Vec<String> = rule
+                .dst_ports
+                .iter()
+                .map(|r| if r.lo == r.hi { r.lo.to_string() } else { format!("{}-{}", r.lo, r.hi) })
+                .collect();
+            let _ = writeln!(from, "                    destination-port [ {} ];", rs.join(" "));
+        }
+        if !from.is_empty() {
+            let _ = writeln!(o, "                from {{");
+            o.push_str(&from);
+            let _ = writeln!(o, "                }}");
+        }
+        let action = if rule.permit { "accept" } else { "discard" };
+        let _ = writeln!(o, "                then {action};");
+        let _ = writeln!(o, "            }}");
+    }
+    let _ = writeln!(o, "        }}");
+    Ok(o)
+}

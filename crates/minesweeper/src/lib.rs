@@ -1,0 +1,488 @@
+//! # campion-minesweeper — the monolithic baseline checker
+//!
+//! A reimplementation of the *comparison baseline* of the paper's §2: a
+//! Minesweeper-style behavioral-equivalence checker (the paper's reference \[3\]). It encodes each
+//! component's **whole** behavior as one symbolic relation, asks a single
+//! satisfiability query for inequivalence, and reports a single **concrete
+//! counterexample** — no header localization, no text localization. The
+//! paper's Tables 3 and 5 show exactly this output shape, and §2.1 shows
+//! why it is a poor debugging experience: covering all of Difference 1's
+//! prefix ranges took 7 iterated counterexamples (27 after a one-token
+//! config change).
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The original Minesweeper discharges queries with an SMT solver (Z3);
+//! this baseline uses the same BDD substrate as the rest of the repository.
+//! The *observable interface* — one model per query, iterated enumeration
+//! via blocking clauses, no localization — is what the paper's comparison
+//! exercises, and that is preserved. Enumeration order is deterministic
+//! (lexicographically first satisfying cube, lowest concrete values), so
+//! the counterexample-count experiment is exactly reproducible.
+
+#![warn(missing_docs)]
+
+use std::net::Ipv4Addr;
+
+use campion_bdd::Bdd;
+use campion_ir::{AclIr, RoutePolicy, RouterIr, StaticRouteIr};
+use campion_net::{Flow, Prefix, PrefixRange};
+use campion_symbolic::{PacketSpace, RouteExample, RouteSpace};
+
+#[cfg(test)]
+mod tests;
+
+/// A concrete route-map counterexample, mirroring the paper's Table 3.
+#[derive(Debug, Clone)]
+pub struct RouteMapCex {
+    /// The route advertisement both routers receive.
+    pub advert: RouteExample,
+    /// A packet destination covered by the advertised prefix (Table 3's
+    /// `dstIp` row).
+    pub packet_dst: Ipv4Addr,
+    /// First router's behavior ("forwards (BGP)" / "does not forward").
+    pub behavior1: String,
+    /// Second router's behavior.
+    pub behavior2: String,
+}
+
+impl std::fmt::Display for RouteMapCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Route received: Prefix: {}", self.advert)?;
+        writeln!(f, "Packet: dstIp: {}", self.packet_dst)?;
+        writeln!(f, "Router 1 {}", self.behavior1)?;
+        write!(f, "Router 2 {}", self.behavior2)
+    }
+}
+
+/// The monolithic behavioral difference relation of two route policies:
+/// inputs on which the policies' outcomes (acceptance or resulting
+/// attributes) differ.
+fn route_map_difference(space: &mut RouteSpace, p1: &RoutePolicy, p2: &RoutePolicy) -> Bdd {
+    let universe = space.universe();
+    route_map_difference_over(space, p1, p2, universe)
+}
+
+/// As [`route_map_difference`], over an explicit input universe.
+fn route_map_difference_over(
+    space: &mut RouteSpace,
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    universe: Bdd,
+) -> Bdd {
+    // Monolithically: fold each policy into a single relation between
+    // inputs and outcomes, then compare. We realize the outcome comparison
+    // by intersecting outcome-classes with differing effects — the same
+    // relation Minesweeper's SMT encoding denotes.
+    let mut diff = Bdd::FALSE;
+    let paths1 = outcome_classes(space, p1, universe);
+    let paths2 = outcome_classes(space, p2, universe);
+    for (b1, e1) in &paths1 {
+        for (b2, e2) in &paths2 {
+            if e1 == e2 {
+                continue;
+            }
+            let inter = space.manager.and(*b1, *b2);
+            diff = space.manager.or(diff, inter);
+        }
+    }
+    diff
+}
+
+/// Outcome classes (predicate, effect) of a policy — internal encoding
+/// detail of the monolithic relation.
+fn outcome_classes(
+    space: &mut RouteSpace,
+    p: &RoutePolicy,
+    universe: Bdd,
+) -> Vec<(Bdd, campion_symbolic::ActionEffect)> {
+    // Reuses the shared path machinery; the baseline only ever *exposes*
+    // single concrete models of the folded relation.
+    let paths = campion_core::policy_paths(space, p, universe);
+    paths.into_iter().map(|p| (p.predicate, p.effect)).collect()
+}
+
+/// Render a policy's behavior on an accepted/rejected route the way
+/// Minesweeper's forwarding-oriented output does.
+fn behavior(accept: bool) -> String {
+    if accept {
+        "forwards (BGP)".to_string()
+    } else {
+        "does not forward".to_string()
+    }
+}
+
+/// Check two route maps for behavioral equivalence; return the single
+/// first counterexample, like Minesweeper (Table 3).
+pub fn check_route_maps(p1: &RoutePolicy, p2: &RoutePolicy) -> Option<RouteMapCex> {
+    enumerate_route_map_cexs(p1, p2, 1).into_iter().next()
+}
+
+/// Iterated counterexamples via blocking clauses: after each model, the
+/// satisfying region it came from is excluded and the query re-run. This is
+/// the §2.1 "modify Minesweeper to produce multiple counterexamples"
+/// experiment. Returns up to `limit` counterexamples in deterministic
+/// order; stops early when the difference relation is exhausted.
+pub fn enumerate_route_map_cexs(
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    limit: usize,
+) -> Vec<RouteMapCex> {
+    let mut space = RouteSpace::for_policies(&[p1, p2]);
+    let mut diff = route_map_difference(&mut space, p1, p2);
+    let mut out = Vec::new();
+    while out.len() < limit {
+        let Some(cube) = space.manager.first_sat(diff) else {
+            break;
+        };
+        let assignment = cube.complete_with(false);
+        let advert = space.concretize(&assignment);
+        // Evaluate both policies concretely on the model to report the
+        // behaviors (as an SMT model evaluation would).
+        let concrete = concrete_advert(&advert);
+        let v1 = p1.evaluate(&concrete);
+        let v2 = p2.evaluate(&concrete);
+        out.push(RouteMapCex {
+            packet_dst: advert.prefix.addr(),
+            advert,
+            behavior1: behavior(v1.accept),
+            behavior2: behavior(v2.accept),
+        });
+        // Blocking clause: remove the whole satisfying cube (one BDD path),
+        // the closest analogue of Z3's per-model diversity while staying
+        // deterministic.
+        let mut blocked = Bdd::TRUE;
+        for (var, val) in cube.values().iter().enumerate() {
+            if let Some(v) = val {
+                let lit = space.manager.literal(var as u32, *v);
+                blocked = space.manager.and(blocked, lit);
+            }
+        }
+        diff = space.manager.diff(diff, blocked);
+    }
+    out
+}
+
+/// Iterated counterexamples with SMT-style blocking: each model is blocked
+/// **including the auxiliary match-predicate booleans** of the encoding —
+/// what happens when a Z3 model of Minesweeper's encoding (which carries
+/// per-entry match variables) is negated and reasserted. Every iteration
+/// therefore eliminates one *combination of matched entries*, so
+/// successive models jump between structurally distinct regions instead of
+/// crawling adjacent assignments. This is the mechanism behind the paper's
+/// 7- and 27-counterexample measurements; lexicographic point enumeration
+/// ([`enumerate_route_map_cexs`]) is the pathological alternative that can
+/// exhaust one region before ever visiting another.
+pub fn enumerate_route_map_cexs_general(
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    limit: usize,
+) -> Vec<RouteMapCex> {
+    let mut space = RouteSpace::for_policies(&[p1, p2]);
+    let mut diff = route_map_difference(&mut space, p1, p2);
+
+    // The boolean skeleton: every atomic match predicate either policy
+    // evaluates (prefix-list entries, community matchers, tag/metric/
+    // protocol tests), deduplicated.
+    let mut predicates: Vec<Bdd> = Vec::new();
+    let state = space.initial_state();
+    for p in [p1, p2] {
+        for clause in &p.clauses {
+            for m in &clause.matches {
+                match m {
+                    campion_ir::Match::Prefix(pms) => {
+                        // Minesweeper's encoding gives each prefix-list
+                        // entry separate booleans for the address match and
+                        // the two length-bound comparisons; blocked models
+                        // enumerate combinations of all three.
+                        for pm in pms {
+                            for e in &pm.entries {
+                                let addr =
+                                    space.prefix_range_bdd(&PrefixRange::new(e.range.prefix, 0, 32));
+                                let ge = space
+                                    .prefix_range_bdd(&PrefixRange::new(Prefix::DEFAULT, e.range.min_len, 32));
+                                let le = space
+                                    .prefix_range_bdd(&PrefixRange::new(Prefix::DEFAULT, 0, e.range.max_len));
+                                for b in [addr, ge, le] {
+                                    if !predicates.contains(&b) {
+                                        predicates.push(b);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    other => {
+                        let b = space.match_bdd(other, &state);
+                        if !predicates.contains(&b) {
+                            predicates.push(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    while out.len() < limit {
+        let Some(assignment) = space.manager.first_sat_assignment(diff) else {
+            break;
+        };
+        let advert = space.concretize(&assignment);
+        let concrete = concrete_advert(&advert);
+        let v1 = p1.evaluate(&concrete);
+        let v2 = p2.evaluate(&concrete);
+        out.push(RouteMapCex {
+            packet_dst: advert.prefix.addr(),
+            advert,
+            behavior1: behavior(v1.accept),
+            behavior2: behavior(v2.accept),
+        });
+        // Block the model's skeleton signature: the conjunction of each
+        // predicate as it evaluated under this model.
+        let mut signature = Bdd::TRUE;
+        for &p in &predicates {
+            let lit = if space.manager.eval(p, &assignment) {
+                p
+            } else {
+                space.manager.not(p)
+            };
+            signature = space.manager.and(signature, lit);
+        }
+        diff = space.manager.diff(diff, signature);
+    }
+    out
+}
+
+/// Rebuild a concrete advertisement from a decoded example (literal atoms
+/// only; unknown-regex atoms have no concrete witness in the literal
+/// universe and are skipped for evaluation purposes).
+fn concrete_advert(e: &RouteExample) -> campion_ir::RouteAdvert {
+    let mut a = campion_ir::RouteAdvert::bgp(e.prefix).with_protocol(e.protocol);
+    for atom in &e.communities {
+        if let campion_symbolic::AtomKey::Literal(c) = atom {
+            a.communities.insert(*c);
+        }
+    }
+    if let Some(t) = e.tag {
+        a.tag = t;
+    }
+    if let Some(m) = e.metric {
+        a.metric = m;
+    }
+    a
+}
+
+/// A concrete static-route counterexample, mirroring the paper's Table 5:
+/// just a packet and the divergent forwarding behavior — no prefix, no
+/// administrative distance, no configuration lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticCex {
+    /// The packet destination.
+    pub dst_ip: Ipv4Addr,
+    /// First router's behavior.
+    pub behavior1: String,
+    /// Second router's behavior.
+    pub behavior2: String,
+}
+
+impl std::fmt::Display for StaticCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Packet: dstIp: {}", self.dst_ip)?;
+        writeln!(f, "Router 1 {}", self.behavior1)?;
+        write!(f, "Router 2 {}", self.behavior2)
+    }
+}
+
+/// Longest-prefix-match forwarding decision over a static route table.
+fn static_lookup(routes: &[StaticRouteIr], ip: Ipv4Addr) -> Option<&StaticRouteIr> {
+    routes
+        .iter()
+        .filter(|r| r.prefix.contains_addr(ip))
+        .max_by_key(|r| r.prefix.len())
+}
+
+/// Monolithic static-route equivalence: the first destination IP whose
+/// forwarding differs (Table 5's output shape).
+pub fn check_static_routes(r1: &RouterIr, r2: &RouterIr) -> Option<StaticCex> {
+    // Encode each router's forwarded-address set symbolically; the
+    // difference relation also separates next hops by pairing regions.
+    let mut space = PacketSpace::new();
+    let fwd = |space: &mut PacketSpace, routes: &[StaticRouteIr]| -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for r in routes {
+            let b = space.dst_prefix_bdd(&r.prefix);
+            acc = space.manager.or(acc, b);
+        }
+        acc
+    };
+    let f1 = fwd(&mut space, &r1.static_routes);
+    let f2 = fwd(&mut space, &r2.static_routes);
+    let mut diff = space.manager.xor(f1, f2);
+    // Where both forward, compare the LPM next hop by region refinement.
+    let both = space.manager.and(f1, f2);
+    if space.manager.is_sat(both) {
+        // Regions are intersections of route prefixes; enumerate pairs.
+        for a in &r1.static_routes {
+            for b in &r2.static_routes {
+                let pa = space.dst_prefix_bdd(&a.prefix);
+                let pb = space.dst_prefix_bdd(&b.prefix);
+                let mut region = space.manager.and(pa, pb);
+                // Restrict to where these are the LPM choices.
+                for longer in r1
+                    .static_routes
+                    .iter()
+                    .filter(|r| r.prefix.len() > a.prefix.len())
+                {
+                    let lb = space.dst_prefix_bdd(&longer.prefix);
+                    region = space.manager.diff(region, lb);
+                }
+                for longer in r2
+                    .static_routes
+                    .iter()
+                    .filter(|r| r.prefix.len() > b.prefix.len())
+                {
+                    let lb = space.dst_prefix_bdd(&longer.prefix);
+                    region = space.manager.diff(region, lb);
+                }
+                if a.next_hop != b.next_hop && space.manager.is_sat(region) {
+                    diff = space.manager.or(diff, region);
+                }
+            }
+        }
+    }
+    let cube = space.manager.first_sat(diff)?;
+    let a = cube.complete_with(false);
+    let dst = Ipv4Addr::from(a.decode_be(0..32) as u32);
+    let describe = |routes: &[StaticRouteIr]| match static_lookup(routes, dst) {
+        Some(_) => "forwards (static)".to_string(),
+        None => "does not forward".to_string(),
+    };
+    Some(StaticCex {
+        dst_ip: dst,
+        behavior1: describe(&r1.static_routes),
+        behavior2: describe(&r2.static_routes),
+    })
+}
+
+/// A concrete ACL counterexample: one packet treated differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclCex {
+    /// The differing packet.
+    pub flow: Flow,
+    /// First ACL's action.
+    pub action1: &'static str,
+    /// Second ACL's action.
+    pub action2: &'static str,
+}
+
+impl std::fmt::Display for AclCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Packet: {}", self.flow)?;
+        writeln!(f, "Router 1: {}", self.action1)?;
+        write!(f, "Router 2: {}", self.action2)
+    }
+}
+
+/// Monolithic ACL equivalence: first differing packet only.
+pub fn check_acls(a1: &AclIr, a2: &AclIr) -> Option<AclCex> {
+    let mut space = PacketSpace::new();
+    let permit_set = |space: &mut PacketSpace, acl: &AclIr| -> Bdd {
+        let mut remaining = Bdd::TRUE;
+        let mut permit = Bdd::FALSE;
+        for rule in &acl.rules {
+            let cond = space.rule_bdd(rule);
+            let fire = space.manager.and(remaining, cond);
+            remaining = space.manager.diff(remaining, cond);
+            if rule.permit {
+                permit = space.manager.or(permit, fire);
+            }
+        }
+        permit
+    };
+    let s1 = permit_set(&mut space, a1);
+    let s2 = permit_set(&mut space, a2);
+    let diff = space.manager.xor(s1, s2);
+    let cube = space.manager.first_sat(diff)?;
+    let a = cube.complete_with(false);
+    let ex = space.concretize(&a);
+    let p1 = a1.permits(&ex.flow);
+    Some(AclCex {
+        flow: ex.flow,
+        action1: if p1 { "permits" } else { "denies" },
+        action2: if p1 { "denies" } else { "permits" },
+    })
+}
+
+/// The §2.1 experiment harness: iterate counterexamples until at least one
+/// has been produced inside each of the given target regions (e.g. the
+/// prefix ranges relevant to Difference 1). Returns the number of
+/// counterexamples needed, or `None` if `limit` was hit first.
+/// Uses most-general-first (solver-like) enumeration; see
+/// [`cexs_until_coverage_lexicographic`] for the pathological ordering.
+pub fn cexs_until_coverage(
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    targets: &[CoverageTarget],
+    limit: usize,
+) -> Option<usize> {
+    let cexs = enumerate_route_map_cexs_general(p1, p2, limit);
+    coverage_index(&cexs, targets)
+}
+
+/// As [`cexs_until_coverage`], but with lexicographic enumeration — which
+/// demonstrates the failure mode: it exhausts one difference region before
+/// ever visiting another.
+pub fn cexs_until_coverage_lexicographic(
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    targets: &[CoverageTarget],
+    limit: usize,
+) -> Option<usize> {
+    let cexs = enumerate_route_map_cexs(p1, p2, limit);
+    coverage_index(&cexs, targets)
+}
+
+fn coverage_index(cexs: &[RouteMapCex], targets: &[CoverageTarget]) -> Option<usize> {
+    let mut seen = vec![false; targets.len()];
+    for (i, cex) in cexs.iter().enumerate() {
+        for (t, target) in targets.iter().enumerate() {
+            if target.covers(cex) {
+                seen[t] = true;
+            }
+        }
+        if seen.iter().all(|s| *s) {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// A region a counterexample can fall into, for the coverage experiment.
+#[derive(Debug, Clone)]
+pub struct CoverageTarget {
+    /// The advertisement prefix must be a member of this range.
+    pub range: campion_net::PrefixRange,
+    /// If set, the advert must (not) carry any community.
+    pub requires_community: Option<bool>,
+}
+
+impl CoverageTarget {
+    /// A pure prefix-range target.
+    pub fn range(r: campion_net::PrefixRange) -> Self {
+        CoverageTarget {
+            range: r,
+            requires_community: None,
+        }
+    }
+
+    fn covers(&self, cex: &RouteMapCex) -> bool {
+        let p: Prefix = cex.advert.prefix;
+        if !self.range.member(&p) {
+            return false;
+        }
+        match self.requires_community {
+            None => true,
+            Some(want) => want != cex.advert.communities.is_empty(),
+        }
+    }
+}

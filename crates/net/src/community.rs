@@ -1,0 +1,65 @@
+//! BGP community values.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::prefix::ParseNetError;
+
+/// A standard BGP community, written `ASN:value` (e.g. `10:10`).
+///
+/// ```
+/// use campion_net::Community;
+/// let c: Community = "10:11".parse().unwrap();
+/// assert_eq!(c.to_string(), "10:11");
+/// assert_eq!(c.as_u32(), (10 << 16) | 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community {
+    /// High 16 bits — conventionally the AS number.
+    pub asn: u16,
+    /// Low 16 bits — the operator-assigned value.
+    pub value: u16,
+}
+
+impl Community {
+    /// Construct from the two 16-bit halves.
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+
+    /// The packed 32-bit wire representation.
+    pub fn as_u32(&self) -> u32 {
+        (u32::from(self.asn) << 16) | u32::from(self.value)
+    }
+
+    /// Unpack from the 32-bit wire representation.
+    pub fn from_u32(v: u32) -> Self {
+        Community {
+            asn: (v >> 16) as u16,
+            value: (v & 0xffff) as u16,
+        }
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParseNetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| ParseNetError::new(format!("missing ':' in community {s:?}")))?;
+        let asn: u16 = a
+            .parse()
+            .map_err(|_| ParseNetError::new(format!("bad community ASN in {s:?}")))?;
+        let value: u16 = v
+            .parse()
+            .map_err(|_| ParseNetError::new(format!("bad community value in {s:?}")))?;
+        Ok(Community { asn, value })
+    }
+}

@@ -1,0 +1,153 @@
+//! IPv4 prefixes.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Errors produced when parsing network primitives from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetError {
+    /// Human-readable description of what failed to parse.
+    pub message: String,
+}
+
+impl ParseNetError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseNetError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNetError {}
+
+/// An IPv4 prefix: an address plus a significant-bit count.
+///
+/// Prefixes are stored canonically — host bits (beyond `len`) are zeroed at
+/// construction — so structural equality is semantic equality.
+///
+/// ```
+/// use campion_net::Prefix;
+/// let p: Prefix = "10.9.1.0/24".parse().unwrap();
+/// assert_eq!(p.len(), 24);
+/// assert!(p.contains_addr("10.9.1.200".parse().unwrap()));
+/// assert!(!p.contains_addr("10.10.0.1".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Construct from an address and length, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let bits = u32::from(addr) & mask(len);
+        Prefix { bits, len }
+    }
+
+    /// Construct a host prefix (`/32`) for a single address.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix::new(addr, 32)
+    }
+
+    /// The network address.
+    pub fn addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The raw 32-bit network address (host bits zero).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The subnet mask as an address (e.g. `/24` → `255.255.255.0`).
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(mask(self.len))
+    }
+
+    /// Build from an address and a dotted-quad subnet mask
+    /// (`255.255.255.254` → `/31`). Non-contiguous masks are rejected.
+    pub fn from_netmask(addr: Ipv4Addr, netmask: Ipv4Addr) -> Result<Self, ParseNetError> {
+        let m = u32::from(netmask);
+        let len = m.count_ones() as u8;
+        if m != mask(len) {
+            return Err(ParseNetError::new(format!(
+                "non-contiguous subnet mask {netmask}"
+            )));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+
+    /// Does this prefix cover `addr`?
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & mask(self.len) == self.bits
+    }
+
+    /// Does this prefix cover every address of `other`? (I.e. `other` is the
+    /// same or a more-specific prefix.)
+    pub fn contains(&self, other: &Prefix) -> bool {
+        self.len <= other.len && other.bits & mask(self.len) == self.bits
+    }
+}
+
+/// The all-ones mask for the first `len` bits.
+pub(crate) fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseNetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = match s.split_once('/') {
+            Some((a, l)) => {
+                let len: u8 = l
+                    .parse()
+                    .map_err(|_| ParseNetError::new(format!("bad prefix length in {s:?}")))?;
+                if len > 32 {
+                    return Err(ParseNetError::new(format!("prefix length {len} > 32")));
+                }
+                (a, len)
+            }
+            None => (s, 32),
+        };
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| ParseNetError::new(format!("bad IPv4 address in {s:?}")))?;
+        Ok(Prefix::new(addr, len))
+    }
+}

@@ -1,0 +1,168 @@
+//! Prefix ranges — the primitive of the paper's §3.2.
+//!
+//! A prefix range pairs a prefix with an interval of lengths. The paper's
+//! examples: `(1.2.0.0/16, 16-32)` is every prefix inside `1.2.0.0/16`;
+//! `(0.0.0.0/0, 0-32)` is the set of *all* prefixes; `(1.0.0.0/8, 24-24)` is
+//! every `/24` whose first octet is 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::prefix::{mask, ParseNetError, Prefix};
+
+/// A set of IPv4 prefixes described by a covering prefix plus a length
+/// interval.
+///
+/// A prefix `p` is a **member** of range `R` when
+/// 1. `p`'s address matches `R`'s prefix (on `R.prefix.len()` bits), and
+/// 2. `p`'s length lies within `R`'s interval.
+///
+/// ```
+/// use campion_net::{Prefix, PrefixRange};
+/// let r: PrefixRange = "10.9.0.0/16:16-32".parse().unwrap();
+/// assert!(r.member(&"10.9.1.0/24".parse::<Prefix>().unwrap()));
+/// assert!(!r.member(&"10.9.0.0/8".parse::<Prefix>().unwrap()));
+/// assert!(PrefixRange::universe().contains(&r));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrefixRange {
+    /// The covering prefix.
+    pub prefix: Prefix,
+    /// Smallest member length, inclusive.
+    pub min_len: u8,
+    /// Largest member length, inclusive.
+    pub max_len: u8,
+}
+
+impl PrefixRange {
+    /// Construct a range. Lengths are clamped to `0..=32`.
+    ///
+    /// # Panics
+    /// Panics if `min_len > max_len` — empty ranges are represented by
+    /// `Option<PrefixRange>` at the API boundary instead.
+    pub fn new(prefix: Prefix, min_len: u8, max_len: u8) -> Self {
+        assert!(min_len <= max_len, "empty prefix range {min_len}-{max_len}");
+        assert!(max_len <= 32, "prefix range length beyond /32");
+        PrefixRange {
+            prefix,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// The range containing exactly one prefix.
+    pub fn exact(prefix: Prefix) -> Self {
+        PrefixRange::new(prefix, prefix.len(), prefix.len())
+    }
+
+    /// The prefix itself and everything more specific
+    /// (Juniper `orlonger`, Cisco `le 32` from the prefix's own length).
+    pub fn or_longer(prefix: Prefix) -> Self {
+        PrefixRange::new(prefix, prefix.len(), 32)
+    }
+
+    /// `U` in the paper: the set of all prefixes, `(0.0.0.0/0, 0-32)`.
+    pub fn universe() -> Self {
+        PrefixRange::new(Prefix::DEFAULT, 0, 32)
+    }
+
+    /// Is `p` a member of this range? (Definition from §3.2.)
+    pub fn member(&self, p: &Prefix) -> bool {
+        let addr_matches = p.bits() & mask(self.prefix.len()) == self.prefix.bits();
+        addr_matches && self.min_len <= p.len() && p.len() <= self.max_len
+    }
+
+    /// Is every member of `other` a member of `self`? (`other ⊆ self`,
+    /// the paper's `R₁ ⊂ R₂` relation plus equality.)
+    ///
+    /// Membership constrains a member's *first `prefix.len()` address bits*
+    /// and its length — exactly how the symbolic layer encodes a range over
+    /// `(32 address bits, length)`. Under that semantics containment is
+    /// purely structural: `self`'s length interval must cover `other`'s, and
+    /// `self`'s (necessarily no longer) address constraint must be implied
+    /// by `other`'s.
+    pub fn contains(&self, other: &PrefixRange) -> bool {
+        self.min_len <= other.min_len
+            && self.max_len >= other.max_len
+            && self.prefix.len() <= other.prefix.len()
+            && other.prefix.bits() & mask(self.prefix.len()) == self.prefix.bits()
+    }
+
+    /// Strict containment: `other ⊂ self` and the two ranges denote
+    /// different sets.
+    pub fn contains_strictly(&self, other: &PrefixRange) -> bool {
+        self.contains(other) && !other.contains(self)
+    }
+
+    /// Intersection of two ranges, or `None` when empty.
+    ///
+    /// The address constraints compose only when one covering prefix
+    /// contains the other; the length interval intersects numerically.
+    pub fn intersect(&self, other: &PrefixRange) -> Option<PrefixRange> {
+        let (shorter, longer) = if self.prefix.len() <= other.prefix.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if longer.prefix.bits() & mask(shorter.prefix.len()) != shorter.prefix.bits() {
+            return None;
+        }
+        let min_len = self.min_len.max(other.min_len);
+        let max_len = self.max_len.min(other.max_len);
+        if min_len > max_len {
+            return None;
+        }
+        Some(PrefixRange::new(longer.prefix, min_len, max_len))
+    }
+
+    /// Number of member prefixes (for minimality metrics in tests).
+    pub fn member_count(&self) -> u128 {
+        let mut total = 0u128;
+        for len in self.min_len..=self.max_len {
+            let free = u32::from(len.saturating_sub(self.prefix.len()));
+            // For len < prefix.len() the only candidate is the truncated
+            // prefix, and it is a member iff truncation preserves the bits.
+            if len < self.prefix.len() {
+                if self.prefix.bits() & mask(len) == self.prefix.bits() {
+                    total += 1;
+                }
+            } else {
+                total += 1u128 << free;
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for PrefixRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {}-{}", self.prefix, self.min_len, self.max_len)
+    }
+}
+
+impl FromStr for PrefixRange {
+    type Err = ParseNetError;
+
+    /// Parses `"10.9.0.0/16:16-32"` (whitespace around `:` and `-` allowed).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (p, lens) = s
+            .split_once(':')
+            .ok_or_else(|| ParseNetError::new(format!("missing ':' in prefix range {s:?}")))?;
+        let prefix: Prefix = p.trim().parse()?;
+        let (lo, hi) = lens
+            .split_once('-')
+            .ok_or_else(|| ParseNetError::new(format!("missing '-' in prefix range {s:?}")))?;
+        let min_len: u8 = lo
+            .trim()
+            .parse()
+            .map_err(|_| ParseNetError::new(format!("bad min length in {s:?}")))?;
+        let max_len: u8 = hi
+            .trim()
+            .parse()
+            .map_err(|_| ParseNetError::new(format!("bad max length in {s:?}")))?;
+        if min_len > max_len || max_len > 32 {
+            return Err(ParseNetError::new(format!("bad length interval in {s:?}")));
+        }
+        Ok(PrefixRange::new(prefix, min_len, max_len))
+    }
+}

@@ -1,0 +1,626 @@
+//! A small regular-expression engine for community matching.
+//!
+//! Cisco *expanded* community lists and Juniper community definitions can
+//! match communities by regular expression; the paper's university study
+//! found real bugs in two such regexes (Export 3 and Export 4 in Table 8a).
+//! The analysis therefore needs to evaluate community regexes — and the
+//! allowed dependency set has no regex crate, so this module implements the
+//! needed subset from scratch:
+//!
+//! * literals, `.`, character classes `[abc]`, `[^abc]`, ranges `[0-9]`
+//! * repetition `*`, `+`, `?`
+//! * alternation `|` and grouping `( )`
+//! * anchors `^` and `$`
+//! * the router-specific `_` metacharacter, which matches a delimiter
+//!   (start, end, space, comma, colon or brace) as used in community
+//!   regexes on both vendors
+//!
+//! Matching is unanchored (`find`-style) unless anchors are present,
+//! mirroring router behavior. The implementation compiles to a Thompson
+//! NFA and simulates it with a breadth-first state set, so matching is
+//! linear in the input — no catastrophic backtracking, which keeps the
+//! generators free to produce adversarial patterns.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::prefix::ParseNetError;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    /// Original pattern, for display and for canonical atom keys.
+    pattern: String,
+    prog: Vec<Inst>,
+}
+
+/// One NFA instruction (Thompson construction, program counter style).
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one character against a class, then advance.
+    Char(CharClass),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Match only at the start of the input.
+    AssertStart,
+    /// Match only at the end of the input.
+    AssertEnd,
+    /// Accept.
+    Accept,
+}
+
+/// A set of characters, as ranges over `char`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CharClass {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn single(c: char) -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![(c, c)],
+        }
+    }
+
+    fn any() -> Self {
+        CharClass {
+            negated: true,
+            ranges: vec![],
+        }
+    }
+
+    /// The `_` delimiter class (space, comma, colon, braces).
+    fn delimiter() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![
+                (' ', ' '),
+                (',', ','),
+                (':', ':'),
+                ('{', '{'),
+                ('}', '}'),
+            ],
+        }
+    }
+
+    fn matches(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// Parsed AST prior to compilation.
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(CharClass),
+    Start,
+    End,
+    /// `_`: delimiter char OR start OR end.
+    Delim,
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+struct PatParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> PatParser<'a> {
+    fn err(&self, msg: &str) -> ParseNetError {
+        ParseNetError::new(format!("regex {:?}: {msg}", self.pattern))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, ParseNetError> {
+        let mut node = self.concat()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let rhs = self.concat()?;
+            node = Ast::Alt(Box::new(node), Box::new(rhs));
+        }
+        Ok(node)
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<Ast, ParseNetError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    /// repeat := atom ('*' | '+' | '?')*
+    fn repeat(&mut self) -> Result<Ast, ParseNetError> {
+        let mut node = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    node = Ast::Star(Box::new(node));
+                }
+                Some('+') => {
+                    self.bump();
+                    node = Ast::Plus(Box::new(node));
+                }
+                Some('?') => {
+                    self.bump();
+                    node = Ast::Opt(Box::new(node));
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseNetError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed '('"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.char_class(),
+            Some('.') => Ok(Ast::Char(CharClass::any())),
+            Some('^') => Ok(Ast::Start),
+            Some('$') => Ok(Ast::End),
+            Some('_') => Ok(Ast::Delim),
+            Some('\\') => {
+                let c = self.bump().ok_or_else(|| self.err("trailing backslash"))?;
+                Ok(match c {
+                    'd' => Ast::Char(CharClass {
+                        negated: false,
+                        ranges: vec![('0', '9')],
+                    }),
+                    other => Ast::Char(CharClass::single(other)),
+                })
+            }
+            Some(c) if "*+?)".contains(c) => Err(self.err(&format!("unexpected {c:?}"))),
+            Some(c) => Ok(Ast::Char(CharClass::single(c))),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn char_class(&mut self) -> Result<Ast, ParseNetError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            match self.bump() {
+                Some(']') if !ranges.is_empty() => break,
+                Some(c) => {
+                    let c = if c == '\\' {
+                        self.bump().ok_or_else(|| self.err("trailing backslash"))?
+                    } else {
+                        c
+                    };
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked above");
+                        if hi < c {
+                            return Err(self.err(&format!("bad range {c}-{hi}")));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                None => return Err(self.err("unclosed '['")),
+            }
+        }
+        Ok(Ast::Char(CharClass { negated, ranges }))
+    }
+}
+
+/// Compile the AST to NFA instructions appended to `prog`.
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => prog.push(Inst::Char(c.clone())),
+        Ast::Start => prog.push(Inst::AssertStart),
+        Ast::End => prog.push(Inst::AssertEnd),
+        Ast::Delim => {
+            // delimiter char OR start-of-input OR end-of-input
+            // Split(char-branch, assert-branch)
+            let split = prog.len();
+            prog.push(Inst::Split(0, 0)); // patched
+            let char_pc = prog.len();
+            prog.push(Inst::Char(CharClass::delimiter()));
+            let jmp_over = prog.len();
+            prog.push(Inst::Jmp(0)); // patched
+            let assert_pc = prog.len();
+            // start OR end: another split
+            prog.push(Inst::Split(assert_pc + 1, assert_pc + 3));
+            prog.push(Inst::AssertStart);
+            prog.push(Inst::Jmp(0)); // patched
+            prog.push(Inst::AssertEnd);
+            let end = prog.len();
+            if let Inst::Split(a, b) = &mut prog[split] {
+                *a = char_pc;
+                *b = assert_pc;
+            }
+            if let Inst::Jmp(t) = &mut prog[jmp_over] {
+                *t = end;
+            }
+            if let Inst::Jmp(t) = &mut prog[assert_pc + 2] {
+                *t = end;
+            }
+        }
+        Ast::Concat(items) => {
+            for i in items {
+                compile(i, prog);
+            }
+        }
+        Ast::Alt(a, b) => {
+            let split = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let a_start = prog.len();
+            compile(a, prog);
+            let jmp = prog.len();
+            prog.push(Inst::Jmp(0));
+            let b_start = prog.len();
+            compile(b, prog);
+            let end = prog.len();
+            if let Inst::Split(x, y) = &mut prog[split] {
+                *x = a_start;
+                *y = b_start;
+            }
+            if let Inst::Jmp(t) = &mut prog[jmp] {
+                *t = end;
+            }
+        }
+        Ast::Star(inner) => {
+            let split = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split));
+            let end = prog.len();
+            if let Inst::Split(x, y) = &mut prog[split] {
+                *x = body;
+                *y = end;
+            }
+        }
+        Ast::Plus(inner) => {
+            let body = prog.len();
+            compile(inner, prog);
+            let split = prog.len();
+            prog.push(Inst::Split(body, 0));
+            let end = prog.len();
+            if let Inst::Split(_, y) = &mut prog[split] {
+                *y = end;
+            }
+        }
+        Ast::Opt(inner) => {
+            let split = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            let end = prog.len();
+            if let Inst::Split(x, y) = &mut prog[split] {
+                *x = body;
+                *y = end;
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Result<Self, ParseNetError> {
+        let mut p = PatParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        };
+        let ast = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(p.err("unexpected ')'"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Accept);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+        })
+    }
+
+    /// The original pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the pattern match anywhere in `input` (router `find` semantics)?
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        // Try every start offset; the NFA simulation per offset is linear.
+        for start in 0..=chars.len() {
+            if self.match_at(&chars, start) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Run the NFA from input offset `start`.
+    fn match_at(&self, input: &[char], start: usize) -> bool {
+        // Breadth-first simulation: the set of live program counters.
+        let mut current: BTreeSet<usize> = BTreeSet::new();
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        self.add_state(&mut current, &mut visited, 0, start, input.len());
+        let mut pos = start;
+        loop {
+            if current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept)) {
+                return true;
+            }
+            if pos >= input.len() || current.is_empty() {
+                return false;
+            }
+            let c = input[pos];
+            let mut next: BTreeSet<usize> = BTreeSet::new();
+            let mut next_visited: BTreeSet<usize> = BTreeSet::new();
+            for &pc in &current {
+                if let Inst::Char(class) = &self.prog[pc] {
+                    if class.matches(c) {
+                        self.add_state(&mut next, &mut next_visited, pc + 1, pos + 1, input.len());
+                    }
+                }
+            }
+            current = next;
+            pos += 1;
+        }
+    }
+
+    /// Add `pc` and everything reachable through control instructions,
+    /// resolving anchors against the current position. `visited` guards
+    /// against epsilon cycles (e.g. from `(a*)*` patterns).
+    fn add_state(
+        &self,
+        set: &mut BTreeSet<usize>,
+        visited: &mut BTreeSet<usize>,
+        pc: usize,
+        pos: usize,
+        len: usize,
+    ) {
+        if !visited.insert(pc) {
+            return;
+        }
+        match &self.prog[pc] {
+            Inst::Jmp(t) => self.add_state(set, visited, *t, pos, len),
+            Inst::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.add_state(set, visited, a, pos, len);
+                self.add_state(set, visited, b, pos, len);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_state(set, visited, pc + 1, pos, len);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == len {
+                    self.add_state(set, visited, pc + 1, pos, len);
+                }
+            }
+            Inst::Char(_) | Inst::Accept => {
+                set.insert(pc);
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// (For the DFA layer.) Add `pc`'s closure into `set`, resolving
+    /// anchors by the given position flags instead of concrete offsets.
+    pub(crate) fn closure_into(
+        &self,
+        set: &mut BTreeSet<usize>,
+        pc: usize,
+        at_start: bool,
+        at_end: bool,
+    ) {
+        let mut visited = BTreeSet::new();
+        self.closure_rec(set, &mut visited, pc, at_start, at_end);
+    }
+
+    fn closure_rec(
+        &self,
+        set: &mut BTreeSet<usize>,
+        visited: &mut BTreeSet<usize>,
+        pc: usize,
+        at_start: bool,
+        at_end: bool,
+    ) {
+        if !visited.insert(pc) {
+            return;
+        }
+        match &self.prog[pc] {
+            Inst::Jmp(t) => self.closure_rec(set, visited, *t, at_start, at_end),
+            Inst::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.closure_rec(set, visited, a, at_start, at_end);
+                self.closure_rec(set, visited, b, at_start, at_end);
+            }
+            Inst::AssertStart => {
+                if at_start {
+                    self.closure_rec(set, visited, pc + 1, at_start, at_end);
+                }
+            }
+            Inst::AssertEnd => {
+                if at_end {
+                    self.closure_rec(set, visited, pc + 1, at_start, at_end);
+                } else {
+                    // Park the thread: end-of-input may still arrive, at
+                    // which point `state_accepts` re-closes with the end
+                    // flag set.
+                    set.insert(pc);
+                }
+            }
+            Inst::Char(_) | Inst::Accept => {
+                set.insert(pc);
+            }
+        }
+    }
+
+    /// (For the DFA layer.) Does the `Char` instruction at `pc` consume `c`?
+    pub(crate) fn char_step(&self, pc: usize, c: char) -> bool {
+        matches!(&self.prog[pc], Inst::Char(class) if class.matches(c))
+    }
+
+    /// (For the DFA layer.) Does a state set contain an acceptance, given
+    /// the end-of-input flag? (Re-closes the set so `AssertEnd` barriers
+    /// resolve.)
+    pub(crate) fn state_accepts(&self, set: &BTreeSet<usize>, at_end: bool) -> bool {
+        let mut closed = BTreeSet::new();
+        for &pc in set {
+            if pc == usize::MAX {
+                continue;
+            }
+            self.closure_into(&mut closed, pc, false, at_end);
+        }
+        closed
+            .iter()
+            .any(|&pc| matches!(self.prog[pc], Inst::Accept))
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/", self.pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(s)
+    }
+
+    #[test]
+    fn literals_and_find_semantics() {
+        assert!(m("10:10", "10:10"));
+        assert!(m("0:1", "10:10"), "unanchored: finds 0:1 inside 10:10");
+        assert!(!m("10:11", "10:10"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^10:10$", "10:10"));
+        assert!(!m("^0:1", "10:10"));
+        assert!(!m("10:1$", "10:10"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn classes_and_dot() {
+        assert!(m("^6500[0-9]:.*$", "65003:777"));
+        assert!(!m("^6500[0-9]:.*$", "64003:777"));
+        assert!(m("^[^0]", "10:10"));
+        assert!(!m("^[^1]", "10:10"));
+        assert!(m("1.3", "1x3"));
+        assert!(!m("1.3", "13"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("^10*$", "1"));
+        assert!(m("^10*$", "1000"));
+        assert!(!m("^10+$", "1"));
+        assert!(m("^10?:", "1:5"));
+        assert!(m("^10?:", "10:5"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(10|20):30$", "10:30"));
+        assert!(m("^(10|20):30$", "20:30"));
+        assert!(!m("^(10|20):30$", "30:30"));
+        assert!(m("^1(2(3|4))*5$", "123245"));
+        assert!(!m("^1(2(3|4))*5$", "12325 "));
+    }
+
+    #[test]
+    fn cisco_underscore_delimiter() {
+        // `_65000:` matches at start or after a delimiter.
+        assert!(m("_65000:100_", "65000:100"));
+        assert!(m("_65000:100_", "1:2 65000:100 3:4"));
+        assert!(!m("_65000:100_", "165000:1001"));
+        assert!(m("_65000:.*_", "65000:42"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("^\\d+:\\d+$", "65000:1"));
+        assert!(!m("^\\d+$", "1:2"));
+        assert!(m("^a\\*b$", "a*b"));
+        assert!(!m("^a\\*b$", "aab"));
+    }
+
+    #[test]
+    fn pathological_patterns_terminate_quickly() {
+        // Classic backtracking blowup input; NFA simulation is linear.
+        let pat = "^(a*)*b$";
+        let input = "a".repeat(200);
+        assert!(!m(pat, &input));
+        assert!(m("(a|a)*$", &"a".repeat(100)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new("[").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn empty_class_edge_cases() {
+        // ']' right after '[' is a literal member, not a terminator.
+        assert!(m("^[]]$", "]"));
+        assert!(m("^[-a]$", "-"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Unit and property tests for network primitives.
+
+use std::net::Ipv4Addr;
+
+use crate::{Community, IpProtocol, PortRange, Prefix, PrefixRange, WildcardMask};
+
+#[test]
+fn prefix_parses_and_canonicalizes() {
+    let p: Prefix = "10.9.1.77/24".parse().unwrap();
+    assert_eq!(p.to_string(), "10.9.1.0/24");
+    assert_eq!(p.len(), 24);
+    assert_eq!(p.netmask(), Ipv4Addr::new(255, 255, 255, 0));
+    let host: Prefix = "1.2.3.4".parse().unwrap();
+    assert_eq!(host.len(), 32);
+}
+
+#[test]
+fn prefix_rejects_garbage() {
+    assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+    assert!("10.0.0/8".parse::<Prefix>().is_err());
+    assert!("hello".parse::<Prefix>().is_err());
+}
+
+#[test]
+fn prefix_containment() {
+    let p16: Prefix = "10.9.0.0/16".parse().unwrap();
+    let p24: Prefix = "10.9.1.0/24".parse().unwrap();
+    let other: Prefix = "10.10.0.0/16".parse().unwrap();
+    assert!(p16.contains(&p24));
+    assert!(!p24.contains(&p16));
+    assert!(!p16.contains(&other));
+    assert!(Prefix::DEFAULT.contains(&p16));
+    assert!(p16.contains(&p16));
+}
+
+#[test]
+fn prefix_from_netmask() {
+    let p = Prefix::from_netmask(
+        Ipv4Addr::new(10, 1, 1, 2),
+        Ipv4Addr::new(255, 255, 255, 254),
+    )
+    .unwrap();
+    assert_eq!(p.to_string(), "10.1.1.2/31");
+    assert!(Prefix::from_netmask(
+        Ipv4Addr::new(10, 0, 0, 0),
+        Ipv4Addr::new(255, 0, 255, 0)
+    )
+    .is_err());
+}
+
+#[test]
+fn prefix_range_membership_matches_paper_examples() {
+    // Examples from §3.2 of the paper.
+    let r: PrefixRange = "1.2.0.0/16:16-32".parse().unwrap();
+    assert!(r.member(&"1.2.3.0/24".parse().unwrap()));
+    let u = PrefixRange::universe();
+    assert!(u.member(&"0.0.0.0/0".parse().unwrap()));
+    assert!(u.member(&"255.255.255.255/32".parse().unwrap()));
+    let slash24s: PrefixRange = "1.0.0.0/8:24-24".parse().unwrap();
+    assert!(slash24s.member(&"1.200.3.0/24".parse().unwrap()));
+    assert!(!slash24s.member(&"2.0.0.0/24".parse().unwrap()));
+    assert!(!slash24s.member(&"1.2.0.0/16".parse().unwrap()));
+}
+
+#[test]
+fn prefix_range_containment() {
+    let all: PrefixRange = "10.9.0.0/16:16-32".parse().unwrap();
+    let exact: PrefixRange = "10.9.0.0/16:16-16".parse().unwrap();
+    let sub: PrefixRange = "10.9.4.0/24:24-32".parse().unwrap();
+    assert!(all.contains(&exact));
+    assert!(all.contains(&sub));
+    assert!(!exact.contains(&all));
+    assert!(!sub.contains(&all));
+    assert!(PrefixRange::universe().contains(&all));
+    assert!(all.contains_strictly(&exact));
+    assert!(!all.contains_strictly(&all));
+}
+
+#[test]
+fn prefix_range_intersection() {
+    let a: PrefixRange = "10.9.0.0/16:16-32".parse().unwrap();
+    let b: PrefixRange = "10.9.4.0/24:20-28".parse().unwrap();
+    let i = a.intersect(&b).unwrap();
+    assert_eq!(i.to_string(), "10.9.4.0/24 : 20-28");
+    // Disjoint addresses.
+    let c: PrefixRange = "10.10.0.0/16:16-32".parse().unwrap();
+    assert!(a.intersect(&c).is_none());
+    // Disjoint length intervals.
+    let d: PrefixRange = "10.9.0.0/16:16-16".parse().unwrap();
+    let e: PrefixRange = "10.9.0.0/16:24-32".parse().unwrap();
+    assert!(d.intersect(&e).is_none());
+    // Intersection with the universe is identity.
+    assert_eq!(a.intersect(&PrefixRange::universe()), Some(a));
+}
+
+#[test]
+fn prefix_range_display_round_trip() {
+    let r = PrefixRange::new("10.100.0.0/16".parse().unwrap(), 16, 32);
+    assert_eq!(r.to_string(), "10.100.0.0/16 : 16-32");
+    let back: PrefixRange = r.to_string().parse().unwrap();
+    assert_eq!(back, r);
+}
+
+#[test]
+fn prefix_range_member_count() {
+    let exact = PrefixRange::exact("10.0.0.0/8".parse().unwrap());
+    assert_eq!(exact.member_count(), 1);
+    let two_lens: PrefixRange = "10.0.0.0/8:8-9".parse().unwrap();
+    assert_eq!(two_lens.member_count(), 3); // the /8 itself + two /9s
+}
+
+#[test]
+fn community_round_trip() {
+    let c: Community = "10:11".parse().unwrap();
+    assert_eq!(c, Community::new(10, 11));
+    assert_eq!(Community::from_u32(c.as_u32()), c);
+    assert!("1011".parse::<Community>().is_err());
+    assert!("a:b".parse::<Community>().is_err());
+}
+
+#[test]
+fn protocol_numbers() {
+    assert_eq!(IpProtocol::Tcp.number(), Some(6));
+    assert_eq!(IpProtocol::Any.number(), None);
+    assert_eq!(IpProtocol::from_number(17), IpProtocol::Udp);
+    assert!(IpProtocol::Any.matches(200));
+    assert!(IpProtocol::Icmp.matches(1));
+    assert!(!IpProtocol::Icmp.matches(6));
+    assert_eq!("tcp".parse::<IpProtocol>().unwrap(), IpProtocol::Tcp);
+    assert_eq!("47".parse::<IpProtocol>().unwrap(), IpProtocol::Other(47));
+}
+
+#[test]
+fn port_ranges() {
+    let r = PortRange::new(1000, 2000);
+    assert!(r.contains(1000) && r.contains(2000) && !r.contains(999));
+    assert!(PortRange::ANY.contains(0) && PortRange::ANY.contains(65535));
+    assert_eq!(PortRange::exact(443).to_string(), "443");
+    assert_eq!(r.to_string(), "1000-2000");
+    assert_eq!(PortRange::ANY.to_string(), "any");
+}
+
+#[test]
+fn wildcard_masks() {
+    // Table 7's matcher: 9.140.0.0 0.0.1.255 covers two adjacent /24s.
+    let w = WildcardMask::new(Ipv4Addr::new(9, 140, 0, 0), Ipv4Addr::new(0, 0, 1, 255));
+    assert!(w.matches(Ipv4Addr::new(9, 140, 0, 3)));
+    assert!(w.matches(Ipv4Addr::new(9, 140, 1, 200)));
+    assert!(!w.matches(Ipv4Addr::new(9, 140, 2, 1)));
+    assert_eq!(w.as_prefix().unwrap().to_string(), "9.140.0.0/23");
+    assert_eq!(w.free_bits(), 9);
+
+    // A genuinely non-contiguous wildcard: every even /24 inside a /16.
+    let nc = WildcardMask::new(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(0, 0, 2, 255));
+    assert!(nc.matches(Ipv4Addr::new(10, 0, 2, 9)));
+    assert!(!nc.matches(Ipv4Addr::new(10, 0, 1, 9)));
+    assert!(nc.as_prefix().is_none(), "0.0.2.255 is not contiguous");
+
+    let contiguous = WildcardMask::new(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(0, 0, 255, 255));
+    assert_eq!(contiguous.as_prefix().unwrap().to_string(), "10.0.0.0/16");
+    assert_eq!(
+        WildcardMask::host(Ipv4Addr::new(1, 2, 3, 4))
+            .as_prefix()
+            .unwrap()
+            .to_string(),
+        "1.2.3.4/32"
+    );
+    assert!(WildcardMask::ANY.matches(Ipv4Addr::new(200, 1, 2, 3)));
+    assert_eq!(WildcardMask::ANY.as_prefix().unwrap(), crate::Prefix::DEFAULT);
+}
+
+#[test]
+fn wildcard_from_prefix_round_trips() {
+    for s in ["0.0.0.0/0", "10.0.0.0/8", "10.9.1.0/24", "1.2.3.4/32"] {
+        let p: Prefix = s.parse().unwrap();
+        let w = WildcardMask::from_prefix(&p);
+        assert_eq!(w.as_prefix(), Some(p), "round trip failed for {s}");
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_prefix() -> impl Strategy<Value = Prefix> {
+        (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+    }
+
+    fn arb_range() -> impl Strategy<Value = PrefixRange> {
+        (arb_prefix(), 0u8..=32, 0u8..=32).prop_map(|(p, a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            PrefixRange::new(p, lo, hi)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_agrees_with_membership(
+            a in arb_range(), b in arb_range(), p in arb_prefix()
+        ) {
+            let both = a.member(&p) && b.member(&p);
+            match a.intersect(&b) {
+                Some(i) => prop_assert_eq!(i.member(&p), both),
+                None => prop_assert!(!both),
+            }
+        }
+
+        #[test]
+        fn containment_implies_membership(a in arb_range(), b in arb_range(), p in arb_prefix()) {
+            if a.contains(&b) && b.member(&p) {
+                prop_assert!(a.member(&p));
+            }
+        }
+
+        #[test]
+        fn intersection_is_commutative(a in arb_range(), b in arb_range()) {
+            let ab = a.intersect(&b);
+            let ba = b.intersect(&a);
+            match (ab, ba) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    // Same set: mutual containment.
+                    prop_assert!(x.contains(&y) && y.contains(&x));
+                }
+                _ => prop_assert!(false, "intersection not commutative"),
+            }
+        }
+
+        #[test]
+        fn universe_contains_everything(a in arb_range()) {
+            prop_assert!(PrefixRange::universe().contains(&a));
+            prop_assert_eq!(a.intersect(&PrefixRange::universe()), Some(a));
+        }
+
+        #[test]
+        fn prefix_contains_is_partial_order(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+            prop_assert!(a.contains(&a));
+            if a.contains(&b) && b.contains(&a) {
+                prop_assert_eq!(a, b);
+            }
+            if a.contains(&b) && b.contains(&c) {
+                prop_assert!(a.contains(&c));
+            }
+        }
+
+        #[test]
+        fn wildcard_prefix_equivalence(p in arb_prefix(), ip in any::<u32>()) {
+            let w = WildcardMask::from_prefix(&p);
+            let ip = Ipv4Addr::from(ip);
+            prop_assert_eq!(w.matches(ip), p.contains_addr(ip));
+        }
+    }
+}

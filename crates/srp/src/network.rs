@@ -1,0 +1,370 @@
+//! The full-router layer: a network of lowered configurations, the
+//! admin-distance RIB merge, and longest-prefix-match forwarding through
+//! interface ACLs.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use campion_ir::{NextHopIr, RouterIr};
+use campion_net::{Flow, Prefix};
+
+use crate::bgp::{self, BgpRoute};
+use crate::ospf::OspfGraph;
+
+/// A point-to-point link between two routers' interfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// First endpoint: (router name, interface name).
+    pub a: (String, String),
+    /// Second endpoint.
+    pub b: (String, String),
+}
+
+/// The protocol that installed a RIB entry (ordered by default preference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RibProtocol {
+    /// Directly connected subnet (AD 0).
+    Connected,
+    /// Static route (AD from the route).
+    Static,
+    /// OSPF-internal (AD 110).
+    Ospf,
+    /// BGP (AD 20 external / 200 internal; simplified to 20 here).
+    Bgp,
+}
+
+impl std::fmt::Display for RibProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RibProtocol::Connected => write!(f, "connected"),
+            RibProtocol::Static => write!(f, "static"),
+            RibProtocol::Ospf => write!(f, "ospf"),
+            RibProtocol::Bgp => write!(f, "bgp"),
+        }
+    }
+}
+
+/// One installed route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Destination.
+    pub prefix: Prefix,
+    /// Installing protocol.
+    pub protocol: RibProtocol,
+    /// Administrative distance used for the merge.
+    pub admin_distance: u8,
+    /// Next-hop router name (empty for connected/discard).
+    pub next_hop_router: String,
+    /// BGP attributes when applicable (for solution comparison).
+    pub local_pref: Option<u32>,
+}
+
+/// A simulated network: lowered router configurations plus physical links.
+#[derive(Default)]
+pub struct Network {
+    /// Routers by name.
+    pub routers: BTreeMap<String, RouterIr>,
+    /// Point-to-point links.
+    pub links: Vec<Link>,
+}
+
+impl Network {
+    /// Add a router.
+    pub fn add_router(&mut self, r: RouterIr) {
+        self.routers.insert(r.name.clone(), r);
+    }
+
+    /// Link two routers' named interfaces.
+    pub fn link(&mut self, ra: &str, ia: &str, rb: &str, ib: &str) {
+        self.links.push(Link {
+            a: (ra.to_string(), ia.to_string()),
+            b: (rb.to_string(), ib.to_string()),
+        });
+    }
+
+    /// The router on the other side of `router`'s interface, if linked.
+    fn peer_of(&self, router: &str, iface: &str) -> Option<(&str, &str)> {
+        for l in &self.links {
+            if l.a.0 == router && l.a.1 == iface {
+                return Some((&l.b.0, &l.b.1));
+            }
+            if l.b.0 == router && l.b.1 == iface {
+                return Some((&l.a.0, &l.a.1));
+            }
+        }
+        None
+    }
+
+    /// Map a neighbor *address* configured on `router` to the owning peer
+    /// router (the peer has that address on a linked interface).
+    fn router_owning_addr(&self, addr: Ipv4Addr) -> Option<&str> {
+        for (name, r) in &self.routers {
+            for iface in r.interfaces.values() {
+                if let Some((ip, _)) = iface.address {
+                    if ip == addr {
+                        return Some(name);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The address `router` uses on the link toward `peer`, as seen by
+    /// `peer` (i.e. `router`'s own interface address facing `peer`).
+    fn addr_facing(&self, router: &str, peer: &str) -> Option<Ipv4Addr> {
+        for l in &self.links {
+            let (mine, theirs) = if l.a.0 == router && l.b.0 == peer {
+                (&l.a, &l.b)
+            } else if l.b.0 == router && l.a.0 == peer {
+                (&l.b, &l.a)
+            } else {
+                continue;
+            };
+            let _ = theirs;
+            let r = self.routers.get(router)?;
+            if let Some(iface) = r.interfaces.get(&mine.1) {
+                if let Some((ip, _)) = iface.address {
+                    return Some(ip);
+                }
+            }
+        }
+        None
+    }
+
+    /// Compute every router's RIB: connected, static, OSPF (SPF), and BGP
+    /// (iterated to a fixed point), merged by administrative distance.
+    pub fn solve(&self) -> BTreeMap<String, Vec<RibEntry>> {
+        let mut ribs: BTreeMap<String, Vec<RibEntry>> = BTreeMap::new();
+
+        // Connected + static.
+        for (name, r) in &self.routers {
+            let rib = ribs.entry(name.clone()).or_default();
+            for p in r.connected_routes() {
+                rib.push(RibEntry {
+                    prefix: p,
+                    protocol: RibProtocol::Connected,
+                    admin_distance: 0,
+                    next_hop_router: String::new(),
+                    local_pref: None,
+                });
+            }
+            for s in &r.static_routes {
+                let next_hop_router = match &s.next_hop {
+                    NextHopIr::Ip(ip) => self
+                        .router_owning_addr(*ip)
+                        .unwrap_or("")
+                        .to_string(),
+                    NextHopIr::Interface(i) => self
+                        .peer_of(name, i)
+                        .map(|(r, _)| r.to_string())
+                        .unwrap_or_default(),
+                    NextHopIr::Discard => String::new(),
+                };
+                rib.push(RibEntry {
+                    prefix: s.prefix,
+                    protocol: RibProtocol::Static,
+                    admin_distance: s.admin_distance,
+                    next_hop_router,
+                    local_pref: None,
+                });
+            }
+        }
+
+        // OSPF: build the weighted graph from OSPF-enabled interfaces on
+        // both ends of each link.
+        let mut graph = OspfGraph::default();
+        for (name, r) in &self.routers {
+            for oi in &r.ospf_interfaces {
+                graph
+                    .subnets
+                    .entry(name.clone())
+                    .or_default()
+                    .extend(oi.subnet);
+                if oi.passive {
+                    continue;
+                }
+                if let Some((peer, peer_iface)) = self.peer_of(name, &oi.iface) {
+                    // The adjacency forms only if the peer also runs OSPF
+                    // on its side.
+                    let peer_ospf = self.routers[peer]
+                        .ospf_interfaces
+                        .iter()
+                        .any(|o| o.iface == peer_iface && !o.passive);
+                    if peer_ospf {
+                        graph.adj.entry(name.clone()).or_default().push((
+                            peer.to_string(),
+                            oi.cost.unwrap_or(crate::ospf::DEFAULT_COST),
+                        ));
+                    }
+                }
+            }
+        }
+        for name in self.routers.keys() {
+            let rib = ribs.entry(name.clone()).or_default();
+            let own: Vec<Prefix> = self.routers[name]
+                .ospf_interfaces
+                .iter()
+                .filter_map(|o| o.subnet)
+                .collect();
+            for route in graph.spf(name) {
+                if own.contains(&route.prefix) {
+                    continue; // already connected
+                }
+                rib.push(RibEntry {
+                    prefix: route.prefix,
+                    protocol: RibProtocol::Ospf,
+                    admin_distance: self.routers[name].ospf_distance.unwrap_or(110),
+                    next_hop_router: route.next_hop_router,
+                    local_pref: None,
+                });
+            }
+        }
+
+        // BGP: synchronous iteration to a fixed point over Loc-RIBs.
+        let mut loc_rib: BTreeMap<String, BTreeMap<Prefix, BgpRoute>> = BTreeMap::new();
+        for (name, r) in &self.routers {
+            let mut originated = BTreeMap::new();
+            if let Some(b) = &r.bgp {
+                for (p, _, _) in &b.networks {
+                    originated.insert(*p, BgpRoute::originate(*p));
+                }
+                for rd in &b.redistribute {
+                    // Redistribute matching RIB routes into BGP, filtered by
+                    // the redistribution policy.
+                    let proto = match rd.from_protocol {
+                        campion_ir::RouteProtocol::Connected => RibProtocol::Connected,
+                        campion_ir::RouteProtocol::Static => RibProtocol::Static,
+                        campion_ir::RouteProtocol::Ospf => RibProtocol::Ospf,
+                        _ => continue,
+                    };
+                    let policy = rd.policy.as_ref().map(|n| r.policy_or_permit(n));
+                    for entry in ribs.get(name).into_iter().flatten() {
+                        if entry.protocol != proto {
+                            continue;
+                        }
+                        let mut route = BgpRoute::originate(entry.prefix);
+                        route.advert.protocol = rd.from_protocol;
+                        if let Some(p) = &policy {
+                            let v = p.evaluate(&route.advert);
+                            if !v.accept {
+                                continue;
+                            }
+                            route.advert = v.route;
+                        }
+                        route.advert.protocol = campion_ir::RouteProtocol::Bgp;
+                        originated.insert(entry.prefix, route);
+                    }
+                }
+            }
+            loc_rib.insert(name.clone(), originated);
+        }
+        for _round in 0..(4 * self.routers.len() + 8) {
+            let mut next = loc_rib.clone();
+            let mut changed = false;
+            for (name, r) in &self.routers {
+                let Some(b) = &r.bgp else { continue };
+                let mut candidates: Vec<BgpRoute> = loc_rib[name].values().cloned().collect();
+                // Receive from each neighbor.
+                for addr in b.neighbors.keys() {
+                    let Some(peer) = self.router_owning_addr(*addr) else { continue };
+                    let Some(peer_cfg) = self.routers.get(peer) else { continue };
+                    // The peer must also have a session back to us.
+                    let my_addr = self.addr_facing(name, peer);
+                    let has_session = my_addr
+                        .map(|a| {
+                            peer_cfg
+                                .bgp
+                                .as_ref()
+                                .is_some_and(|pb| pb.neighbors.contains_key(&a))
+                        })
+                        .unwrap_or(false);
+                    if !has_session {
+                        continue;
+                    }
+                    let my_addr = my_addr.expect("checked");
+                    for route in loc_rib[peer].values() {
+                        if let Some(exported) = bgp::export(peer_cfg, my_addr, route) {
+                            if let Some(imported) = bgp::import(r, *addr, exported) {
+                                candidates.push(imported);
+                            }
+                        }
+                    }
+                }
+                let best = bgp::best_routes(&candidates);
+                if best != loc_rib[name] {
+                    changed = true;
+                }
+                next.insert(name.clone(), best);
+            }
+            loc_rib = next;
+            if !changed {
+                break;
+            }
+        }
+        for (name, routes) in &loc_rib {
+            let rib = ribs.entry(name.clone()).or_default();
+            for route in routes.values() {
+                let next_hop_router = if route.learned_from == Ipv4Addr::UNSPECIFIED {
+                    String::new()
+                } else {
+                    self.router_owning_addr(route.learned_from)
+                        .unwrap_or("")
+                        .to_string()
+                };
+                rib.push(RibEntry {
+                    prefix: route.advert.prefix,
+                    protocol: RibProtocol::Bgp,
+                    admin_distance: 20,
+                    next_hop_router,
+                    local_pref: Some(route.advert.local_pref),
+                });
+            }
+        }
+
+        // Admin-distance merge: keep the best entry per prefix.
+        for rib in ribs.values_mut() {
+            rib.sort_by(|a, b| {
+                a.prefix
+                    .cmp(&b.prefix)
+                    .then(a.admin_distance.cmp(&b.admin_distance))
+                    .then(a.protocol.cmp(&b.protocol))
+                    .then(a.next_hop_router.cmp(&b.next_hop_router))
+            });
+            rib.dedup_by(|a, b| a.prefix == b.prefix);
+        }
+        ribs
+    }
+
+    /// Longest-prefix-match lookup in a solved RIB.
+    pub fn lookup(rib: &[RibEntry], dst: Ipv4Addr) -> Option<&RibEntry> {
+        rib.iter()
+            .filter(|e| e.prefix.contains_addr(dst))
+            .max_by_key(|e| e.prefix.len())
+    }
+
+    /// Forward a flow out of `router`: apply the ingress interface's
+    /// inbound ACL (if named), look up the FIB, and report the decision.
+    pub fn forwards(
+        &self,
+        ribs: &BTreeMap<String, Vec<RibEntry>>,
+        router: &str,
+        ingress_iface: Option<&str>,
+        flow: &Flow,
+    ) -> bool {
+        let Some(r) = self.routers.get(router) else { return false };
+        if let Some(iface) = ingress_iface {
+            if let Some(i) = r.interfaces.get(iface) {
+                if let Some(acl_name) = &i.acl_in {
+                    if let Some(acl) = r.acls.get(acl_name) {
+                        if !acl.permits(flow) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(rib) = ribs.get(router) else { return false };
+        Self::lookup(rib, flow.dst_ip).is_some()
+    }
+}

@@ -1,0 +1,92 @@
+//! The OSPF instantiation: Dijkstra over configured interface costs.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use campion_net::Prefix;
+
+/// The default OSPF interface cost when neither a cost nor a reference
+/// bandwidth applies (IOS default for ≥100 Mbps interfaces).
+pub const DEFAULT_COST: u32 = 1;
+
+/// One OSPF-computed route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfRoute {
+    /// Destination subnet.
+    pub prefix: Prefix,
+    /// Total path cost.
+    pub cost: u32,
+    /// First-hop router on the shortest path (empty at the source).
+    pub next_hop_router: String,
+}
+
+/// A weighted adjacency for OSPF SPF: per router, the list of
+/// `(neighbor router, egress cost, advertised subnets of the neighbor)`.
+#[derive(Debug, Clone, Default)]
+pub struct OspfGraph {
+    /// `adj[router] = [(neighbor, cost_of_egress_interface)]`.
+    pub adj: BTreeMap<String, Vec<(String, u32)>>,
+    /// Subnets each router advertises into OSPF (its OSPF-enabled
+    /// interface subnets).
+    pub subnets: BTreeMap<String, Vec<Prefix>>,
+}
+
+impl OspfGraph {
+    /// Shortest-path tree from `source`; returns the OSPF routes `source`
+    /// installs (one per remote subnet, with total cost including the
+    /// destination's advertised subnet).
+    pub fn spf(&self, source: &str) -> Vec<OspfRoute> {
+        // Dijkstra with deterministic tie-breaking on router name.
+        let mut dist: BTreeMap<&str, (u32, String)> = BTreeMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, &str, String)>> = BinaryHeap::new();
+        dist.insert(source, (0, String::new()));
+        heap.push(std::cmp::Reverse((0, source, String::new())));
+        while let Some(std::cmp::Reverse((d, node, first_hop))) = heap.pop() {
+            if let Some((best, _)) = dist.get(node) {
+                if d > *best {
+                    continue;
+                }
+            }
+            let Some(neighbors) = self.adj.get(node) else { continue };
+            for (next, cost) in neighbors {
+                let nd = d + cost;
+                let nfh = if node == source {
+                    next.clone()
+                } else {
+                    first_hop.clone()
+                };
+                let better = match dist.get(next.as_str()) {
+                    None => true,
+                    Some((cur, cur_fh)) => nd < *cur || (nd == *cur && nfh < *cur_fh),
+                };
+                if better {
+                    dist.insert(next.as_str(), (nd, nfh.clone()));
+                    heap.push(std::cmp::Reverse((nd, next.as_str(), nfh)));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (router, (cost, first_hop)) in &dist {
+            if router == &source {
+                continue;
+            }
+            for subnet in self.subnets.get(*router).into_iter().flatten() {
+                out.push(OspfRoute {
+                    prefix: *subnet,
+                    cost: *cost,
+                    next_hop_router: first_hop.clone(),
+                });
+            }
+        }
+        // Keep the cheapest route per subnet (two routers may share one).
+        let mut best: BTreeMap<Prefix, OspfRoute> = BTreeMap::new();
+        for r in out {
+            match best.get(&r.prefix) {
+                Some(cur) if (cur.cost, &cur.next_hop_router) <= (r.cost, &r.next_hop_router) => {}
+                _ => {
+                    best.insert(r.prefix, r);
+                }
+            }
+        }
+        best.into_values().collect()
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the simulator: the SPF implementation against a
+//! brute-force Floyd–Warshall oracle, and SRP solver invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use crate::ospf::OspfGraph;
+use crate::srp::Srp;
+
+const N: usize = 5;
+
+fn names() -> Vec<String> {
+    (0..N).map(|i| format!("r{i}")).collect()
+}
+
+prop_compose! {
+    /// A random symmetric weighted graph over N nodes.
+    fn arb_graph()(
+        edges in proptest::collection::vec(
+            (0..N, 0..N, 1u32..20), 2..12
+        )
+    ) -> OspfGraph {
+        let names = names();
+        let mut g = OspfGraph::default();
+        for (a, b, w) in edges {
+            if a == b {
+                continue;
+            }
+            // Symmetric costs keep the oracle simple.
+            g.adj.entry(names[a].clone()).or_default().push((names[b].clone(), w));
+            g.adj.entry(names[b].clone()).or_default().push((names[a].clone(), w));
+        }
+        // Every node advertises one subnet derived from its index.
+        for (i, n) in names.iter().enumerate() {
+            g.subnets.insert(
+                n.clone(),
+                vec![format!("10.{i}.0.0/16").parse().expect("valid prefix")],
+            );
+        }
+        g
+    }
+}
+
+/// Floyd–Warshall all-pairs shortest distances.
+fn oracle(g: &OspfGraph) -> BTreeMap<(String, String), u32> {
+    let names = names();
+    let mut d: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for a in &names {
+        d.insert((a.clone(), a.clone()), 0);
+    }
+    for (from, adj) in &g.adj {
+        for (to, w) in adj {
+            let e = d.entry((from.clone(), to.clone())).or_insert(u32::MAX);
+            *e = (*e).min(*w);
+        }
+    }
+    for k in &names {
+        for i in &names {
+            for j in &names {
+                let (Some(&ik), Some(&kj)) = (
+                    d.get(&(i.clone(), k.clone())),
+                    d.get(&(k.clone(), j.clone())),
+                ) else {
+                    continue;
+                };
+                let through = ik.saturating_add(kj);
+                let e = d.entry((i.clone(), j.clone())).or_insert(u32::MAX);
+                *e = (*e).min(through);
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    /// SPF route costs equal the oracle's shortest distances.
+    #[test]
+    fn spf_matches_floyd_warshall(g in arb_graph()) {
+        let dists = oracle(&g);
+        for src in names() {
+            for route in g.spf(&src) {
+                // Which router advertises this subnet cheapest?
+                let best = names()
+                    .iter()
+                    .filter(|dst| {
+                        g.subnets
+                            .get(*dst)
+                            .is_some_and(|s| s.contains(&route.prefix))
+                    })
+                    .filter_map(|dst| dists.get(&(src.clone(), dst.clone())).copied())
+                    .min()
+                    .expect("some advertiser reachable");
+                prop_assert_eq!(
+                    route.cost, best,
+                    "src {} prefix {}", src, route.prefix
+                );
+            }
+        }
+    }
+
+    /// SPF never produces a route to the source's own subnet, and every
+    /// reachable advertiser's subnet is present.
+    #[test]
+    fn spf_coverage(g in arb_graph()) {
+        let dists = oracle(&g);
+        for src in names() {
+            let routes = g.spf(&src);
+            for dst in names() {
+                if dst == src {
+                    continue;
+                }
+                let reachable = dists.contains_key(&(src.clone(), dst.clone()));
+                let has_route = g.subnets[&dst]
+                    .iter()
+                    .all(|p| routes.iter().any(|r| r.prefix == *p));
+                if reachable {
+                    prop_assert!(has_route, "{} should reach {}", src, dst);
+                }
+            }
+        }
+    }
+
+    /// The abstract SRP with additive transfer and min preference computes
+    /// shortest hop counts (oracle: Floyd–Warshall over unit weights).
+    #[test]
+    fn srp_hop_counts(
+        edges in proptest::collection::vec((0..N, 0..N), 2..12)
+    ) {
+        let names = names();
+        let mut g = OspfGraph::default();
+        let mut srp_edges = Vec::new();
+        for (a, b) in &edges {
+            if a == b { continue; }
+            srp_edges.push((names[*a].clone(), names[*b].clone()));
+            srp_edges.push((names[*b].clone(), names[*a].clone()));
+            g.adj.entry(names[*a].clone()).or_default().push((names[*b].clone(), 1));
+            g.adj.entry(names[*b].clone()).or_default().push((names[*a].clone(), 1));
+        }
+        if srp_edges.is_empty() {
+            return Ok(());
+        }
+        let dists = oracle(&g);
+        let dest = srp_edges[0].0.clone();
+        let srp = Srp {
+            edges: srp_edges,
+            destination: dest.clone(),
+            initial: 0u32,
+            transfer: Box::new(|_, _, r| Some(r + 1)),
+            prefer: Box::new(|x, y| x < y),
+        };
+        let sol = srp.solve().expect("converges");
+        for (node, route) in &sol {
+            let want = dists.get(&(node.clone(), dest.clone())).copied();
+            match (route, want) {
+                (Some(hops), Some(d)) => prop_assert_eq!(*hops, d, "node {}", node),
+                (None, None) => {}
+                (None, Some(0)) => prop_assert_eq!(node, &dest),
+                (r, w) => prop_assert!(
+                    false,
+                    "node {node}: srp {r:?} vs oracle {w:?}"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The abstract stable routing problem (Definition 3.1) and its solver.
+//!
+//! An SRP is `(T, R, d_r, ≤, trans)`: a topology, a route domain, an
+//! initial route advertised by a destination node, a preference relation,
+//! and a per-edge transfer function. A *solution* labels every node with
+//! its best route (if any). The solver iterates synchronously to a fixed
+//! point, which exists and is unique for the monotone policies this
+//! repository generates (the classic SRP conditions); divergence is
+//! reported as an error after an iteration bound.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from the SRP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No fixed point within the iteration bound (an oscillating policy).
+    Diverged {
+        /// Iterations executed before giving up.
+        iterations: usize,
+    },
+    /// The destination node is not in the topology.
+    UnknownDestination(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Diverged { iterations } => {
+                write!(f, "SRP did not stabilize after {iterations} iterations")
+            }
+            SolveError::UnknownDestination(d) => write!(f, "unknown destination node {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An abstract SRP instance over node names.
+///
+/// `R` is the route domain. The transfer function maps a route crossing the
+/// edge `(from, to)` to the route `to` receives (or `None` when filtered);
+/// `prefer` returns `true` when `a` is strictly preferred over `b`.
+pub struct Srp<R: Clone + Eq> {
+    /// Adjacency: directed edges `(from, to)`.
+    pub edges: Vec<(String, String)>,
+    /// The destination (origin) node.
+    pub destination: String,
+    /// The initially advertised route at the destination.
+    pub initial: R,
+    /// Transfer function along an edge.
+    #[allow(clippy::type_complexity)]
+    pub transfer: Box<dyn Fn(&str, &str, &R) -> Option<R>>,
+    /// Strict preference between candidate routes.
+    #[allow(clippy::type_complexity)]
+    pub prefer: Box<dyn Fn(&R, &R) -> bool>,
+}
+
+impl<R: Clone + Eq> Srp<R> {
+    /// Solve to a fixed point: every node's chosen route, destination
+    /// included.
+    ///
+    /// Iterates at most `4 · |V| + 8` rounds (ample for converging
+    /// policies) and reports divergence otherwise.
+    pub fn solve(&self) -> Result<BTreeMap<String, Option<R>>, SolveError> {
+        let mut nodes: Vec<String> = Vec::new();
+        for (a, b) in &self.edges {
+            if !nodes.contains(a) {
+                nodes.push(a.clone());
+            }
+            if !nodes.contains(b) {
+                nodes.push(b.clone());
+            }
+        }
+        if !nodes.contains(&self.destination) {
+            return Err(SolveError::UnknownDestination(self.destination.clone()));
+        }
+        let mut chosen: BTreeMap<String, Option<R>> = nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    if *n == self.destination {
+                        Some(self.initial.clone())
+                    } else {
+                        None
+                    },
+                )
+            })
+            .collect();
+        let bound = 4 * nodes.len() + 8;
+        for _ in 0..bound {
+            let mut next = chosen.clone();
+            for node in &nodes {
+                if *node == self.destination {
+                    continue;
+                }
+                // Candidates: transferred routes from each in-neighbor's
+                // current choice.
+                let mut best: Option<R> = None;
+                for (from, to) in &self.edges {
+                    if to != node {
+                        continue;
+                    }
+                    if let Some(Some(route)) = chosen.get(from) {
+                        if let Some(received) = (self.transfer)(from, to, route) {
+                            best = match best {
+                                None => Some(received),
+                                Some(cur) => {
+                                    if (self.prefer)(&received, &cur) {
+                                        Some(received)
+                                    } else {
+                                        Some(cur)
+                                    }
+                                }
+                            };
+                        }
+                    }
+                }
+                next.insert(node.clone(), best);
+            }
+            if next == chosen {
+                return Ok(chosen);
+            }
+            chosen = next;
+        }
+        Err(SolveError::Diverged { iterations: bound })
+    }
+}

@@ -1,0 +1,386 @@
+//! Tests for the SRP simulator: the abstract solver, the BGP decision
+//! process, OSPF SPF, and the RIB merge.
+
+use std::net::Ipv4Addr;
+
+use campion_cfg::parse_config;
+use campion_ir::{lower, RouterIr};
+use campion_net::{Flow, Prefix};
+
+use crate::bgp::BgpRoute;
+use crate::network::{Network, RibProtocol};
+use crate::ospf::OspfGraph;
+use crate::srp::Srp;
+
+fn load(text: &str) -> RouterIr {
+    lower(&parse_config(text).unwrap()).unwrap()
+}
+
+// --------------------------------------------------------------- abstract
+
+#[test]
+fn abstract_srp_shortest_path() {
+    // Route domain: hop count; transfer adds one; prefer fewer hops.
+    let srp = Srp {
+        edges: vec![
+            ("d".into(), "a".into()),
+            ("a".into(), "b".into()),
+            ("d".into(), "b".into()),
+            ("b".into(), "c".into()),
+        ],
+        destination: "d".into(),
+        initial: 0u32,
+        transfer: Box::new(|_, _, r| Some(r + 1)),
+        prefer: Box::new(|a, b| a < b),
+    };
+    let sol = srp.solve().unwrap();
+    assert_eq!(sol["d"], Some(0));
+    assert_eq!(sol["a"], Some(1));
+    assert_eq!(sol["b"], Some(1), "direct edge beats the 2-hop path");
+    assert_eq!(sol["c"], Some(2));
+}
+
+#[test]
+fn abstract_srp_filtering() {
+    // The transfer filters routes crossing a -> b entirely.
+    let srp = Srp {
+        edges: vec![("d".into(), "a".into()), ("a".into(), "b".into())],
+        destination: "d".into(),
+        initial: 0u32,
+        transfer: Box::new(|from, to, r| {
+            if from == "a" && to == "b" {
+                None
+            } else {
+                Some(r + 1)
+            }
+        }),
+        prefer: Box::new(|a, b| a < b),
+    };
+    let sol = srp.solve().unwrap();
+    assert_eq!(sol["b"], None, "filtered: b learns nothing");
+}
+
+#[test]
+fn abstract_srp_unknown_destination() {
+    let srp = Srp {
+        edges: vec![("a".into(), "b".into())],
+        destination: "zz".into(),
+        initial: 0u32,
+        transfer: Box::new(|_, _, r| Some(*r)),
+        prefer: Box::new(|_, _| false),
+    };
+    assert!(srp.solve().is_err());
+}
+
+// -------------------------------------------------------------------- bgp
+
+#[test]
+fn decision_process_ordering() {
+    let base = BgpRoute::originate("10.0.0.0/8".parse::<Prefix>().unwrap());
+    let mut high_lp = base.clone();
+    high_lp.advert.local_pref = 200;
+    assert!(high_lp.preferred_over(&base));
+    let mut short_path = base.clone();
+    short_path.as_path_len = 1;
+    let mut long_path = base.clone();
+    long_path.as_path_len = 3;
+    assert!(short_path.preferred_over(&long_path));
+    let mut low_med = base.clone();
+    low_med.advert.metric = 10;
+    let mut high_med = base.clone();
+    high_med.advert.metric = 20;
+    assert!(low_med.preferred_over(&high_med));
+    // Local-pref dominates AS-path length.
+    let mut lp_long = long_path.clone();
+    lp_long.advert.local_pref = 300;
+    assert!(lp_long.preferred_over(&short_path));
+    // eBGP over iBGP.
+    let mut e = base.clone();
+    e.ebgp = true;
+    assert!(e.preferred_over(&base));
+    // Lowest neighbor address as the final tiebreak.
+    let mut n1 = base.clone();
+    n1.learned_from = "10.0.0.1".parse().unwrap();
+    let mut n2 = base.clone();
+    n2.learned_from = "10.0.0.2".parse().unwrap();
+    assert!(n1.preferred_over(&n2));
+}
+
+// ------------------------------------------------------------------- ospf
+
+#[test]
+fn ospf_spf_picks_cheapest_path() {
+    let mut g = OspfGraph::default();
+    g.adj.insert("a".into(), vec![("b".into(), 10), ("c".into(), 1)]);
+    g.adj.insert("c".into(), vec![("a".into(), 1), ("b".into(), 1)]);
+    g.adj.insert("b".into(), vec![("a".into(), 10), ("c".into(), 1)]);
+    g.subnets
+        .insert("b".into(), vec!["10.99.0.0/24".parse().unwrap()]);
+    let routes = g.spf("a");
+    assert_eq!(routes.len(), 1);
+    assert_eq!(routes[0].cost, 2, "a→c→b (1+1) beats a→b (10)");
+    assert_eq!(routes[0].next_hop_router, "c");
+}
+
+// ------------------------------------------------------- full network sim
+
+/// Two routers, eBGP session, r1 originates a network filtered by an
+/// export policy.
+fn two_router_net(export_policy: &str) -> Network {
+    let r1 = load(&format!(
+        "hostname r1\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.1 255.255.255.0\n\
+         interface Loopback0\n\
+         \x20ip address 192.0.2.1 255.255.255.255\n\
+         ip prefix-list ORIG permit 203.0.113.0/24\n\
+         route-map EXPORT {export_policy} 10\n\
+         \x20match ip address prefix-list ORIG\n\
+         router bgp 65001\n\
+         \x20network 203.0.113.0 mask 255.255.255.0\n\
+         \x20network 198.51.100.0 mask 255.255.255.0\n\
+         \x20neighbor 10.0.12.2 remote-as 65002\n\
+         \x20neighbor 10.0.12.2 route-map EXPORT out\n"
+    ));
+    let r2 = load(
+        "hostname r2\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.2 255.255.255.0\n\
+         router bgp 65002\n\
+         \x20neighbor 10.0.12.1 remote-as 65001\n",
+    );
+    let mut net = Network::default();
+    net.add_router(r1);
+    net.add_router(r2);
+    net.link("r1", "Gi0/0", "r2", "Gi0/0");
+    net
+}
+
+#[test]
+fn bgp_export_policy_filters_advertisements() {
+    let net = two_router_net("permit");
+    let ribs = net.solve();
+    let r2 = &ribs["r2"];
+    let has = |p: &str| {
+        r2.iter()
+            .any(|e| e.protocol == RibProtocol::Bgp && e.prefix == p.parse().unwrap())
+    };
+    assert!(has("203.0.113.0/24"), "permitted by EXPORT");
+    assert!(
+        !has("198.51.100.0/24"),
+        "implicit deny of the Cisco route map drops the other network"
+    );
+    // Next hop resolves to r1.
+    let e = r2
+        .iter()
+        .find(|e| e.prefix == "203.0.113.0/24".parse().unwrap())
+        .unwrap();
+    assert_eq!(e.next_hop_router, "r1");
+}
+
+#[test]
+fn bgp_deny_policy_blocks_everything() {
+    let net = two_router_net("deny");
+    let ribs = net.solve();
+    assert!(
+        !ribs["r2"].iter().any(|e| e.protocol == RibProtocol::Bgp),
+        "deny 10 plus implicit deny blocks all exports"
+    );
+}
+
+#[test]
+fn connected_and_static_in_rib_with_admin_distance() {
+    let r1 = load(
+        "hostname r1\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.1 255.255.255.0\n\
+         ip route 10.99.0.0 255.255.0.0 10.0.12.2\n\
+         ip route 10.0.12.0 255.255.255.0 10.0.12.9 250\n",
+    );
+    let mut net = Network::default();
+    net.add_router(r1);
+    let ribs = net.solve();
+    let rib = &ribs["r1"];
+    // The static for the connected subnet loses on admin distance.
+    let e = rib
+        .iter()
+        .find(|e| e.prefix == "10.0.12.0/24".parse().unwrap())
+        .unwrap();
+    assert_eq!(e.protocol, RibProtocol::Connected);
+    assert_eq!(e.admin_distance, 0);
+    let s = rib
+        .iter()
+        .find(|e| e.prefix == "10.99.0.0/16".parse().unwrap())
+        .unwrap();
+    assert_eq!(s.protocol, RibProtocol::Static);
+}
+
+#[test]
+fn ospf_adjacency_requires_both_sides() {
+    let r1 = load(
+        "hostname r1\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.1 255.255.255.0\n\
+         interface Loopback0\n\
+         \x20ip address 192.0.2.1 255.255.255.255\n\
+         router ospf 1\n\
+         \x20network 10.0.12.0 0.0.0.255 area 0\n\
+         \x20network 192.0.2.1 0.0.0.0 area 0\n",
+    );
+    let r2_ospf = load(
+        "hostname r2\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.2 255.255.255.0\n\
+         router ospf 1\n\
+         \x20network 10.0.12.0 0.0.0.255 area 0\n",
+    );
+    let r2_plain = load(
+        "hostname r2\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.2 255.255.255.0\n",
+    );
+    let mut with = Network::default();
+    with.add_router(r1.clone());
+    with.add_router(r2_ospf);
+    with.link("r1", "Gi0/0", "r2", "Gi0/0");
+    let ribs = with.solve();
+    assert!(
+        ribs["r2"]
+            .iter()
+            .any(|e| e.protocol == RibProtocol::Ospf
+                && e.prefix == "192.0.2.1/32".parse().unwrap()),
+        "r2 learns r1's loopback via OSPF"
+    );
+
+    let mut without = Network::default();
+    without.add_router(r1);
+    without.add_router(r2_plain);
+    without.link("r1", "Gi0/0", "r2", "Gi0/0");
+    let ribs = without.solve();
+    assert!(
+        !ribs["r2"].iter().any(|e| e.protocol == RibProtocol::Ospf),
+        "no adjacency when only one side runs OSPF"
+    );
+}
+
+#[test]
+fn forwarding_applies_ingress_acl() {
+    let r1 = load(
+        "hostname r1\n\
+         ip access-list extended BLOCK_TELNET\n\
+         \x20deny tcp any any eq 23\n\
+         \x20permit ip any any\n\
+         interface Gi0/0\n\
+         \x20ip address 10.0.12.1 255.255.255.0\n\
+         \x20ip access-group BLOCK_TELNET in\n\
+         ip route 0.0.0.0 0.0.0.0 10.0.12.2\n",
+    );
+    let mut net = Network::default();
+    net.add_router(r1);
+    let ribs = net.solve();
+    let telnet = Flow::tcp(
+        "9.9.9.9".parse().unwrap(),
+        1000,
+        "8.8.8.8".parse().unwrap(),
+        23,
+    );
+    let https = Flow::tcp(
+        "9.9.9.9".parse().unwrap(),
+        1000,
+        "8.8.8.8".parse().unwrap(),
+        443,
+    );
+    assert!(!net.forwards(&ribs, "r1", Some("Gi0/0"), &telnet));
+    assert!(net.forwards(&ribs, "r1", Some("Gi0/0"), &https));
+    assert!(net.forwards(&ribs, "r1", None, &telnet), "no ingress ACL");
+}
+
+#[test]
+fn lookup_is_longest_prefix_match() {
+    let r1 = load(
+        "hostname r1\n\
+         ip route 10.0.0.0 255.0.0.0 10.0.12.2\n\
+         ip route 10.5.0.0 255.255.0.0 10.0.12.3\n",
+    );
+    let mut net = Network::default();
+    net.add_router(r1);
+    let ribs = net.solve();
+    let rib = &ribs["r1"];
+    let hit = Network::lookup(rib, Ipv4Addr::new(10, 5, 1, 1)).unwrap();
+    assert_eq!(hit.prefix, "10.5.0.0/16".parse().unwrap());
+    let other = Network::lookup(rib, Ipv4Addr::new(10, 6, 1, 1)).unwrap();
+    assert_eq!(other.prefix, "10.0.0.0/8".parse().unwrap());
+    assert!(Network::lookup(rib, Ipv4Addr::new(11, 0, 0, 1)).is_none());
+}
+
+/// Local equivalence ⇒ equal routing solutions (Theorem 3.3, empirically):
+/// replace r1's Cisco config with a behaviorally equivalent Juniper config
+/// and the peer's RIB must not change.
+#[test]
+fn theorem_3_3_equivalent_replacement_preserves_solution() {
+    let cisco = two_router_net("permit");
+    let juniper_r1 = load(
+        "system { host-name r1; }
+        interfaces {
+            Gi0/0 { unit 0 { family inet { address 10.0.12.1/24; } } }
+            Loopback0 { unit 0 { family inet { address 192.0.2.1/32; } } }
+        }
+        policy-options {
+            prefix-list ORIG { 203.0.113.0/24; }
+            policy-statement EXPORT {
+                term t1 {
+                    from prefix-list-filter ORIG orlonger;
+                    then accept;
+                }
+                term t2 { then reject; }
+            }
+        }
+        routing-options { autonomous-system 65001; }
+        protocols {
+            bgp {
+                group peers {
+                    type external;
+                    peer-as 65002;
+                    export EXPORT;
+                    neighbor 10.0.12.2;
+                }
+            }
+        }",
+    );
+    // NOTE: JunOS cannot literally write IOS interface names; the test uses
+    // matching names so the topology isomorphism is the identity.
+    let mut replaced = Network::default();
+    let mut j = juniper_r1;
+    j.name = "r1".to_string();
+    // Juniper has no `network` statement: originate via the same prefixes
+    // as the Cisco config by injecting BGP networks directly (the paper's
+    // replacement workflow translates originations too).
+    if let Some(b) = &mut j.bgp {
+        b.networks.push((
+            "203.0.113.0/24".parse().unwrap(),
+            None,
+            campion_cfg::Span::line(1),
+        ));
+        b.networks.push((
+            "198.51.100.0/24".parse().unwrap(),
+            None,
+            campion_cfg::Span::line(1),
+        ));
+    }
+    // Rename flattened Juniper interfaces to match the link names.
+    let ifaces: Vec<_> = j.interfaces.values().cloned().collect();
+    j.interfaces.clear();
+    for mut i in ifaces {
+        let name = i.name.trim_end_matches(".0").to_string();
+        i.name = name.clone();
+        j.interfaces.insert(name, i);
+    }
+    replaced.add_router(j);
+    replaced.add_router(cisco.routers["r2"].clone());
+    replaced.link("r1", "Gi0/0", "r2", "Gi0/0");
+
+    let sol1 = cisco.solve();
+    let sol2 = replaced.solve();
+    // r2's view of the world must be identical.
+    assert_eq!(sol1["r2"], sol2["r2"], "Theorem 3.3: peer RIB unchanged");
+}

@@ -1,0 +1,209 @@
+//! Canonical action effects: the composition of every `set` applied along a
+//! path through a policy, plus the terminal disposition. Two paths are
+//! behaviorally equal exactly when their effects are equal — this is the
+//! `a₁ ≠ a₂` test of the paper's SemanticDiff quintuples.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use campion_ir::{CommAtom, SetAction};
+use campion_net::regex::Regex;
+use campion_net::Community;
+
+/// The net effect of a path: terminal disposition plus the composed
+/// attribute rewrites in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActionEffect {
+    /// Terminal disposition (`true` = accept).
+    pub accept: bool,
+    /// Final LOCAL_PREF override.
+    pub local_pref: Option<u32>,
+    /// Final metric override.
+    pub metric: Option<u32>,
+    /// Final tag override.
+    pub tag: Option<u32>,
+    /// Final weight override.
+    pub weight: Option<u32>,
+    /// Final next hop override (`Some(None)` = next-hop self).
+    pub next_hop: Option<Option<Ipv4Addr>>,
+    /// Whether the community set was replaced wholesale at some point.
+    pub comm_cleared: bool,
+    /// Communities present at the end regardless of input.
+    pub comm_added: BTreeSet<Community>,
+    /// Atoms whose matching input communities are removed
+    /// (irrelevant when `comm_cleared`).
+    pub comm_deleted: BTreeSet<CommAtom>,
+}
+
+impl ActionEffect {
+    /// The identity effect with a terminal disposition.
+    pub fn terminal(accept: bool) -> Self {
+        ActionEffect {
+            accept,
+            ..ActionEffect::default()
+        }
+    }
+
+    /// Compose one more `set` action onto this effect (in execution order).
+    pub fn apply(&mut self, set: &SetAction) {
+        match set {
+            SetAction::LocalPref(v) => self.local_pref = Some(*v),
+            SetAction::Metric(v) => self.metric = Some(*v),
+            SetAction::Tag(v) => self.tag = Some(*v),
+            SetAction::Weight(v) => self.weight = Some(*v),
+            SetAction::NextHop(nh) => self.next_hop = Some(*nh),
+            SetAction::CommunitySet(cs) => {
+                self.comm_cleared = true;
+                self.comm_added = cs.iter().copied().collect();
+                self.comm_deleted.clear();
+            }
+            SetAction::CommunityAdd(cs) => {
+                for c in cs {
+                    self.comm_added.insert(*c);
+                    // An add after a delete revives the community.
+                    self.comm_deleted.remove(&CommAtom::Literal(*c));
+                }
+            }
+            SetAction::CommunityDelete(atoms) => {
+                let regexes: Vec<Regex> = atoms
+                    .iter()
+                    .filter_map(|a| match a {
+                        CommAtom::Regex(p) => Some(Regex::new(p).expect("validated")),
+                        CommAtom::Literal(_) => None,
+                    })
+                    .collect();
+                // A delete after an add removes the pending add.
+                self.comm_added.retain(|c| {
+                    let lit = atoms.contains(&CommAtom::Literal(*c));
+                    let rex = regexes.iter().any(|r| r.is_match(&c.to_string()));
+                    !(lit || rex)
+                });
+                if !self.comm_cleared {
+                    self.comm_deleted.extend(atoms.iter().cloned());
+                }
+            }
+        }
+    }
+
+    /// Compose a whole clause's sets.
+    pub fn apply_all(&mut self, sets: &[SetAction]) {
+        for s in sets {
+            self.apply(s);
+        }
+    }
+
+    /// Rejecting paths are behaviorally identical whatever they set —
+    /// normalize so equality ignores the sets of rejected routes.
+    pub fn normalized(mut self) -> Self {
+        if !self.accept {
+            self = ActionEffect::terminal(false);
+        }
+        self
+    }
+}
+
+impl fmt::Display for ActionEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.accept {
+            return write!(f, "REJECT");
+        }
+        let mut parts = Vec::new();
+        if let Some(v) = self.local_pref {
+            parts.push(format!("SET LOCAL PREF {v}"));
+        }
+        if let Some(v) = self.metric {
+            parts.push(format!("SET METRIC {v}"));
+        }
+        if let Some(v) = self.tag {
+            parts.push(format!("SET TAG {v}"));
+        }
+        if let Some(v) = self.weight {
+            parts.push(format!("SET WEIGHT {v}"));
+        }
+        if let Some(nh) = self.next_hop {
+            match nh {
+                Some(ip) => parts.push(format!("SET NEXT-HOP {ip}")),
+                None => parts.push("SET NEXT-HOP SELF".to_string()),
+            }
+        }
+        if self.comm_cleared {
+            let cs: Vec<String> = self.comm_added.iter().map(|c| c.to_string()).collect();
+            parts.push(format!("SET COMMUNITY {}", cs.join(" ")));
+        } else {
+            if !self.comm_added.is_empty() {
+                let cs: Vec<String> = self.comm_added.iter().map(|c| c.to_string()).collect();
+                parts.push(format!("ADD COMMUNITY {}", cs.join(" ")));
+            }
+            if !self.comm_deleted.is_empty() {
+                let cs: Vec<String> = self.comm_deleted.iter().map(|a| a.to_string()).collect();
+                parts.push(format!("DELETE COMMUNITY {}", cs.join(" ")));
+            }
+        }
+        parts.push("ACCEPT".to_string());
+        write!(f, "{}", parts.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_display() {
+        assert_eq!(ActionEffect::terminal(false).to_string(), "REJECT");
+        assert_eq!(ActionEffect::terminal(true).to_string(), "ACCEPT");
+    }
+
+    #[test]
+    fn last_local_pref_wins() {
+        let mut e = ActionEffect::terminal(true);
+        e.apply(&SetAction::LocalPref(10));
+        e.apply(&SetAction::LocalPref(30));
+        assert_eq!(e.local_pref, Some(30));
+        assert_eq!(e.to_string(), "SET LOCAL PREF 30\nACCEPT");
+    }
+
+    #[test]
+    fn community_set_then_add() {
+        let mut e = ActionEffect::terminal(true);
+        e.apply(&SetAction::CommunitySet(vec![Community::new(1, 1)]));
+        e.apply(&SetAction::CommunityAdd(vec![Community::new(2, 2)]));
+        assert!(e.comm_cleared);
+        assert_eq!(e.comm_added.len(), 2);
+    }
+
+    #[test]
+    fn delete_cancels_pending_add() {
+        let mut e = ActionEffect::terminal(true);
+        e.apply(&SetAction::CommunityAdd(vec![Community::new(1, 1)]));
+        e.apply(&SetAction::CommunityDelete(vec![CommAtom::Literal(
+            Community::new(1, 1),
+        )]));
+        assert!(e.comm_added.is_empty());
+        assert!(e.comm_deleted.contains(&CommAtom::Literal(Community::new(1, 1))));
+        // And add after delete revives.
+        e.apply(&SetAction::CommunityAdd(vec![Community::new(1, 1)]));
+        assert!(e.comm_added.contains(&Community::new(1, 1)));
+        assert!(!e.comm_deleted.contains(&CommAtom::Literal(Community::new(1, 1))));
+    }
+
+    #[test]
+    fn rejected_paths_normalize_equal() {
+        let mut a = ActionEffect::terminal(false);
+        a.apply(&SetAction::LocalPref(10));
+        let b = ActionEffect::terminal(false);
+        assert_ne!(a, b);
+        assert_eq!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn regex_delete_prunes_adds() {
+        let mut e = ActionEffect::terminal(true);
+        e.apply(&SetAction::CommunityAdd(vec![Community::new(65000, 5)]));
+        e.apply(&SetAction::CommunityDelete(vec![CommAtom::Regex(
+            "^65000:".to_string(),
+        )]));
+        assert!(e.comm_added.is_empty());
+    }
+}

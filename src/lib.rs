@@ -1,0 +1,29 @@
+//! # Campion — debugging router configuration differences
+//!
+//! Umbrella crate re-exporting the full public API of this reproduction of
+//! *Campion: Debugging Router Configuration Differences* (SIGCOMM 2021).
+//!
+//! Start with [`core`] (the diffing pipeline) and the repository examples:
+//!
+//! ```no_run
+//! use campion::cfg::parse_config;
+//! use campion::core::{compare_routers, CampionOptions};
+//! use campion::ir::lower;
+//!
+//! let cisco = lower(&parse_config(&std::fs::read_to_string("cisco.cfg").unwrap()).unwrap()).unwrap();
+//! let juniper = lower(&parse_config(&std::fs::read_to_string("juniper.cfg").unwrap()).unwrap()).unwrap();
+//! let report = compare_routers(&cisco, &juniper, &CampionOptions::default());
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use campion_bdd as bdd;
+pub use campion_cfg as cfg;
+pub use campion_core as core;
+pub use campion_gen as gen;
+pub use campion_ir as ir;
+pub use campion_minesweeper as minesweeper;
+pub use campion_net as net;
+pub use campion_srp as srp;
+pub use campion_symbolic as symbolic;

@@ -1,0 +1,140 @@
+//! The `campion` command-line tool.
+//!
+//! ```text
+//! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
+//!                 [--no-structural] [--exhaustive-communities]
+//! campion translate <config>            # emit the JunOS rewrite
+//! campion baseline <config1> <config2>  # Minesweeper-style single cex
+//! ```
+//!
+//! `compare` exits 0 when the two configurations are behaviorally
+//! equivalent, 1 when differences were found, 2 on usage or parse errors —
+//! so it drops straight into a change-management pipeline.
+
+use std::process::ExitCode;
+
+use campion::cfg::parse_config;
+use campion::core::{compare_routers, CampionOptions};
+use campion::ir::{lower, to_junos, RouterIr};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
+         \x20                 [--no-structural] [--exhaustive-communities]\n\
+         \x20 campion translate <config>\n\
+         \x20 campion baseline <config1> <config2>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_file(path: &str) -> Result<RouterIr, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cfg = parse_config(&text).map_err(|e| format!("{path}: {e}"))?;
+    lower(&cfg).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut opts = CampionOptions::default();
+    for a in args {
+        match a.as_str() {
+            "--no-acls" => opts.check_acls = false,
+            "--no-route-maps" => opts.check_route_maps = false,
+            "--no-structural" => {
+                opts.check_static_routes = false;
+                opts.check_connected_routes = false;
+                opts.check_bgp_properties = false;
+                opts.check_ospf = false;
+            }
+            "--exhaustive-communities" => opts.exhaustive_communities = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [p1, p2] = paths.as_slice() else {
+        return usage();
+    };
+    let (r1, r2) = match (load_file(p1), load_file(p2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare_routers(&r1, &r2, &opts);
+    println!("{report}");
+    if report.is_equivalent() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_translate(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    match load_file(path).and_then(|r| to_junos(&r).map_err(|e| e.to_string())) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_baseline(args: &[String]) -> ExitCode {
+    let [p1, p2] = args else { return usage() };
+    let (r1, r2) = match (load_file(p1), load_file(p2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut found = false;
+    // Compare same-named policies the way the §2 experiment does.
+    for (name, pol1) in &r1.policies {
+        if let Some(pol2) = r2.policies.get(name) {
+            if let Some(cex) = campion::minesweeper::check_route_maps(pol1, pol2) {
+                println!("policy {name}:\n{cex}\n");
+                found = true;
+            }
+        }
+    }
+    if let Some(cex) = campion::minesweeper::check_static_routes(&r1, &r2) {
+        println!("static routes:\n{cex}\n");
+        found = true;
+    }
+    for (name, a1) in &r1.acls {
+        if let Some(a2) = r2.acls.get(name) {
+            if let Some(cex) = campion::minesweeper::check_acls(a1, a2) {
+                println!("ACL {name}:\n{cex}\n");
+                found = true;
+            }
+        }
+    }
+    if found {
+        ExitCode::FAILURE
+    } else {
+        println!("no differences found");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "compare" => cmd_compare(rest),
+            "translate" => cmd_translate(rest),
+            "baseline" => cmd_baseline(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

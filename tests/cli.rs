@@ -1,0 +1,119 @@
+//! CLI integration tests: run the compiled `campion` binary against the
+//! checked-in testdata, covering exit codes and the translate pipeline.
+
+use std::process::Command;
+
+fn campion(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campion"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn compare_differs_exits_one() {
+    let out = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 difference(s)"), "{stdout}");
+    assert!(stdout.contains("Included Prefixes"));
+}
+
+#[test]
+fn compare_equal_exits_zero() {
+    let out = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_cisco.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("No behavioral differences"));
+}
+
+#[test]
+fn compare_missing_file_exits_two() {
+    let out = campion(&["compare", "testdata/figure1_cisco.cfg", "/nonexistent.cfg"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn flags_disable_checks() {
+    let out = campion(&[
+        "compare",
+        "--no-route-maps",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "only route maps differ here");
+    let out = campion(&["compare", "--bogus", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exhaustive_communities_flag() {
+    let out = campion(&[
+        "compare",
+        "--exhaustive-communities",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("with 10:10; without 10:11"),
+        "exhaustive community conditions must replace the single example:\n{stdout}"
+    );
+}
+
+#[test]
+fn translate_then_compare_is_clean() {
+    let out = campion(&["translate", "testdata/figure1_cisco.cfg"]);
+    assert_eq!(out.status.code(), Some(0));
+    let junos = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(junos.contains("policy-statement POL"));
+    let tmp = std::env::temp_dir().join("campion_cli_translated.cfg");
+    std::fs::write(&tmp, &junos).expect("write temp");
+    let out = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        tmp.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "automated translation must be equivalent:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn baseline_reports_single_counterexamples() {
+    let out = campion(&[
+        "baseline",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("policy POL"));
+    assert!(stdout.contains("Route received"));
+
+    let out = campion(&[
+        "baseline",
+        "testdata/static_cisco.cfg",
+        "testdata/static_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("static routes"));
+}
+
+#[test]
+fn usage_without_args() {
+    let out = campion(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

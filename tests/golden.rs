@@ -1,0 +1,39 @@
+//! Golden-output tests: the rendered reports are part of the paper's
+//! contribution (Present, §3), so their exact shape is pinned against
+//! checked-in snapshots. Regenerate with
+//! `cargo run -p campion-bench --bin table2 > testdata/golden/table2.txt`
+//! when the format intentionally changes.
+
+use campion::cfg::parse_config;
+use campion::cfg::samples::{FIGURE1_CISCO, FIGURE1_JUNIPER};
+use campion::core::{compare_routers, CampionOptions};
+use campion::ir::lower;
+
+#[test]
+fn table2_rendering_matches_golden_snapshot() {
+    let golden = std::fs::read_to_string("testdata/golden/table2.txt").expect("golden file");
+    let c = lower(&parse_config(FIGURE1_CISCO).expect("parse")).expect("lower");
+    let j = lower(&parse_config(FIGURE1_JUNIPER).expect("parse")).expect("lower");
+    let report = compare_routers(&c, &j, &CampionOptions::default());
+    for (i, d) in report.route_map_diffs.iter().enumerate() {
+        let rendered = format!("{d}");
+        for line in rendered.lines() {
+            assert!(
+                golden.contains(line),
+                "difference {} line not in golden snapshot:\n{line}\n\
+                 (regenerate testdata/golden/table2.txt if the format change \
+                 is intentional)",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn testdata_files_parse_to_the_samples() {
+    // The checked-in CLI fixtures stay in sync with the library samples.
+    let file = std::fs::read_to_string("testdata/figure1_cisco.cfg").expect("fixture");
+    assert_eq!(file.trim_end(), FIGURE1_CISCO.trim_end());
+    let file = std::fs::read_to_string("testdata/figure1_juniper.cfg").expect("fixture");
+    assert_eq!(file.trim_end(), FIGURE1_JUNIPER.trim_end());
+}
