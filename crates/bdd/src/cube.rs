@@ -105,12 +105,7 @@ impl Cube {
 
     /// Resolve free variables to `default`, producing a complete assignment.
     pub fn complete_with(&self, default: bool) -> Assignment {
-        Assignment::new(
-            self.values
-                .iter()
-                .map(|v| v.unwrap_or(default))
-                .collect(),
-        )
+        Assignment::new(self.values.iter().map(|v| v.unwrap_or(default)).collect())
     }
 }
 

@@ -1,4 +1,24 @@
 //! The BDD manager: node arena, unique table, and memoized operations.
+//!
+//! ## Hot-path design (the CUDD/Sylvan table layout)
+//!
+//! The two structures every BDD operation funnels through are hand-rolled
+//! for speed rather than borrowed from `std::collections`:
+//!
+//! * **Unique table** — an open-addressing, linear-probing hash table of
+//!   node indices keyed by `(var, low, high)` with an FxHash-style
+//!   multiply-xor hash. Power-of-two capacity, amortized doubling at 3/4
+//!   load. Compared with a SipHash `HashMap<Node, Bdd>`, a lookup is one
+//!   multiply-mix plus a short probe over a flat `u32` array.
+//! * **Computed tables** — the apply, negation, and if-then-else caches are
+//!   fixed-size direct-mapped arrays with lossy overwrite (CUDD's
+//!   "computed table"). A colliding insert simply replaces the previous
+//!   entry; correctness is unaffected because results are only reused on an
+//!   exact key match, and nodes are never freed so entries cannot dangle.
+//!
+//! Every table keeps hit/probe counters, surfaced through
+//! [`Manager::stats`] so benchmarks (the `scalability` bin) can report
+//! cache behavior alongside wall-clock numbers.
 
 use std::collections::HashMap;
 
@@ -36,7 +56,7 @@ impl Bdd {
 
 /// One decision node. `var` is the decision level; `low` is the cofactor for
 /// `var = 0`, `high` for `var = 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Node {
     var: u32,
     low: Bdd,
@@ -44,7 +64,7 @@ struct Node {
 }
 
 /// Binary operations memoized in the apply cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
     And,
     Or,
@@ -108,6 +128,232 @@ impl Op {
     }
 }
 
+/// FxHash-style word mixer: rotate, xor, multiply by a large odd constant.
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    const K: u64 = 0x517C_C1B7_2722_0A95;
+    (hash.rotate_left(5) ^ word).wrapping_mul(K)
+}
+
+/// Hash of a node key `(var, low, high)`.
+#[inline]
+fn node_hash(var: u32, low: Bdd, high: Bdd) -> u64 {
+    let h = fx_mix(0, u64::from(var));
+    let h = fx_mix(h, u64::from(low.0));
+    fx_mix(h, u64::from(high.0))
+}
+
+/// Fold a 64-bit hash down to a table index with `mask = len - 1`.
+#[inline]
+fn slot_of(hash: u64, mask: usize) -> usize {
+    // The multiply pushes entropy toward the high bits; fold them back in
+    // before masking.
+    ((hash ^ (hash >> 32)) as usize) & mask
+}
+
+/// Marker for an empty unique-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing unique table: node indices keyed by the node's
+/// `(var, low, high)` triple, resolved against the arena.
+struct UniqueTable {
+    /// Node index per slot, or [`EMPTY`]. Length is a power of two.
+    slots: Vec<u32>,
+    /// `slots.len() - 1`.
+    mask: usize,
+    /// Occupied slot count.
+    len: usize,
+    /// Lookups that found an existing node.
+    hits: u64,
+    /// Total lookups.
+    lookups: u64,
+    /// Probe steps beyond the home slot (collision walk length).
+    collisions: u64,
+    /// Number of times the table doubled.
+    grows: u64,
+}
+
+impl UniqueTable {
+    fn with_capacity_pow2(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(64);
+        UniqueTable {
+            slots: vec![EMPTY; capacity],
+            mask: capacity - 1,
+            len: 0,
+            hits: 0,
+            lookups: 0,
+            collisions: 0,
+            grows: 0,
+        }
+    }
+
+    /// Find the node equal to `(var, low, high)` or the empty slot where it
+    /// belongs. Returns `Ok(existing_index)` or `Err(slot)`.
+    #[inline]
+    fn find(&mut self, nodes: &[Node], var: u32, low: Bdd, high: Bdd) -> Result<u32, usize> {
+        self.lookups += 1;
+        let mut slot = slot_of(node_hash(var, low, high), self.mask);
+        loop {
+            let s = self.slots[slot];
+            if s == EMPTY {
+                return Err(slot);
+            }
+            let n = nodes[s as usize];
+            if n.var == var && n.low == low && n.high == high {
+                self.hits += 1;
+                return Ok(s);
+            }
+            self.collisions += 1;
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Fill a slot previously returned by [`UniqueTable::find`] and grow at
+    /// 3/4 load so probe chains stay short.
+    #[inline]
+    fn insert(&mut self, slot: usize, index: u32, nodes: &[Node]) {
+        self.slots[slot] = index;
+        self.len += 1;
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow(nodes);
+        }
+    }
+
+    /// Double the table and rehash every non-terminal node.
+    fn grow(&mut self, nodes: &[Node]) {
+        let new_cap = self.slots.len() * 2;
+        self.mask = new_cap - 1;
+        self.slots.clear();
+        self.slots.resize(new_cap, EMPTY);
+        self.grows += 1;
+        for (i, n) in nodes.iter().enumerate().skip(2) {
+            let mut slot = slot_of(node_hash(n.var, n.low, n.high), self.mask);
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = u32::try_from(i).expect("BDD arena overflow");
+        }
+    }
+}
+
+/// A fixed-size direct-mapped computed table (lossy overwrite on collision).
+struct DirectCache<K: Copy + PartialEq> {
+    entries: Vec<Option<(K, Bdd)>>,
+    mask: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<K: Copy + PartialEq> DirectCache<K> {
+    fn new(bits: u32) -> Self {
+        let capacity = 1usize << bits;
+        DirectCache {
+            entries: vec![None; capacity],
+            mask: capacity - 1,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, hash: u64, key: K) -> Option<Bdd> {
+        self.lookups += 1;
+        match self.entries[slot_of(hash, self.mask)] {
+            Some((k, v)) if k == key => {
+                self.hits += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, hash: u64, key: K, value: Bdd) {
+        self.entries[slot_of(hash, self.mask)] = Some((key, value));
+    }
+}
+
+/// Slot-count exponents for the computed tables. Sized so that a manager
+/// costs well under a megabyte while single-ACL SemanticDiff workloads at
+/// 10 000 rules still fit their working set.
+const APPLY_CACHE_BITS: u32 = 14;
+const NOT_CACHE_BITS: u32 = 12;
+const ITE_CACHE_BITS: u32 = 12;
+
+/// A point-in-time snapshot of a manager's internal counters, for
+/// benchmarks and scalability reporting. Obtain via [`Manager::stats`];
+/// merge across managers with [`ManagerStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Allocated nodes, including the two terminals.
+    pub nodes: u64,
+    /// Unique-table lookups (one per `mk` after the reduction rule).
+    pub unique_lookups: u64,
+    /// Unique-table lookups that found an existing node.
+    pub unique_hits: u64,
+    /// Probe steps beyond the home slot across all unique-table lookups.
+    pub unique_collisions: u64,
+    /// Times the unique table doubled.
+    pub unique_grows: u64,
+    /// Apply-cache lookups.
+    pub apply_lookups: u64,
+    /// Apply-cache hits.
+    pub apply_hits: u64,
+    /// Negation-cache lookups.
+    pub not_lookups: u64,
+    /// Negation-cache hits.
+    pub not_hits: u64,
+    /// If-then-else-cache lookups.
+    pub ite_lookups: u64,
+    /// If-then-else-cache hits.
+    pub ite_hits: u64,
+}
+
+impl ManagerStats {
+    /// Apply-cache hit rate in `[0, 1]` (0 when no lookups).
+    pub fn apply_hit_rate(&self) -> f64 {
+        rate(self.apply_hits, self.apply_lookups)
+    }
+
+    /// Unique-table hit rate in `[0, 1]` (share of `mk` calls answered by
+    /// an existing node).
+    pub fn unique_hit_rate(&self) -> f64 {
+        rate(self.unique_hits, self.unique_lookups)
+    }
+
+    /// Mean probe steps beyond the home slot per unique-table lookup.
+    pub fn unique_collisions_per_lookup(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_collisions as f64 / self.unique_lookups as f64
+        }
+    }
+
+    /// Accumulate another manager's counters into this one.
+    pub fn merge(&mut self, other: &ManagerStats) {
+        self.nodes += other.nodes;
+        self.unique_lookups += other.unique_lookups;
+        self.unique_hits += other.unique_hits;
+        self.unique_collisions += other.unique_collisions;
+        self.unique_grows += other.unique_grows;
+        self.apply_lookups += other.apply_lookups;
+        self.apply_hits += other.apply_hits;
+        self.not_lookups += other.not_lookups;
+        self.not_hits += other.not_hits;
+        self.ite_lookups += other.ite_lookups;
+        self.ite_hits += other.ite_hits;
+    }
+}
+
+fn rate(hits: u64, lookups: u64) -> f64 {
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
 /// The BDD manager: owns all nodes and provides every operation.
 ///
 /// The variable order is fixed at construction: variable `0` is the topmost
@@ -117,10 +363,10 @@ impl Op {
 pub struct Manager {
     num_vars: u32,
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    unique: UniqueTable,
+    apply_cache: DirectCache<(u8, Bdd, Bdd)>,
+    not_cache: DirectCache<Bdd>,
+    ite_cache: DirectCache<(Bdd, Bdd, Bdd)>,
 }
 
 impl std::fmt::Debug for Manager {
@@ -135,6 +381,12 @@ impl std::fmt::Debug for Manager {
 impl Manager {
     /// Create a manager over `num_vars` boolean variables, ordered `0..num_vars`.
     pub fn new(num_vars: u32) -> Self {
+        Manager::with_capacity(num_vars, 0)
+    }
+
+    /// Like [`Manager::new`], pre-sizing the unique table for roughly
+    /// `expected_nodes` nodes so large workloads skip the doubling ladder.
+    pub fn with_capacity(num_vars: u32, expected_nodes: usize) -> Self {
         // Index 0 and 1 are reserved for the terminals. Their stored `var` is
         // `num_vars` (one past the last real level) so that terminal `var`
         // compares greater than every decision level.
@@ -153,10 +405,11 @@ impl Manager {
                     high: Bdd::TRUE,
                 },
             ],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            ite_cache: HashMap::new(),
+            // Aim for ≤ 3/4 load once `expected_nodes` nodes exist.
+            unique: UniqueTable::with_capacity_pow2(expected_nodes.saturating_mul(4) / 3),
+            apply_cache: DirectCache::new(APPLY_CACHE_BITS),
+            not_cache: DirectCache::new(NOT_CACHE_BITS),
+            ite_cache: DirectCache::new(ITE_CACHE_BITS),
         }
     }
 
@@ -169,6 +422,23 @@ impl Manager {
     /// benchmarks and scalability reporting.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Snapshot of the internal hot-path counters.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            nodes: self.nodes.len() as u64,
+            unique_lookups: self.unique.lookups,
+            unique_hits: self.unique.hits,
+            unique_collisions: self.unique.collisions,
+            unique_grows: self.unique.grows,
+            apply_lookups: self.apply_cache.lookups,
+            apply_hits: self.apply_cache.hits,
+            not_lookups: self.not_cache.lookups,
+            not_hits: self.not_cache.hits,
+            ite_lookups: self.ite_cache.lookups,
+            ite_hits: self.ite_cache.hits,
+        }
     }
 
     /// The constant-false function.
@@ -211,14 +481,16 @@ impl Manager {
         if low == high {
             return low;
         }
-        let node = Node { var, low, high };
-        if let Some(&b) = self.unique.get(&node) {
-            return b;
+        match self.unique.find(&self.nodes, var, low, high) {
+            Ok(existing) => Bdd(existing),
+            Err(slot) => {
+                let idx = u32::try_from(self.nodes.len()).expect("BDD arena overflow");
+                assert!(idx != EMPTY, "BDD arena overflow");
+                self.nodes.push(Node { var, low, high });
+                self.unique.insert(slot, idx, &self.nodes);
+                Bdd(idx)
+            }
         }
-        let idx = Bdd(u32::try_from(self.nodes.len()).expect("BDD arena overflow"));
-        self.nodes.push(node);
-        self.unique.insert(node, idx);
-        idx
     }
 
     /// The function `var = 1` (a single positive literal).
@@ -248,15 +520,17 @@ impl Manager {
         if f.is_const_true() {
             return Bdd::FALSE;
         }
-        if let Some(&r) = self.not_cache.get(&f) {
+        let hash = fx_mix(0, u64::from(f.0));
+        if let Some(r) = self.not_cache.get(hash, f) {
             return r;
         }
         let (var, low, high) = (self.var_of(f), self.low_of(f), self.high_of(f));
         let nl = self.not(low);
         let nh = self.not(high);
         let r = self.mk(var, nl, nh);
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
+        self.not_cache.put(hash, f, r);
+        let rhash = fx_mix(0, u64::from(r.0));
+        self.not_cache.put(rhash, r, f);
         r
     }
 
@@ -264,12 +538,17 @@ impl Manager {
         if let Some(r) = op.terminal(f, g) {
             return r;
         }
-        let key = if op.commutative() && g < f {
-            (op, g, f)
+        let (f, g) = if op.commutative() && g < f {
+            (g, f)
         } else {
-            (op, f, g)
+            (f, g)
         };
-        if let Some(&r) = self.apply_cache.get(&key) {
+        let key = (op as u8, f, g);
+        let hash = fx_mix(
+            fx_mix(fx_mix(0, u64::from(op as u8)), u64::from(f.0)),
+            u64::from(g.0),
+        );
+        if let Some(r) = self.apply_cache.get(hash, key) {
             return r;
         }
         let (vf, vg) = (self.var_of(f), self.var_of(g));
@@ -287,7 +566,7 @@ impl Manager {
         let low = self.apply(op, fl, gl);
         let high = self.apply(op, fh, gh);
         let r = self.mk(var, low, high);
-        self.apply_cache.insert(key, r);
+        self.apply_cache.put(hash, key, r);
         r
     }
 
@@ -325,27 +604,44 @@ impl Manager {
     }
 
     /// Conjunction over many operands (true for the empty list).
+    ///
+    /// Reduces pairwise as a balanced tree rather than a linear fold:
+    /// combining operands of similar size keeps intermediate BDDs small,
+    /// the classic multi-operand strategy in mature packages.
     pub fn and_all(&mut self, fs: &[Bdd]) -> Bdd {
-        let mut acc = Bdd::TRUE;
-        for &f in fs {
-            acc = self.and(acc, f);
-            if acc.is_const_false() {
-                break;
-            }
-        }
-        acc
+        self.balanced_reduce(fs, Op::And, Bdd::TRUE, Bdd::FALSE)
     }
 
     /// Disjunction over many operands (false for the empty list).
+    ///
+    /// Balanced-tree reduction; see [`Manager::and_all`].
     pub fn or_all(&mut self, fs: &[Bdd]) -> Bdd {
-        let mut acc = Bdd::FALSE;
-        for &f in fs {
-            acc = self.or(acc, f);
-            if acc.is_const_true() {
-                break;
-            }
+        self.balanced_reduce(fs, Op::Or, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Pairwise balanced reduction with early exit on the absorbing
+    /// element (`false` for AND, `true` for OR).
+    fn balanced_reduce(&mut self, fs: &[Bdd], op: Op, identity: Bdd, absorbing: Bdd) -> Bdd {
+        if fs.is_empty() {
+            return identity;
         }
-        acc
+        let mut layer: Vec<Bdd> = fs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                let r = if chunk.len() == 2 {
+                    self.apply(op, chunk[0], chunk[1])
+                } else {
+                    chunk[0]
+                };
+                if r == absorbing {
+                    return absorbing;
+                }
+                next.push(r);
+            }
+            layer = next;
+        }
+        layer[0]
     }
 
     /// If-then-else: `(c ∧ t) ∨ (¬c ∧ e)`. This is how the symbolic layer
@@ -364,7 +660,11 @@ impl Manager {
             return c;
         }
         let key = (c, t, e);
-        if let Some(&r) = self.ite_cache.get(&key) {
+        let hash = fx_mix(
+            fx_mix(fx_mix(0, u64::from(c.0)), u64::from(t.0)),
+            u64::from(e.0),
+        );
+        if let Some(r) = self.ite_cache.get(hash, key) {
             return r;
         }
         let var = self.var_of(c).min(self.var_of(t)).min(self.var_of(e));
@@ -379,12 +679,16 @@ impl Manager {
                 f
             }
         };
-        let (cl, tl, el) = (cof(self, c, false), cof(self, t, false), cof(self, e, false));
+        let (cl, tl, el) = (
+            cof(self, c, false),
+            cof(self, t, false),
+            cof(self, e, false),
+        );
         let (ch, th, eh) = (cof(self, c, true), cof(self, t, true), cof(self, e, true));
         let low = self.ite(cl, tl, el);
         let high = self.ite(ch, th, eh);
         let r = self.mk(var, low, high);
-        self.ite_cache.insert(key, r);
+        self.ite_cache.put(hash, key, r);
         r
     }
 
@@ -405,7 +709,11 @@ impl Manager {
             return f;
         }
         if v == var {
-            return if value { self.high_of(f) } else { self.low_of(f) };
+            return if value {
+                self.high_of(f)
+            } else {
+                self.low_of(f)
+            };
         }
         // v < var: rebuild. Memoization via the ite cache keyed on a literal
         // would be possible; restriction is rare in Campion so keep it simple.

@@ -175,10 +175,7 @@ fn sat_cubes_partition_the_onset() {
     let cubes: Vec<_> = m.sat_cubes(f).collect();
     assert!(!cubes.is_empty());
     // Disjoint cubes whose total weight equals the sat count.
-    let total: u128 = cubes
-        .iter()
-        .map(|c| 1u128 << (3 - c.fixed_count()))
-        .sum();
+    let total: u128 = cubes.iter().map(|c| 1u128 << (3 - c.fixed_count())).sum();
     assert_eq!(total, m.sat_count(f));
     // Every cube's completion satisfies f.
     for c in &cubes {
@@ -193,10 +190,7 @@ fn sat_cubes_deterministic_order() {
     let x = m.var(0);
     let y = m.var(1);
     let f = m.or(x, y);
-    let firsts: Vec<_> = m
-        .sat_cubes(f)
-        .map(|c| c.complete_with(false))
-        .collect();
+    let firsts: Vec<_> = m.sat_cubes(f).map(|c| c.complete_with(false)).collect();
     // Expect (0,1) then (1,·) — low branch first.
     assert_eq!(firsts[0].values(), &[false, true]);
     assert!(firsts[1].get(0));
@@ -209,6 +203,108 @@ fn decode_be_reads_msb_first() {
     a.set(3, true); // lsb of 0..4
     assert_eq!(a.decode_be(0..4), 0b1001);
     assert_eq!(a.decode_be(4..8), 0);
+}
+
+#[test]
+fn and_all_or_all_match_linear_fold() {
+    // The balanced-tree reduction must agree with the naive left fold on
+    // every operand mix (hash-consing makes agreement exact handle
+    // equality, not just semantic equivalence).
+    let mut m = Manager::new(8);
+    let lits: Vec<Bdd> = (0..8).map(|v| m.var(v)).collect();
+    let mut operand_sets: Vec<Vec<Bdd>> = vec![
+        vec![],
+        vec![lits[3]],
+        lits.clone(),
+        vec![lits[0], lits[0], lits[0]],
+    ];
+    // A mixed set with negations and intermediate conjunctions.
+    let n4 = m.not(lits[4]);
+    let c01 = m.and(lits[0], lits[1]);
+    operand_sets.push(vec![c01, n4, lits[7], lits[2], c01]);
+    // A set containing the absorbing element.
+    operand_sets.push(vec![lits[1], Bdd::FALSE, lits[2]]);
+    for fs in &operand_sets {
+        let fold_and = fs.iter().fold(Bdd::TRUE, |acc, &f| m.and(acc, f));
+        let fold_or = fs.iter().fold(Bdd::FALSE, |acc, &f| m.or(acc, f));
+        assert_eq!(m.and_all(fs), fold_and, "and_all mismatch on {fs:?}");
+        assert_eq!(m.or_all(fs), fold_or, "or_all mismatch on {fs:?}");
+    }
+}
+
+#[test]
+fn stats_counters_track_table_activity() {
+    let mut m = Manager::new(16);
+    let base = m.stats();
+    assert_eq!(base.nodes, 2, "fresh manager holds only the terminals");
+    let mut fs = Vec::new();
+    for v in 0..16 {
+        fs.push(m.var(v));
+    }
+    let conj = m.and_all(&fs);
+    assert!(!conj.is_const_false());
+    let s = m.stats();
+    assert_eq!(s.nodes as usize, m.node_count());
+    assert!(s.unique_lookups > 0, "mk must consult the unique table");
+    assert!(s.apply_lookups > 0, "and_all must consult the apply cache");
+    // Re-running the same conjunction is answered by caches and terminal
+    // rules without allocating nodes.
+    let before = m.stats();
+    let again = m.and_all(&fs);
+    assert_eq!(again, conj);
+    let after = m.stats();
+    assert_eq!(before.nodes, after.nodes, "cached rerun must not allocate");
+    assert!(after.apply_hits >= before.apply_hits);
+    // Hit-rate helpers stay within [0, 1].
+    assert!((0.0..=1.0).contains(&after.apply_hit_rate()));
+    assert!((0.0..=1.0).contains(&after.unique_hit_rate()));
+    assert!(after.unique_collisions_per_lookup() >= 0.0);
+}
+
+#[test]
+fn unique_table_growth_preserves_canonicity() {
+    // Allocate well past the initial 64-slot table so the open-addressing
+    // table rehashes several times, then verify hash-consing still
+    // canonicalizes: rebuilding any function yields the same handle.
+    let mut m = Manager::new(20);
+    let mut funcs = Vec::new();
+    for a in 0..20u32 {
+        for b in 0..20u32 {
+            let x = m.var(a);
+            let y = m.var(b);
+            let f = m.xor(x, y);
+            let g = m.and(x, f);
+            funcs.push((a, b, g));
+        }
+    }
+    let s = m.stats();
+    assert!(s.unique_grows > 0, "expected at least one table doubling");
+    assert!(s.nodes > 64, "workload must outgrow the initial table");
+    for (a, b, g) in funcs {
+        let x = m.var(a);
+        let y = m.var(b);
+        let f = m.xor(x, y);
+        let g2 = m.and(x, f);
+        assert_eq!(g2, g, "rebuild of x{a} & (x{a} ^ x{b}) changed handle");
+    }
+}
+
+#[test]
+fn with_capacity_presizes_without_behavior_change() {
+    let mut small = Manager::new(10);
+    let mut big = Manager::with_capacity(10, 1 << 14);
+    let mut fs = Vec::new();
+    let mut gs = Vec::new();
+    for v in 0..10 {
+        let a = small.var(v);
+        let b = big.var(v);
+        fs.push(a);
+        gs.push(b);
+    }
+    let fa = small.and_all(&fs);
+    let ga = big.and_all(&gs);
+    assert_eq!(small.sat_count(fa), big.sat_count(ga));
+    assert_eq!(big.stats().unique_grows, 0, "pre-sized table must not grow");
 }
 
 mod properties {
@@ -241,8 +337,11 @@ mod properties {
                     .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone(), inner)
-                    .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+                (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                    Box::new(a),
+                    Box::new(b),
+                    Box::new(c)
+                )),
             ]
         })
     }
@@ -291,9 +390,8 @@ mod properties {
     }
 
     fn assignments() -> impl Iterator<Item = Assignment> {
-        (0u32..(1 << NVARS)).map(|bits| {
-            Assignment::new((0..NVARS).map(|v| (bits >> v) & 1 == 1).collect())
-        })
+        (0u32..(1 << NVARS))
+            .map(|bits| Assignment::new((0..NVARS).map(|v| (bits >> v) & 1 == 1).collect()))
     }
 
     proptest! {
@@ -356,6 +454,103 @@ mod properties {
             } else {
                 prop_assert!(m.is_false(f));
             }
+        }
+    }
+}
+
+mod wide_properties {
+    //! Wider differential tests (12 variables) sized to push the
+    //! open-addressing unique table through several growth/rehash cycles
+    //! and to cycle the direct-mapped computed tables, while staying
+    //! brute-forceable (2^12 assignments).
+    use super::*;
+    use proptest::prelude::*;
+
+    const NVARS: u32 = 12;
+
+    /// A flat random formula: a disjunction of random cubes. Wide enough
+    /// to allocate thousands of nodes, cheap to evaluate concretely.
+    #[derive(Debug, Clone)]
+    struct Dnf {
+        /// Each cube: (mask of constrained vars, polarity bits).
+        cubes: Vec<(u16, u16)>,
+    }
+
+    fn dnf_strategy() -> impl Strategy<Value = Dnf> {
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 1..24).prop_map(|cubes| Dnf {
+            cubes: cubes
+                .into_iter()
+                .map(|(m, p)| (m & 0x0FFF, p & 0x0FFF))
+                .collect(),
+        })
+    }
+
+    fn eval_dnf(d: &Dnf, bits: u16) -> bool {
+        d.cubes.iter().any(|&(mask, pol)| (bits ^ pol) & mask == 0)
+    }
+
+    fn build_dnf(m: &mut Manager, d: &Dnf) -> Bdd {
+        let mut cube_bdds = Vec::with_capacity(d.cubes.len());
+        for &(mask, pol) in &d.cubes {
+            let mut lits = Vec::new();
+            for v in 0..NVARS {
+                if mask >> v & 1 == 1 {
+                    lits.push(if pol >> v & 1 == 1 {
+                        m.var(v)
+                    } else {
+                        m.nvar(v)
+                    });
+                }
+            }
+            let c = m.and_all(&lits);
+            cube_bdds.push(c);
+        }
+        m.or_all(&cube_bdds)
+    }
+
+    proptest! {
+        #[test]
+        fn wide_bdd_matches_truth_table(d in dnf_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build_dnf(&mut m, &d);
+            for bits in 0u16..(1 << NVARS) {
+                let a = Assignment::new(
+                    (0..NVARS).map(|v| bits >> v & 1 == 1).collect(),
+                );
+                prop_assert_eq!(m.eval(f, &a), eval_dnf(&d, bits));
+            }
+            // The counters must be coherent regardless of workload shape.
+            let s = m.stats();
+            prop_assert!(s.unique_hits <= s.unique_lookups);
+            prop_assert!(s.apply_hits <= s.apply_lookups);
+            prop_assert_eq!(s.nodes as usize, m.node_count());
+        }
+
+        #[test]
+        fn wide_ops_consistent_after_growth(d1 in dnf_strategy(), d2 in dnf_strategy()) {
+            let mut m = Manager::new(NVARS);
+            let f = build_dnf(&mut m, &d1);
+            let g = build_dnf(&mut m, &d2);
+            let and = m.and(f, g);
+            let or = m.or(f, g);
+            let xor = m.xor(f, g);
+            let diff = m.diff(f, g);
+            for bits in 0u16..(1 << NVARS) {
+                let a = Assignment::new(
+                    (0..NVARS).map(|v| bits >> v & 1 == 1).collect(),
+                );
+                let (vf, vg) = (eval_dnf(&d1, bits), eval_dnf(&d2, bits));
+                prop_assert_eq!(m.eval(and, &a), vf && vg);
+                prop_assert_eq!(m.eval(or, &a), vf || vg);
+                prop_assert_eq!(m.eval(xor, &a), vf != vg);
+                prop_assert_eq!(m.eval(diff, &a), vf && !vg);
+            }
+            prop_assert_eq!(
+                m.sat_count(and),
+                (0u16..(1 << NVARS))
+                    .filter(|&b| eval_dnf(&d1, b) && eval_dnf(&d2, b))
+                    .count() as u128
+            );
         }
     }
 }

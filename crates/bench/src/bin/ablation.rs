@@ -64,11 +64,25 @@ fn main() {
     // ---- 1. structural vs semantic static-route checking -------------
     let a = load(
         &(0..200)
-            .map(|i| format!("ip route 10.{}.{}.0 255.255.255.0 10.99.0.{}\n", i / 250, i % 250, i % 200 + 1))
+            .map(|i| {
+                format!(
+                    "ip route 10.{}.{}.0 255.255.255.0 10.99.0.{}\n",
+                    i / 250,
+                    i % 250,
+                    i % 200 + 1
+                )
+            })
             .collect::<String>(),
     );
     let mut b_text: String = (0..200)
-        .map(|i| format!("ip route 10.{}.{}.0 255.255.255.0 10.99.0.{}\n", i / 250, i % 250, i % 200 + 1))
+        .map(|i| {
+            format!(
+                "ip route 10.{}.{}.0 255.255.255.0 10.99.0.{}\n",
+                i / 250,
+                i % 250,
+                i % 200 + 1
+            )
+        })
         .collect();
     b_text.push_str("ip route 172.16.0.0 255.255.0.0 10.99.0.7\n"); // one extra
     let b = load(&b_text);
@@ -102,7 +116,10 @@ fn main() {
     let (bc, bj) = university_border_pair();
     let rc = load(&bc);
     let rj = load(&bj);
-    for (label, refined) in [("regex refinement ON", true), ("regex refinement OFF", false)] {
+    for (label, refined) in [
+        ("regex refinement ON", true),
+        ("regex refinement OFF", false),
+    ] {
         let t0 = Instant::now();
         let mut total = 0;
         for name in ["EXPORT3", "EXPORT4"] {
@@ -150,7 +167,8 @@ fn main() {
     let dag = RangeDag::build(&mut headerloc::DstAddrSpace(&mut space), &ranges);
     for d in &diffs {
         let proj = space.project_to_dst(d.input);
-        let _ = headerloc::header_localize_with(&mut headerloc::DstAddrSpace(&mut space), proj, &dag);
+        let _ =
+            headerloc::header_localize_with(&mut headerloc::DstAddrSpace(&mut space), proj, &dag);
     }
     let t_reuse = t0.elapsed();
     let t0 = Instant::now();

@@ -16,7 +16,15 @@ fn main() {
     let e: PrefixRange = "10.2.0.0/16:16-32".parse().expect("valid");
     let f: PrefixRange = "20.1.0.0/16:16-32".parse().expect("valid");
     let g: PrefixRange = "20.1.1.0/24:24-32".parse().expect("valid");
-    for (name, r) in [("A (=U)", a), ("B", b), ("C", c), ("D", d), ("E", e), ("F", f), ("G", g)] {
+    for (name, r) in [
+        ("A (=U)", a),
+        ("B", b),
+        ("C", c),
+        ("D", d),
+        ("E", e),
+        ("F", f),
+        ("G", g),
+    ] {
         println!("  {name:7} = {r}");
     }
 

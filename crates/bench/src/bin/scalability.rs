@@ -6,18 +6,66 @@
 //! parsing ~13 s at 10 000. Absolute numbers differ across hosts; the
 //! shape to match is superlinear growth with the 1 000→10 000 ratio ≫ 10×
 //! and parse time in the same order as the diff.
+//!
+//! A second section measures the parallel driver: one router pair holding
+//! many independent ACLs, compared at `jobs=1` and `jobs=4`. Pass `--json`
+//! to additionally write machine-readable results (timings plus BDD
+//! cache-hit counters) to `BENCH_campion.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use campion_bench::{load, print_rows};
-use campion_core::{compare_routers, CampionOptions};
+use campion_core::{compare_routers, CampionOptions, CampionReport};
 use campion_gen::capirca_acl_pair;
 
+/// Per-size measurement for the JSON report.
+struct SizeResult {
+    rules: usize,
+    parse_s: f64,
+    semdiff_s: f64,
+    diffs_found: usize,
+    nodes: u64,
+    apply_hit_rate: f64,
+    unique_hit_rate: f64,
+}
+
+fn opts_with_jobs(jobs: usize) -> CampionOptions {
+    CampionOptions {
+        jobs,
+        ..CampionOptions::default()
+    }
+}
+
+/// Concatenate `pairs` renamed copies of a generated ACL pair into one
+/// Cisco and one Juniper configuration, so a single `compare_routers`
+/// call carries `pairs` independent semantic work items.
+fn multi_acl_pair(pairs: usize, rules: usize, seed: u64) -> (String, String) {
+    let mut cisco = String::new();
+    let mut juniper = String::new();
+    for i in 0..pairs {
+        let (c, j) = capirca_acl_pair(rules, 10.min(rules / 2), seed + i as u64);
+        cisco.push_str(&c.replace("ACL-GEN", &format!("ACL-GEN-{i}")));
+        juniper.push_str(&j.replace("ACL-GEN", &format!("ACL-GEN-{i}")));
+    }
+    (cisco, juniper)
+}
+
+fn timed_compare(cisco: &str, juniper: &str, opts: &CampionOptions) -> (f64, CampionReport) {
+    let rc = load(cisco);
+    let rj = load(juniper);
+    let t = Instant::now();
+    let report = compare_routers(&rc, &rj, opts);
+    (t.elapsed().as_secs_f64(), report)
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     println!("Reproducing §5.4 — SemanticDiff scalability on generated ACLs\n");
     let sizes = [100usize, 500, 1000, 5000, 10000];
     let mut rows = Vec::new();
     let mut times = Vec::new();
+    let mut size_results = Vec::new();
     for &n in &sizes {
         let diffs = 10.min(n / 2);
         let (cisco, juniper) = capirca_acl_pair(n, diffs, 0xC0FFEE + n as u64);
@@ -27,23 +75,104 @@ fn main() {
         let rj = load(&juniper);
         let parse_time = t0.elapsed();
 
+        // Single pair ⇒ a single semantic work item: this section times the
+        // BDD engine itself, so run it on one worker.
         let t1 = Instant::now();
-        let report = compare_routers(&rc, &rj, &CampionOptions::default());
+        let report = compare_routers(&rc, &rj, &opts_with_jobs(1));
         let diff_time = t1.elapsed();
 
         times.push(diff_time.as_secs_f64());
+        let s = &report.bdd_stats;
         rows.push(vec![
             n.to_string(),
             format!("{:.3}", parse_time.as_secs_f64()),
             format!("{:.3}", diff_time.as_secs_f64()),
             report.acl_diffs.len().to_string(),
+            format!("{:.1}%", s.apply_hit_rate() * 100.0),
         ]);
+        size_results.push(SizeResult {
+            rules: n,
+            parse_s: parse_time.as_secs_f64(),
+            semdiff_s: diff_time.as_secs_f64(),
+            diffs_found: report.acl_diffs.len(),
+            nodes: s.nodes,
+            apply_hit_rate: s.apply_hit_rate(),
+            unique_hit_rate: s.unique_hit_rate(),
+        });
     }
     print_rows(
         "SemanticDiff runtime vs ACL size (10 injected differences)",
-        &["rules", "parse+lower (s)", "SemanticDiff (s)", "differences found"],
+        &[
+            "rules",
+            "parse+lower (s)",
+            "SemanticDiff (s)",
+            "differences found",
+            "apply-cache hits",
+        ],
         &rows,
     );
     let ratio = times[times.len() - 1] / times[2].max(1e-9);
     println!("\n1 000 → 10 000 rules runtime ratio: {ratio:.1}x (paper: <1 s → ~15 s)");
+
+    // Parallel driver: one comparison spanning many independent ACL pairs.
+    // The speedup scales with real cores — on a single-core host the two
+    // runs time-slice the same CPU and the ratio stays ≈1.
+    const PAIRS: usize = 12;
+    const PAIR_RULES: usize = 1000;
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "\nParallel driver — {PAIRS} ACL pairs of {PAIR_RULES} rules each \
+         ({hw} hardware thread(s) available)"
+    );
+    let (cisco, juniper) = multi_acl_pair(PAIRS, PAIR_RULES, 0xBEEF);
+    let (t_seq, rep_seq) = timed_compare(&cisco, &juniper, &opts_with_jobs(1));
+    let (t_par, rep_par) = timed_compare(&cisco, &juniper, &opts_with_jobs(4));
+    assert_eq!(
+        rep_seq.to_string(),
+        rep_par.to_string(),
+        "parallel report must be byte-identical"
+    );
+    let speedup = t_seq / t_par.max(1e-9);
+    println!("  jobs=1: {t_seq:.3} s   jobs=4: {t_par:.3} s   speedup: {speedup:.2}x");
+    println!(
+        "  {} differences; {} BDD nodes across pair managers",
+        rep_par.acl_diffs.len(),
+        rep_par.bdd_stats.nodes
+    );
+
+    if json {
+        let mut out = String::from("{\n  \"sizes\": [\n");
+        for (i, r) in size_results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rules\": {}, \"parse_s\": {:.6}, \"semdiff_s\": {:.6}, \
+                 \"diffs_found\": {}, \"bdd_nodes\": {}, \"apply_hit_rate\": {:.4}, \
+                 \"unique_hit_rate\": {:.4}}}",
+                r.rules,
+                r.parse_s,
+                r.semdiff_s,
+                r.diffs_found,
+                r.nodes,
+                r.apply_hit_rate,
+                r.unique_hit_rate
+            );
+            out.push_str(if i + 1 < size_results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"ratio_1k_to_10k\": {ratio:.2},\n  \"parallel\": {{\n    \
+             \"acl_pairs\": {PAIRS}, \"rules_per_pair\": {PAIR_RULES}, \
+             \"jobs1_s\": {t_seq:.6}, \"jobs4_s\": {t_par:.6}, \"speedup\": {speedup:.3}, \
+             \"hardware_threads\": {hw},\n    \
+             \"apply_hit_rate\": {:.4}, \"unique_hit_rate\": {:.4}\n  }}\n}}\n",
+            rep_par.bdd_stats.apply_hit_rate(),
+            rep_par.bdd_stats.unique_hit_rate()
+        );
+        std::fs::write("BENCH_campion.json", &out).expect("write BENCH_campion.json");
+        println!("\nWrote BENCH_campion.json");
+    }
 }

@@ -11,9 +11,17 @@ fn main() {
     let report = compare_routers(&c, &j, &CampionOptions::default());
     println!("Reproducing Table 2 — Campion on Figure 1\n");
     for (i, d) in report.route_map_diffs.iter().enumerate() {
-        println!("Table 2({}) — Difference {}:", (b'a' + i as u8) as char, i + 1);
+        println!(
+            "Table 2({}) — Difference {}:",
+            (b'a' + i as u8) as char,
+            i + 1
+        );
         println!("{d}");
     }
-    assert_eq!(report.route_map_diffs.len(), 2, "paper reports two differences");
+    assert_eq!(
+        report.route_map_diffs.len(),
+        2,
+        "paper reports two differences"
+    );
     println!("[shape check] 2 differences found, matching the paper ✓");
 }

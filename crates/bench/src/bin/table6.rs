@@ -13,7 +13,11 @@ fn main() {
     let mut s1_bgp = 0;
     let mut s1_static = 0;
     for p in scenario1(8, 1001) {
-        let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &CampionOptions::default());
+        let report = compare_routers(
+            &load(&p.cisco),
+            &load(&p.juniper),
+            &CampionOptions::default(),
+        );
         s1_bgp += report.route_map_diffs.len();
         s1_static += report
             .structural
@@ -25,26 +29,64 @@ fn main() {
     // Scenario 2: router replacement (30 replacements as in §5.1).
     let mut s2_bgp = 0;
     for p in scenario2(30, 2002) {
-        let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &CampionOptions::default());
+        let report = compare_routers(
+            &load(&p.cisco),
+            &load(&p.juniper),
+            &CampionOptions::default(),
+        );
         s2_bgp += report.route_map_diffs.len();
     }
 
     // Scenario 3: gateway ACLs.
     let mut s3_acl = 0;
     for p in scenario3(5, 20, 3003) {
-        let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &CampionOptions::default());
+        let report = compare_routers(
+            &load(&p.cisco),
+            &load(&p.juniper),
+            &CampionOptions::default(),
+        );
         s3_acl += report.acl_diffs.len();
     }
 
     let rows = vec![
-        vec!["Scenario 1".into(), "BGP".into(), "Semantic".into(), s1_bgp.to_string(), "5".into()],
-        vec!["".into(), "Static Routes".into(), "Structural".into(), s1_static.to_string(), "2".into()],
-        vec!["Scenario 2".into(), "BGP".into(), "Semantic".into(), s2_bgp.to_string(), "4".into()],
-        vec!["Scenario 3".into(), "ACLs".into(), "Semantic".into(), s3_acl.to_string(), "3".into()],
+        vec![
+            "Scenario 1".into(),
+            "BGP".into(),
+            "Semantic".into(),
+            s1_bgp.to_string(),
+            "5".into(),
+        ],
+        vec![
+            "".into(),
+            "Static Routes".into(),
+            "Structural".into(),
+            s1_static.to_string(),
+            "2".into(),
+        ],
+        vec![
+            "Scenario 2".into(),
+            "BGP".into(),
+            "Semantic".into(),
+            s2_bgp.to_string(),
+            "4".into(),
+        ],
+        vec![
+            "Scenario 3".into(),
+            "ACLs".into(),
+            "Semantic".into(),
+            s3_acl.to_string(),
+            "3".into(),
+        ],
     ];
     print_rows(
         "Table 6 — Data Center Network Results",
-        &["Scenario", "Component", "Check", "Differences (measured)", "Paper"],
+        &[
+            "Scenario",
+            "Component",
+            "Check",
+            "Differences (measured)",
+            "Paper",
+        ],
         &rows,
     );
     assert_eq!((s1_bgp, s1_static, s2_bgp, s3_acl), (5, 2, 4, 3));

@@ -16,12 +16,42 @@ fn main() {
         r.route_map_diffs.iter().filter(|d| d.name1 == name).count()
     };
     let rows = vec![
-        vec!["Core Routers".into(), "Export 1".into(), count(&core, "EXPORT1").to_string(), "5".into()],
-        vec!["".into(), "Export 2".into(), count(&core, "EXPORT2").to_string(), "1".into()],
-        vec!["Border Routers".into(), "Export 3".into(), count(&border, "EXPORT3").to_string(), "1".into()],
-        vec!["".into(), "Export 4".into(), count(&border, "EXPORT4").to_string(), "1".into()],
-        vec!["".into(), "Export 5".into(), count(&border, "EXPORT5").to_string(), "2".into()],
-        vec!["".into(), "Import".into(), count(&border, "IMPORT").to_string(), "0".into()],
+        vec![
+            "Core Routers".into(),
+            "Export 1".into(),
+            count(&core, "EXPORT1").to_string(),
+            "5".into(),
+        ],
+        vec![
+            "".into(),
+            "Export 2".into(),
+            count(&core, "EXPORT2").to_string(),
+            "1".into(),
+        ],
+        vec![
+            "Border Routers".into(),
+            "Export 3".into(),
+            count(&border, "EXPORT3").to_string(),
+            "1".into(),
+        ],
+        vec![
+            "".into(),
+            "Export 4".into(),
+            count(&border, "EXPORT4").to_string(),
+            "1".into(),
+        ],
+        vec![
+            "".into(),
+            "Export 5".into(),
+            count(&border, "EXPORT5").to_string(),
+            "2".into(),
+        ],
+        vec![
+            "".into(),
+            "Import".into(),
+            count(&border, "IMPORT").to_string(),
+            "0".into(),
+        ],
     ];
     print_rows(
         "Table 8(a) — SemanticDiff results on route maps",
@@ -33,7 +63,11 @@ fn main() {
     let static_classes = {
         let mut attr = false;
         let mut presence = false;
-        for s in core.structural.iter().filter(|s| s.component == "Static Routes") {
+        for s in core
+            .structural
+            .iter()
+            .filter(|s| s.component == "Static Routes")
+        {
             match s.side {
                 campion_core::FindingSide::Both => attr = true,
                 _ => presence = true,
@@ -47,8 +81,18 @@ fn main() {
             .any(|s| s.key.contains("send-community")),
     );
     let rows = vec![
-        vec!["Core Routers".into(), "Static Routes".into(), static_classes.to_string(), "2".into()],
-        vec!["".into(), "BGP Properties".into(), bgp_classes.to_string(), "1".into()],
+        vec![
+            "Core Routers".into(),
+            "Static Routes".into(),
+            static_classes.to_string(),
+            "2".into(),
+        ],
+        vec![
+            "".into(),
+            "BGP Properties".into(),
+            bgp_classes.to_string(),
+            "1".into(),
+        ],
     ];
     print_rows(
         "Table 8(b) — StructuralDiff results (classes of errors)",

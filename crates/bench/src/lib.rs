@@ -90,8 +90,18 @@ pub fn print_rows(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join(" | ")
     };
-    println!("{}", fmt_row(headers.iter().map(|s| s.to_string()).collect()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| s.to_string()).collect())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }

@@ -55,7 +55,10 @@ fn parse_action(tok: &str, line: u32) -> Result<LineAction, ParseError> {
     match tok {
         "permit" => Ok(LineAction::Permit),
         "deny" => Ok(LineAction::Deny),
-        other => Err(ParseError::at(line, format!("expected permit|deny, got {other:?}"))),
+        other => Err(ParseError::at(
+            line,
+            format!("expected permit|deny, got {other:?}"),
+        )),
     }
 }
 
@@ -137,7 +140,9 @@ impl<'a> Parser<'a> {
     fn parse(mut self) -> Result<CiscoConfig, ParseError> {
         loop {
             self.skip_trivia();
-            let Some((num, line)) = self.peek() else { break };
+            let Some((num, line)) = self.peek() else {
+                break;
+            };
             let toks = tokens(line);
             match toks.as_slice() {
                 ["hostname", name, ..] => {
@@ -232,7 +237,10 @@ impl<'a> Parser<'a> {
             le = 32;
         }
         if ge < prefix.len() || le > 32 || ge > le {
-            return Err(ParseError::at(num, format!("invalid ge/le bounds {ge}/{le}")));
+            return Err(ParseError::at(
+                num,
+                format!("invalid ge/le bounds {ge}/{le}"),
+            ));
         }
         let list = self.cfg.prefix_lists.entry(name.to_string()).or_default();
         let seq = seq.unwrap_or((list.entries.len() as u32 + 1) * 5);
@@ -331,8 +339,8 @@ impl<'a> Parser<'a> {
                 .ok_or_else(|| ParseError::at(num, "ip route missing mask"))?,
             num,
         )?;
-        let prefix = Prefix::from_netmask(addr, mask)
-            .map_err(|e| ParseError::at(num, e.message))?;
+        let prefix =
+            Prefix::from_netmask(addr, mask).map_err(|e| ParseError::at(num, e.message))?;
         let mut next_hop = None;
         let mut interface = None;
         let mut admin_distance = 1u8;
@@ -387,7 +395,12 @@ impl<'a> Parser<'a> {
         let extended = match *kind {
             "extended" => true,
             "standard" => false,
-            other => return Err(ParseError::at(num, format!("unsupported ACL kind {other:?}"))),
+            other => {
+                return Err(ParseError::at(
+                    num,
+                    format!("unsupported ACL kind {other:?}"),
+                ))
+            }
         };
         let name = toks
             .get(3)
@@ -496,11 +509,12 @@ impl<'a> Parser<'a> {
         // Trailing qualifiers we accept but do not model.
         while let Some(tok) = toks.get(i) {
             match *tok {
-                "log" | "log-input" | "established" | "echo" | "echo-reply" | "fragments" => {
-                    i += 1
-                }
+                "log" | "log-input" | "established" | "echo" | "echo-reply" | "fragments" => i += 1,
                 other => {
-                    return Err(ParseError::at(num, format!("unexpected ACL token {other:?}")))
+                    return Err(ParseError::at(
+                        num,
+                        format!("unexpected ACL token {other:?}"),
+                    ))
                 }
             }
         }
@@ -554,7 +568,8 @@ impl<'a> Parser<'a> {
         match toks.first() {
             Some(&"eq") => {
                 let p = parse_port(
-                    toks.get(1).ok_or_else(|| ParseError::at(num, "eq missing port"))?,
+                    toks.get(1)
+                        .ok_or_else(|| ParseError::at(num, "eq missing port"))?,
                     num,
                 )?;
                 Ok((PortRange::exact(p), 2))
@@ -577,7 +592,8 @@ impl<'a> Parser<'a> {
             }
             Some(&"gt") => {
                 let p = parse_port(
-                    toks.get(1).ok_or_else(|| ParseError::at(num, "gt missing port"))?,
+                    toks.get(1)
+                        .ok_or_else(|| ParseError::at(num, "gt missing port"))?,
                     num,
                 )?;
                 if p == u16::MAX {
@@ -587,7 +603,8 @@ impl<'a> Parser<'a> {
             }
             Some(&"lt") => {
                 let p = parse_port(
-                    toks.get(1).ok_or_else(|| ParseError::at(num, "lt missing port"))?,
+                    toks.get(1)
+                        .ok_or_else(|| ParseError::at(num, "lt missing port"))?,
                     num,
                 )?;
                 if p == 0 {
@@ -661,7 +678,9 @@ impl<'a> Parser<'a> {
                     entry.matches.push(RouteMapMatch::Community(names));
                 }
                 ["match", "tag", v] => {
-                    entry.matches.push(RouteMapMatch::Tag(parse_u32(v, n, "tag")?));
+                    entry
+                        .matches
+                        .push(RouteMapMatch::Tag(parse_u32(v, n, "tag")?));
                 }
                 ["match", "metric", v] => {
                     entry
@@ -669,15 +688,21 @@ impl<'a> Parser<'a> {
                         .push(RouteMapMatch::Metric(parse_u32(v, n, "metric")?));
                 }
                 ["set", "local-preference", v] => {
-                    entry
-                        .sets
-                        .push(RouteMapSet::LocalPreference(parse_u32(v, n, "local-preference")?));
+                    entry.sets.push(RouteMapSet::LocalPreference(parse_u32(
+                        v,
+                        n,
+                        "local-preference",
+                    )?));
                 }
                 ["set", "metric", v] => {
-                    entry.sets.push(RouteMapSet::Metric(parse_u32(v, n, "metric")?));
+                    entry
+                        .sets
+                        .push(RouteMapSet::Metric(parse_u32(v, n, "metric")?));
                 }
                 ["set", "weight", v] => {
-                    entry.sets.push(RouteMapSet::Weight(parse_u32(v, n, "weight")?));
+                    entry
+                        .sets
+                        .push(RouteMapSet::Weight(parse_u32(v, n, "weight")?));
                 }
                 ["set", "tag", v] => {
                     entry.sets.push(RouteMapSet::Tag(parse_u32(v, n, "tag")?));
@@ -692,7 +717,11 @@ impl<'a> Parser<'a> {
                 }
                 ["set", "community", rest @ ..] => {
                     let additive = rest.last() == Some(&"additive");
-                    let vals = if additive { &rest[..rest.len() - 1] } else { rest };
+                    let vals = if additive {
+                        &rest[..rest.len() - 1]
+                    } else {
+                        rest
+                    };
                     let mut communities = Vec::new();
                     for v in vals {
                         communities.push(v.parse::<Community>().map_err(
@@ -819,7 +848,8 @@ impl<'a> Parser<'a> {
                     // Classful form; treat as the classful prefix.
                     let a = parse_ip(addr, n)?;
                     let len = classful_len(a);
-                    bgp.networks.push((Prefix::new(a, len), None, Span::line(n)));
+                    bgp.networks
+                        .push((Prefix::new(a, len), None, Span::line(n)));
                 }
                 ["redistribute", proto, rest @ ..] => {
                     let mut rm = None;
@@ -887,13 +917,18 @@ impl<'a> Parser<'a> {
                         ["remote-as", v] => nb.remote_as = Some(parse_u32(v, n, "remote AS")?),
                         ["route-map", name, "in"] => nb.route_map_in = Some(name.to_string()),
                         ["route-map", name, "out"] => nb.route_map_out = Some(name.to_string()),
-                        ["send-community"] | ["send-community", "both"]
+                        ["send-community"]
+                        | ["send-community", "both"]
                         | ["send-community", "standard"] => nb.send_community = true,
                         ["route-reflector-client"] => nb.route_reflector_client = true,
                         ["next-hop-self"] => nb.next_hop_self = true,
                         ["description", d @ ..] => nb.description = Some(d.join(" ")),
-                        ["update-source", _] | ["activate"] | ["soft-reconfiguration", ..]
-                        | ["timers", ..] | ["password", ..] | ["ebgp-multihop", ..] => {}
+                        ["update-source", _]
+                        | ["activate"]
+                        | ["soft-reconfiguration", ..]
+                        | ["timers", ..]
+                        | ["password", ..]
+                        | ["ebgp-multihop", ..] => {}
                         other => {
                             return Err(ParseError::at(
                                 n,

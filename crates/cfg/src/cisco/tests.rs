@@ -178,7 +178,10 @@ fn route_map_set_clauses() {
     let rm = &cfg.route_maps["OUT"];
     assert_eq!(
         rm.entries[0].matches,
-        vec![RouteMapMatch::IpAddressPrefixList(vec!["P1".into(), "P2".into()])]
+        vec![RouteMapMatch::IpAddressPrefixList(vec![
+            "P1".into(),
+            "P2".into()
+        ])]
     );
     assert_eq!(
         rm.entries[0].sets,
@@ -268,7 +271,10 @@ fn router_bgp_stanza() {
     assert!(n3.next_hop_self);
     assert!(!n3.send_community, "send-community is opt-in on IOS");
     assert_eq!(bgp.redistribute.len(), 2);
-    assert_eq!(bgp.redistribute[0].route_map.as_deref(), Some("STATIC_TO_BGP"));
+    assert_eq!(
+        bgp.redistribute[0].route_map.as_deref(),
+        Some("STATIC_TO_BGP")
+    );
     assert_eq!(bgp.distance, Some((20, 200, 200)));
 }
 
@@ -304,7 +310,11 @@ fn community_list_forms() {
     )
     .unwrap();
     let both = &cfg.community_lists["BOTH"].entries[0];
-    assert_eq!(both.communities.len(), 2, "one line, two required communities");
+    assert_eq!(
+        both.communities.len(),
+        2,
+        "one line, two required communities"
+    );
     let rx = &cfg.community_lists["RX"].entries[0];
     assert_eq!(rx.regex.as_deref(), Some("_65000:.*_"));
     assert!(cfg.community_lists.contains_key("42"));

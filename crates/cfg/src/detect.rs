@@ -82,7 +82,8 @@ mod tests {
 
     #[test]
     fn detects_juniper() {
-        let text = "system { host-name r2; }\npolicy-options {\n  prefix-list P { 10.0.0.0/8; }\n}\n";
+        let text =
+            "system { host-name r2; }\npolicy-options {\n  prefix-list P { 10.0.0.0/8; }\n}\n";
         assert_eq!(detect_vendor(text), Vendor::JuniperJunos);
         let cfg = parse_config(text).unwrap();
         assert_eq!(cfg.vendor(), Vendor::JuniperJunos);

@@ -34,7 +34,11 @@ impl fmt::Display for ParseError {
         if self.line == 0 {
             write!(f, "config parse error: {}", self.message)
         } else {
-            write!(f, "config parse error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "config parse error at line {}: {}",
+                self.line, self.message
+            )
         }
     }
 }

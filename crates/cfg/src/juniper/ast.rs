@@ -234,7 +234,11 @@ impl JuniperBgp {
     pub fn effective_import(&self, addr: Ipv4Addr) -> Option<(&JuniperBgpGroup, Vec<String>)> {
         for g in self.groups.values() {
             if let Some(n) = g.neighbors.get(&addr) {
-                let chain = if n.import.is_empty() { g.import.clone() } else { n.import.clone() };
+                let chain = if n.import.is_empty() {
+                    g.import.clone()
+                } else {
+                    n.import.clone()
+                };
                 return Some((g, chain));
             }
         }
@@ -245,7 +249,11 @@ impl JuniperBgp {
     pub fn effective_export(&self, addr: Ipv4Addr) -> Option<(&JuniperBgpGroup, Vec<String>)> {
         for g in self.groups.values() {
             if let Some(n) = g.neighbors.get(&addr) {
-                let chain = if n.export.is_empty() { g.export.clone() } else { n.export.clone() };
+                let chain = if n.export.is_empty() {
+                    g.export.clone()
+                } else {
+                    n.export.clone()
+                };
                 return Some((g, chain));
             }
         }
@@ -253,7 +261,9 @@ impl JuniperBgp {
     }
 
     /// All neighbors across groups.
-    pub fn neighbors(&self) -> impl Iterator<Item = (&String, &JuniperBgpGroup, &JuniperBgpNeighbor)> {
+    pub fn neighbors(
+        &self,
+    ) -> impl Iterator<Item = (&String, &JuniperBgpGroup, &JuniperBgpNeighbor)> {
         self.groups
             .iter()
             .flat_map(|(name, g)| g.neighbors.values().map(move |n| (name, g, n)))

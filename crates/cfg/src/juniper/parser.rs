@@ -247,7 +247,10 @@ fn route_filter_modifier(words: &[String], stmt: &Stmt) -> Result<RouteFilterMod
                 .ok_or_else(|| err(stmt, "bad prefix-length-range high bound"))?;
             Ok(RouteFilterModifier::PrefixLengthRange(lo, hi))
         }
-        Some(other) => Err(err(stmt, format!("unknown route-filter modifier {other:?}"))),
+        Some(other) => Err(err(
+            stmt,
+            format!("unknown route-filter modifier {other:?}"),
+        )),
     }
 }
 
@@ -288,7 +291,9 @@ fn from_clause_words(stmt: &Stmt, words: &[String]) -> Result<FromClause, ParseE
             "tag",
         )?)),
         Some("metric") => Ok(FromClause::Metric(parse_u32(
-            words.get(1).ok_or_else(|| err(stmt, "metric missing value"))?,
+            words
+                .get(1)
+                .ok_or_else(|| err(stmt, "metric missing value"))?,
             stmt,
             "metric",
         )?)),
@@ -314,7 +319,9 @@ fn then_clause_words(stmt: &Stmt, words: &[String]) -> Result<ThenClause, ParseE
             "local-preference",
         )?)),
         Some("metric") => Ok(ThenClause::Metric(parse_u32(
-            words.get(1).ok_or_else(|| err(stmt, "metric missing value"))?,
+            words
+                .get(1)
+                .ok_or_else(|| err(stmt, "metric missing value"))?,
             stmt,
             "metric",
         )?)),
@@ -413,11 +420,7 @@ fn extract_filter_term(term: &Stmt, name: String) -> Result<FilterTerm, ParseErr
                 let words: Vec<&str> = if child.is_leaf() {
                     child.args().iter().map(String::as_str).collect()
                 } else {
-                    child
-                        .children
-                        .iter()
-                        .filter_map(|c| c.keyword())
-                        .collect()
+                    child.children.iter().filter_map(|c| c.keyword()).collect()
                 };
                 for w in words {
                     match w {
@@ -431,10 +434,7 @@ fn extract_filter_term(term: &Stmt, name: String) -> Result<FilterTerm, ParseErr
                         }
                         "count" | "log" | "syslog" | "sample" => {}
                         other => {
-                            return Err(err(
-                                child,
-                                format!("unsupported filter action {other:?}"),
-                            ))
+                            return Err(err(child, format!("unsupported filter action {other:?}")))
                         }
                     }
                 }
@@ -466,10 +466,8 @@ fn filter_condition(cond: &Stmt, from: &mut FilterFrom) -> Result<(), ParseError
         }
         "protocol" => {
             for p in cond.args() {
-                from.protocols.push(
-                    p.parse::<IpProtocol>()
-                        .map_err(|e| err(cond, e.message))?,
-                );
+                from.protocols
+                    .push(p.parse::<IpProtocol>().map_err(|e| err(cond, e.message))?);
             }
         }
         "source-port" => {
@@ -594,7 +592,8 @@ fn extract_static_route(route: &Stmt) -> Result<JuniperStaticRoute, ParseError> 
             }
             "tag" => {
                 r.tag = Some(parse_u32(
-                    args.get(i + 1).ok_or_else(|| err(route, "tag missing value"))?,
+                    args.get(i + 1)
+                        .ok_or_else(|| err(route, "tag missing value"))?,
                     route,
                     "tag",
                 )?);
@@ -623,7 +622,9 @@ fn extract_static_route(route: &Stmt) -> Result<JuniperStaticRoute, ParseError> 
             }
             Some("tag") => {
                 r.tag = Some(parse_u32(
-                    c.args().first().ok_or_else(|| err(c, "tag missing value"))?,
+                    c.args()
+                        .first()
+                        .ok_or_else(|| err(c, "tag missing value"))?,
                     c,
                     "tag",
                 )?);
@@ -758,10 +759,7 @@ fn extract_ospf(o: &Stmt) -> Result<JuniperOspf, ParseError> {
             }
             Some("export") => ospf.export = policy_chain(c),
             Some("area") => {
-                let area_tok = c
-                    .args()
-                    .first()
-                    .ok_or_else(|| err(c, "area missing id"))?;
+                let area_tok = c.args().first().ok_or_else(|| err(c, "area missing id"))?;
                 let area = parse_area(area_tok, c)?;
                 let mut ifaces = Vec::new();
                 for i in c.find_all("interface") {

@@ -147,11 +147,7 @@ fn tokenize(rest: &str, line: u32) -> Result<Vec<String>, ParseError> {
 /// the remainder as one leaf statement.
 fn insert_path(roots: &mut Vec<Stmt>, tokens: &[String], line: u32) -> Result<(), ParseError> {
     let mut idx = 0;
-    fn descend<'a>(
-        level: &'a mut Vec<Stmt>,
-        head: &[String],
-        line: u32,
-    ) -> &'a mut Vec<Stmt> {
+    fn descend<'a>(level: &'a mut Vec<Stmt>, head: &[String], line: u32) -> &'a mut Vec<Stmt> {
         // Find or create a container whose words == head.
         let pos = level.iter().position(|s| s.words == head);
         let pos = match pos {
@@ -275,11 +271,23 @@ set policy-options policy-statement POL term rule3 then local-preference 30
 set policy-options policy-statement POL term rule3 then accept
 ";
         let set = parse_juniper(set_text).expect("set-style parses");
-        assert_eq!(braces.prefix_lists["NETS"].prefixes.len(),
-                   set.prefix_lists["NETS"].prefixes.len());
-        assert_eq!(braces.communities["COMM"].members, set.communities["COMM"].members);
-        assert_eq!(braces.policies["POL"].terms.len(), set.policies["POL"].terms.len());
-        for (a, b) in braces.policies["POL"].terms.iter().zip(&set.policies["POL"].terms) {
+        assert_eq!(
+            braces.prefix_lists["NETS"].prefixes.len(),
+            set.prefix_lists["NETS"].prefixes.len()
+        );
+        assert_eq!(
+            braces.communities["COMM"].members,
+            set.communities["COMM"].members
+        );
+        assert_eq!(
+            braces.policies["POL"].terms.len(),
+            set.policies["POL"].terms.len()
+        );
+        for (a, b) in braces.policies["POL"]
+            .terms
+            .iter()
+            .zip(&set.policies["POL"].terms)
+        {
             assert_eq!(a.from, b.from);
             assert_eq!(a.then, b.then);
         }

@@ -158,7 +158,10 @@ fn policy_then_actions() {
     );
     assert_eq!(then[6], ThenClause::Tag(99));
     assert_eq!(then[7], ThenClause::NextTerm);
-    assert_eq!(cfg.policies["P"].terms[1].then, vec![ThenClause::NextPolicy]);
+    assert_eq!(
+        cfg.policies["P"].terms[1].then,
+        vec![ThenClause::NextPolicy]
+    );
 }
 
 #[test]

@@ -41,7 +41,9 @@ impl Stmt {
 
     /// Children whose first word equals `kw`.
     pub fn find_all<'a>(&'a self, kw: &'a str) -> impl Iterator<Item = &'a Stmt> + 'a {
-        self.children.iter().filter(move |c| c.keyword() == Some(kw))
+        self.children
+            .iter()
+            .filter(move |c| c.keyword() == Some(kw))
     }
 
     /// The unique child starting with `kw`, if present.

@@ -31,8 +31,8 @@ pub mod cisco;
 pub mod juniper;
 
 mod detect;
-pub mod samples;
 mod error;
+pub mod samples;
 mod span;
 
 pub use detect::{detect_vendor, parse_config, VendorConfig};

@@ -10,23 +10,91 @@ use crate::{detect_vendor, parse_config, samples};
 
 /// Fragments that steer random inputs toward the interesting grammar.
 const CISCO_WORDS: &[&str] = &[
-    "ip", "route", "prefix-list", "permit", "deny", "route-map", "match", "set", "community",
-    "access-list", "extended", "neighbor", "router", "bgp", "ospf", "interface", "le", "ge",
-    "10.0.0.0", "255.255.0.0", "0.0.0.255", "any", "host", "eq", "range", "tcp", "udp",
-    "local-preference", "seq", "!", "\n", " ", "65000:1", "Gi0/0", "area", "network",
+    "ip",
+    "route",
+    "prefix-list",
+    "permit",
+    "deny",
+    "route-map",
+    "match",
+    "set",
+    "community",
+    "access-list",
+    "extended",
+    "neighbor",
+    "router",
+    "bgp",
+    "ospf",
+    "interface",
+    "le",
+    "ge",
+    "10.0.0.0",
+    "255.255.0.0",
+    "0.0.0.255",
+    "any",
+    "host",
+    "eq",
+    "range",
+    "tcp",
+    "udp",
+    "local-preference",
+    "seq",
+    "!",
+    "\n",
+    " ",
+    "65000:1",
+    "Gi0/0",
+    "area",
+    "network",
 ];
 
 const JUNIPER_WORDS: &[&str] = &[
-    "policy-options", "policy-statement", "term", "from", "then", "accept", "reject",
-    "prefix-list", "route-filter", "orlonger", "exact", "upto", "community", "members",
-    "firewall", "family", "inet", "filter", "protocols", "bgp", "group", "neighbor",
-    "routing-options", "static", "route", "next-hop", "{", "}", ";", "[", "]", "\n", " ",
-    "10.0.0.0/8", "10:10", "\"", "#", "/*", "*/", "interface", "unit", "address",
+    "policy-options",
+    "policy-statement",
+    "term",
+    "from",
+    "then",
+    "accept",
+    "reject",
+    "prefix-list",
+    "route-filter",
+    "orlonger",
+    "exact",
+    "upto",
+    "community",
+    "members",
+    "firewall",
+    "family",
+    "inet",
+    "filter",
+    "protocols",
+    "bgp",
+    "group",
+    "neighbor",
+    "routing-options",
+    "static",
+    "route",
+    "next-hop",
+    "{",
+    "}",
+    ";",
+    "[",
+    "]",
+    "\n",
+    " ",
+    "10.0.0.0/8",
+    "10:10",
+    "\"",
+    "#",
+    "/*",
+    "*/",
+    "interface",
+    "unit",
+    "address",
 ];
 
 fn soup(words: &'static [&'static str]) -> impl Strategy<Value = String> {
-    proptest::collection::vec(proptest::sample::select(words), 0..120)
-        .prop_map(|ws| ws.concat())
+    proptest::collection::vec(proptest::sample::select(words), 0..120).prop_map(|ws| ws.concat())
 }
 
 /// Mutate a valid config by deleting a random byte range.

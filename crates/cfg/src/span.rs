@@ -105,7 +105,9 @@ impl SourceText {
 
     /// A single line by 1-based number (`None` when out of range).
     pub fn line(&self, n: u32) -> Option<&str> {
-        self.lines.get((n as usize).checked_sub(1)?).map(String::as_str)
+        self.lines
+            .get((n as usize).checked_sub(1)?)
+            .map(String::as_str)
     }
 
     /// The text covered by `span`, joined with newlines. Lines outside the
@@ -128,7 +130,13 @@ impl SourceText {
             .min()
             .unwrap_or(0);
         raw.lines()
-            .map(|l| if l.len() >= min_indent { &l[min_indent..] } else { l })
+            .map(|l| {
+                if l.len() >= min_indent {
+                    &l[min_indent..]
+                } else {
+                    l
+                }
+            })
             .collect::<Vec<_>>()
             .join("\n")
     }

@@ -168,10 +168,9 @@ mod tests {
 
     #[test]
     fn unconstrained_when_no_community_vars() {
-        let c = lower(
-            &parse_config("route-map A permit 10\nroute-map B deny 10\n").expect("parse"),
-        )
-        .expect("lower");
+        let c =
+            lower(&parse_config("route-map A permit 10\nroute-map B deny 10\n").expect("parse"))
+                .expect("lower");
         let p1 = &c.policies["A"];
         let p2 = &c.policies["B"];
         let mut space = RouteSpace::for_policies(&[p1, p2]);

@@ -1,5 +1,15 @@
 //! The ConfigDiff driver (§3): MatchPolicies → Diff → Present.
+//!
+//! Matched component pairs are independent — each policy or ACL pair gets
+//! its own BDD manager and variable space — so the driver fans the diff
+//! work out over a small work-stealing pool (`std::thread::scope`, no
+//! external dependencies). Results are merged back in the original pair
+//! order, so the rendered report is byte-identical to a sequential run
+//! regardless of the worker count.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use campion_bdd::ManagerStats;
 use campion_cfg::Span;
 use campion_ir::{AclIr, RoutePolicy, RouterIr};
 use campion_net::PrefixRange;
@@ -7,7 +17,7 @@ use campion_symbolic::{PacketSpace, RouteSpace};
 
 use crate::headerloc::{self, DstAddrSpace, SrcAddrSpace};
 use crate::matching::{match_policies, PolicyPair};
-use crate::report::{CampionReport, PolicyDiffReport};
+use crate::report::{CampionReport, PolicyDiffReport, StructuralFinding};
 use crate::semantic::{acl_paths, policy_paths, semantic_diff, SemanticDifference};
 use crate::structural;
 
@@ -30,6 +40,9 @@ pub struct CampionOptions {
     /// difference instead of a single example (the §3.2 extension; off by
     /// default to match the paper's output format).
     pub exhaustive_communities: bool,
+    /// Worker threads for the diff phase; `0` means one per available
+    /// hardware thread. The report is identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for CampionOptions {
@@ -42,7 +55,64 @@ impl Default for CampionOptions {
             check_route_maps: true,
             check_acls: true,
             exhaustive_communities: false,
+            jobs: 0,
         }
+    }
+}
+
+impl CampionOptions {
+    /// The effective worker count: `jobs`, or the machine's available
+    /// parallelism when `jobs == 0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs != 0 {
+            return self.jobs;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// One independent unit of diff work. Policy and ACL items each build a
+/// private BDD manager; structural items are pure IR walks.
+enum WorkItem<'a> {
+    Policy(&'a PolicyPair),
+    Acl(&'a str),
+    StaticRoutes,
+    ConnectedRoutes,
+    BgpProperties,
+    Ospf,
+}
+
+/// The output of one work item, tagged so the merge step can append it to
+/// the right report section.
+enum WorkOutput {
+    RouteMaps(Vec<PolicyDiffReport>, ManagerStats),
+    Acls(Vec<PolicyDiffReport>, ManagerStats),
+    Structural(Vec<StructuralFinding>),
+}
+
+fn run_item(
+    r1: &RouterIr,
+    r2: &RouterIr,
+    item: &WorkItem<'_>,
+    opts: &CampionOptions,
+) -> WorkOutput {
+    match item {
+        WorkItem::Policy(pair) => {
+            let (diffs, stats) = diff_policy_pair(r1, r2, pair, opts);
+            WorkOutput::RouteMaps(diffs, stats)
+        }
+        WorkItem::Acl(name) => {
+            let (diffs, stats) = diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name]);
+            WorkOutput::Acls(diffs, stats)
+        }
+        WorkItem::StaticRoutes => WorkOutput::Structural(structural::diff_static_routes(r1, r2)),
+        WorkItem::ConnectedRoutes => {
+            WorkOutput::Structural(structural::diff_connected_routes(r1, r2))
+        }
+        WorkItem::BgpProperties => WorkOutput::Structural(structural::diff_bgp_properties(r1, r2)),
+        WorkItem::Ospf => WorkOutput::Structural(structural::diff_ospf(r1, r2)),
     }
 }
 
@@ -57,44 +127,86 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
     let matched = match_policies(r1, r2);
     report.unmatched = matched.unmatched.clone();
 
+    // Collect every enabled unit of work. The vector order is the report
+    // order: policy pairs, ACL pairs, then the structural families in their
+    // traditional sequence.
+    let mut items: Vec<WorkItem<'_>> = Vec::new();
     if opts.check_route_maps {
-        for pair in &matched.policy_pairs {
-            report
-                .route_map_diffs
-                .extend(diff_policy_pair(r1, r2, pair, opts));
-        }
+        items.extend(matched.policy_pairs.iter().map(WorkItem::Policy));
     }
     if opts.check_acls {
-        for name in &matched.acl_pairs {
-            report
-                .acl_diffs
-                .extend(diff_acl_pair(r1, r2, &r1.acls[name], &r2.acls[name]));
-        }
+        items.extend(matched.acl_pairs.iter().map(|n| WorkItem::Acl(n)));
     }
     if opts.check_static_routes {
-        report.structural.extend(structural::diff_static_routes(r1, r2));
+        items.push(WorkItem::StaticRoutes);
     }
     if opts.check_connected_routes {
-        report
-            .structural
-            .extend(structural::diff_connected_routes(r1, r2));
+        items.push(WorkItem::ConnectedRoutes);
     }
     if opts.check_bgp_properties {
-        report.structural.extend(structural::diff_bgp_properties(r1, r2));
+        items.push(WorkItem::BgpProperties);
     }
     if opts.check_ospf {
-        report.structural.extend(structural::diff_ospf(r1, r2));
+        items.push(WorkItem::Ospf);
+    }
+
+    let jobs = opts.effective_jobs().min(items.len()).max(1);
+    let outputs: Vec<WorkOutput> = if jobs <= 1 {
+        items.iter().map(|it| run_item(r1, r2, it, opts)).collect()
+    } else {
+        // Work-stealing by shared cursor: each worker claims the next
+        // unprocessed index, so a slow pair never serializes the rest.
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<WorkOutput>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let items = &items;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            done.push((i, run_item(r1, r2, item, opts)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, out) in h.join().expect("diff worker panicked") {
+                    slots[i] = Some(out);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("work item never claimed"))
+            .collect()
+    };
+
+    // Merge in item order: identical to the sequential driver's appends.
+    for out in outputs {
+        match out {
+            WorkOutput::RouteMaps(diffs, stats) => {
+                report.route_map_diffs.extend(diffs);
+                report.bdd_stats.merge(&stats);
+            }
+            WorkOutput::Acls(diffs, stats) => {
+                report.acl_diffs.extend(diffs);
+                report.bdd_stats.merge(&stats);
+            }
+            WorkOutput::Structural(findings) => report.structural.extend(findings),
+        }
     }
     report
 }
 
 /// Compare two route policies by name (the Figure-1 workflow) and return
 /// the localized difference reports.
-pub fn compare_policies_by_name(
-    r1: &RouterIr,
-    r2: &RouterIr,
-    name: &str,
-) -> Vec<PolicyDiffReport> {
+pub fn compare_policies_by_name(r1: &RouterIr, r2: &RouterIr, name: &str) -> Vec<PolicyDiffReport> {
     diff_policy_pair(
         r1,
         r2,
@@ -105,6 +217,7 @@ pub fn compare_policies_by_name(
         },
         &CampionOptions::default(),
     )
+    .0
 }
 
 /// Text localization for one side of a difference: quote the fired clauses'
@@ -126,12 +239,13 @@ fn side_text(router: &RouterIr, spans: &[Span], is_default: bool, policy: &Route
 }
 
 /// Run SemanticDiff + HeaderLocalize + Present for one policy pair.
+/// Returns the localized differences plus the pair's BDD-engine counters.
 fn diff_policy_pair(
     r1: &RouterIr,
     r2: &RouterIr,
     pair: &PolicyPair,
     opts: &CampionOptions,
-) -> Vec<PolicyDiffReport> {
+) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let p1 = match &pair.name1 {
         Some(n) => r1.policy_or_permit(n),
         None => RoutePolicy::permit_all("(no policy)"),
@@ -179,7 +293,8 @@ fn diff_policy_pair(
             text2: side_text(r2, &d.spans2, d.default2, &p2),
         });
     }
-    out
+    let stats = space.manager.stats();
+    (out, stats)
 }
 
 /// Campion reports exhaustive prefix information but a single example for
@@ -192,7 +307,9 @@ fn non_prefix_example(space: &mut RouteSpace, d: &SemanticDifference) -> Option<
         return None;
     }
     let support = space.manager.support(d.input);
-    let constrains_other = support.iter().any(|v| *v >= campion_symbolic::PROTO_VARS.start);
+    let constrains_other = support
+        .iter()
+        .any(|v| *v >= campion_symbolic::PROTO_VARS.start);
     if !constrains_other {
         return None;
     }
@@ -222,12 +339,13 @@ fn non_prefix_example(space: &mut RouteSpace, d: &SemanticDifference) -> Option<
 }
 
 /// Run SemanticDiff + address localization + Present for one ACL pair.
+/// Returns the localized differences plus the pair's BDD-engine counters.
 fn diff_acl_pair(
     r1: &RouterIr,
     r2: &RouterIr,
     a1: &AclIr,
     a2: &AclIr,
-) -> Vec<PolicyDiffReport> {
+) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let mut space = PacketSpace::new();
     let universe = space.universe();
     let paths1 = acl_paths(&mut space, a1, universe);
@@ -320,5 +438,6 @@ fn diff_acl_pair(
             text2: text_for(r2, &d.spans2, d.default2),
         });
     }
-    out
+    let stats = space.manager.stats();
+    (out, stats)
 }

@@ -105,7 +105,10 @@ impl HeaderLocalization {
 
     /// All excluded ranges, for the "Excluded Prefixes" row.
     pub fn excluded(&self) -> Vec<PrefixRange> {
-        self.terms.iter().flat_map(|t| t.minus.iter().copied()).collect()
+        self.terms
+            .iter()
+            .flat_map(|t| t.minus.iter().copied())
+            .collect()
     }
 }
 
@@ -157,19 +160,17 @@ fn closed_ranges<E: RangeEncoder>(
     let mut out: Vec<PrefixRange> = Vec::new();
     let mut bdds: Vec<Bdd> = Vec::new();
     let mut seen: std::collections::HashSet<Bdd> = std::collections::HashSet::new();
-    let mut push = |space: &mut E,
-                    out: &mut Vec<PrefixRange>,
-                    bdds: &mut Vec<Bdd>,
-                    r: PrefixRange| {
-        let b = space.encode(&r);
-        if space.manager().is_false(b) {
-            return;
-        }
-        if seen.insert(b) {
-            out.push(r);
-            bdds.push(b);
-        }
-    };
+    let mut push =
+        |space: &mut E, out: &mut Vec<PrefixRange>, bdds: &mut Vec<Bdd>, r: PrefixRange| {
+            let b = space.encode(&r);
+            if space.manager().is_false(b) {
+                return;
+            }
+            if seen.insert(b) {
+                out.push(r);
+                bdds.push(b);
+            }
+        };
     push(space, &mut out, &mut bdds, PrefixRange::universe());
     for r in ranges {
         push(space, &mut out, &mut bdds, *r);
@@ -362,10 +363,11 @@ pub fn header_localize_with<E: RangeEncoder>(
     terms.dedup();
     let loc = HeaderLocalization { terms, exact };
     debug_assert!(
-        !loc.exact || reencode(space, &loc) == {
-            let u = space.encode(&PrefixRange::universe());
-            space.manager().and(s, u)
-        },
+        !loc.exact
+            || reencode(space, &loc) == {
+                let u = space.encode(&PrefixRange::universe());
+                space.manager().and(s, u)
+            },
         "HeaderLocalize must re-encode to exactly S"
     );
     loc

@@ -49,8 +49,8 @@ pub mod structural;
 pub use commloc::{community_localize, CommunityCondition, CommunityLocalization};
 pub use driver::{compare_policies_by_name, compare_routers, CampionOptions};
 pub use headerloc::{
-    header_localize, header_localize_with, reencode, DstAddrSpace, HeaderLocalization,
-    RangeDag, RangeEncoder, RangeTerm, SrcAddrSpace,
+    header_localize, header_localize_with, reencode, DstAddrSpace, HeaderLocalization, RangeDag,
+    RangeEncoder, RangeTerm, SrcAddrSpace,
 };
 pub use matching::{match_policies, MatchedComponents, PolicyPair};
 pub use portloc::{dst_port_localize, src_port_localize};

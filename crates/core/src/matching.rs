@@ -73,12 +73,21 @@ pub fn match_policies(r1: &RouterIr, r2: &RouterIr) -> MatchedComponents {
         ("OSPF", &r1.ospf_redistribute, &r2.ospf_redistribute),
         (
             "BGP",
-            &r1.bgp.as_ref().map(|b| b.redistribute.clone()).unwrap_or_default(),
-            &r2.bgp.as_ref().map(|b| b.redistribute.clone()).unwrap_or_default(),
+            &r1.bgp
+                .as_ref()
+                .map(|b| b.redistribute.clone())
+                .unwrap_or_default(),
+            &r2.bgp
+                .as_ref()
+                .map(|b| b.redistribute.clone())
+                .unwrap_or_default(),
         ),
     ] {
         for rd1 in rs1.iter() {
-            match rs2.iter().find(|rd2| rd2.from_protocol == rd1.from_protocol) {
+            match rs2
+                .iter()
+                .find(|rd2| rd2.from_protocol == rd1.from_protocol)
+            {
                 Some(rd2) => {
                     if rd1.policy.is_none() && rd2.policy.is_none() {
                         continue;
@@ -90,10 +99,7 @@ pub fn match_policies(r1: &RouterIr, r2: &RouterIr) -> MatchedComponents {
                         paired2.insert(n.clone());
                     }
                     out.policy_pairs.push(PolicyPair {
-                        context: format!(
-                            "redistribution of {} into {target}",
-                            rd1.from_protocol
-                        ),
+                        context: format!("redistribution of {} into {target}", rd1.from_protocol),
                         name1: rd1.policy.clone(),
                         name2: rd2.policy.clone(),
                     });
@@ -149,14 +155,18 @@ pub fn match_policies(r1: &RouterIr, r2: &RouterIr) -> MatchedComponents {
         if r2.acls.contains_key(name) {
             out.acl_pairs.push(name.clone());
         } else {
-            out.unmatched
-                .push(format!("{}: ACL {name} has no counterpart in {}", r1.name, r2.name));
+            out.unmatched.push(format!(
+                "{}: ACL {name} has no counterpart in {}",
+                r1.name, r2.name
+            ));
         }
     }
     for name in r2.acls.keys() {
         if !r1.acls.contains_key(name) {
-            out.unmatched
-                .push(format!("{}: ACL {name} has no counterpart in {}", r2.name, r1.name));
+            out.unmatched.push(format!(
+                "{}: ACL {name} has no counterpart in {}",
+                r2.name, r1.name
+            ));
         }
     }
     out

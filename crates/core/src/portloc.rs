@@ -43,10 +43,7 @@ fn port_localize(
     // expansion is bounded by the cube count of a 16-bit function).
     let mut points: Vec<(u32, u32)> = Vec::new();
     for cube in space.manager.sat_cubes(projected) {
-        let bits: Vec<Option<bool>> = vars
-            .clone()
-            .map(|v| cube.get(v))
-            .collect();
+        let bits: Vec<Option<bool>> = vars.clone().map(|v| cube.get(v)).collect();
         expand_cube(&bits, 0, 0, &mut points);
     }
     points.sort_unstable();
@@ -140,7 +137,11 @@ mod tests {
         );
         assert_eq!(inputs.len(), 1);
         let ports = dst_port_localize(&mut space, inputs[0]).expect("constrained");
-        assert_eq!(ports, vec![PortRange::new(2001, 2500)], "merged to one interval");
+        assert_eq!(
+            ports,
+            vec![PortRange::new(2001, 2500)],
+            "merged to one interval"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use campion_bdd::ManagerStats;
 use campion_cfg::Span;
 use campion_net::PrefixRange;
 
@@ -81,6 +82,10 @@ pub struct CampionReport {
     pub structural: Vec<StructuralFinding>,
     /// Components that could not be paired (reported, as in §4).
     pub unmatched: Vec<String>,
+    /// Aggregate BDD-engine counters across every semantic pair diffed for
+    /// this report. Diagnostic only — deliberately absent from `Display`,
+    /// so rendered reports stay identical across worker counts.
+    pub bdd_stats: ManagerStats,
 }
 
 impl CampionReport {
@@ -118,8 +123,16 @@ fn two_column_table(
     )?;
     writeln!(f, "{hline}")?;
     for (label, v1, v2) in rows {
-        let c1: Vec<&str> = if v1.is_empty() { vec![""] } else { v1.lines().collect() };
-        let c2: Vec<&str> = if v2.is_empty() { vec![""] } else { v2.lines().collect() };
+        let c1: Vec<&str> = if v1.is_empty() {
+            vec![""]
+        } else {
+            v1.lines().collect()
+        };
+        let c2: Vec<&str> = if v2.is_empty() {
+            vec![""]
+        } else {
+            v2.lines().collect()
+        };
         let n = c1.len().max(c2.len());
         for i in 0..n {
             let l = if i == 0 { label } else { &"" };
@@ -162,7 +175,11 @@ impl fmt::Display for PolicyDiffReport {
             String::new(),
         )];
         if !self.excluded.is_empty() {
-            rows.push(("Excluded Prefixes", ranges_cell(&self.excluded), String::new()));
+            rows.push((
+                "Excluded Prefixes",
+                ranges_cell(&self.excluded),
+                String::new(),
+            ));
         }
         if let Some(e) = &self.example {
             rows.push(("Example", e.clone(), String::new()));

@@ -48,7 +48,11 @@ const MAX_PATHS: usize = 65_536;
 ///
 /// # Panics
 /// Panics if the policy exceeds `MAX_PATHS` (65 536) classes.
-pub fn policy_paths(space: &mut RouteSpace, policy: &RoutePolicy, universe: Bdd) -> Vec<PolicyPath> {
+pub fn policy_paths(
+    space: &mut RouteSpace,
+    policy: &RoutePolicy,
+    universe: Bdd,
+) -> Vec<PolicyPath> {
     struct Frame {
         idx: usize,
         predicate: Bdd,

@@ -58,8 +58,16 @@ pub fn diff_static_routes(r1: &RouterIr, r2: &RouterIr) -> Vec<StructuralFinding
                         description: format!(
                             "static routes for {prefix} have different attributes"
                         ),
-                        value1: routes1.iter().map(describe_static).collect::<Vec<_>>().join("; "),
-                        value2: routes2.iter().map(describe_static).collect::<Vec<_>>().join("; "),
+                        value1: routes1
+                            .iter()
+                            .map(describe_static)
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                        value2: routes2
+                            .iter()
+                            .map(describe_static)
+                            .collect::<Vec<_>>()
+                            .join("; "),
                         span1: Some(span1),
                         span2: Some(span2),
                         side: FindingSide::Both,
@@ -84,9 +92,17 @@ fn describe_static(r: &StaticRouteIr) -> String {
     s
 }
 
-fn missing_static(prefix: Prefix, routes: &[StaticRouteIr], side: FindingSide) -> StructuralFinding {
+fn missing_static(
+    prefix: Prefix,
+    routes: &[StaticRouteIr],
+    side: FindingSide,
+) -> StructuralFinding {
     let span = routes.iter().map(|r| r.span).reduce(Span::merge);
-    let desc = routes.iter().map(describe_static).collect::<Vec<_>>().join("; ");
+    let desc = routes
+        .iter()
+        .map(describe_static)
+        .collect::<Vec<_>>()
+        .join("; ");
     let (value1, value2, span1, span2) = match side {
         FindingSide::OnlyFirst => (desc, "None".to_string(), span, None),
         FindingSide::OnlySecond => ("None".to_string(), desc, None, span),
@@ -235,9 +251,7 @@ pub fn diff_bgp_properties(r1: &RouterIr, r2: &RouterIr) -> Vec<StructuralFindin
                                 out.push(StructuralFinding {
                                     component: "BGP Properties".to_string(),
                                     key: format!("{addr} {what}"),
-                                    description: format!(
-                                        "neighbor {addr}: {what} differs"
-                                    ),
+                                    description: format!("neighbor {addr}: {what} differs"),
                                     value1: v1,
                                     value2: v2,
                                     span1: Some(n1.span),
@@ -317,10 +331,7 @@ pub fn diff_ospf(r1: &RouterIr, r2: &RouterIr) -> Vec<StructuralFinding> {
             None => out.push(StructuralFinding {
                 component: "OSPF Properties".to_string(),
                 key: o1.iface.clone(),
-                description: format!(
-                    "OSPF interface {} has no counterpart",
-                    o1.iface
-                ),
+                description: format!("OSPF interface {} has no counterpart", o1.iface),
                 value1: describe_ospf(o1),
                 value2: "None".to_string(),
                 span1: Some(o1.span),

@@ -110,7 +110,10 @@ fn identical_policies_are_equivalent() {
     let c2 = load(FIGURE1_CISCO);
     let report = compare_routers(&c1, &c2, &CampionOptions::default());
     assert!(report.is_equivalent(), "{report}");
-    assert!(policies_equivalent(&c1.policies["POL"], &c2.policies["POL"]));
+    assert!(policies_equivalent(
+        &c1.policies["POL"],
+        &c2.policies["POL"]
+    ));
 }
 
 #[test]
@@ -498,10 +501,10 @@ fn unmatched_components_are_reported() {
     let a = load("route-map ONLY_HERE permit 10\n");
     let b = load("hostname other\n");
     let report = compare_routers(&a, &b, &CampionOptions::default());
-    assert!(report
-        .unmatched
-        .iter()
-        .any(|u| u.contains("ONLY_HERE")), "{report}");
+    assert!(
+        report.unmatched.iter().any(|u| u.contains("ONLY_HERE")),
+        "{report}"
+    );
 }
 
 // ------------------------------------------------------------- properties
@@ -528,10 +531,7 @@ mod properties {
     }
 
     /// Encode a concrete advertisement as a BDD assignment.
-    fn advert_assignment(
-        space: &RouteSpace,
-        advert: &RouteAdvert,
-    ) -> campion_bdd::Assignment {
+    fn advert_assignment(space: &RouteSpace, advert: &RouteAdvert) -> campion_bdd::Assignment {
         let mut a = campion_bdd::Assignment::all_false(space.num_vars());
         let bits = advert.prefix.bits();
         for i in 0..32u32 {
@@ -651,7 +651,9 @@ fn cisco_continue_fallthrough_semantics() {
     // The continue version also sets the metric: a behavioral difference.
     assert_eq!(report.route_map_diffs.len(), 1, "{report}");
     assert!(report.route_map_diffs[0].action1.contains("SET METRIC 50"));
-    assert!(report.route_map_diffs[0].action1.contains("SET LOCAL PREF 200"));
+    assert!(report.route_map_diffs[0]
+        .action1
+        .contains("SET LOCAL PREF 200"));
 }
 
 /// The exhaustive-communities option replaces the single example with the

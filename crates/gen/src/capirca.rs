@@ -33,7 +33,9 @@ fn random_prefix(rng: &mut StdRng) -> (u32, u8) {
 }
 
 fn random_rule(rng: &mut StdRng) -> GenRule {
-    let proto = *[0u8, 6, 6, 6, 17].get(rng.gen_range(0..5)).expect("index in range");
+    let proto = *[0u8, 6, 6, 6, 17]
+        .get(rng.gen_range(0..5usize))
+        .expect("index in range");
     let src = if rng.gen_bool(0.7) {
         Some(random_prefix(rng))
     } else {
@@ -83,7 +85,11 @@ fn rule_matches(rule: &GenRule, p: &Probe) -> bool {
     let prefix_hit = |pref: Option<(u32, u8)>, addr: u32| match pref {
         None => true,
         Some((base, len)) => {
-            let m = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let m = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
             addr & m == base
         }
     };
@@ -106,7 +112,11 @@ fn ip(addr: u32) -> String {
 }
 
 fn wildcard(len: u8) -> String {
-    let w = if len == 0 { u32::MAX } else { !(u32::MAX << (32 - u32::from(len))) };
+    let w = if len == 0 {
+        u32::MAX
+    } else {
+        !(u32::MAX << (32 - u32::from(len)))
+    };
     ip(w)
 }
 
@@ -145,15 +155,19 @@ fn render_juniper(name: &str, rules: &[GenRule]) -> String {
     let _ = writeln!(out, "        filter {name} {{");
     for (i, r) in rules.iter().enumerate() {
         let _ = writeln!(out, "            term t{i} {{");
-        let has_from =
-            r.src.is_some() || r.dst.is_some() || r.proto != 0 || r.dst_port.is_some();
+        let has_from = r.src.is_some() || r.dst.is_some() || r.proto != 0 || r.dst_port.is_some();
         if has_from {
             let _ = writeln!(out, "                from {{");
             if let Some((a, l)) = r.src {
                 let _ = writeln!(out, "                    source-address {}/{};", ip(a), l);
             }
             if let Some((a, l)) = r.dst {
-                let _ = writeln!(out, "                    destination-address {}/{};", ip(a), l);
+                let _ = writeln!(
+                    out,
+                    "                    destination-address {}/{};",
+                    ip(a),
+                    l
+                );
             }
             if r.proto != 0 {
                 let p = if r.proto == 6 { "tcp" } else { "udp" };

@@ -85,7 +85,12 @@ fn tor_params(rng: &mut StdRng, idx: usize, route_reflector: bool) -> TorParams 
         .map(|i| {
             (
                 prefix_str(rng),
-                format!("10.{}.{}.{}", rng.gen_range(1..200), rng.gen_range(0..200), i + 1),
+                format!(
+                    "10.{}.{}.{}",
+                    rng.gen_range(1..200),
+                    rng.gen_range(0..200),
+                    i + 1
+                ),
             )
         })
         .collect();
@@ -103,7 +108,11 @@ fn tor_params(rng: &mut StdRng, idx: usize, route_reflector: bool) -> TorParams 
 }
 
 fn mask(len: u8) -> String {
-    let m = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+    let m = if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    };
     std::net::Ipv4Addr::from(m).to_string()
 }
 
@@ -189,7 +198,10 @@ fn render_tor_juniper(p: &TorParams, bugs: &[InjectedBug]) -> String {
     let _ = writeln!(o, "    community SVC members {community};");
     let _ = writeln!(o, "    policy-statement IMPORT {{");
     let _ = writeln!(o, "        term t1 {{");
-    let _ = writeln!(o, "            from prefix-list-filter IMPORT-FILTER orlonger;");
+    let _ = writeln!(
+        o,
+        "            from prefix-list-filter IMPORT-FILTER orlonger;"
+    );
     let _ = writeln!(o, "            then {{");
     let _ = writeln!(o, "                local-preference {local_pref};");
     let _ = writeln!(o, "                accept;");
@@ -199,7 +211,10 @@ fn render_tor_juniper(p: &TorParams, bugs: &[InjectedBug]) -> String {
     let _ = writeln!(o, "    }}");
     let _ = writeln!(o, "    policy-statement EXPORT {{");
     let _ = writeln!(o, "        term t1 {{");
-    let _ = writeln!(o, "            from prefix-list-filter EXPORT-NETS orlonger;");
+    let _ = writeln!(
+        o,
+        "            from prefix-list-filter EXPORT-NETS orlonger;"
+    );
     let _ = writeln!(o, "            then {{");
     let _ = writeln!(o, "                community set SVC;");
     let _ = writeln!(o, "                accept;");
@@ -259,7 +274,9 @@ pub fn scenario1(pairs: usize, seed: u64) -> Vec<ScenarioPair> {
                 params.import_prefixes[rng.gen_range(0..params.import_prefixes.len())].clone();
             bugs.push(InjectedBug::MissingImportPrefix(victim));
         } else if i < 7 {
-            let victim = params.statics[rng.gen_range(0..params.statics.len())].0.clone();
+            let victim = params.statics[rng.gen_range(0..params.statics.len())]
+                .0
+                .clone();
             bugs.push(InjectedBug::WrongStaticNextHop(victim));
         }
         out.push(ScenarioPair {

@@ -45,8 +45,8 @@ impl AclRuleIr {
 
     /// Does the rule match a concrete flow?
     pub fn matches(&self, flow: &Flow) -> bool {
-        let proto_ok = self.protocols.is_empty()
-            || self.protocols.iter().any(|p| p.matches(flow.protocol));
+        let proto_ok =
+            self.protocols.is_empty() || self.protocols.iter().any(|p| p.matches(flow.protocol));
         let src_ok = self.src.is_empty() || self.src.iter().any(|w| w.matches(flow.src_ip));
         let dst_ok = self.dst.is_empty() || self.dst.iter().any(|w| w.matches(flow.dst_ip));
         // Port constraints only bind for protocols that carry ports; a rule

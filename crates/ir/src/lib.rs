@@ -42,10 +42,8 @@ pub use policy::{
 };
 pub use route::{RouteAdvert, RouteProtocol};
 pub use router::{lower, lower_cisco, lower_juniper, RouterIr};
+pub use routing::{BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr};
 pub use translate::{to_junos, TranslateError};
-pub use routing::{
-    BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr,
-};
 
 #[cfg(test)]
 mod tests;

@@ -12,12 +12,14 @@ use campion_net::PrefixRange;
 use crate::acl::{AclIr, AclRuleIr};
 use crate::error::LowerError;
 use crate::policy::{
-    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher,
-    PrefixMatcherEntry, RoutePolicy, SetAction, Terminal,
+    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher, PrefixMatcherEntry,
+    RoutePolicy, SetAction, Terminal,
 };
 use crate::route::RouteProtocol;
 use crate::router::RouterIr;
-use crate::routing::{BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr};
+use crate::routing::{
+    BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr,
+};
 
 /// Lower a Cisco configuration.
 pub fn lower_cisco(cfg: &CiscoConfig) -> Result<RouterIr, LowerError> {
@@ -114,10 +116,7 @@ fn lower_prefix_list(name: &str, pl: &PrefixList) -> PrefixMatcher {
 /// A Cisco standard/extended ACL used as a *route* matcher (`match ip
 /// address ACL`): the route's network address is tested against the ACL's
 /// source field, with any prefix length.
-fn lower_acl_as_prefix_matcher(
-    name: &str,
-    acl: &cisco::Acl,
-) -> Result<PrefixMatcher, LowerError> {
+fn lower_acl_as_prefix_matcher(name: &str, acl: &cisco::Acl) -> Result<PrefixMatcher, LowerError> {
     let mut entries = Vec::new();
     for rule in &acl.rules {
         let wc = match rule.src {
@@ -145,10 +144,7 @@ fn lower_acl_as_prefix_matcher(
 
 /// A Cisco community list → first-match permit/deny matcher. Regexes are
 /// validated here so later evaluation can unwrap.
-fn lower_community_list(
-    name: &str,
-    cl: &CommunityList,
-) -> Result<CommunityMatcher, LowerError> {
+fn lower_community_list(name: &str, cl: &CommunityList) -> Result<CommunityMatcher, LowerError> {
     let mut entries = Vec::new();
     let mut span: Option<Span> = None;
     for e in &cl.entries {
@@ -160,7 +156,10 @@ fn lower_community_list(
             Regex::new(rx).map_err(|err| LowerError::at(e.span, err.message))?;
             vec![CommAtom::Regex(rx.clone())]
         } else {
-            e.communities.iter().map(|c| CommAtom::Literal(*c)).collect()
+            e.communities
+                .iter()
+                .map(|c| CommAtom::Literal(*c))
+                .collect()
         };
         entries.push((e.action.permits(), atoms, e.span));
     }
@@ -372,7 +371,9 @@ fn lower_ospf(
     };
     let mut out = Vec::new();
     for (name, iface) in interfaces {
-        let Some((addr, subnet)) = iface.address else { continue };
+        let Some((addr, subnet)) = iface.address else {
+            continue;
+        };
         let src = &cfg.interfaces[name];
         // Interface-mode area wins; otherwise the first matching network
         // statement enables OSPF (IOS most-specific-first is approximated by
@@ -385,9 +386,13 @@ fn lower_ospf(
         });
         let Some(area) = area else { continue };
         let passive = ospf.passive_interfaces.iter().any(|p| p == name);
-        let span = src
-            .span
-            .merge(ospf.networks.iter().find(|(wc, _, _)| wc.matches(addr)).map(|(_, _, s)| *s).unwrap_or(src.span));
+        let span = src.span.merge(
+            ospf.networks
+                .iter()
+                .find(|(wc, _, _)| wc.matches(addr))
+                .map(|(_, _, s)| *s)
+                .unwrap_or(src.span),
+        );
         out.push(OspfIfaceIr {
             iface: name.clone(),
             subnet: Some(subnet),

@@ -12,12 +12,14 @@ use campion_net::{Prefix, PrefixRange, WildcardMask};
 use crate::acl::{AclIr, AclRuleIr};
 use crate::error::LowerError;
 use crate::policy::{
-    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher,
-    PrefixMatcherEntry, RoutePolicy, SetAction, Terminal,
+    Clause, CommAtom, CommunityDialect, CommunityMatcher, Match, PrefixMatcher, PrefixMatcherEntry,
+    RoutePolicy, SetAction, Terminal,
 };
 use crate::route::RouteProtocol;
 use crate::router::RouterIr;
-use crate::routing::{BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr};
+use crate::routing::{
+    BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, OspfIfaceIr, RedistIr, StaticRouteIr,
+};
 
 /// Lower a Juniper configuration.
 pub fn lower_juniper(cfg: &JuniperConfig) -> Result<RouterIr, LowerError> {
@@ -71,7 +73,9 @@ pub fn lower_juniper(cfg: &JuniperConfig) -> Result<RouterIr, LowerError> {
     if let Some(ospf) = &cfg.ospf {
         for (area, ifaces) in &ospf.areas {
             for oi in ifaces {
-                let subnet = interfaces.get(&oi.name).and_then(|i| i.address.map(|(_, p)| p));
+                let subnet = interfaces
+                    .get(&oi.name)
+                    .and_then(|i| i.address.map(|(_, p)| p));
                 ospf_interfaces.push(OspfIfaceIr {
                     iface: oi.name.clone(),
                     subnet,
@@ -179,14 +183,11 @@ fn lower_community(
     name: &str,
     at: Span,
 ) -> Result<CommunityMatcher, LowerError> {
-    let def = cfg.communities.get(name).ok_or_else(|| {
-        LowerError::at(at, format!("reference to undefined community {name}"))
-    })?;
-    let mut atoms: Vec<CommAtom> = def
-        .members
-        .iter()
-        .map(|c| CommAtom::Literal(*c))
-        .collect();
+    let def = cfg
+        .communities
+        .get(name)
+        .ok_or_else(|| LowerError::at(at, format!("reference to undefined community {name}")))?;
+    let mut atoms: Vec<CommAtom> = def.members.iter().map(|c| CommAtom::Literal(*c)).collect();
     for rx in &def.regexes {
         Regex::new(rx).map_err(|e| LowerError::at(def.span, e.message))?;
         atoms.push(CommAtom::Regex(rx.clone()));
@@ -205,9 +206,10 @@ fn community_literals(
     name: &str,
     at: Span,
 ) -> Result<Vec<campion_net::Community>, LowerError> {
-    let def = cfg.communities.get(name).ok_or_else(|| {
-        LowerError::at(at, format!("reference to undefined community {name}"))
-    })?;
+    let def = cfg
+        .communities
+        .get(name)
+        .ok_or_else(|| LowerError::at(at, format!("reference to undefined community {name}")))?;
     if !def.regexes.is_empty() {
         return Err(LowerError::at(
             def.span,
@@ -234,7 +236,10 @@ fn lower_policy(
                     let pl = cfg.prefix_lists.get(pl_name).ok_or_else(|| {
                         LowerError::at(
                             term.span,
-                            format!("term {} references undefined prefix-list {pl_name}", term.name),
+                            format!(
+                                "term {} references undefined prefix-list {pl_name}",
+                                term.name
+                            ),
                         )
                     })?;
                     // Bare prefix-list reference: EXACT match only — the
@@ -251,7 +256,10 @@ fn lower_policy(
                     let pl = cfg.prefix_lists.get(pl_name).ok_or_else(|| {
                         LowerError::at(
                             term.span,
-                            format!("term {} references undefined prefix-list {pl_name}", term.name),
+                            format!(
+                                "term {} references undefined prefix-list {pl_name}",
+                                term.name
+                            ),
                         )
                     })?;
                     for (p, span) in &pl.prefixes {
@@ -310,17 +318,15 @@ fn lower_policy(
             match t {
                 ThenClause::Accept => terminal = Terminal::Accept,
                 ThenClause::Reject => terminal = Terminal::Reject,
-                ThenClause::NextTerm | ThenClause::NextPolicy => {
-                    terminal = Terminal::Fallthrough
-                }
+                ThenClause::NextTerm | ThenClause::NextPolicy => terminal = Terminal::Fallthrough,
                 ThenClause::LocalPreference(v) => sets.push(SetAction::LocalPref(*v)),
                 ThenClause::Metric(v) => sets.push(SetAction::Metric(*v)),
-                ThenClause::CommunityAdd(n) => {
-                    sets.push(SetAction::CommunityAdd(community_literals(cfg, n, term.span)?))
-                }
-                ThenClause::CommunitySet(n) => {
-                    sets.push(SetAction::CommunitySet(community_literals(cfg, n, term.span)?))
-                }
+                ThenClause::CommunityAdd(n) => sets.push(SetAction::CommunityAdd(
+                    community_literals(cfg, n, term.span)?,
+                )),
+                ThenClause::CommunitySet(n) => sets.push(SetAction::CommunitySet(
+                    community_literals(cfg, n, term.span)?,
+                )),
                 ThenClause::CommunityDelete(n) => {
                     let m = lower_community(cfg, n, term.span)?;
                     sets.push(SetAction::CommunityDelete(
@@ -406,10 +412,7 @@ fn lower_bgp(
                         .iter()
                         .map(|n| {
                             policies.get(n).cloned().ok_or_else(|| {
-                                LowerError::at(
-                                    span,
-                                    format!("reference to undefined policy {n}"),
-                                )
+                                LowerError::at(span, format!("reference to undefined policy {n}"))
                             })
                         })
                         .collect::<Result<_, _>>()?;
@@ -425,8 +428,16 @@ fn lower_bgp(
     for (gname, g) in &b.groups {
         let _ = gname;
         for (addr, n) in &g.neighbors {
-            let import_chain = if n.import.is_empty() { &g.import } else { &n.import };
-            let export_chain = if n.export.is_empty() { &g.export } else { &n.export };
+            let import_chain = if n.import.is_empty() {
+                &g.import
+            } else {
+                &n.import
+            };
+            let export_chain = if n.export.is_empty() {
+                &g.export
+            } else {
+                &n.export
+            };
             let import_policy = resolve_chain(import_chain, n.span)?;
             let export_policy = resolve_chain(export_chain, n.span)?;
             neighbors.insert(

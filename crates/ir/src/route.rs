@@ -116,6 +116,10 @@ impl fmt::Display for RouteAdvert {
             let cs: Vec<String> = self.communities.iter().map(|c| c.to_string()).collect();
             write!(f, " comms={}", cs.join(","))?;
         }
-        write!(f, " lp={} med={} tag={}", self.local_pref, self.metric, self.tag)
+        write!(
+            f,
+            " lp={} med={} tag={}",
+            self.local_pref, self.metric, self.tag
+        )
     }
 }

@@ -48,7 +48,10 @@ fn figure1_difference_1_prefix_lengths() {
     let vj = j.policies["POL"].evaluate(&a);
     assert!(!vc.accept, "Cisco: matched by NETS, denied by clause 10");
     assert_eq!(vc.fired, vec![0]);
-    assert!(vj.accept, "Juniper: NETS matches only /16 exactly; falls to rule3");
+    assert!(
+        vj.accept,
+        "Juniper: NETS matches only /16 exactly; falls to rule3"
+    );
     assert_eq!(vj.route.local_pref, 30);
     // The /16 itself is treated identically (both reject).
     let a16 = advert("10.9.0.0/16");
@@ -69,8 +72,8 @@ fn figure1_difference_2_community_semantics() {
     assert_eq!(vc.fired, vec![1]);
     assert!(vj.accept, "Juniper: members [10:10 10:11] needs both");
     // With both communities the routers agree (reject).
-    let both = advert("99.0.0.0/8")
-        .with_communities([Community::new(10, 10), Community::new(10, 11)]);
+    let both =
+        advert("99.0.0.0/8").with_communities([Community::new(10, 10), Community::new(10, 11)]);
     assert!(!c.policies["POL"].evaluate(&both).accept);
     assert!(!j.policies["POL"].evaluate(&both).accept);
 }
@@ -79,10 +82,7 @@ fn figure1_difference_2_community_semantics() {
 /// default-accept, visible once the catch-all clause is removed.
 #[test]
 fn default_terminal_asymmetry() {
-    let c = lower(
-        &parse_config("route-map ONLY deny 10\n match tag 7\n").unwrap(),
-    )
-    .unwrap();
+    let c = lower(&parse_config("route-map ONLY deny 10\n match tag 7\n").unwrap()).unwrap();
     let j = lower(
         &parse_config(
             "policy-options {
@@ -95,8 +95,14 @@ fn default_terminal_asymmetry() {
     )
     .unwrap();
     let a = advert("1.2.3.0/24");
-    assert!(!c.policies["ONLY"].evaluate(&a).accept, "Cisco implicit deny");
-    assert!(j.policies["ONLY"].evaluate(&a).accept, "JunOS default accept");
+    assert!(
+        !c.policies["ONLY"].evaluate(&a).accept,
+        "Cisco implicit deny"
+    );
+    assert!(
+        j.policies["ONLY"].evaluate(&a).accept,
+        "JunOS default accept"
+    );
 }
 
 #[test]
@@ -134,8 +140,8 @@ fn community_set_add_delete() {
         .unwrap(),
     )
     .unwrap();
-    let base = advert("9.9.0.0/16")
-        .with_communities([Community::new(65000, 1), Community::new(7, 7)]);
+    let base =
+        advert("9.9.0.0/16").with_communities([Community::new(65000, 1), Community::new(7, 7)]);
     let v1 = c.policies["M"].evaluate(&base);
     assert_eq!(
         v1.route.communities.into_iter().collect::<Vec<_>>(),
@@ -144,7 +150,10 @@ fn community_set_add_delete() {
     );
     let v2 = c.policies["M2"].evaluate(&base);
     assert!(v2.route.communities.contains(&Community::new(3, 3)));
-    assert!(v2.route.communities.contains(&Community::new(7, 7)), "additive keeps");
+    assert!(
+        v2.route.communities.contains(&Community::new(7, 7)),
+        "additive keeps"
+    );
     let v3 = c.policies["M3"].evaluate(&base);
     assert!(!v3.route.communities.contains(&Community::new(65000, 1)));
     assert!(v3.route.communities.contains(&Community::new(7, 7)));
@@ -190,7 +199,10 @@ fn juniper_route_filter_modifiers_behave() {
     let p = &j.policies["P"];
     assert!(!p.evaluate(&advert("10.0.0.0/8")).accept);
     assert!(!p.evaluate(&advert("10.5.0.0/16")).accept);
-    assert!(p.evaluate(&advert("10.5.5.0/24")).accept, "/24 beyond upto /16");
+    assert!(
+        p.evaluate(&advert("10.5.5.0/24")).accept,
+        "/24 beyond upto /16"
+    );
     assert!(p.evaluate(&advert("11.0.0.0/8")).accept);
 }
 
@@ -242,7 +254,10 @@ fn static_route_lowering_and_null0() {
         .unwrap(),
     )
     .unwrap();
-    assert_eq!(j.static_routes[0].admin_distance, 5, "JunOS default preference");
+    assert_eq!(
+        j.static_routes[0].admin_distance, 5,
+        "JunOS default preference"
+    );
     assert_eq!(j.static_routes[1].next_hop, NextHopIr::Discard);
 }
 
@@ -279,11 +294,30 @@ fn acl_lowering_cross_vendor_equivalence() {
         .unwrap(),
     )
     .unwrap();
-    let inside = Flow::tcp("10.0.9.9".parse().unwrap(), 5000, "8.8.8.8".parse().unwrap(), 443);
-    let outside = Flow::tcp("10.1.0.1".parse().unwrap(), 5000, "8.8.8.8".parse().unwrap(), 443);
-    let wrong_port =
-        Flow::tcp("10.0.9.9".parse().unwrap(), 5000, "8.8.8.8".parse().unwrap(), 80);
-    let udp = Flow::udp("10.0.9.9".parse().unwrap(), 5000, "8.8.8.8".parse().unwrap(), 443);
+    let inside = Flow::tcp(
+        "10.0.9.9".parse().unwrap(),
+        5000,
+        "8.8.8.8".parse().unwrap(),
+        443,
+    );
+    let outside = Flow::tcp(
+        "10.1.0.1".parse().unwrap(),
+        5000,
+        "8.8.8.8".parse().unwrap(),
+        443,
+    );
+    let wrong_port = Flow::tcp(
+        "10.0.9.9".parse().unwrap(),
+        5000,
+        "8.8.8.8".parse().unwrap(),
+        80,
+    );
+    let udp = Flow::udp(
+        "10.0.9.9".parse().unwrap(),
+        5000,
+        "8.8.8.8".parse().unwrap(),
+        443,
+    );
     for flow in [inside, outside, wrong_port, udp] {
         assert_eq!(
             c.acls["F"].permits(&flow),
@@ -350,7 +384,10 @@ fn bgp_neighbor_lowering_defaults() {
     assert_eq!(bgp.asn, 65001);
     let n = &bgp.neighbors[&"10.0.0.2".parse().unwrap()];
     assert!(n.send_community, "JunOS: on by default");
-    assert!(n.route_reflector_client, "cluster makes neighbors RR clients");
+    assert!(
+        n.route_reflector_client,
+        "cluster makes neighbors RR clients"
+    );
     assert_eq!(n.remote_as, Some(65001), "internal group peers at local AS");
     assert_eq!(n.export_policy.as_deref(), Some("A+B"));
     assert!(j.policies.contains_key("A+B"), "chain materialized");
@@ -478,9 +515,12 @@ fn prefix_ranges_and_atoms_extraction() {
 
     let j = juniper_fig1();
     let ranges = j.policies["POL"].prefix_ranges();
-    assert!(ranges
-        .iter()
-        .any(|r| r.to_string() == "10.9.0.0/16 : 16-16"), "exact semantics");
+    assert!(
+        ranges
+            .iter()
+            .any(|r| r.to_string() == "10.9.0.0/16 : 16-16"),
+        "exact semantics"
+    );
 }
 
 mod properties {

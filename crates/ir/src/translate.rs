@@ -351,7 +351,11 @@ fn junos_prefix_matcher(p: &RoutePolicy, pm: &PrefixMatcher) -> Result<String, T
                 "policy {}: prefix matcher {} has deny entries; JunOS route-filter \
                  translation of shadowing denies is not supported",
                 p.name,
-                if pm.name.is_empty() { "(inline)" } else { &pm.name }
+                if pm.name.is_empty() {
+                    "(inline)"
+                } else {
+                    &pm.name
+                }
             )));
         }
         let r = &e.range;
@@ -469,17 +473,37 @@ fn junos_filter(acl: &AclIr) -> Result<String, TranslateError> {
             let rs: Vec<String> = rule
                 .src_ports
                 .iter()
-                .map(|r| if r.lo == r.hi { r.lo.to_string() } else { format!("{}-{}", r.lo, r.hi) })
+                .map(|r| {
+                    if r.lo == r.hi {
+                        r.lo.to_string()
+                    } else {
+                        format!("{}-{}", r.lo, r.hi)
+                    }
+                })
                 .collect();
-            let _ = writeln!(from, "                    source-port [ {} ];", rs.join(" "));
+            let _ = writeln!(
+                from,
+                "                    source-port [ {} ];",
+                rs.join(" ")
+            );
         }
         if !rule.dst_ports.is_empty() {
             let rs: Vec<String> = rule
                 .dst_ports
                 .iter()
-                .map(|r| if r.lo == r.hi { r.lo.to_string() } else { format!("{}-{}", r.lo, r.hi) })
+                .map(|r| {
+                    if r.lo == r.hi {
+                        r.lo.to_string()
+                    } else {
+                        format!("{}-{}", r.lo, r.hi)
+                    }
+                })
                 .collect();
-            let _ = writeln!(from, "                    destination-port [ {} ];", rs.join(" "));
+            let _ = writeln!(
+                from,
+                "                    destination-port [ {} ];",
+                rs.join(" ")
+            );
         }
         if !from.is_empty() {
             let _ = writeln!(o, "                from {{");

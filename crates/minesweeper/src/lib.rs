@@ -197,12 +197,21 @@ pub fn enumerate_route_map_cexs_general(
                         // enumerate combinations of all three.
                         for pm in pms {
                             for e in &pm.entries {
-                                let addr =
-                                    space.prefix_range_bdd(&PrefixRange::new(e.range.prefix, 0, 32));
-                                let ge = space
-                                    .prefix_range_bdd(&PrefixRange::new(Prefix::DEFAULT, e.range.min_len, 32));
-                                let le = space
-                                    .prefix_range_bdd(&PrefixRange::new(Prefix::DEFAULT, 0, e.range.max_len));
+                                let addr = space.prefix_range_bdd(&PrefixRange::new(
+                                    e.range.prefix,
+                                    0,
+                                    32,
+                                ));
+                                let ge = space.prefix_range_bdd(&PrefixRange::new(
+                                    Prefix::DEFAULT,
+                                    e.range.min_len,
+                                    32,
+                                ));
+                                let le = space.prefix_range_bdd(&PrefixRange::new(
+                                    Prefix::DEFAULT,
+                                    0,
+                                    e.range.max_len,
+                                ));
                                 for b in [addr, ge, le] {
                                     if !predicates.contains(&b) {
                                         predicates.push(b);

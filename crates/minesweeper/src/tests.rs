@@ -15,8 +15,8 @@ fn load(text: &str) -> RouterIr {
 fn figure1_single_counterexample_like_table3() {
     let c = load(FIGURE1_CISCO);
     let j = load(FIGURE1_JUNIPER);
-    let cex = check_route_maps(&c.policies["POL"], &j.policies["POL"])
-        .expect("Figure 1 policies differ");
+    let cex =
+        check_route_maps(&c.policies["POL"], &j.policies["POL"]).expect("Figure 1 policies differ");
     // One concrete advert; the two routers disagree.
     assert_ne!(cex.behavior1, cex.behavior2);
     // The counterexample prefix falls in one of the two difference regions.
@@ -26,7 +26,10 @@ fn figure1_single_counterexample_like_table3() {
     ];
     let in_nets = nets.iter().any(|r| r.member(&cex.advert.prefix));
     let has_comm = !cex.advert.communities.is_empty();
-    assert!(in_nets || has_comm, "cex must witness one of the two bugs: {cex}");
+    assert!(
+        in_nets || has_comm,
+        "cex must witness one of the two bugs: {cex}"
+    );
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn coverage_requires_multiple_counterexamples() {
     // hundreds of counterexamples.
     let lex =
         cexs_until_coverage_lexicographic(&c.policies["POL"], &j.policies["POL"], &targets, 500);
-    assert!(lex.is_none(), "lexicographic enumeration should not cover quickly");
+    assert!(
+        lex.is_none(),
+        "lexicographic enumeration should not cover quickly"
+    );
 }
 
 #[test]

@@ -78,9 +78,11 @@ impl FromStr for IpProtocol {
             "tcp" => IpProtocol::Tcp,
             "udp" => IpProtocol::Udp,
             "icmp" => IpProtocol::Icmp,
-            other => IpProtocol::Other(other.parse().map_err(|_| {
-                ParseNetError::new(format!("unknown IP protocol {other:?}"))
-            })?),
+            other => IpProtocol::Other(
+                other
+                    .parse()
+                    .map_err(|_| ParseNetError::new(format!("unknown IP protocol {other:?}")))?,
+            ),
         })
     }
 }
@@ -96,7 +98,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full port space `0-65535`.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// Construct an interval.
     ///

@@ -77,13 +77,7 @@ impl CharClass {
     fn delimiter() -> Self {
         CharClass {
             negated: false,
-            ranges: vec![
-                (' ', ' '),
-                (',', ','),
-                (':', ':'),
-                ('{', '{'),
-                ('}', '}'),
-            ],
+            ranges: vec![(' ', ' '), (',', ','), (':', ':'), ('{', '{'), ('}', '}')],
         }
     }
 
@@ -389,7 +383,10 @@ impl Regex {
         self.add_state(&mut current, &mut visited, 0, start, input.len());
         let mut pos = start;
         loop {
-            if current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept)) {
+            if current
+                .iter()
+                .any(|&pc| matches!(self.prog[pc], Inst::Accept))
+            {
                 return true;
             }
             if pos >= input.len() || current.is_empty() {

@@ -239,7 +239,15 @@ mod tests {
     fn underscore_delimiter_in_language_checks() {
         // `_65000:` under find-semantics: matches strings where 65000: is
         // at start or after a delimiter.
-        assert!(language_subset_except(&re("^65000:1$"), &re("_65000:"), &[]));
-        assert!(!language_subset_except(&re("_65000:"), &re("^65000:1$"), &[]));
+        assert!(language_subset_except(
+            &re("^65000:1$"),
+            &re("_65000:"),
+            &[]
+        ));
+        assert!(!language_subset_except(
+            &re("_65000:"),
+            &re("^65000:1$"),
+            &[]
+        ));
     }
 }

@@ -41,11 +41,9 @@ fn prefix_from_netmask() {
     )
     .unwrap();
     assert_eq!(p.to_string(), "10.1.1.2/31");
-    assert!(Prefix::from_netmask(
-        Ipv4Addr::new(10, 0, 0, 0),
-        Ipv4Addr::new(255, 0, 255, 0)
-    )
-    .is_err());
+    assert!(
+        Prefix::from_netmask(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(255, 0, 255, 0)).is_err()
+    );
 }
 
 #[test]
@@ -166,7 +164,10 @@ fn wildcard_masks() {
         "1.2.3.4/32"
     );
     assert!(WildcardMask::ANY.matches(Ipv4Addr::new(200, 1, 2, 3)));
-    assert_eq!(WildcardMask::ANY.as_prefix().unwrap(), crate::Prefix::DEFAULT);
+    assert_eq!(
+        WildcardMask::ANY.as_prefix().unwrap(),
+        crate::Prefix::DEFAULT
+    );
 }
 
 #[test]

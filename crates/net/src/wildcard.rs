@@ -65,7 +65,12 @@ impl WildcardMask {
     pub fn as_prefix(&self) -> Option<Prefix> {
         let care = !self.wildcard;
         let len = care.leading_ones() as u8;
-        let contiguous = self.wildcard == if len == 0 { u32::MAX } else { !(u32::MAX << (32 - u32::from(len))) }
+        let contiguous = self.wildcard
+            == if len == 0 {
+                u32::MAX
+            } else {
+                !(u32::MAX << (32 - u32::from(len)))
+            }
             || (len == 32 && self.wildcard == 0);
         if contiguous {
             Some(Prefix::new(Ipv4Addr::from(self.addr), len))

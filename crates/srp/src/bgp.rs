@@ -57,11 +57,7 @@ impl BgpRoute {
 /// Apply a router's export processing toward `neighbor`: export policy,
 /// community stripping when `send-community` is off, AS-path extension on
 /// eBGP edges.
-pub fn export(
-    router: &RouterIr,
-    neighbor: Ipv4Addr,
-    route: &BgpRoute,
-) -> Option<BgpRoute> {
+pub fn export(router: &RouterIr, neighbor: Ipv4Addr, route: &BgpRoute) -> Option<BgpRoute> {
     let bgp = router.bgp.as_ref()?;
     let ncfg = bgp.neighbors.get(&neighbor)?;
     let ebgp_edge = ncfg.remote_as.is_some() && ncfg.remote_as != Some(bgp.asn);
@@ -104,11 +100,7 @@ pub fn export(
 }
 
 /// Apply the receiving router's import processing from `neighbor`.
-pub fn import(
-    router: &RouterIr,
-    neighbor: Ipv4Addr,
-    mut route: BgpRoute,
-) -> Option<BgpRoute> {
+pub fn import(router: &RouterIr, neighbor: Ipv4Addr, mut route: BgpRoute) -> Option<BgpRoute> {
     let bgp = router.bgp.as_ref()?;
     let ncfg = bgp.neighbors.get(&neighbor)?;
     let policy = match &ncfg.import_policy {

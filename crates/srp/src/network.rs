@@ -151,10 +151,7 @@ impl Network {
             }
             for s in &r.static_routes {
                 let next_hop_router = match &s.next_hop {
-                    NextHopIr::Ip(ip) => self
-                        .router_owning_addr(*ip)
-                        .unwrap_or("")
-                        .to_string(),
+                    NextHopIr::Ip(ip) => self.router_owning_addr(*ip).unwrap_or("").to_string(),
                     NextHopIr::Interface(i) => self
                         .peer_of(name, i)
                         .map(|(r, _)| r.to_string())
@@ -267,8 +264,12 @@ impl Network {
                 let mut candidates: Vec<BgpRoute> = loc_rib[name].values().cloned().collect();
                 // Receive from each neighbor.
                 for addr in b.neighbors.keys() {
-                    let Some(peer) = self.router_owning_addr(*addr) else { continue };
-                    let Some(peer_cfg) = self.routers.get(peer) else { continue };
+                    let Some(peer) = self.router_owning_addr(*addr) else {
+                        continue;
+                    };
+                    let Some(peer_cfg) = self.routers.get(peer) else {
+                        continue;
+                    };
                     // The peer must also have a session back to us.
                     let my_addr = self.addr_facing(name, peer);
                     let has_session = my_addr
@@ -352,7 +353,9 @@ impl Network {
         ingress_iface: Option<&str>,
         flow: &Flow,
     ) -> bool {
-        let Some(r) = self.routers.get(router) else { return false };
+        let Some(r) = self.routers.get(router) else {
+            return false;
+        };
         if let Some(iface) = ingress_iface {
             if let Some(i) = r.interfaces.get(iface) {
                 if let Some(acl_name) = &i.acl_in {
@@ -364,7 +367,9 @@ impl Network {
                 }
             }
         }
-        let Some(rib) = ribs.get(router) else { return false };
+        let Some(rib) = ribs.get(router) else {
+            return false;
+        };
         Self::lookup(rib, flow.dst_ip).is_some()
     }
 }

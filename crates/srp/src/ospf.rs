@@ -46,7 +46,9 @@ impl OspfGraph {
                     continue;
                 }
             }
-            let Some(neighbors) = self.adj.get(node) else { continue };
+            let Some(neighbors) = self.adj.get(node) else {
+                continue;
+            };
             for (next, cost) in neighbors {
                 let nd = d + cost;
                 let nfh = if node == source {

@@ -111,9 +111,12 @@ fn decision_process_ordering() {
 #[test]
 fn ospf_spf_picks_cheapest_path() {
     let mut g = OspfGraph::default();
-    g.adj.insert("a".into(), vec![("b".into(), 10), ("c".into(), 1)]);
-    g.adj.insert("c".into(), vec![("a".into(), 1), ("b".into(), 1)]);
-    g.adj.insert("b".into(), vec![("a".into(), 10), ("c".into(), 1)]);
+    g.adj
+        .insert("a".into(), vec![("b".into(), 10), ("c".into(), 1)]);
+    g.adj
+        .insert("c".into(), vec![("a".into(), 1), ("b".into(), 1)]);
+    g.adj
+        .insert("b".into(), vec![("a".into(), 10), ("c".into(), 1)]);
     g.subnets
         .insert("b".into(), vec!["10.99.0.0/24".parse().unwrap()]);
     let routes = g.spf("a");

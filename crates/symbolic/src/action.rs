@@ -181,11 +181,15 @@ mod tests {
             Community::new(1, 1),
         )]));
         assert!(e.comm_added.is_empty());
-        assert!(e.comm_deleted.contains(&CommAtom::Literal(Community::new(1, 1))));
+        assert!(e
+            .comm_deleted
+            .contains(&CommAtom::Literal(Community::new(1, 1))));
         // And add after delete revives.
         e.apply(&SetAction::CommunityAdd(vec![Community::new(1, 1)]));
         assert!(e.comm_added.contains(&Community::new(1, 1)));
-        assert!(!e.comm_deleted.contains(&CommAtom::Literal(Community::new(1, 1))));
+        assert!(!e
+            .comm_deleted
+            .contains(&CommAtom::Literal(Community::new(1, 1))));
     }
 
     #[test]

@@ -34,8 +34,7 @@ mod route_space;
 pub use action::ActionEffect;
 pub use packet_space::{FlowExample, PacketSpace};
 pub use route_space::{
-    AtomKey, FieldState, RouteExample, RouteSpace, SymbolicRoute, LEN_VARS, PREFIX_VARS,
-    PROTO_VARS,
+    AtomKey, FieldState, RouteExample, RouteSpace, SymbolicRoute, LEN_VARS, PREFIX_VARS, PROTO_VARS,
 };
 
 /// The destination-port variable run of the packet space.

@@ -93,12 +93,8 @@ impl PacketSpace {
                 let v: Vec<u32> = vars.collect();
                 let mut any = Bdd::FALSE;
                 for r in alts {
-                    let b = bits::range_const(
-                        &mut self.manager,
-                        &v,
-                        u64::from(r.lo),
-                        u64::from(r.hi),
-                    );
+                    let b =
+                        bits::range_const(&mut self.manager, &v, u64::from(r.lo), u64::from(r.hi));
                     any = self.manager.or(any, b);
                 }
                 let gated = self.manager.and(portful, any);

@@ -326,7 +326,12 @@ impl RouteSpace {
     /// path predicates and projections all live in the same subspace.
     pub fn prefix_range_bdd(&mut self, r: &PrefixRange) -> Bdd {
         let addr_vars: Vec<u32> = PREFIX_VARS.collect();
-        let a = bits::prefix_const(&mut self.manager, &addr_vars, r.prefix.bits(), r.prefix.len());
+        let a = bits::prefix_const(
+            &mut self.manager,
+            &addr_vars,
+            r.prefix.bits(),
+            r.prefix.len(),
+        );
         let len_vars: Vec<u32> = LEN_VARS.collect();
         let l = bits::range_const(
             &mut self.manager,
@@ -425,9 +430,12 @@ impl RouteSpace {
                 acc
             }
             Match::Tag(t) => self.scalar_eq(state.tag, *t, self.tag_base, &self.tag_values.clone()),
-            Match::Metric(v) => {
-                self.scalar_eq(state.metric, *v, self.metric_base, &self.metric_values.clone())
-            }
+            Match::Metric(v) => self.scalar_eq(
+                state.metric,
+                *v,
+                self.metric_base,
+                &self.metric_values.clone(),
+            ),
             Match::Protocol(ps) => {
                 let proto_vars: Vec<u32> = PROTO_VARS.collect();
                 let mut acc = Bdd::FALSE;
@@ -495,7 +503,9 @@ impl RouteSpace {
                                 // Deleting by the same pattern removes the
                                 // unknown matches; other patterns may or may
                                 // not overlap — keep them (overapproximate).
-                                atoms.iter().any(|a| matches!(a, CommAtom::Regex(p) if p == r))
+                                atoms
+                                    .iter()
+                                    .any(|a| matches!(a, CommAtom::Regex(p) if p == r))
                             }
                         };
                         if deleted {

@@ -135,7 +135,10 @@ fn sets_change_later_matches() {
     space.apply_sets(&mut state, &pol.clauses[0].sets);
     let m = &pol.clauses[1].matches[0];
     let b = space.match_bdd(m, &state);
-    assert!(space.manager.is_true(b), "set community feeds the later match");
+    assert!(
+        space.manager.is_true(b),
+        "set community feeds the later match"
+    );
 }
 
 #[test]
@@ -172,7 +175,10 @@ fn project_to_prefix_drops_community_vars() {
     let m = &c.policies["POL"].clauses[1].matches[0];
     let b = space.match_bdd(m, &state);
     let p = space.project_to_prefix(b);
-    assert!(space.manager.is_true(p), "every prefix has some matching input");
+    assert!(
+        space.manager.is_true(p),
+        "every prefix has some matching input"
+    );
     let support = space.manager.support(p);
     assert!(support.is_empty());
 }
@@ -209,12 +215,37 @@ fn packet_space_rule_agrees_with_concrete_acl() {
     let acl = &r.acls["F"];
     let mut space = PacketSpace::new();
     let flows = [
-        Flow::tcp("10.0.1.1".parse().unwrap(), 999, "8.8.8.8".parse().unwrap(), 443),
-        Flow::tcp("10.0.1.1".parse().unwrap(), 999, "8.8.8.8".parse().unwrap(), 80),
-        Flow::tcp("10.9.1.1".parse().unwrap(), 999, "8.8.8.8".parse().unwrap(), 443),
+        Flow::tcp(
+            "10.0.1.1".parse().unwrap(),
+            999,
+            "8.8.8.8".parse().unwrap(),
+            443,
+        ),
+        Flow::tcp(
+            "10.0.1.1".parse().unwrap(),
+            999,
+            "8.8.8.8".parse().unwrap(),
+            80,
+        ),
+        Flow::tcp(
+            "10.9.1.1".parse().unwrap(),
+            999,
+            "8.8.8.8".parse().unwrap(),
+            443,
+        ),
         Flow::icmp("9.140.1.77".parse().unwrap(), "1.2.3.4".parse().unwrap()),
-        Flow::udp("7.7.7.7".parse().unwrap(), 150, "1.2.3.4".parse().unwrap(), 9),
-        Flow::udp("7.7.7.7".parse().unwrap(), 99, "1.2.3.4".parse().unwrap(), 9),
+        Flow::udp(
+            "7.7.7.7".parse().unwrap(),
+            150,
+            "1.2.3.4".parse().unwrap(),
+            9,
+        ),
+        Flow::udp(
+            "7.7.7.7".parse().unwrap(),
+            99,
+            "1.2.3.4".parse().unwrap(),
+            9,
+        ),
     ];
     for rule in &acl.rules {
         let b = space.rule_bdd(rule);
@@ -363,7 +394,10 @@ mod properties {
         // Guard: if Match grows a variant, match_bdd must be extended.
         let m = Match::Tag(1);
         match m {
-            Match::Prefix(_) | Match::Community(_) | Match::Tag(_) | Match::Metric(_)
+            Match::Prefix(_)
+            | Match::Community(_)
+            | Match::Tag(_)
+            | Match::Metric(_)
             | Match::Protocol(_) => {}
         }
     }

@@ -19,18 +19,20 @@ use campion::gen::scenario2;
 use campion::ir::lower;
 
 fn compare_texts(old_text: &str, new_text: &str) -> ExitCode {
-    let old_cfg = match parse_config(old_text).map_err(|e| e.to_string()).and_then(
-        |c| lower(&c).map_err(|e| e.to_string()),
-    ) {
+    let old_cfg = match parse_config(old_text)
+        .map_err(|e| e.to_string())
+        .and_then(|c| lower(&c).map_err(|e| e.to_string()))
+    {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: old configuration: {e}");
             return ExitCode::from(2);
         }
     };
-    let new_cfg = match parse_config(new_text).map_err(|e| e.to_string()).and_then(
-        |c| lower(&c).map_err(|e| e.to_string()),
-    ) {
+    let new_cfg = match parse_config(new_text)
+        .map_err(|e| e.to_string())
+        .and_then(|c| lower(&c).map_err(|e| e.to_string()))
+    {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: new configuration: {e}");
@@ -76,7 +78,10 @@ fn main() -> ExitCode {
             // local-preference — the bug the paper says would have caused a
             // severe outage.
             println!("(demo mode: generated route-reflector replacement pair)\n");
-            let pair = scenario2(4, 2002).into_iter().next().expect("pairs generated");
+            let pair = scenario2(4, 2002)
+                .into_iter()
+                .next()
+                .expect("pairs generated");
             let code = compare_texts(&pair.cisco, &pair.juniper);
             assert_eq!(code, ExitCode::FAILURE, "the demo pair carries a bug");
             // The demo succeeded in *finding* the bug.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
-//!                 [--no-structural] [--exhaustive-communities]
+//!                 [--no-structural] [--exhaustive-communities] [--jobs N]
 //! campion translate <config>            # emit the JunOS rewrite
 //! campion baseline <config1> <config2>  # Minesweeper-style single cex
 //! ```
@@ -20,7 +20,7 @@ use campion::ir::{lower, to_junos, RouterIr};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
-         \x20                 [--no-structural] [--exhaustive-communities]\n\
+         \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -36,7 +36,8 @@ fn load_file(path: &str) -> Result<RouterIr, String> {
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut opts = CampionOptions::default();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--no-acls" => opts.check_acls = false,
             "--no-route-maps" => opts.check_route_maps = false,
@@ -47,6 +48,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                 opts.check_ospf = false;
             }
             "--exhaustive-communities" => opts.exhaustive_communities = true,
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a numeric worker count");
+                    return usage();
+                }
+            },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
                 return usage();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9d5c4d01fea733b6.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9d5c4d01fea733b6: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

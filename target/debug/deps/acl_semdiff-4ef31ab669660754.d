@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/acl_semdiff-4ef31ab669660754.d: crates/bench/benches/acl_semdiff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacl_semdiff-4ef31ab669660754.rmeta: crates/bench/benches/acl_semdiff.rs Cargo.toml
+
+crates/bench/benches/acl_semdiff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

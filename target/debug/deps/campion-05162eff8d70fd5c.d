@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campion-05162eff8d70fd5c.d: src/lib.rs
+
+/root/repo/target/debug/deps/campion-05162eff8d70fd5c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/campion-06e55d09613c7fa8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcampion-06e55d09613c7fa8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcampion-06e55d09613c7fa8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion-3c7f185b14e6523e.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion-3c7f185b14e6523e.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion-4e48b033e0bf836e.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion-4e48b033e0bf836e.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

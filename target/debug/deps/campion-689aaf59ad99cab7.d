@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campion-689aaf59ad99cab7.d: src/main.rs
+
+/root/repo/target/debug/deps/campion-689aaf59ad99cab7: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion-8f8c092c21b9ed9c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion-8f8c092c21b9ed9c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

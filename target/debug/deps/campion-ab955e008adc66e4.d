@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campion-ab955e008adc66e4.d: src/main.rs
+
+/root/repo/target/debug/deps/campion-ab955e008adc66e4: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion_bdd-5a173e75c9973554.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+/root/repo/target/debug/deps/libcampion_bdd-5a173e75c9973554.rlib: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+/root/repo/target/debug/deps/libcampion_bdd-5a173e75c9973554.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/campion_bdd-5b1f6177f4be67b5.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs
+
+/root/repo/target/debug/deps/campion_bdd-5b1f6177f4be67b5: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/tests.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/campion_bdd-62d04b94b848d120.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_bdd-62d04b94b848d120.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/campion_bdd-dee196283c900c93.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_bdd-dee196283c900c93.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion_bench-5271c7f1ec464dc9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_bench-5271c7f1ec464dc9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

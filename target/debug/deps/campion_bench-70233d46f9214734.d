@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/campion_bench-70233d46f9214734.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcampion_bench-70233d46f9214734.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcampion_bench-70233d46f9214734.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

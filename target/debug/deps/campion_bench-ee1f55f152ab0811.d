@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campion_bench-ee1f55f152ab0811.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/campion_bench-ee1f55f152ab0811: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/campion_cfg-5fd63be0373a31f8.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs
+
+/root/repo/target/debug/deps/campion_cfg-5fd63be0373a31f8: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/cisco/mod.rs:
+crates/cfg/src/cisco/ast.rs:
+crates/cfg/src/cisco/parser.rs:
+crates/cfg/src/cisco/tests.rs:
+crates/cfg/src/juniper/mod.rs:
+crates/cfg/src/juniper/ast.rs:
+crates/cfg/src/juniper/parser.rs:
+crates/cfg/src/juniper/setstyle.rs:
+crates/cfg/src/juniper/tree.rs:
+crates/cfg/src/juniper/tests.rs:
+crates/cfg/src/detect.rs:
+crates/cfg/src/error.rs:
+crates/cfg/src/samples.rs:
+crates/cfg/src/span.rs:
+crates/cfg/src/robustness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/campion_core-0d3254ef3c49b862.d: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs
+
+/root/repo/target/debug/deps/libcampion_core-0d3254ef3c49b862.rlib: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs
+
+/root/repo/target/debug/deps/libcampion_core-0d3254ef3c49b862.rmeta: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs
+
+crates/core/src/lib.rs:
+crates/core/src/commloc.rs:
+crates/core/src/driver.rs:
+crates/core/src/headerloc.rs:
+crates/core/src/matching.rs:
+crates/core/src/portloc.rs:
+crates/core/src/report.rs:
+crates/core/src/semantic.rs:
+crates/core/src/structural.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/campion_core-63bd35cfc835ac0a.d: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs crates/core/src/tests.rs
+
+/root/repo/target/debug/deps/campion_core-63bd35cfc835ac0a: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs crates/core/src/tests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/commloc.rs:
+crates/core/src/driver.rs:
+crates/core/src/headerloc.rs:
+crates/core/src/matching.rs:
+crates/core/src/portloc.rs:
+crates/core/src/report.rs:
+crates/core/src/semantic.rs:
+crates/core/src/structural.rs:
+crates/core/src/tests.rs:

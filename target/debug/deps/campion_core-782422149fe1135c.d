@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/campion_core-782422149fe1135c.d: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_core-782422149fe1135c.rmeta: crates/core/src/lib.rs crates/core/src/commloc.rs crates/core/src/driver.rs crates/core/src/headerloc.rs crates/core/src/matching.rs crates/core/src/portloc.rs crates/core/src/report.rs crates/core/src/semantic.rs crates/core/src/structural.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/commloc.rs:
+crates/core/src/driver.rs:
+crates/core/src/headerloc.rs:
+crates/core/src/matching.rs:
+crates/core/src/portloc.rs:
+crates/core/src/report.rs:
+crates/core/src/semantic.rs:
+crates/core/src/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

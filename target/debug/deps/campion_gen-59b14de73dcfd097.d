@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/campion_gen-59b14de73dcfd097.d: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_gen-59b14de73dcfd097.rmeta: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/capirca.rs:
+crates/gen/src/datacenter.rs:
+crates/gen/src/university.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

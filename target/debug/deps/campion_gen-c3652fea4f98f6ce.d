@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/campion_gen-c3652fea4f98f6ce.d: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+/root/repo/target/debug/deps/libcampion_gen-c3652fea4f98f6ce.rlib: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+/root/repo/target/debug/deps/libcampion_gen-c3652fea4f98f6ce.rmeta: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/capirca.rs:
+crates/gen/src/datacenter.rs:
+crates/gen/src/university.rs:

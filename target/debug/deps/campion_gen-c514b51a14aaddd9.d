@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/campion_gen-c514b51a14aaddd9.d: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs crates/gen/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_gen-c514b51a14aaddd9.rmeta: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs crates/gen/src/tests.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/capirca.rs:
+crates/gen/src/datacenter.rs:
+crates/gen/src/university.rs:
+crates/gen/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

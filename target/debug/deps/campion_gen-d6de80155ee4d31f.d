@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion_gen-d6de80155ee4d31f.d: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs crates/gen/src/tests.rs
+
+/root/repo/target/debug/deps/campion_gen-d6de80155ee4d31f: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs crates/gen/src/tests.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/capirca.rs:
+crates/gen/src/datacenter.rs:
+crates/gen/src/university.rs:
+crates/gen/src/tests.rs:

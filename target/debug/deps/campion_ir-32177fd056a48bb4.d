@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/campion_ir-32177fd056a48bb4.d: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs crates/ir/src/tests.rs
+
+/root/repo/target/debug/deps/campion_ir-32177fd056a48bb4: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs crates/ir/src/tests.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/acl.rs:
+crates/ir/src/error.rs:
+crates/ir/src/lower_cisco.rs:
+crates/ir/src/lower_juniper.rs:
+crates/ir/src/policy.rs:
+crates/ir/src/route.rs:
+crates/ir/src/router.rs:
+crates/ir/src/routing.rs:
+crates/ir/src/translate.rs:
+crates/ir/src/tests.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/campion_ir-ad783aaa7e624c20.d: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_ir-ad783aaa7e624c20.rmeta: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/acl.rs:
+crates/ir/src/error.rs:
+crates/ir/src/lower_cisco.rs:
+crates/ir/src/lower_juniper.rs:
+crates/ir/src/policy.rs:
+crates/ir/src/route.rs:
+crates/ir/src/router.rs:
+crates/ir/src/routing.rs:
+crates/ir/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

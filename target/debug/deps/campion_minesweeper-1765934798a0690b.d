@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/campion_minesweeper-1765934798a0690b.d: crates/minesweeper/src/lib.rs crates/minesweeper/src/tests.rs
+
+/root/repo/target/debug/deps/campion_minesweeper-1765934798a0690b: crates/minesweeper/src/lib.rs crates/minesweeper/src/tests.rs
+
+crates/minesweeper/src/lib.rs:
+crates/minesweeper/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/campion_minesweeper-34ace4317c3b66f3.d: crates/minesweeper/src/lib.rs crates/minesweeper/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_minesweeper-34ace4317c3b66f3.rmeta: crates/minesweeper/src/lib.rs crates/minesweeper/src/tests.rs Cargo.toml
+
+crates/minesweeper/src/lib.rs:
+crates/minesweeper/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

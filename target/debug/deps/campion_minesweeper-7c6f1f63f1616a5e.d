@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/campion_minesweeper-7c6f1f63f1616a5e.d: crates/minesweeper/src/lib.rs
+
+/root/repo/target/debug/deps/libcampion_minesweeper-7c6f1f63f1616a5e.rlib: crates/minesweeper/src/lib.rs
+
+/root/repo/target/debug/deps/libcampion_minesweeper-7c6f1f63f1616a5e.rmeta: crates/minesweeper/src/lib.rs
+
+crates/minesweeper/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campion_minesweeper-ce0d1f0daded1afa.d: crates/minesweeper/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_minesweeper-ce0d1f0daded1afa.rmeta: crates/minesweeper/src/lib.rs Cargo.toml
+
+crates/minesweeper/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

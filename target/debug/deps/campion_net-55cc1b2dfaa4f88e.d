@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/campion_net-55cc1b2dfaa4f88e.d: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs crates/net/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_net-55cc1b2dfaa4f88e.rmeta: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs crates/net/src/tests.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/community.rs:
+crates/net/src/flow.rs:
+crates/net/src/prefix.rs:
+crates/net/src/range.rs:
+crates/net/src/regex.rs:
+crates/net/src/regex_dfa.rs:
+crates/net/src/wildcard.rs:
+crates/net/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/campion_net-7830adbb6817b9ce.d: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+/root/repo/target/debug/deps/libcampion_net-7830adbb6817b9ce.rlib: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+/root/repo/target/debug/deps/libcampion_net-7830adbb6817b9ce.rmeta: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+crates/net/src/lib.rs:
+crates/net/src/community.rs:
+crates/net/src/flow.rs:
+crates/net/src/prefix.rs:
+crates/net/src/range.rs:
+crates/net/src/regex.rs:
+crates/net/src/regex_dfa.rs:
+crates/net/src/wildcard.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/campion_net-af05aead687d4a5e.d: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_net-af05aead687d4a5e.rmeta: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/community.rs:
+crates/net/src/flow.rs:
+crates/net/src/prefix.rs:
+crates/net/src/range.rs:
+crates/net/src/regex.rs:
+crates/net/src/regex_dfa.rs:
+crates/net/src/wildcard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

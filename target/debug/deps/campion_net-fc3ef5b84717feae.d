@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/campion_net-fc3ef5b84717feae.d: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs crates/net/src/tests.rs
+
+/root/repo/target/debug/deps/campion_net-fc3ef5b84717feae: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs crates/net/src/tests.rs
+
+crates/net/src/lib.rs:
+crates/net/src/community.rs:
+crates/net/src/flow.rs:
+crates/net/src/prefix.rs:
+crates/net/src/range.rs:
+crates/net/src/regex.rs:
+crates/net/src/regex_dfa.rs:
+crates/net/src/wildcard.rs:
+crates/net/src/tests.rs:

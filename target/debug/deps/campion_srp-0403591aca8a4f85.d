@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/campion_srp-0403591aca8a4f85.d: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+/root/repo/target/debug/deps/libcampion_srp-0403591aca8a4f85.rlib: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+/root/repo/target/debug/deps/libcampion_srp-0403591aca8a4f85.rmeta: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/bgp.rs:
+crates/srp/src/network.rs:
+crates/srp/src/ospf.rs:
+crates/srp/src/srp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/campion_srp-2e1b6c524cf9c898.d: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs crates/srp/src/proptests.rs crates/srp/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_srp-2e1b6c524cf9c898.rmeta: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs crates/srp/src/proptests.rs crates/srp/src/tests.rs Cargo.toml
+
+crates/srp/src/lib.rs:
+crates/srp/src/bgp.rs:
+crates/srp/src/network.rs:
+crates/srp/src/ospf.rs:
+crates/srp/src/srp.rs:
+crates/srp/src/proptests.rs:
+crates/srp/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

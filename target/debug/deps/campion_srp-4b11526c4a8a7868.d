@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/campion_srp-4b11526c4a8a7868.d: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs crates/srp/src/proptests.rs crates/srp/src/tests.rs
+
+/root/repo/target/debug/deps/campion_srp-4b11526c4a8a7868: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs crates/srp/src/proptests.rs crates/srp/src/tests.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/bgp.rs:
+crates/srp/src/network.rs:
+crates/srp/src/ospf.rs:
+crates/srp/src/srp.rs:
+crates/srp/src/proptests.rs:
+crates/srp/src/tests.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/campion_srp-cc8f4bb49139eaa8.d: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_srp-cc8f4bb49139eaa8.rmeta: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs Cargo.toml
+
+crates/srp/src/lib.rs:
+crates/srp/src/bgp.rs:
+crates/srp/src/network.rs:
+crates/srp/src/ospf.rs:
+crates/srp/src/srp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

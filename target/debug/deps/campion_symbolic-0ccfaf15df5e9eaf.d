@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/campion_symbolic-0ccfaf15df5e9eaf.d: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_symbolic-0ccfaf15df5e9eaf.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs Cargo.toml
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/action.rs:
+crates/symbolic/src/bits.rs:
+crates/symbolic/src/packet_space.rs:
+crates/symbolic/src/route_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/campion_symbolic-228cbe4369579eef.d: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+/root/repo/target/debug/deps/libcampion_symbolic-228cbe4369579eef.rlib: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+/root/repo/target/debug/deps/libcampion_symbolic-228cbe4369579eef.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/action.rs:
+crates/symbolic/src/bits.rs:
+crates/symbolic/src/packet_space.rs:
+crates/symbolic/src/route_space.rs:

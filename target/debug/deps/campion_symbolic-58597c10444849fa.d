@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/campion_symbolic-58597c10444849fa.d: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs crates/symbolic/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampion_symbolic-58597c10444849fa.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs crates/symbolic/src/tests.rs Cargo.toml
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/action.rs:
+crates/symbolic/src/bits.rs:
+crates/symbolic/src/packet_space.rs:
+crates/symbolic/src/route_space.rs:
+crates/symbolic/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/campion_symbolic-9cc4efacc67517d1.d: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs crates/symbolic/src/tests.rs
+
+/root/repo/target/debug/deps/campion_symbolic-9cc4efacc67517d1: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs crates/symbolic/src/tests.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/action.rs:
+crates/symbolic/src/bits.rs:
+crates/symbolic/src/packet_space.rs:
+crates/symbolic/src/route_space.rs:
+crates/symbolic/src/tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cex_count-28618fdc2ee1ea80.d: crates/bench/src/bin/cex_count.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcex_count-28618fdc2ee1ea80.rmeta: crates/bench/src/bin/cex_count.rs Cargo.toml
+
+crates/bench/src/bin/cex_count.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cex_count-efa3a100f1d13389.d: crates/bench/src/bin/cex_count.rs
+
+/root/repo/target/debug/deps/cex_count-efa3a100f1d13389: crates/bench/src/bin/cex_count.rs
+
+crates/bench/src/bin/cex_count.rs:

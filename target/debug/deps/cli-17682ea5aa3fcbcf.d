@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-17682ea5aa3fcbcf.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-17682ea5aa3fcbcf.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_campion=placeholder:campion
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

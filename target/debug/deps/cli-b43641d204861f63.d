@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b43641d204861f63.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b43641d204861f63: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_campion=/root/repo/target/debug/campion

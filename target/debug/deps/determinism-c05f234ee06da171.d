@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c05f234ee06da171.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c05f234ee06da171: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e1f06282455a2a0b.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e1f06282455a2a0b.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

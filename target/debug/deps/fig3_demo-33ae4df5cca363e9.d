@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_demo-33ae4df5cca363e9.d: crates/bench/src/bin/fig3_demo.rs
+
+/root/repo/target/debug/deps/fig3_demo-33ae4df5cca363e9: crates/bench/src/bin/fig3_demo.rs
+
+crates/bench/src/bin/fig3_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_demo-a11c5513437d1b37.d: crates/bench/src/bin/fig3_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_demo-a11c5513437d1b37.rmeta: crates/bench/src/bin/fig3_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig3_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-58c5f1b401b4afed.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-58c5f1b401b4afed: tests/golden.rs
+
+tests/golden.rs:

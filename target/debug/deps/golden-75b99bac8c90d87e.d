@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-75b99bac8c90d87e.d: tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-75b99bac8c90d87e.rmeta: tests/golden.rs Cargo.toml
+
+tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

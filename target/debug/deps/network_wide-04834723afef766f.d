@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_wide-04834723afef766f.d: tests/network_wide.rs
+
+/root/repo/target/debug/deps/network_wide-04834723afef766f: tests/network_wide.rs
+
+tests/network_wide.rs:

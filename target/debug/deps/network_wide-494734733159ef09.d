@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_wide-494734733159ef09.d: tests/network_wide.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_wide-494734733159ef09.rmeta: tests/network_wide.rs Cargo.toml
+
+tests/network_wide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parse-69ff3e5b68d35223.d: crates/bench/benches/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparse-69ff3e5b68d35223.rmeta: crates/bench/benches/parse.rs Cargo.toml
+
+crates/bench/benches/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e3157adf6853bb3e.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e3157adf6853bb3e: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-32bbe326e8a8ace7.d: crates/bench/src/bin/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-32bbe326e8a8ace7.rmeta: crates/bench/src/bin/scalability.rs Cargo.toml
+
+crates/bench/src/bin/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

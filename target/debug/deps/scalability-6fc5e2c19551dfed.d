@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-6fc5e2c19551dfed.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-6fc5e2c19551dfed: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-f1ce875903e42777.d: crates/bench/src/bin/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-f1ce875903e42777.rmeta: crates/bench/src/bin/scalability.rs Cargo.toml
+
+crates/bench/src/bin/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

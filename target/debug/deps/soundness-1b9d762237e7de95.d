@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-1b9d762237e7de95.d: tests/soundness.rs
+
+/root/repo/target/debug/deps/soundness-1b9d762237e7de95: tests/soundness.rs
+
+tests/soundness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-d342c081fdf3ac7c.d: tests/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-d342c081fdf3ac7c.rmeta: tests/soundness.rs Cargo.toml
+
+tests/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

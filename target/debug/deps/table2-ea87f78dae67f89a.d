@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ea87f78dae67f89a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ea87f78dae67f89a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-6aae2d9fdc98b282.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-6aae2d9fdc98b282: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-444177727fbc9a80.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-444177727fbc9a80: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

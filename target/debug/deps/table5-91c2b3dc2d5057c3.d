@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-91c2b3dc2d5057c3.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-91c2b3dc2d5057c3: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

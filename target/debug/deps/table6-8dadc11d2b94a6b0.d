@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-8dadc11d2b94a6b0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-8dadc11d2b94a6b0: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-ec222209be80ac31.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-ec222209be80ac31: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

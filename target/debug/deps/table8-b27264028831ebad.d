@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-b27264028831ebad.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-b27264028831ebad: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

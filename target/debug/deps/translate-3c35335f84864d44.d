@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/translate-3c35335f84864d44.d: tests/translate.rs
+
+/root/repo/target/debug/deps/translate-3c35335f84864d44: tests/translate.rs
+
+tests/translate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translate-7cbdbcdaa65b5853.d: tests/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslate-7cbdbcdaa65b5853.rmeta: tests/translate.rs Cargo.toml
+
+tests/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

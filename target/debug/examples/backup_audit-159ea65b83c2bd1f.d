@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backup_audit-159ea65b83c2bd1f.d: examples/backup_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackup_audit-159ea65b83c2bd1f.rmeta: examples/backup_audit.rs Cargo.toml
+
+examples/backup_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

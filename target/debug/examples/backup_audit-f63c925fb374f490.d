@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backup_audit-f63c925fb374f490.d: examples/backup_audit.rs
+
+/root/repo/target/debug/examples/backup_audit-f63c925fb374f490: examples/backup_audit.rs
+
+examples/backup_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/minesweeper_vs_campion-dd22f5c87037e06a.d: examples/minesweeper_vs_campion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libminesweeper_vs_campion-dd22f5c87037e06a.rmeta: examples/minesweeper_vs_campion.rs Cargo.toml
+
+examples/minesweeper_vs_campion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

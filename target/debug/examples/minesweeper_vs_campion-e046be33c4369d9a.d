@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/minesweeper_vs_campion-e046be33c4369d9a.d: examples/minesweeper_vs_campion.rs
+
+/root/repo/target/debug/examples/minesweeper_vs_campion-e046be33c4369d9a: examples/minesweeper_vs_campion.rs
+
+examples/minesweeper_vs_campion.rs:

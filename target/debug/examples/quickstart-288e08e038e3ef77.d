@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-288e08e038e3ef77.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-288e08e038e3ef77: examples/quickstart.rs
+
+examples/quickstart.rs:

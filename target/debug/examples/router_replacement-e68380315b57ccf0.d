@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/router_replacement-e68380315b57ccf0.d: examples/router_replacement.rs
+
+/root/repo/target/debug/examples/router_replacement-e68380315b57ccf0: examples/router_replacement.rs
+
+examples/router_replacement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/router_replacement-f1a7a6c6e9d16269.d: examples/router_replacement.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouter_replacement-f1a7a6c6e9d16269.rmeta: examples/router_replacement.rs Cargo.toml
+
+examples/router_replacement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d4557eb8a4574057.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d4557eb8a4574057: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

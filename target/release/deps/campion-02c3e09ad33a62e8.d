@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/campion-02c3e09ad33a62e8.d: src/lib.rs
+
+/root/repo/target/release/deps/libcampion-02c3e09ad33a62e8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcampion-02c3e09ad33a62e8.rmeta: src/lib.rs
+
+src/lib.rs:

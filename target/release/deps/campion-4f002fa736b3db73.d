@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campion-4f002fa736b3db73.d: src/main.rs
+
+/root/repo/target/release/deps/campion-4f002fa736b3db73: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/campion_bdd-757d9414396b7169.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+/root/repo/target/release/deps/libcampion_bdd-757d9414396b7169.rlib: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+/root/repo/target/release/deps/libcampion_bdd-757d9414396b7169.rmeta: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:

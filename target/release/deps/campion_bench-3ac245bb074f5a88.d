@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/campion_bench-3ac245bb074f5a88.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcampion_bench-3ac245bb074f5a88.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcampion_bench-3ac245bb074f5a88.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

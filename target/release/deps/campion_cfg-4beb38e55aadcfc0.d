@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/campion_cfg-4beb38e55aadcfc0.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs
+
+/root/repo/target/release/deps/libcampion_cfg-4beb38e55aadcfc0.rlib: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs
+
+/root/repo/target/release/deps/libcampion_cfg-4beb38e55aadcfc0.rmeta: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/cisco/mod.rs:
+crates/cfg/src/cisco/ast.rs:
+crates/cfg/src/cisco/parser.rs:
+crates/cfg/src/juniper/mod.rs:
+crates/cfg/src/juniper/ast.rs:
+crates/cfg/src/juniper/parser.rs:
+crates/cfg/src/juniper/setstyle.rs:
+crates/cfg/src/juniper/tree.rs:
+crates/cfg/src/detect.rs:
+crates/cfg/src/error.rs:
+crates/cfg/src/samples.rs:
+crates/cfg/src/span.rs:

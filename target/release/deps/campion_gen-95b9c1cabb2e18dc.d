@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/campion_gen-95b9c1cabb2e18dc.d: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+/root/repo/target/release/deps/libcampion_gen-95b9c1cabb2e18dc.rlib: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+/root/repo/target/release/deps/libcampion_gen-95b9c1cabb2e18dc.rmeta: crates/gen/src/lib.rs crates/gen/src/capirca.rs crates/gen/src/datacenter.rs crates/gen/src/university.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/capirca.rs:
+crates/gen/src/datacenter.rs:
+crates/gen/src/university.rs:

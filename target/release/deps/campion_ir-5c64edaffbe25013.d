@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/campion_ir-5c64edaffbe25013.d: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs
+
+/root/repo/target/release/deps/libcampion_ir-5c64edaffbe25013.rlib: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs
+
+/root/repo/target/release/deps/libcampion_ir-5c64edaffbe25013.rmeta: crates/ir/src/lib.rs crates/ir/src/acl.rs crates/ir/src/error.rs crates/ir/src/lower_cisco.rs crates/ir/src/lower_juniper.rs crates/ir/src/policy.rs crates/ir/src/route.rs crates/ir/src/router.rs crates/ir/src/routing.rs crates/ir/src/translate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/acl.rs:
+crates/ir/src/error.rs:
+crates/ir/src/lower_cisco.rs:
+crates/ir/src/lower_juniper.rs:
+crates/ir/src/policy.rs:
+crates/ir/src/route.rs:
+crates/ir/src/router.rs:
+crates/ir/src/routing.rs:
+crates/ir/src/translate.rs:

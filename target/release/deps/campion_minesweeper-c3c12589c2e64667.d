@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/campion_minesweeper-c3c12589c2e64667.d: crates/minesweeper/src/lib.rs
+
+/root/repo/target/release/deps/libcampion_minesweeper-c3c12589c2e64667.rlib: crates/minesweeper/src/lib.rs
+
+/root/repo/target/release/deps/libcampion_minesweeper-c3c12589c2e64667.rmeta: crates/minesweeper/src/lib.rs
+
+crates/minesweeper/src/lib.rs:

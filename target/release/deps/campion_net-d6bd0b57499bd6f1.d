@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/campion_net-d6bd0b57499bd6f1.d: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+/root/repo/target/release/deps/libcampion_net-d6bd0b57499bd6f1.rlib: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+/root/repo/target/release/deps/libcampion_net-d6bd0b57499bd6f1.rmeta: crates/net/src/lib.rs crates/net/src/community.rs crates/net/src/flow.rs crates/net/src/prefix.rs crates/net/src/range.rs crates/net/src/regex.rs crates/net/src/regex_dfa.rs crates/net/src/wildcard.rs
+
+crates/net/src/lib.rs:
+crates/net/src/community.rs:
+crates/net/src/flow.rs:
+crates/net/src/prefix.rs:
+crates/net/src/range.rs:
+crates/net/src/regex.rs:
+crates/net/src/regex_dfa.rs:
+crates/net/src/wildcard.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/campion_srp-0ffc8c6da52847ce.d: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+/root/repo/target/release/deps/libcampion_srp-0ffc8c6da52847ce.rlib: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+/root/repo/target/release/deps/libcampion_srp-0ffc8c6da52847ce.rmeta: crates/srp/src/lib.rs crates/srp/src/bgp.rs crates/srp/src/network.rs crates/srp/src/ospf.rs crates/srp/src/srp.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/bgp.rs:
+crates/srp/src/network.rs:
+crates/srp/src/ospf.rs:
+crates/srp/src/srp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/campion_symbolic-33323bade5ca200f.d: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+/root/repo/target/release/deps/libcampion_symbolic-33323bade5ca200f.rlib: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+/root/repo/target/release/deps/libcampion_symbolic-33323bade5ca200f.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/action.rs crates/symbolic/src/bits.rs crates/symbolic/src/packet_space.rs crates/symbolic/src/route_space.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/action.rs:
+crates/symbolic/src/bits.rs:
+crates/symbolic/src/packet_space.rs:
+crates/symbolic/src/route_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cex_count-8ab84ca6864ea1ef.d: crates/bench/src/bin/cex_count.rs
+
+/root/repo/target/release/deps/cex_count-8ab84ca6864ea1ef: crates/bench/src/bin/cex_count.rs
+
+crates/bench/src/bin/cex_count.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_demo-74dba951d2af3cb9.d: crates/bench/src/bin/fig3_demo.rs
+
+/root/repo/target/release/deps/fig3_demo-74dba951d2af3cb9: crates/bench/src/bin/fig3_demo.rs
+
+crates/bench/src/bin/fig3_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-533533254abf4ca9.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-533533254abf4ca9: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fe359d5b0c6af784.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fe359d5b0c6af784: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

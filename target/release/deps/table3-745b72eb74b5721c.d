@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-745b72eb74b5721c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-745b72eb74b5721c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f9c604f1f00a6c79.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f9c604f1f00a6c79: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

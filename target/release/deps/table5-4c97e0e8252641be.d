@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-4c97e0e8252641be.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-4c97e0e8252641be: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-8cfc461bfd33179d.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-8cfc461bfd33179d: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

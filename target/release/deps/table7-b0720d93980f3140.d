@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-b0720d93980f3140.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-b0720d93980f3140: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

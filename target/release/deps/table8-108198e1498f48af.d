@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-108198e1498f48af.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-108198e1498f48af: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

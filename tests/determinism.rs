@@ -1,0 +1,76 @@
+//! The parallel driver must be invisible in the output: for any worker
+//! count, the rendered `CampionReport` is byte-identical to a sequential
+//! run. Exercised on the Table 6 scenario generators, which produce
+//! many-component router pairs (route maps, ACLs, structural families) —
+//! enough distinct work items that the jobs=8 run genuinely interleaves.
+
+use campion::cfg::parse_config;
+use campion::core::{compare_routers, CampionOptions};
+use campion::gen::{scenario1, scenario2, scenario3};
+use campion::ir::{lower, RouterIr};
+
+fn load(text: &str) -> RouterIr {
+    lower(&parse_config(text).expect("generated config parses")).expect("generated config lowers")
+}
+
+fn opts_with_jobs(jobs: usize) -> CampionOptions {
+    CampionOptions {
+        jobs,
+        ..CampionOptions::default()
+    }
+}
+
+/// Render every scenario pair under the given worker count, concatenated.
+fn render_all(pairs: &[campion::gen::ScenarioPair], jobs: usize) -> String {
+    let opts = opts_with_jobs(jobs);
+    let mut out = String::new();
+    for p in pairs {
+        let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &opts);
+        out.push_str(&format!("### {}\n{report}\n", p.name));
+    }
+    out
+}
+
+#[test]
+fn scenario1_reports_identical_across_worker_counts() {
+    let pairs = scenario1(8, 11);
+    let sequential = render_all(&pairs, 1);
+    let parallel = render_all(&pairs, 8);
+    assert_eq!(sequential, parallel);
+    assert!(!sequential.is_empty());
+}
+
+#[test]
+fn scenario2_reports_identical_across_worker_counts() {
+    let pairs = scenario2(6, 22);
+    assert_eq!(render_all(&pairs, 1), render_all(&pairs, 8));
+}
+
+#[test]
+fn scenario3_reports_identical_across_worker_counts() {
+    let pairs = scenario3(4, 60, 33);
+    assert_eq!(render_all(&pairs, 1), render_all(&pairs, 8));
+}
+
+#[test]
+fn auto_jobs_matches_sequential() {
+    // jobs = 0 (auto: one worker per hardware thread) must also render
+    // identically — this is the default every CLI run takes.
+    let pairs = scenario3(3, 40, 44);
+    assert_eq!(render_all(&pairs, 1), render_all(&pairs, 0));
+}
+
+#[test]
+fn bdd_stats_aggregate_deterministically() {
+    // Per-pair managers are private, so the merged counters are a pure
+    // function of the workload — equal for any worker count.
+    let pairs = scenario3(3, 50, 55);
+    let (c, j) = (&pairs[0].cisco, &pairs[0].juniper);
+    let seq = compare_routers(&load(c), &load(j), &opts_with_jobs(1));
+    let par = compare_routers(&load(c), &load(j), &opts_with_jobs(8));
+    assert_eq!(seq.bdd_stats, par.bdd_stats);
+    assert!(
+        seq.bdd_stats.apply_lookups > 0,
+        "semantic diff exercises the apply cache"
+    );
+}

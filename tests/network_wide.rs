@@ -78,15 +78,12 @@ fn baseline_network_behaves() {
     let ribs = net.solve();
 
     // OSPF: core learns the edge loopback; edge learns core's far subnet.
-    assert!(ribs["core"]
-        .iter()
-        .any(|e| e.protocol == RibProtocol::Ospf
-            && e.prefix == "192.0.2.1/32".parse().unwrap()
-            && e.next_hop_router == "edge"));
+    assert!(ribs["core"].iter().any(|e| e.protocol == RibProtocol::Ospf
+        && e.prefix == "192.0.2.1/32".parse().unwrap()
+        && e.next_hop_router == "edge"));
     assert!(ribs["edge"]
         .iter()
-        .any(|e| e.protocol == RibProtocol::Ospf
-            && e.prefix == "10.0.2.0/24".parse().unwrap()));
+        .any(|e| e.protocol == RibProtocol::Ospf && e.prefix == "10.0.2.0/24".parse().unwrap()));
 
     // BGP: core imports the aggregated prefix (local-pref applied) and the
     // import policy's implicit deny drops the other origination.
@@ -167,10 +164,13 @@ fn buggy_replacement_changes_network_and_campion_catches_it() {
     );
     let report = compare_routers(&core_cisco(), &buggy, &CampionOptions::default());
     assert!(!report.is_equivalent(), "Campion must flag the dropped set");
-    assert!(report
-        .route_map_diffs
-        .iter()
-        .any(|d| d.action1.contains("LOCAL PREF 150")), "{report}");
+    assert!(
+        report
+            .route_map_diffs
+            .iter()
+            .any(|d| d.action1.contains("LOCAL PREF 150")),
+        "{report}"
+    );
 
     // And the simulator confirms real impact: the imported route's
     // local-pref changes.

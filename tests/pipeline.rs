@@ -32,7 +32,10 @@ fn figure1_full_pipeline_from_text() {
         "match community COMM",
         "term rule3",
     ] {
-        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
     }
 }
 
@@ -141,10 +144,13 @@ fn minesweeper_and_campion_agree() {
         let covered = report.route_map_diffs.iter().any(|d| {
             d.included.iter().any(|r| r.member(&cex.advert.prefix))
                 && !d.excluded.iter().any(|r| r.member(&cex.advert.prefix))
-                || d.included.iter().any(|r| r.member(&cex.advert.prefix))
-                    && d.example.is_some()
+                || d.included.iter().any(|r| r.member(&cex.advert.prefix)) && d.example.is_some()
         });
-        assert!(covered, "cex {} not covered by any Campion difference", cex.advert);
+        assert!(
+            covered,
+            "cex {} not covered by any Campion difference",
+            cex.advert
+        );
     }
 }
 

@@ -1,0 +1,63 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with element strategy `element` and length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// A strategy for `BTreeSet<S::Value>`. The target size is drawn from the
+/// range; duplicates generated along the way may leave the set smaller,
+/// matching upstream's best-effort contract.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.clone().generate(rng);
+        let mut out = BTreeSet::new();
+        // Bounded retries: a narrow element domain may not have `len`
+        // distinct values at all.
+        let mut attempts = 0usize;
+        while out.len() < len && attempts < len * 8 + 8 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `BTreeSet` strategy with element strategy `element` and size in `size`.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small property-testing engine exposing the subset of proptest's API that
+//! Campion's test suites use: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, `any::<T>()`,
+//! [`collection::vec`] / [`collection::btree_set`], [`sample::select`], and
+//! the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed and
+//!   case index instead of a minimized input.
+//! * **Deterministic generation.** Each test's value stream is a pure
+//!   function of the fully-qualified test name and case index, so runs are
+//!   reproducible without a persistence file.
+//! * **String "regex" strategies** (`"\\PC*" `) generate arbitrary
+//!   printable strings; the pattern itself is not interpreted. The only
+//!   in-repo use is parser robustness fuzzing, where that is sufficient.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,23 @@
+//! Sampling from fixed collections: `select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: 'static> {
+    items: &'static [T],
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// Uniform choice from a static slice (cloning the chosen element).
+pub fn select<T: Clone + 'static>(items: &'static [T]) -> Select<T> {
+    assert!(!items.is_empty(), "cannot select from an empty slice");
+    Select { items }
+}
