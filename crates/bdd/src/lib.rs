@@ -40,7 +40,7 @@ mod cube;
 mod manager;
 
 pub use cube::{Assignment, Cube, CubeIter, GeneralCubeIter};
-pub use manager::{Bdd, Manager, ManagerStats};
+pub use manager::{Bdd, GcPolicy, Manager, ManagerStats};
 
 #[cfg(test)]
 mod tests;

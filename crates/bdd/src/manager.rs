@@ -11,14 +11,48 @@
 //!   load. Compared with a SipHash `HashMap<Node, Bdd>`, a lookup is one
 //!   multiply-mix plus a short probe over a flat `u32` array.
 //! * **Computed tables** — the apply, negation, and if-then-else caches are
-//!   fixed-size direct-mapped arrays with lossy overwrite (CUDD's
-//!   "computed table"). A colliding insert simply replaces the previous
-//!   entry; correctness is unaffected because results are only reused on an
-//!   exact key match, and nodes are never freed so entries cannot dangle.
+//!   direct-mapped arrays with lossy overwrite (CUDD's "computed table").
+//!   A colliding insert simply replaces the previous entry; correctness is
+//!   unaffected because results are only reused on an exact key match and
+//!   every sweep scrubs out cache entries that reference a freed slot, so
+//!   entries can never dangle onto a recycled arena slot.
+//!
+//! ## Garbage collection (reachable-mark, CUDD-style safe points)
+//!
+//! Long-lived managers reclaim dead nodes with a reachable-mark collector:
+//!
+//! * **Root set** — callers declare the BDDs they keep alive across
+//!   operations with [`Manager::protect`] / [`Manager::unprotect`]
+//!   (refcounted, so the same handle may be protected from several
+//!   owners). The two terminals are implicitly always rooted.
+//! * **Mark** — a DFS from the protected roots over the arena.
+//! * **Sweep** — unmarked slots are poisoned and pushed on a free list
+//!   (recycled by `mk`, so *live node indices never move* and outstanding
+//!   rooted handles stay valid), the open-addressing unique table is
+//!   rebuilt in place over the survivors, and the computed caches are
+//!   scrubbed: entries naming only surviving nodes stay warm (indices
+//!   are stable), entries naming a freed slot are dropped (they could
+//!   otherwise alias a recycled slot).
+//! * **Trigger policy** — [`Manager::gc`] collects immediately;
+//!   [`Manager::gc_checkpoint`] consults the configured [`GcPolicy`]:
+//!   automatic mode collects at safe points once the in-use arena has
+//!   outgrown the live set of the previous collection, and skips the
+//!   sweep (keeping the caches warm) when marking finds little garbage.
+//!
+//! Checkpoints are **safe points**: callers may only invoke
+//! `gc_checkpoint` when every BDD they need afterwards is protected.
+//! Operations never collect on their own, so intermediate handles held
+//! across plain operation calls are always safe.
+//!
+//! On top of GC the computed caches are **adaptive**: after each sweep
+//! they are re-sized as a function of the live node count (instead of the
+//! former fixed 2^14/2^12/2^12), so a manager hosting millions of live
+//! nodes gets a working-set-sized cache while small managers stay lean.
 //!
 //! Every table keeps hit/probe counters, surfaced through
 //! [`Manager::stats`] so benchmarks (the `scalability` bin) can report
-//! cache behavior alongside wall-clock numbers.
+//! cache behavior, GC activity and peak/post-GC node counts alongside
+//! wall-clock numbers.
 
 use std::collections::HashMap;
 
@@ -154,6 +188,18 @@ fn slot_of(hash: u64, mask: usize) -> usize {
 /// Marker for an empty unique-table slot.
 const EMPTY: u32 = u32::MAX;
 
+/// `var` value poisoning a freed arena slot. Distinct from every decision
+/// level and from the terminals' `var == num_vars`, so table rebuilds can
+/// skip dead slots and debug traversals of dangling handles fail loudly.
+const POISON: u32 = u32::MAX;
+
+/// The node written into a freed arena slot.
+const POISON_NODE: Node = Node {
+    var: POISON,
+    low: Bdd::FALSE,
+    high: Bdd::FALSE,
+};
+
 /// Open-addressing unique table: node indices keyed by the node's
 /// `(var, low, high)` triple, resolved against the arena.
 struct UniqueTable {
@@ -219,27 +265,41 @@ impl UniqueTable {
         }
     }
 
-    /// Double the table and rehash every non-terminal node.
+    /// Double the table and rehash every live non-terminal node.
     fn grow(&mut self, nodes: &[Node]) {
-        let new_cap = self.slots.len() * 2;
+        self.grows += 1;
+        self.rehash(nodes, self.slots.len() * 2);
+    }
+
+    /// Rebuild the table at `new_cap` slots (a power of two) from the live
+    /// (non-poisoned) nodes of the arena — used by both growth and the
+    /// post-sweep rebuild, which may also *shrink* the table.
+    fn rehash(&mut self, nodes: &[Node], new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
         self.mask = new_cap - 1;
         self.slots.clear();
         self.slots.resize(new_cap, EMPTY);
-        self.grows += 1;
+        self.len = 0;
         for (i, n) in nodes.iter().enumerate().skip(2) {
+            if n.var == POISON {
+                continue;
+            }
             let mut slot = slot_of(node_hash(n.var, n.low, n.high), self.mask);
             while self.slots[slot] != EMPTY {
                 slot = (slot + 1) & self.mask;
             }
             self.slots[slot] = u32::try_from(i).expect("BDD arena overflow");
+            self.len += 1;
         }
     }
 }
 
-/// A fixed-size direct-mapped computed table (lossy overwrite on collision).
+/// A direct-mapped computed table (lossy overwrite on collision). The slot
+/// count is fixed between collections; the collector may resize it.
 struct DirectCache<K: Copy + PartialEq> {
     entries: Vec<Option<(K, Bdd)>>,
     mask: usize,
+    bits: u32,
     lookups: u64,
     hits: u64,
 }
@@ -250,9 +310,38 @@ impl<K: Copy + PartialEq> DirectCache<K> {
         DirectCache {
             entries: vec![None; capacity],
             mask: capacity - 1,
+            bits,
             lookups: 0,
             hits: 0,
         }
+    }
+
+    /// Drop every entry for which `keep` returns false. The sweep uses
+    /// this to scrub out entries naming freed slots while leaving results
+    /// over surviving nodes warm (live indices never move).
+    fn retain(&mut self, keep: impl Fn(&K, Bdd) -> bool) {
+        for e in &mut self.entries {
+            if let Some((k, v)) = e {
+                if !keep(k, *v) {
+                    *e = None;
+                }
+            }
+        }
+    }
+
+    /// Change the slot count, dropping every entry. Returns true when the
+    /// size actually changed; on false the cache is left untouched (the
+    /// caller scrubs it instead).
+    fn reshape(&mut self, bits: u32) -> bool {
+        if bits == self.bits {
+            return false;
+        }
+        let capacity = 1usize << bits;
+        self.entries.clear();
+        self.entries.resize(capacity, None);
+        self.mask = capacity - 1;
+        self.bits = bits;
+        true
     }
 
     #[inline]
@@ -273,20 +362,89 @@ impl<K: Copy + PartialEq> DirectCache<K> {
     }
 }
 
-/// Slot-count exponents for the computed tables. Sized so that a manager
-/// costs well under a megabyte while single-ACL SemanticDiff workloads at
-/// 10 000 rules still fit their working set.
+/// Initial slot-count exponents for the computed tables. Sized so that a
+/// fresh manager costs well under a megabyte; the collector re-sizes them
+/// adaptively (see [`adaptive_cache_bits`]) once the live set is known.
 const APPLY_CACHE_BITS: u32 = 14;
 const NOT_CACHE_BITS: u32 = 12;
 const ITE_CACHE_BITS: u32 = 12;
+
+/// Adaptive slot-count exponents `(apply, not, ite)` for a given live node
+/// count, applied after each sweep: the apply cache tracks `live` rounded
+/// up to a power of two, clamped to `[2^12, 2^14]`; the not/ite caches stay
+/// two exponents smaller (their key spaces are far sparser), clamped to
+/// `[2^10, 2^12]`. The upper clamp matches the measured optimum on the
+/// reference container (see ROADMAP): these tables are direct-mapped and
+/// touched on every operation, so growing them past the last-level cache
+/// turns each lookup into a DRAM miss — measurably slower than the extra
+/// evictions it avoids. Adaptivity therefore *shrinks* the caches for
+/// small live sets rather than growing them for large ones.
+pub(crate) fn adaptive_cache_bits(live: usize) -> (u32, u32, u32) {
+    let lg = usize::BITS - live.max(2).saturating_sub(1).leading_zeros();
+    let apply = lg.clamp(12, 14);
+    let small = apply.saturating_sub(2).clamp(10, 12);
+    (apply, small, small)
+}
+
+/// When (if ever) [`Manager::gc_checkpoint`] actually collects.
+///
+/// Checkpoints are placed by callers at *safe points* — moments when every
+/// BDD needed later is protected — so the policy only decides frequency,
+/// never safety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcPolicy {
+    /// Never collect automatically (a manual [`Manager::gc`] still works).
+    /// The default: short-lived managers are cheapest when dropped whole.
+    #[default]
+    Disabled,
+    /// Collect at a checkpoint once the in-use arena has grown past
+    /// `growth_factor ×` the live set left by the previous collection
+    /// (with `min_nodes` as the absolute floor, so small managers never
+    /// pay for marking). If the mark pass then finds under ~12.5% garbage
+    /// the sweep is skipped and the trigger backs off instead.
+    Automatic {
+        /// Arena-growth multiple that arms the trigger (≥ 2 recommended).
+        growth_factor: usize,
+        /// Never collect below this many in-use nodes.
+        min_nodes: usize,
+    },
+    /// Collect (mark *and* sweep) at every checkpoint. For differential
+    /// tests that must prove GC transparency; ruinous for throughput.
+    Aggressive,
+}
+
+impl GcPolicy {
+    /// The recommended automatic policy: collect when the arena doubles
+    /// past the previous live set, never under 64k in-use nodes. Doubling
+    /// bounds peak memory at ~2× the live set (plus within-item growth
+    /// between checkpoints) while cache scrubbing keeps the sweeps cheap
+    /// (measured in EXPERIMENTS.md §5.4).
+    pub fn automatic() -> GcPolicy {
+        GcPolicy::Automatic {
+            growth_factor: 2,
+            min_nodes: 1 << 16,
+        }
+    }
+}
 
 /// A point-in-time snapshot of a manager's internal counters, for
 /// benchmarks and scalability reporting. Obtain via [`Manager::stats`];
 /// merge across managers with [`ManagerStats::merge`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Allocated nodes, including the two terminals.
+    /// Live (in-use) nodes, including the two terminals. Equals
+    /// allocated-ever only when the manager has never swept.
     pub nodes: u64,
+    /// High-water mark of live nodes over the manager's lifetime.
+    pub peak_nodes: u64,
+    /// Live nodes right after the most recent sweep (0 if never swept).
+    pub post_gc_nodes: u64,
+    /// Completed collections (sweeps; skipped-sweep checkpoints excluded).
+    pub gc_runs: u64,
+    /// Nodes freed across all collections.
+    pub gc_nodes_freed: u64,
+    /// Times a computed cache changed size after a collection.
+    pub cache_resizes: u64,
     /// Unique-table lookups (one per `mk` after the reduction rule).
     pub unique_lookups: u64,
     /// Unique-table lookups that found an existing node.
@@ -330,9 +488,16 @@ impl ManagerStats {
         }
     }
 
-    /// Accumulate another manager's counters into this one.
+    /// Accumulate another manager's counters into this one. (Counters sum;
+    /// for per-pair managers the summed `peak_nodes` is the aggregate
+    /// allocation high-water mark across disjoint arenas.)
     pub fn merge(&mut self, other: &ManagerStats) {
         self.nodes += other.nodes;
+        self.peak_nodes += other.peak_nodes;
+        self.post_gc_nodes += other.post_gc_nodes;
+        self.gc_runs += other.gc_runs;
+        self.gc_nodes_freed += other.gc_nodes_freed;
+        self.cache_resizes += other.cache_resizes;
         self.unique_lookups += other.unique_lookups;
         self.unique_hits += other.unique_hits;
         self.unique_collisions += other.unique_collisions;
@@ -367,6 +532,20 @@ pub struct Manager {
     apply_cache: DirectCache<(u8, Bdd, Bdd)>,
     not_cache: DirectCache<Bdd>,
     ite_cache: DirectCache<(Bdd, Bdd, Bdd)>,
+    /// Freed arena slots awaiting reuse, ascending (pop recycles the
+    /// highest index first — deterministic for a fixed operation/GC
+    /// sequence).
+    free: Vec<u32>,
+    /// Protect-refcounts per rooted node index (terminals are implicit).
+    roots: HashMap<u32, u32>,
+    gc_policy: GcPolicy,
+    /// Live count right after the last sweep (or mark-only back-off).
+    live_after_gc: usize,
+    /// High-water mark of live nodes.
+    peak_live: usize,
+    gc_runs: u64,
+    gc_nodes_freed: u64,
+    cache_resizes: u64,
 }
 
 impl std::fmt::Debug for Manager {
@@ -410,6 +589,14 @@ impl Manager {
             apply_cache: DirectCache::new(APPLY_CACHE_BITS),
             not_cache: DirectCache::new(NOT_CACHE_BITS),
             ite_cache: DirectCache::new(ITE_CACHE_BITS),
+            free: Vec::new(),
+            roots: HashMap::new(),
+            gc_policy: GcPolicy::Disabled,
+            live_after_gc: 0,
+            peak_live: 2,
+            gc_runs: 0,
+            gc_nodes_freed: 0,
+            cache_resizes: 0,
         }
     }
 
@@ -418,16 +605,22 @@ impl Manager {
         self.num_vars
     }
 
-    /// Number of allocated nodes (including the two terminals). Useful for
-    /// benchmarks and scalability reporting.
+    /// Number of live (in-use) nodes, including the two terminals —
+    /// allocated minus freed-and-not-yet-recycled. Useful for benchmarks
+    /// and scalability reporting.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     /// Snapshot of the internal hot-path counters.
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
-            nodes: self.nodes.len() as u64,
+            nodes: self.node_count() as u64,
+            peak_nodes: self.peak_live as u64,
+            post_gc_nodes: self.live_after_gc as u64,
+            gc_runs: self.gc_runs,
+            gc_nodes_freed: self.gc_nodes_freed,
+            cache_resizes: self.cache_resizes,
             unique_lookups: self.unique.lookups,
             unique_hits: self.unique.hits,
             unique_collisions: self.unique.collisions,
@@ -484,10 +677,28 @@ impl Manager {
         match self.unique.find(&self.nodes, var, low, high) {
             Ok(existing) => Bdd(existing),
             Err(slot) => {
-                let idx = u32::try_from(self.nodes.len()).expect("BDD arena overflow");
-                assert!(idx != EMPTY, "BDD arena overflow");
-                self.nodes.push(Node { var, low, high });
+                let node = Node { var, low, high };
+                // Recycle a swept slot when one is available so handles stay
+                // dense; otherwise extend the arena. The free list is rebuilt
+                // in ascending index order by every sweep, so `pop` hands out
+                // the highest free index first — deterministic across runs.
+                let idx = match self.free.pop() {
+                    Some(i) => {
+                        self.nodes[i as usize] = node;
+                        i
+                    }
+                    None => {
+                        let idx = u32::try_from(self.nodes.len()).expect("BDD arena overflow");
+                        assert!(idx != EMPTY, "BDD arena overflow");
+                        self.nodes.push(node);
+                        idx
+                    }
+                };
                 self.unique.insert(slot, idx, &self.nodes);
+                let live = self.nodes.len() - self.free.len();
+                if live > self.peak_live {
+                    self.peak_live = live;
+                }
                 Bdd(idx)
             }
         }
@@ -939,5 +1150,238 @@ impl Manager {
     pub(crate) fn node(&self, f: Bdd) -> (u32, Bdd, Bdd) {
         let n = self.nodes[f.0 as usize];
         (n.var, n.low, n.high)
+    }
+
+    // === Garbage collection =================================================
+
+    /// Add `f` to the root set. Roots (and everything reachable from them)
+    /// survive collection; every other node is swept. Protecting the same
+    /// handle more than once is reference-counted, so nested callers can
+    /// protect/unprotect independently. Terminals are always live and need
+    /// no protection.
+    pub fn protect(&mut self, f: Bdd) {
+        if f.is_const() {
+            return;
+        }
+        debug_assert!((f.0 as usize) < self.nodes.len());
+        debug_assert!(
+            self.nodes[f.0 as usize].var != POISON,
+            "protecting a dead handle"
+        );
+        *self.roots.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Drop one protection reference from `f` (the inverse of
+    /// [`Manager::protect`]). The node only becomes collectable once every
+    /// protect call has been balanced by an unprotect.
+    pub fn unprotect(&mut self, f: Bdd) {
+        if f.is_const() {
+            return;
+        }
+        match self.roots.get_mut(&f.0) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.roots.remove(&f.0);
+            }
+            None => debug_assert!(false, "unprotect without matching protect"),
+        }
+    }
+
+    /// Number of distinct protected handles (for tests and diagnostics).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Install a collection trigger policy. The default is
+    /// [`GcPolicy::Disabled`]; see the policy docs for the trigger math.
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc_policy = policy;
+    }
+
+    /// The currently-installed trigger policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.gc_policy
+    }
+
+    /// Force a full mark/sweep collection now, regardless of policy.
+    /// Returns the number of nodes freed. Every `Bdd` handle not reachable
+    /// from the root set is invalid afterwards — see the module docs for
+    /// the safe-point contract.
+    pub fn gc(&mut self) -> usize {
+        self.collect(true)
+    }
+
+    /// A safe point: run a collection here if (and only if) the installed
+    /// [`GcPolicy`] asks for one. Returns whether a sweep ran. Callers place
+    /// this between logical work items, after protecting everything they
+    /// hold across the call.
+    pub fn gc_checkpoint(&mut self) -> bool {
+        match self.gc_policy {
+            GcPolicy::Disabled => false,
+            GcPolicy::Aggressive => {
+                self.collect(true);
+                true
+            }
+            GcPolicy::Automatic {
+                growth_factor,
+                min_nodes,
+            } => {
+                let in_use = self.nodes.len() - self.free.len();
+                let floor = self.live_after_gc.max(min_nodes);
+                if in_use >= floor.saturating_mul(growth_factor.max(1)) {
+                    self.collect(false) > 0
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Mark every node reachable from the root set. Returns the mark bitmap
+    /// (bit per arena index, terminals always set) and the live count.
+    fn mark_reachable(&self) -> (Vec<u64>, usize) {
+        let words = self.nodes.len().div_ceil(64);
+        let mut marks = vec![0u64; words];
+        marks[0] |= 0b11; // terminals are always live
+        let mut live = 2usize;
+        let mut stack: Vec<u32> = self.roots.keys().copied().collect();
+        while let Some(i) = stack.pop() {
+            let (word, bit) = (i as usize / 64, i as usize % 64);
+            if marks[word] & (1 << bit) != 0 {
+                continue;
+            }
+            marks[word] |= 1 << bit;
+            live += 1;
+            let node = &self.nodes[i as usize];
+            debug_assert!(node.var != POISON, "marked a dead node");
+            if !node.low.is_const() {
+                stack.push(node.low.0);
+            }
+            if !node.high.is_const() {
+                stack.push(node.high.0);
+            }
+        }
+        (marks, live)
+    }
+
+    /// The mark/sweep engine behind [`Manager::gc`] and
+    /// [`Manager::gc_checkpoint`]. When `force` is false (automatic trigger)
+    /// and less than 1/8 of the in-use nodes are garbage, the sweep is
+    /// skipped — marking already paid the traversal, so we just raise the
+    /// trigger floor and return. Returns the number of nodes freed.
+    fn collect(&mut self, force: bool) -> usize {
+        let in_use = self.nodes.len() - self.free.len();
+        let (marks, live) = self.mark_reachable();
+        let garbage = in_use - live;
+        if !force && garbage * 8 < in_use {
+            // Not enough garbage to be worth rebuilding the unique table.
+            // Remember the live count so the automatic trigger backs off
+            // instead of re-marking at every checkpoint.
+            self.live_after_gc = live;
+            return 0;
+        }
+
+        // Sweep: poison every unmarked slot and rebuild the free list in
+        // ascending index order (deterministic reuse; see `mk`).
+        self.free.clear();
+        for i in 2..self.nodes.len() {
+            let (word, bit) = (i / 64, i % 64);
+            if marks[word] & (1 << bit) == 0 {
+                self.nodes[i] = POISON_NODE;
+                self.free.push(i as u32);
+            }
+        }
+
+        // Rebuild the unique table over the survivors, shrinking it when the
+        // live set no longer justifies the grown capacity (keep ≤ 3/4 load).
+        let live_nonterminal = live - 2;
+        let target = live_nonterminal
+            .saturating_mul(4)
+            .div_ceil(3)
+            .next_power_of_two()
+            .max(1 << 6);
+        self.unique.rehash(&self.nodes, target);
+
+        // Resize the computed caches to fit the live set. When the size is
+        // unchanged, scrub instead of dropping wholesale: an entry whose
+        // operands and result all survived is still exact (indices never
+        // move), and keeping it warm avoids recomputing shared subresults
+        // after every collection. Entries naming a freed slot must go —
+        // they would alias whatever `mk` later recycles into that slot.
+        let alive =
+            |b: Bdd| b.is_const() || marks[b.0 as usize / 64] & (1 << (b.0 as usize % 64)) != 0;
+        let (apply_bits, not_bits, ite_bits) = adaptive_cache_bits(live);
+        if self.apply_cache.reshape(apply_bits) {
+            self.cache_resizes += 1;
+        } else {
+            self.apply_cache
+                .retain(|&(_, f, g), r| alive(f) && alive(g) && alive(r));
+        }
+        if self.not_cache.reshape(not_bits) {
+            self.cache_resizes += 1;
+        } else {
+            self.not_cache.retain(|&f, r| alive(f) && alive(r));
+        }
+        if self.ite_cache.reshape(ite_bits) {
+            self.cache_resizes += 1;
+        } else {
+            self.ite_cache
+                .retain(|&(f, g, h), r| alive(f) && alive(g) && alive(h) && alive(r));
+        }
+
+        self.gc_runs += 1;
+        self.gc_nodes_freed += garbage as u64;
+        self.live_after_gc = live;
+        garbage
+    }
+
+    /// Check the structural invariants that must hold immediately after a
+    /// collection: the unique table indexes exactly the reachable
+    /// non-terminal nodes, dead slots are poisoned and on the free list, and
+    /// canonicity (each live node findable at its own index) is intact.
+    /// Intended for tests; panics on violation.
+    pub fn assert_gc_invariants(&mut self) {
+        let (marks, live) = self.mark_reachable();
+        let marked = |i: usize| marks[i / 64] & (1 << (i % 64)) != 0;
+
+        assert_eq!(self.node_count(), live, "live count out of sync");
+        assert_eq!(
+            self.unique.len,
+            live - 2,
+            "unique table population != reachable non-terminals"
+        );
+
+        let mut free_set: Vec<bool> = vec![false; self.nodes.len()];
+        for &i in &self.free {
+            assert!(!marked(i as usize), "reachable node on the free list");
+            assert!(
+                self.nodes[i as usize].var == POISON,
+                "free-list node not poisoned"
+            );
+            assert!(!free_set[i as usize], "duplicate free-list entry");
+            free_set[i as usize] = true;
+        }
+
+        let mut seen = HashMap::new();
+        #[allow(clippy::needless_range_loop)] // indexes nodes, marks and free_set alike
+        for i in 2..self.nodes.len() {
+            let node = self.nodes[i];
+            if !marked(i) {
+                assert!(
+                    node.var == POISON && free_set[i],
+                    "dead node {i} neither poisoned nor freed"
+                );
+                continue;
+            }
+            assert!(node.var != POISON, "reachable node is poisoned");
+            // Canonicity: the triple must be unique among live nodes and the
+            // table must resolve it back to this exact index.
+            let prev = seen.insert((node.var, node.low, node.high), i);
+            assert!(prev.is_none(), "duplicate live node for {node:?}");
+            match self.unique.find(&self.nodes, node.var, node.low, node.high) {
+                Ok(found) => assert_eq!(found as usize, i, "unique table aliases node {i}"),
+                Err(_) => panic!("live node {i} missing from unique table"),
+            }
+        }
     }
 }

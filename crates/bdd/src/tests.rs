@@ -554,3 +554,182 @@ mod wide_properties {
         }
     }
 }
+
+mod gc {
+    use crate::manager::{adaptive_cache_bits, GcPolicy};
+    use crate::{Assignment, Manager};
+
+    /// A small ACL-rule-shaped conjunction over a window of variables.
+    fn rule(m: &mut Manager, seed: u64) -> crate::Bdd {
+        let mut acc = m.true_();
+        for v in 0..8u32 {
+            let lit = m.literal(v, seed >> v & 1 == 1);
+            acc = m.and(acc, lit);
+        }
+        acc
+    }
+
+    #[test]
+    fn gc_frees_unreachable_nodes() {
+        let mut m = Manager::new(16);
+        let keep = rule(&mut m, 0b1010_1010);
+        m.protect(keep);
+        for seed in 0..64 {
+            let _ = rule(&mut m, seed);
+        }
+        let before = m.node_count();
+        let freed = m.gc();
+        assert!(freed > 0, "expected garbage to be freed");
+        assert!(m.node_count() < before);
+        m.assert_gc_invariants();
+        // The protected function must still evaluate correctly.
+        let a = Assignment::new((0..16).map(|v| 0b1010_1010u32 >> v & 1 == 1).collect());
+        assert!(m.eval(keep, &a));
+        assert_eq!(m.sat_count(keep), 1 << 8);
+    }
+
+    #[test]
+    fn gc_preserves_canonicity_and_recycles_slots() {
+        let mut m = Manager::new(16);
+        let keep = rule(&mut m, 3);
+        m.protect(keep);
+        for seed in 4..40 {
+            let _ = rule(&mut m, seed);
+        }
+        let allocated = {
+            m.gc();
+            m.node_count()
+        };
+        // Rebuilding the same functions after collection must hash-cons to
+        // identical handles (canonicity) and reuse freed arena slots rather
+        // than growing the arena.
+        let again = rule(&mut m, 3);
+        assert_eq!(again, keep, "canonicity broken after gc");
+        for seed in 4..40 {
+            let _ = rule(&mut m, seed);
+        }
+        let _ = allocated;
+        let peak = m.stats().peak_nodes;
+        for _ in 0..8 {
+            m.gc();
+            for seed in 4..40 {
+                let _ = rule(&mut m, seed);
+            }
+        }
+        assert_eq!(
+            m.stats().peak_nodes,
+            peak,
+            "arena kept growing across gc cycles"
+        );
+    }
+
+    #[test]
+    fn protect_is_refcounted() {
+        let mut m = Manager::new(8);
+        let f = rule(&mut m, 7);
+        m.protect(f);
+        m.protect(f);
+        assert_eq!(m.root_count(), 1);
+        m.unprotect(f);
+        m.gc();
+        m.assert_gc_invariants();
+        // Still protected by the second reference.
+        assert_eq!(rule(&mut m, 7), f);
+        m.unprotect(f);
+        assert_eq!(m.root_count(), 0);
+        let freed = m.gc();
+        assert!(freed > 0);
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn checkpoint_honours_policy() {
+        let mut m = Manager::new(16);
+        // Disabled: never collects.
+        for seed in 0..32 {
+            let _ = rule(&mut m, seed);
+        }
+        assert!(!m.gc_checkpoint());
+        assert_eq!(m.stats().gc_runs, 0);
+
+        // Aggressive: collects at every checkpoint.
+        m.set_gc_policy(GcPolicy::Aggressive);
+        assert!(m.gc_checkpoint());
+        assert_eq!(m.stats().gc_runs, 1);
+        assert_eq!(m.node_count(), 2);
+
+        // Automatic with a tiny floor: collects once in-use doubles.
+        m.set_gc_policy(GcPolicy::Automatic {
+            growth_factor: 2,
+            min_nodes: 4,
+        });
+        for seed in 0..32 {
+            let _ = rule(&mut m, seed);
+        }
+        assert!(m.gc_checkpoint());
+        let runs = m.stats().gc_runs;
+        // Immediately after a collection the trigger must not re-fire.
+        assert!(!m.gc_checkpoint());
+        assert_eq!(m.stats().gc_runs, runs);
+    }
+
+    #[test]
+    fn stats_track_gc_counters() {
+        let mut m = Manager::new(16);
+        let keep = rule(&mut m, 1);
+        m.protect(keep);
+        for seed in 2..20 {
+            let _ = rule(&mut m, seed);
+        }
+        let peak_before = m.stats().peak_nodes;
+        let freed = m.gc();
+        let s = m.stats();
+        assert_eq!(s.gc_runs, 1);
+        assert_eq!(s.gc_nodes_freed, freed as u64);
+        assert_eq!(s.post_gc_nodes, s.nodes);
+        assert_eq!(s.peak_nodes, peak_before);
+        assert_eq!(s.nodes as usize, m.node_count());
+    }
+
+    #[test]
+    fn adaptive_bits_are_clamped_and_monotone() {
+        let (a_min, s_min, _) = adaptive_cache_bits(0);
+        assert_eq!((a_min, s_min), (12, 10));
+        let (a_mid, s_mid, i_mid) = adaptive_cache_bits(1 << 13);
+        assert_eq!((a_mid, s_mid, i_mid), (13, 11, 11));
+        // Large live sets saturate at the measured LLC-friendly optimum
+        // rather than growing without bound.
+        let (a_max, s_max, _) = adaptive_cache_bits(usize::MAX);
+        assert_eq!((a_max, s_max), (14, 12));
+        let mut prev = 0;
+        for lg in 0..30 {
+            let (a, _, _) = adaptive_cache_bits(1usize << lg);
+            assert!(a >= prev, "apply bits must be monotone in live count");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn ops_work_after_many_collections() {
+        let mut m = Manager::new(16);
+        m.set_gc_policy(GcPolicy::Aggressive);
+        let mut acc = m.false_();
+        for seed in 0..32 {
+            let r = rule(&mut m, seed * 37 % 256);
+            let next = m.or(acc, r);
+            m.unprotect(acc); // no-op on the first (constant) accumulator
+            m.protect(next);
+            acc = next;
+            m.gc_checkpoint();
+            m.assert_gc_invariants();
+        }
+        // Spot-check the accumulated union against direct reconstruction.
+        let mut fresh = Manager::new(16);
+        let mut want = fresh.false_();
+        for seed in 0..32 {
+            let r = rule(&mut fresh, seed * 37 % 256);
+            want = fresh.or(want, r);
+        }
+        assert_eq!(m.sat_count(acc), fresh.sat_count(want));
+    }
+}

@@ -26,6 +26,9 @@ struct SizeResult {
     semdiff_s: f64,
     diffs_found: usize,
     nodes: u64,
+    peak_nodes: u64,
+    post_gc_nodes: u64,
+    gc_runs: u64,
     apply_hit_rate: f64,
     unique_hit_rate: f64,
 }
@@ -88,6 +91,8 @@ fn main() {
             format!("{:.3}", parse_time.as_secs_f64()),
             format!("{:.3}", diff_time.as_secs_f64()),
             report.acl_diffs.len().to_string(),
+            s.peak_nodes.to_string(),
+            s.post_gc_nodes.to_string(),
             format!("{:.1}%", s.apply_hit_rate() * 100.0),
         ]);
         size_results.push(SizeResult {
@@ -96,6 +101,9 @@ fn main() {
             semdiff_s: diff_time.as_secs_f64(),
             diffs_found: report.acl_diffs.len(),
             nodes: s.nodes,
+            peak_nodes: s.peak_nodes,
+            post_gc_nodes: s.post_gc_nodes,
+            gc_runs: s.gc_runs,
             apply_hit_rate: s.apply_hit_rate(),
             unique_hit_rate: s.unique_hit_rate(),
         });
@@ -107,6 +115,8 @@ fn main() {
             "parse+lower (s)",
             "SemanticDiff (s)",
             "differences found",
+            "peak nodes",
+            "post-GC nodes",
             "apply-cache hits",
         ],
         &rows,
@@ -146,13 +156,17 @@ fn main() {
             let _ = write!(
                 out,
                 "    {{\"rules\": {}, \"parse_s\": {:.6}, \"semdiff_s\": {:.6}, \
-                 \"diffs_found\": {}, \"bdd_nodes\": {}, \"apply_hit_rate\": {:.4}, \
+                 \"diffs_found\": {}, \"bdd_nodes\": {}, \"peak_nodes\": {}, \
+                 \"post_gc_nodes\": {}, \"gc_runs\": {}, \"apply_hit_rate\": {:.4}, \
                  \"unique_hit_rate\": {:.4}}}",
                 r.rules,
                 r.parse_s,
                 r.semdiff_s,
                 r.diffs_found,
                 r.nodes,
+                r.peak_nodes,
+                r.post_gc_nodes,
+                r.gc_runs,
                 r.apply_hit_rate,
                 r.unique_hit_rate
             );

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use campion_bdd::ManagerStats;
+use campion_bdd::{GcPolicy, ManagerStats};
 use campion_cfg::Span;
 use campion_ir::{AclIr, RoutePolicy, RouterIr};
 use campion_net::PrefixRange;
@@ -18,8 +18,34 @@ use campion_symbolic::{PacketSpace, RouteSpace};
 use crate::headerloc::{self, DstAddrSpace, SrcAddrSpace};
 use crate::matching::{match_policies, PolicyPair};
 use crate::report::{CampionReport, PolicyDiffReport, StructuralFinding};
-use crate::semantic::{acl_paths, policy_paths, semantic_diff, SemanticDifference};
+use crate::semantic::{acl_paths, policy_paths, release_paths, semantic_diff, SemanticDifference};
 use crate::structural;
+
+/// Garbage-collection mode for the per-pair BDD managers. The rendered
+/// report is byte-identical in every mode; only memory behavior changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcMode {
+    /// Never collect (PR 1 behavior: the arena grows monotonically).
+    Off,
+    /// Collect at safe points when the live set has doubled since the last
+    /// collection ([`GcPolicy::automatic`]).
+    #[default]
+    Auto,
+    /// Collect at *every* safe point — maximal memory pressure relief and
+    /// the differential-testing mode of `tests/determinism.rs`.
+    Aggressive,
+}
+
+impl GcMode {
+    /// The manager-level policy this mode installs.
+    pub fn policy(self) -> GcPolicy {
+        match self {
+            GcMode::Off => GcPolicy::Disabled,
+            GcMode::Auto => GcPolicy::automatic(),
+            GcMode::Aggressive => GcPolicy::Aggressive,
+        }
+    }
+}
 
 /// Options controlling a comparison run.
 #[derive(Debug, Clone)]
@@ -43,6 +69,8 @@ pub struct CampionOptions {
     /// Worker threads for the diff phase; `0` means one per available
     /// hardware thread. The report is identical for every value.
     pub jobs: usize,
+    /// Garbage-collection mode for the per-pair BDD managers.
+    pub gc: GcMode,
 }
 
 impl Default for CampionOptions {
@@ -56,6 +84,7 @@ impl Default for CampionOptions {
             check_acls: true,
             exhaustive_communities: false,
             jobs: 0,
+            gc: GcMode::default(),
         }
     }
 }
@@ -70,6 +99,16 @@ impl CampionOptions {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+
+    /// The effective GC mode: `CAMPION_GC_AGGRESSIVE=1` in the environment
+    /// forces [`GcMode::Aggressive`] (the differential-testing hook);
+    /// otherwise the configured mode stands.
+    pub fn effective_gc(&self) -> GcMode {
+        match std::env::var("CAMPION_GC_AGGRESSIVE") {
+            Ok(v) if v == "1" => GcMode::Aggressive,
+            _ => self.gc,
+        }
     }
 }
 
@@ -104,7 +143,7 @@ fn run_item(
             WorkOutput::RouteMaps(diffs, stats)
         }
         WorkItem::Acl(name) => {
-            let (diffs, stats) = diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name]);
+            let (diffs, stats) = diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name], opts);
             WorkOutput::Acls(diffs, stats)
         }
         WorkItem::StaticRoutes => WorkOutput::Structural(structural::diff_static_routes(r1, r2)),
@@ -255,16 +294,27 @@ fn diff_policy_pair(
         None => RoutePolicy::permit_all("(no policy)"),
     };
     let mut space = RouteSpace::for_policies(&[&p1, &p2]);
+    space.manager.set_gc_policy(opts.effective_gc().policy());
     let universe = space.universe();
+    // The universe is consulted by both path enumerations, which contain
+    // safe points — root it for the whole pair.
+    space.manager.protect(universe);
     let paths1 = policy_paths(&mut space, &p1, universe);
     let paths2 = policy_paths(&mut space, &p2, universe);
     let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+    // The diffs' inputs are rooted by semantic_diff; the paths themselves
+    // are now garbage.
+    release_paths(&mut space.manager, &paths1);
+    release_paths(&mut space.manager, &paths2);
+    space.manager.gc_checkpoint();
 
     // The range universe R: every range in either configuration (§3.2).
-    // The ddNF over R is built once and reused for every difference.
+    // The ddNF over R is built once and reused for every difference (its
+    // node sets are rooted by `build`).
     let mut ranges: Vec<PrefixRange> = p1.prefix_ranges();
     ranges.extend(p2.prefix_ranges());
     let dag = headerloc::RangeDag::build(&mut space, &ranges);
+    space.manager.gc_checkpoint();
 
     let mut out = Vec::new();
     for d in &diffs {
@@ -292,7 +342,13 @@ fn diff_policy_pair(
             text1: side_text(r1, &d.spans1, d.default1, &p1),
             text2: side_text(r2, &d.spans2, d.default2, &p2),
         });
+        // This difference is fully presented: drop its root and let the
+        // localization intermediates go at the safe point.
+        space.manager.unprotect(d.input);
+        space.manager.gc_checkpoint();
     }
+    dag.release(&mut space.manager);
+    space.manager.unprotect(universe);
     let stats = space.manager.stats();
     (out, stats)
 }
@@ -345,12 +401,17 @@ fn diff_acl_pair(
     r2: &RouterIr,
     a1: &AclIr,
     a2: &AclIr,
+    opts: &CampionOptions,
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let mut space = PacketSpace::new();
+    space.manager.set_gc_policy(opts.effective_gc().policy());
     let universe = space.universe();
     let paths1 = acl_paths(&mut space, a1, universe);
     let paths2 = acl_paths(&mut space, a2, universe);
     let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+    release_paths(&mut space.manager, &paths1);
+    release_paths(&mut space.manager, &paths2);
+    space.manager.gc_checkpoint();
 
     // Address universes from both ACLs' contiguous matchers.
     let mut src_ranges = Vec::new();
@@ -372,6 +433,7 @@ fn diff_acl_pair(
 
     let dst_dag = headerloc::RangeDag::build(&mut DstAddrSpace(&mut space), &dst_ranges);
     let src_dag = headerloc::RangeDag::build(&mut SrcAddrSpace(&mut space), &src_ranges);
+    space.manager.gc_checkpoint();
     let mut out = Vec::new();
     for d in &diffs {
         let dst_proj = space.project_to_dst(d.input);
@@ -437,7 +499,11 @@ fn diff_acl_pair(
             text1: text_for(r1, &d.spans1, d.default1),
             text2: text_for(r2, &d.spans2, d.default2),
         });
+        space.manager.unprotect(d.input);
+        space.manager.gc_checkpoint();
     }
+    dst_dag.release(&mut space.manager);
+    src_dag.release(&mut space.manager);
     let stats = space.manager.stats();
     (out, stats)
 }

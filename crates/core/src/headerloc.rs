@@ -144,6 +144,16 @@ impl RangeDag {
         self.ranges.len()
     }
 
+    /// Drop the GC roots this DAG holds on its node sets ([`RangeDag::build`]
+    /// protects every node BDD so the DAG survives the collections the
+    /// driver runs between differences). The DAG must not be used for
+    /// localization afterwards.
+    pub fn release(&self, manager: &mut Manager) {
+        for &b in &self.bdds {
+            manager.unprotect(b);
+        }
+    }
+
     /// True when only the universe node exists.
     pub fn is_empty(&self) -> bool {
         self.ranges.len() <= 1
@@ -167,6 +177,9 @@ fn closed_ranges<E: RangeEncoder>(
                 return;
             }
             if seen.insert(b) {
+                // Root every distinct node set: the DAG outlives the safe
+                // points between localizations (released by `RangeDag::release`).
+                space.manager().protect(b);
                 out.push(r);
                 bdds.push(b);
             }
@@ -340,7 +353,9 @@ pub fn header_localize<E: RangeEncoder>(
     config_ranges: &[PrefixRange],
 ) -> HeaderLocalization {
     let ddnf = RangeDag::build(space, config_ranges);
-    header_localize_with(space, s, &ddnf)
+    let loc = header_localize_with(space, s, &ddnf);
+    ddnf.release(space.manager());
+    loc
 }
 
 /// As [`header_localize`], against a prebuilt [`RangeDag`] — the fast path

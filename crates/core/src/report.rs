@@ -98,6 +98,42 @@ impl CampionReport {
     pub fn is_equivalent(&self) -> bool {
         self.total_differences() == 0 && self.unmatched.is_empty()
     }
+
+    /// Render the aggregate BDD-engine counters, including the garbage
+    /// collector's. Exposed behind the CLI's `--stats` flag rather than
+    /// `Display` so default reports stay byte-identical across worker
+    /// counts and GC modes.
+    pub fn render_stats(&self) -> String {
+        let s = &self.bdd_stats;
+        let mut out = String::from("=== BDD engine statistics ===\n");
+        let mut row = |label: &str, value: String| {
+            out.push_str(&format!("{label:<24} {value}\n"));
+        };
+        row("live nodes", s.nodes.to_string());
+        row("peak live nodes", s.peak_nodes.to_string());
+        row("post-GC live nodes", s.post_gc_nodes.to_string());
+        row("GC collections", s.gc_runs.to_string());
+        row("GC nodes freed", s.gc_nodes_freed.to_string());
+        row("cache resizes", s.cache_resizes.to_string());
+        row("unique-table grows", s.unique_grows.to_string());
+        row(
+            "unique hit rate",
+            format!("{:.4} ({} lookups)", s.unique_hit_rate(), s.unique_lookups),
+        );
+        row(
+            "apply hit rate",
+            format!("{:.4} ({} lookups)", s.apply_hit_rate(), s.apply_lookups),
+        );
+        row(
+            "not lookups/hits",
+            format!("{}/{}", s.not_lookups, s.not_hits),
+        );
+        row(
+            "ite lookups/hits",
+            format!("{}/{}", s.ite_lookups, s.ite_hits),
+        );
+        out
+    }
 }
 
 /// Render a two-column table with a fixed label gutter, in the style of the

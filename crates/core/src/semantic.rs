@@ -10,10 +10,22 @@
 //! behavioral differences — the quintuples `(i, a₁, a₂, t₁, t₂)` of the
 //! paper.
 
-use campion_bdd::Bdd;
+//! ## GC root discipline
+//!
+//! The BDD manager only collects at explicit safe points
+//! ([`campion_bdd::Manager::gc_checkpoint`]), so locals that never span a
+//! checkpoint need no registration. The functions here place a checkpoint
+//! after every processed rule / path frame / outer diff row, and therefore
+//! root exactly what they hold across those boundaries: the active frontier
+//! (`remaining`, the exploration stack's predicates and symbolic states)
+//! and their outputs. **Returned [`PolicyPath`] predicates and
+//! [`SemanticDifference`] inputs stay protected**: callers release them via
+//! [`release_paths`] (or per-handle `unprotect`) once done.
+
+use campion_bdd::{Bdd, Manager};
 use campion_cfg::Span;
 use campion_ir::{AclIr, RoutePolicy, Terminal};
-use campion_symbolic::{ActionEffect, PacketSpace, RouteSpace};
+use campion_symbolic::{ActionEffect, PacketSpace, RouteSpace, SymbolicRoute};
 
 /// One path equivalence class through a component.
 #[derive(Debug, Clone)]
@@ -62,8 +74,18 @@ pub fn policy_paths(
         spans: Vec<Span>,
         non_prefix: bool,
     }
+    // Every frame on the exploration stack is held across checkpoints, so
+    // its predicate and symbolic community functions are rooted at push and
+    // released once the frame has been fully processed.
+    fn protect_frame(m: &mut Manager, predicate: Bdd, state: &SymbolicRoute) {
+        m.protect(predicate);
+        for &b in &state.comm {
+            m.protect(b);
+        }
+    }
     let mut out = Vec::new();
     let initial = space.initial_state();
+    protect_frame(&mut space.manager, universe, &initial);
     let mut stack = vec![Frame {
         idx: 0,
         predicate: universe,
@@ -79,13 +101,17 @@ pub fn policy_paths(
             "policy {} exceeds {MAX_PATHS} path classes",
             policy.name
         );
+        // The popped frame's roots are released at the bottom of the loop;
+        // remember them now because the fallthrough branch moves `f.state`.
+        let popped_predicate = f.predicate;
+        let popped_comm = f.state.comm.clone();
         if space.manager.is_false(f.predicate) {
-            continue;
-        }
-        if f.idx == policy.clauses.len() {
+            // Dead branch: nothing to emit.
+        } else if f.idx == policy.clauses.len() {
             // Implicit default.
             let mut effect = f.effect;
             effect.accept = policy.default_terminal == Terminal::Accept;
+            space.manager.protect(f.predicate);
             out.push(PolicyPath {
                 predicate: f.predicate,
                 effect: effect.normalized(),
@@ -94,68 +120,76 @@ pub fn policy_paths(
                 is_default: true,
                 non_prefix_match: f.non_prefix,
             });
-            continue;
-        }
-        let clause = &policy.clauses[f.idx];
-        let mut cond = Bdd::TRUE;
-        for m in &clause.matches {
-            let b = space.match_bdd(m, &f.state);
-            cond = space.manager.and(cond, b);
-        }
-        let fire = space.manager.and(f.predicate, cond);
-        let skip = space.manager.diff(f.predicate, cond);
-        // Non-matching branch: continue with unchanged state.
-        if space.manager.is_sat(skip) {
-            stack.push(Frame {
-                idx: f.idx + 1,
-                predicate: skip,
-                effect: f.effect.clone(),
-                state: f.state.clone(),
-                labels: f.labels.clone(),
-                spans: f.spans.clone(),
-                non_prefix: f.non_prefix,
-            });
-        }
-        // Matching branch.
-        if space.manager.is_sat(fire) {
-            let mut effect = f.effect;
-            effect.apply_all(&clause.sets);
-            let mut labels = f.labels;
-            labels.push(clause.label.clone());
-            let mut spans = f.spans;
-            spans.push(clause.span);
-            let non_prefix = f.non_prefix
-                || clause
-                    .matches
-                    .iter()
-                    .any(|m| !matches!(m, campion_ir::Match::Prefix(_)));
-            match clause.terminal {
-                Terminal::Accept | Terminal::Reject => {
-                    effect.accept = clause.terminal == Terminal::Accept;
-                    out.push(PolicyPath {
-                        predicate: fire,
-                        effect: effect.normalized(),
-                        labels,
-                        spans,
-                        is_default: false,
-                        non_prefix_match: non_prefix,
-                    });
-                }
-                Terminal::Fallthrough => {
-                    let mut state = f.state;
-                    space.apply_sets(&mut state, &clause.sets);
-                    stack.push(Frame {
-                        idx: f.idx + 1,
-                        predicate: fire,
-                        effect,
-                        state,
-                        labels,
-                        spans,
-                        non_prefix,
-                    });
+        } else {
+            let clause = &policy.clauses[f.idx];
+            let mut cond = Bdd::TRUE;
+            for m in &clause.matches {
+                let b = space.match_bdd(m, &f.state);
+                cond = space.manager.and(cond, b);
+            }
+            let fire = space.manager.and(f.predicate, cond);
+            let skip = space.manager.diff(f.predicate, cond);
+            // Non-matching branch: continue with unchanged state.
+            if space.manager.is_sat(skip) {
+                protect_frame(&mut space.manager, skip, &f.state);
+                stack.push(Frame {
+                    idx: f.idx + 1,
+                    predicate: skip,
+                    effect: f.effect.clone(),
+                    state: f.state.clone(),
+                    labels: f.labels.clone(),
+                    spans: f.spans.clone(),
+                    non_prefix: f.non_prefix,
+                });
+            }
+            // Matching branch.
+            if space.manager.is_sat(fire) {
+                let mut effect = f.effect;
+                effect.apply_all(&clause.sets);
+                let mut labels = f.labels;
+                labels.push(clause.label.clone());
+                let mut spans = f.spans;
+                spans.push(clause.span);
+                let non_prefix = f.non_prefix
+                    || clause
+                        .matches
+                        .iter()
+                        .any(|m| !matches!(m, campion_ir::Match::Prefix(_)));
+                match clause.terminal {
+                    Terminal::Accept | Terminal::Reject => {
+                        effect.accept = clause.terminal == Terminal::Accept;
+                        space.manager.protect(fire);
+                        out.push(PolicyPath {
+                            predicate: fire,
+                            effect: effect.normalized(),
+                            labels,
+                            spans,
+                            is_default: false,
+                            non_prefix_match: non_prefix,
+                        });
+                    }
+                    Terminal::Fallthrough => {
+                        let mut state = f.state;
+                        space.apply_sets(&mut state, &clause.sets);
+                        protect_frame(&mut space.manager, fire, &state);
+                        stack.push(Frame {
+                            idx: f.idx + 1,
+                            predicate: fire,
+                            effect,
+                            state,
+                            labels,
+                            spans,
+                            non_prefix,
+                        });
+                    }
                 }
             }
         }
+        space.manager.unprotect(popped_predicate);
+        for b in popped_comm {
+            space.manager.unprotect(b);
+        }
+        space.manager.gc_checkpoint();
     }
     out
 }
@@ -166,11 +200,19 @@ pub fn policy_paths(
 pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<PolicyPath> {
     let mut out = Vec::new();
     let mut remaining = universe;
+    space.manager.protect(remaining);
     for rule in &acl.rules {
         let cond = space.rule_bdd(rule);
         let fire = space.manager.and(remaining, cond);
-        remaining = space.manager.diff(remaining, cond);
+        let next = space.manager.diff(remaining, cond);
+        // Root the new frontier before releasing the old one: `next` and the
+        // accumulated fire predicates are all we hold across the checkpoint;
+        // `cond` and the superseded `remaining` become garbage.
+        space.manager.protect(next);
+        space.manager.unprotect(remaining);
+        remaining = next;
         if space.manager.is_sat(fire) {
+            space.manager.protect(fire);
             out.push(PolicyPath {
                 predicate: fire,
                 effect: ActionEffect::terminal(rule.permit),
@@ -180,8 +222,10 @@ pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<Pol
                 non_prefix_match: true,
             });
         }
+        space.manager.gc_checkpoint();
     }
     if space.manager.is_sat(remaining) {
+        // The frontier root carries over as the default path's output root.
         out.push(PolicyPath {
             predicate: remaining,
             effect: ActionEffect::terminal(false),
@@ -190,6 +234,8 @@ pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<Pol
             is_default: true,
             non_prefix_match: true,
         });
+    } else {
+        space.manager.unprotect(remaining);
     }
     out
 }
@@ -223,7 +269,7 @@ pub struct SemanticDifference {
 /// Pairwise comparison of two components' path classes. `manager_and` is
 /// abstracted so route maps and ACLs share the code.
 pub fn semantic_diff(
-    manager: &mut campion_bdd::Manager,
+    manager: &mut Manager,
     paths1: &[PolicyPath],
     paths2: &[PolicyPath],
 ) -> Vec<SemanticDifference> {
@@ -235,6 +281,9 @@ pub fn semantic_diff(
             }
             let inter = manager.and(p1.predicate, p2.predicate);
             if manager.is_sat(inter) {
+                // Returned inputs are rooted; the driver releases each one
+                // after presenting it.
+                manager.protect(inter);
                 out.push(SemanticDifference {
                     input: inter,
                     effect1: p1.effect.clone(),
@@ -249,8 +298,18 @@ pub fn semantic_diff(
                 });
             }
         }
+        manager.gc_checkpoint();
     }
     out
+}
+
+/// Release the GC roots held by a set of path predicates (the counterpart
+/// of [`policy_paths`]/[`acl_paths`], which return their outputs rooted).
+/// Call once `semantic_diff` has consumed the paths.
+pub fn release_paths(manager: &mut Manager, paths: &[PolicyPath]) {
+    for p in paths {
+        manager.unprotect(p.predicate);
+    }
 }
 
 /// Convenience: are two route policies behaviorally equivalent (no

@@ -45,6 +45,10 @@ impl PacketSpace {
     }
 
     /// Every packet (the packet universe is unconstrained).
+    ///
+    /// Unlike [`crate::RouteSpace`], this space caches no non-terminal
+    /// BDDs of its own, so it needs no GC roots: a terminal handle is
+    /// always live under the manager's reachable-mark collector.
     pub fn universe(&self) -> Bdd {
         Bdd::TRUE
     }

@@ -189,6 +189,9 @@ impl RouteSpace {
             let implied = self.manager.ite(bit, needs, Bdd::TRUE);
             acc = self.manager.and(acc, implied);
         }
+        // The cache is consulted for the lifetime of the space, so it must
+        // survive any collection the driver runs between work phases.
+        self.manager.protect(acc);
         self.canonical = Some(acc);
         acc
     }

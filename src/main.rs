@@ -14,13 +14,14 @@
 use std::process::ExitCode;
 
 use campion::cfg::parse_config;
-use campion::core::{compare_routers, CampionOptions};
+use campion::core::{compare_routers, CampionOptions, GcMode};
 use campion::ir::{lower, to_junos, RouterIr};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
          \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
+         \x20                 [--gc off|auto|aggressive] [--stats]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -35,6 +36,7 @@ fn load_file(path: &str) -> Result<RouterIr, String> {
 
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
+    let mut show_stats = false;
     let mut opts = CampionOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -48,6 +50,16 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                 opts.check_ospf = false;
             }
             "--exhaustive-communities" => opts.exhaustive_communities = true,
+            "--stats" => show_stats = true,
+            "--gc" => match it.next().map(String::as_str) {
+                Some("off") => opts.gc = GcMode::Off,
+                Some("auto") => opts.gc = GcMode::Auto,
+                Some("aggressive") => opts.gc = GcMode::Aggressive,
+                _ => {
+                    eprintln!("--gc requires one of: off, auto, aggressive");
+                    return usage();
+                }
+            },
             "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => opts.jobs = n,
                 _ => {
@@ -74,6 +86,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     };
     let report = compare_routers(&r1, &r2, &opts);
     println!("{report}");
+    if show_stats {
+        println!("{}", report.render_stats());
+    }
     if report.is_equivalent() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8d5fa6167e4bd85b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8d5fa6167e4bd85b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

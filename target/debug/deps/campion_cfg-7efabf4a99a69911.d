@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/campion_cfg-7efabf4a99a69911.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/samples.rs crates/cfg/src/error.rs crates/cfg/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/campion_cfg-7efabf4a99a69911.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcampion_cfg-7efabf4a99a69911.rmeta: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/samples.rs crates/cfg/src/error.rs crates/cfg/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libcampion_cfg-7efabf4a99a69911.rmeta: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs Cargo.toml
 
 crates/cfg/src/lib.rs:
 crates/cfg/src/cisco/mod.rs:
@@ -12,8 +12,8 @@ crates/cfg/src/juniper/parser.rs:
 crates/cfg/src/juniper/setstyle.rs:
 crates/cfg/src/juniper/tree.rs:
 crates/cfg/src/detect.rs:
-crates/cfg/src/samples.rs:
 crates/cfg/src/error.rs:
+crates/cfg/src/samples.rs:
 crates/cfg/src/span.rs:
 Cargo.toml:
 

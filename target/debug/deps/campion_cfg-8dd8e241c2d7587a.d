@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/campion_cfg-8dd8e241c2d7587a.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/samples.rs crates/cfg/src/error.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs Cargo.toml
+/root/repo/target/debug/deps/campion_cfg-8dd8e241c2d7587a.d: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcampion_cfg-8dd8e241c2d7587a.rmeta: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/samples.rs crates/cfg/src/error.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs Cargo.toml
+/root/repo/target/debug/deps/libcampion_cfg-8dd8e241c2d7587a.rmeta: crates/cfg/src/lib.rs crates/cfg/src/cisco/mod.rs crates/cfg/src/cisco/ast.rs crates/cfg/src/cisco/parser.rs crates/cfg/src/cisco/tests.rs crates/cfg/src/juniper/mod.rs crates/cfg/src/juniper/ast.rs crates/cfg/src/juniper/parser.rs crates/cfg/src/juniper/setstyle.rs crates/cfg/src/juniper/tree.rs crates/cfg/src/juniper/tests.rs crates/cfg/src/detect.rs crates/cfg/src/error.rs crates/cfg/src/samples.rs crates/cfg/src/span.rs crates/cfg/src/robustness.rs Cargo.toml
 
 crates/cfg/src/lib.rs:
 crates/cfg/src/cisco/mod.rs:
@@ -14,8 +14,8 @@ crates/cfg/src/juniper/setstyle.rs:
 crates/cfg/src/juniper/tree.rs:
 crates/cfg/src/juniper/tests.rs:
 crates/cfg/src/detect.rs:
-crates/cfg/src/samples.rs:
 crates/cfg/src/error.rs:
+crates/cfg/src/samples.rs:
 crates/cfg/src/span.rs:
 crates/cfg/src/robustness.rs:
 Cargo.toml:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cex_count-c85d937d861350c6.d: crates/bench/src/bin/cex_count.rs
+
+/root/repo/target/debug/deps/cex_count-c85d937d861350c6: crates/bench/src/bin/cex_count.rs
+
+crates/bench/src/bin/cex_count.rs:

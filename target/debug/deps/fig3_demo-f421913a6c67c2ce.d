@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_demo-f421913a6c67c2ce.d: crates/bench/src/bin/fig3_demo.rs
+
+/root/repo/target/debug/deps/fig3_demo-f421913a6c67c2ce: crates/bench/src/bin/fig3_demo.rs
+
+crates/bench/src/bin/fig3_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-342cbef6bb86d69b.d: crates/bdd/tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-342cbef6bb86d69b.rmeta: crates/bdd/tests/oracle.rs Cargo.toml
+
+crates/bdd/tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-69cf1f9dece74fcb.d: crates/bdd/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-69cf1f9dece74fcb: crates/bdd/tests/oracle.rs
+
+crates/bdd/tests/oracle.rs:

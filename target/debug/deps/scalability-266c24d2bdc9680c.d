@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-266c24d2bdc9680c.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-266c24d2bdc9680c: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

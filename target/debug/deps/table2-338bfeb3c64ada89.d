@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-338bfeb3c64ada89.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-338bfeb3c64ada89: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

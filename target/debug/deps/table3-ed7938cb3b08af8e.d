@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ed7938cb3b08af8e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ed7938cb3b08af8e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

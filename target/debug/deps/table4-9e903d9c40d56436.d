@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9e903d9c40d56436.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9e903d9c40d56436: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

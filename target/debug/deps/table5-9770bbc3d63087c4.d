@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-9770bbc3d63087c4.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-9770bbc3d63087c4: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

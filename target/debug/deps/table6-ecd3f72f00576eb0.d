@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ecd3f72f00576eb0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ecd3f72f00576eb0: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

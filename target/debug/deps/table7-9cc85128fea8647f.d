@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-9cc85128fea8647f.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-9cc85128fea8647f: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-4b5593b93718f41a.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-4b5593b93718f41a: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

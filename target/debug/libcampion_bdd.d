@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcampion_bdd.rlib: /root/repo/crates/bdd/src/cube.rs /root/repo/crates/bdd/src/lib.rs /root/repo/crates/bdd/src/manager.rs

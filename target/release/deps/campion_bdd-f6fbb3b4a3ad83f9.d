@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/campion_bdd-f6fbb3b4a3ad83f9.d: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs
+
+/root/repo/target/release/deps/campion_bdd-f6fbb3b4a3ad83f9: crates/bdd/src/lib.rs crates/bdd/src/cube.rs crates/bdd/src/manager.rs crates/bdd/src/tests.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/tests.rs:

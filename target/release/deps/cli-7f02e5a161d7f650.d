@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-7f02e5a161d7f650.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-7f02e5a161d7f650: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_campion=/root/repo/target/release/campion

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-f9f6043afe976bbd.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-f9f6043afe976bbd: tests/determinism.rs
+
+tests/determinism.rs:

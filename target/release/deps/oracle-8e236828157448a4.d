@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle-8e236828157448a4.d: crates/bdd/tests/oracle.rs
+
+/root/repo/target/release/deps/oracle-8e236828157448a4: crates/bdd/tests/oracle.rs
+
+crates/bdd/tests/oracle.rs:

@@ -117,3 +117,86 @@ fn usage_without_args() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn stats_flag_renders_gc_counters() {
+    let args = [
+        "compare",
+        "--stats",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ];
+    let out = campion(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=== BDD engine statistics ==="), "{stdout}");
+    for label in [
+        "live nodes",
+        "peak live nodes",
+        "post-GC live nodes",
+        "GC collections",
+        "GC nodes freed",
+        "cache resizes",
+        "apply hit rate",
+    ] {
+        assert!(stdout.contains(label), "missing `{label}` in:\n{stdout}");
+    }
+    // Without the flag, no statistics block — and the report proper is
+    // byte-identical: --stats only appends.
+    let out_plain = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    let plain = String::from_utf8_lossy(&out_plain.stdout).into_owned();
+    assert!(!plain.contains("BDD engine statistics"));
+    assert!(
+        stdout.starts_with(&plain),
+        "--stats altered the report body"
+    );
+}
+
+#[test]
+fn gc_flag_modes_accepted_and_equal() {
+    let mut reports = Vec::new();
+    for mode in ["off", "auto", "aggressive"] {
+        let out = campion(&[
+            "compare",
+            "--gc",
+            mode,
+            "testdata/figure1_cisco.cfg",
+            "testdata/figure1_juniper.cfg",
+        ]);
+        assert_eq!(out.status.code(), Some(1), "gc mode {mode}");
+        reports.push(out.stdout);
+    }
+    assert_eq!(reports[0], reports[1], "off vs auto reports differ");
+    assert_eq!(reports[1], reports[2], "auto vs aggressive reports differ");
+    let out = campion(&["compare", "--gc", "sometimes", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn aggressive_gc_env_override_is_byte_identical() {
+    // CAMPION_GC_AGGRESSIVE=1 forces a collection at every safe point no
+    // matter what the options say — the differential hook CI uses. The
+    // subprocess isolates the env var from other tests.
+    let args = [
+        "compare",
+        "--gc",
+        "off",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ];
+    let plain = campion(&args);
+    let forced = Command::new(env!("CARGO_BIN_EXE_campion"))
+        .args(args)
+        .env("CAMPION_GC_AGGRESSIVE", "1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(plain.status.code(), forced.status.code());
+    assert_eq!(
+        plain.stdout, forced.stdout,
+        "env-forced aggressive GC changed the report"
+    );
+}

@@ -5,7 +5,7 @@
 //! enough distinct work items that the jobs=8 run genuinely interleaves.
 
 use campion::cfg::parse_config;
-use campion::core::{compare_routers, CampionOptions};
+use campion::core::{compare_routers, CampionOptions, GcMode};
 use campion::gen::{scenario1, scenario2, scenario3};
 use campion::ir::{lower, RouterIr};
 
@@ -20,15 +20,25 @@ fn opts_with_jobs(jobs: usize) -> CampionOptions {
     }
 }
 
-/// Render every scenario pair under the given worker count, concatenated.
-fn render_all(pairs: &[campion::gen::ScenarioPair], jobs: usize) -> String {
-    let opts = opts_with_jobs(jobs);
+/// Render every scenario pair under the given worker count and GC mode,
+/// concatenated.
+fn render_all_gc(pairs: &[campion::gen::ScenarioPair], jobs: usize, gc: GcMode) -> String {
+    let opts = CampionOptions {
+        jobs,
+        gc,
+        ..CampionOptions::default()
+    };
     let mut out = String::new();
     for p in pairs {
         let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &opts);
         out.push_str(&format!("### {}\n{report}\n", p.name));
     }
     out
+}
+
+/// Render every scenario pair under the given worker count, concatenated.
+fn render_all(pairs: &[campion::gen::ScenarioPair], jobs: usize) -> String {
+    render_all_gc(pairs, jobs, GcMode::default())
 }
 
 #[test]
@@ -58,6 +68,27 @@ fn auto_jobs_matches_sequential() {
     // identically — this is the default every CLI run takes.
     let pairs = scenario3(3, 40, 44);
     assert_eq!(render_all(&pairs, 1), render_all(&pairs, 0));
+}
+
+#[test]
+fn reports_identical_across_gc_modes_and_worker_counts() {
+    // Garbage collection must be semantically invisible: for every GC mode
+    // (including collecting at *every* safe point) and any worker count,
+    // the rendered report is byte-identical. This is the golden-report
+    // regression for the reachable-mark collector — a GC bug that frees a
+    // live node or breaks canonicity shows up here as a diverging report.
+    let pairs = scenario2(4, 17);
+    let baseline = render_all_gc(&pairs, 1, GcMode::Off);
+    for gc in [GcMode::Off, GcMode::Auto, GcMode::Aggressive] {
+        for jobs in [1, 8] {
+            assert_eq!(
+                baseline,
+                render_all_gc(&pairs, jobs, gc),
+                "report diverged under gc={gc:?} jobs={jobs}"
+            );
+        }
+    }
+    assert!(!baseline.is_empty());
 }
 
 #[test]

@@ -10,8 +10,16 @@ pub struct Config {
 }
 
 impl Default for Config {
+    /// 64 cases, overridable at runtime through the `PROPTEST_CASES`
+    /// environment variable (matching upstream proptest's knob so CI can
+    /// crank property suites without recompiling).
     fn default() -> Self {
-        Config { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        Config { cases }
     }
 }
 
