@@ -465,12 +465,30 @@ pub struct ManagerStats {
     pub ite_lookups: u64,
     /// If-then-else-cache hits.
     pub ite_hits: u64,
+    /// Canonical rule-BDD cache lookups (the symbolic layer's per-space
+    /// memo for ACL rule conditions / prefix-matcher folds; filled in by
+    /// the driver, zero when read straight off a [`Manager`]).
+    pub rule_cache_lookups: u64,
+    /// Canonical rule-BDD cache hits.
+    pub rule_cache_hits: u64,
+    /// Semantic-diff path pairs actually visited (driver-filled; see
+    /// `campion-core`'s `DiffPruneStats`).
+    pub pairs_examined: u64,
+    /// Semantic-diff path pairs skipped by disagreement-set pruning.
+    pub pairs_pruned: u64,
+    /// Semantic-diff inner loops cut short by the remainder early exit.
+    pub early_exits: u64,
 }
 
 impl ManagerStats {
     /// Apply-cache hit rate in `[0, 1]` (0 when no lookups).
     pub fn apply_hit_rate(&self) -> f64 {
         rate(self.apply_hits, self.apply_lookups)
+    }
+
+    /// Rule-BDD cache hit rate in `[0, 1]` (0 when no lookups).
+    pub fn rule_cache_hit_rate(&self) -> f64 {
+        rate(self.rule_cache_hits, self.rule_cache_lookups)
     }
 
     /// Unique-table hit rate in `[0, 1]` (share of `mk` calls answered by
@@ -508,6 +526,11 @@ impl ManagerStats {
         self.not_hits += other.not_hits;
         self.ite_lookups += other.ite_lookups;
         self.ite_hits += other.ite_hits;
+        self.rule_cache_lookups += other.rule_cache_lookups;
+        self.rule_cache_hits += other.rule_cache_hits;
+        self.pairs_examined += other.pairs_examined;
+        self.pairs_pruned += other.pairs_pruned;
+        self.early_exits += other.early_exits;
     }
 }
 
@@ -631,6 +654,13 @@ impl Manager {
             not_hits: self.not_cache.hits,
             ite_lookups: self.ite_cache.lookups,
             ite_hits: self.ite_cache.hits,
+            // Filled in by the driver layer; the manager itself has no view
+            // of the symbolic rule caches or the diff pruning counters.
+            rule_cache_lookups: 0,
+            rule_cache_hits: 0,
+            pairs_examined: 0,
+            pairs_pruned: 0,
+            early_exits: 0,
         }
     }
 

@@ -18,7 +18,10 @@ use campion_symbolic::{PacketSpace, RouteSpace};
 use crate::headerloc::{self, DstAddrSpace, SrcAddrSpace};
 use crate::matching::{match_policies, PolicyPair};
 use crate::report::{CampionReport, PolicyDiffReport, StructuralFinding};
-use crate::semantic::{acl_paths, policy_paths, release_paths, semantic_diff, SemanticDifference};
+use crate::semantic::{
+    acl_diff_paths, policy_paths, release_paths, semantic_diff_stats, DiffPruneStats,
+    SemanticDifference,
+};
 use crate::structural;
 
 /// Garbage-collection mode for the per-pair BDD managers. The rendered
@@ -90,15 +93,18 @@ impl Default for CampionOptions {
 }
 
 impl CampionOptions {
-    /// The effective worker count: `jobs`, or the machine's available
-    /// parallelism when `jobs == 0`.
+    /// The effective worker count: `jobs` clamped to the machine's
+    /// available parallelism (more workers than hardware threads only adds
+    /// scheduling overhead), or that parallelism itself when `jobs == 0`.
     pub fn effective_jobs(&self) -> usize {
-        if self.jobs != 0 {
-            return self.jobs;
-        }
-        std::thread::available_parallelism()
+        let hw = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+            .unwrap_or(1);
+        if self.jobs != 0 {
+            self.jobs.min(hw)
+        } else {
+            hw
+        }
     }
 
     /// The effective GC mode: `CAMPION_GC_AGGRESSIVE=1` in the environment
@@ -301,7 +307,8 @@ fn diff_policy_pair(
     space.manager.protect(universe);
     let paths1 = policy_paths(&mut space, &p1, universe);
     let paths2 = policy_paths(&mut space, &p2, universe);
-    let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+    let mut prune = DiffPruneStats::default();
+    let diffs = semantic_diff_stats(&mut space.manager, &paths1, &paths2, &mut prune);
     // The diffs' inputs are rooted by semantic_diff; the paths themselves
     // are now garbage.
     release_paths(&mut space.manager, &paths1);
@@ -349,7 +356,13 @@ fn diff_policy_pair(
     }
     dag.release(&mut space.manager);
     space.manager.unprotect(universe);
-    let stats = space.manager.stats();
+    let mut stats = space.manager.stats();
+    let (lookups, hits) = space.rule_cache_stats();
+    stats.rule_cache_lookups = lookups;
+    stats.rule_cache_hits = hits;
+    stats.pairs_examined = prune.pairs_examined;
+    stats.pairs_pruned = prune.pairs_pruned;
+    stats.early_exits = prune.early_exits;
     (out, stats)
 }
 
@@ -405,10 +418,12 @@ fn diff_acl_pair(
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let mut space = PacketSpace::new();
     space.manager.set_gc_policy(opts.effective_gc().policy());
-    let universe = space.universe();
-    let paths1 = acl_paths(&mut space, a1, universe);
-    let paths2 = acl_paths(&mut space, a2, universe);
-    let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+    // Pair-aware enumeration: both sides' classes restricted to the
+    // disagreement set, so the chain never materializes predicates the
+    // diff would prune anyway (the 10k-rule hot path).
+    let (paths1, paths2) = acl_diff_paths(&mut space, a1, a2);
+    let mut prune = DiffPruneStats::default();
+    let diffs = semantic_diff_stats(&mut space.manager, &paths1, &paths2, &mut prune);
     release_paths(&mut space.manager, &paths1);
     release_paths(&mut space.manager, &paths2);
     space.manager.gc_checkpoint();
@@ -504,6 +519,12 @@ fn diff_acl_pair(
     }
     dst_dag.release(&mut space.manager);
     src_dag.release(&mut space.manager);
-    let stats = space.manager.stats();
+    let mut stats = space.manager.stats();
+    let (lookups, hits) = space.rule_cache_stats();
+    stats.rule_cache_lookups = lookups;
+    stats.rule_cache_hits = hits;
+    stats.pairs_examined = prune.pairs_examined;
+    stats.pairs_pruned = prune.pairs_pruned;
+    stats.early_exits = prune.early_exits;
     (out, stats)
 }

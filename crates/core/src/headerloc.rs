@@ -162,11 +162,70 @@ impl RangeDag {
 
 type Ddnf = RangeDag;
 
+/// Candidate-pair index for the closure and containment scans.
+///
+/// Two prefix ranges can intersect only when one's prefix is a truncation
+/// of the other's (`PrefixRange::intersect` demands the shorter prefix's
+/// bits match the longer's), so node `i`'s possible partners all carry
+/// either a truncation of `ranges[i].prefix` — found by exact lookup at
+/// each length — or an extension of it — found by scanning `i`'s address
+/// block in a map ordered by `(bits, len)`. The result is a superset of
+/// the true partner set (the caller still runs `intersect`), returned in
+/// ascending node order so scan order matches the plain nested loops
+/// exactly (node order flows into report rendering order).
+struct RangeIndex {
+    by_prefix: std::collections::BTreeMap<(u32, u8), Vec<usize>>,
+}
+
+impl RangeIndex {
+    fn new() -> Self {
+        RangeIndex {
+            by_prefix: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, id: usize, r: &PrefixRange) {
+        self.by_prefix
+            .entry((r.prefix.bits(), r.prefix.len()))
+            .or_default()
+            .push(id);
+    }
+
+    fn candidates(&self, r: &PrefixRange) -> Vec<usize> {
+        let p = &r.prefix;
+        let mut out = Vec::new();
+        // Strict truncations of p (p itself falls inside the block scan).
+        for len in 0..p.len() {
+            let bits = if len == 0 {
+                0
+            } else {
+                p.bits() & (u32::MAX << (32 - u32::from(len)))
+            };
+            if let Some(v) = self.by_prefix.get(&(bits, len)) {
+                out.extend_from_slice(v);
+            }
+        }
+        // Everything whose bits lie inside p's address block: all
+        // extensions of p (plus p itself, plus a few same-block keys the
+        // intersect re-check weeds out).
+        let block_end = p.bits() | (((1u64 << (32 - u64::from(p.len()))) - 1) as u32);
+        for (_, v) in self
+            .by_prefix
+            .range((p.bits(), p.len())..=(block_end, 32u8))
+        {
+            out.extend_from_slice(v);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 /// Close a range set under intersection and deduplicate by denoted set.
 fn closed_ranges<E: RangeEncoder>(
     space: &mut E,
     ranges: &[PrefixRange],
-) -> (Vec<PrefixRange>, Vec<Bdd>) {
+) -> (Vec<PrefixRange>, Vec<Bdd>, RangeIndex) {
     let mut out: Vec<PrefixRange> = Vec::new();
     let mut bdds: Vec<Bdd> = Vec::new();
     let mut seen: std::collections::HashSet<Bdd> = std::collections::HashSet::new();
@@ -188,36 +247,47 @@ fn closed_ranges<E: RangeEncoder>(
     for r in ranges {
         push(space, &mut out, &mut bdds, *r);
     }
-    // Fixpoint closure under pairwise intersection. Range intersection is
-    // again a range, so this terminates with at most O(n²) additions in
-    // practice (ranges from one config pair overlap little).
+    let mut index = RangeIndex::new();
+    for (id, r) in out.iter().enumerate() {
+        index.insert(id, r);
+    }
+    // Fixpoint closure under pairwise intersection, with the prefix index
+    // supplying each node's possible partners instead of an all-pairs scan.
+    // Range intersection is again a range, so this terminates; candidates
+    // come back in ascending order, so pushes happen in the same order the
+    // plain `for j < i` loop produced.
     let mut i = 0;
     while i < out.len() {
-        let mut j = 0;
-        while j < i {
-            if let Some(x) = out[i].intersect(&out[j]) {
-                push(space, &mut out, &mut bdds, x);
+        for j in index.candidates(&out[i]) {
+            if j >= i {
+                break;
             }
-            j += 1;
+            if let Some(x) = out[i].intersect(&out[j]) {
+                let before = out.len();
+                push(space, &mut out, &mut bdds, x);
+                if out.len() > before {
+                    index.insert(before, &out[before]);
+                }
+            }
         }
         i += 1;
     }
-    (out, bdds)
+    (out, bdds, index)
 }
 
 /// Build the ddNF DAG from the closed range set.
 fn build_ddnf<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> Ddnf {
-    let (ranges, bdds) = closed_ranges(space, ranges);
+    let (ranges, bdds, index) = closed_ranges(space, ranges);
     let n = ranges.len();
     // containers[c] = nodes whose set strictly contains node c's set,
     // decided on the BDDs (structurally different but equal ranges were
-    // already merged, so strictness is just inequality). The structural
-    // intersect is a cheap sound prefilter: disjoint ranges cannot be
+    // already merged, so strictness is just inequality). The prefix index
+    // is a cheap sound prefilter: only prefix-nesting ranges can be
     // related, which makes this near-linear for the sparse range sets real
     // configurations produce.
     let mut containers: Vec<Vec<usize>> = vec![Vec::new(); n];
     for c in 0..n {
-        for m in 0..n {
+        for m in index.candidates(&ranges[c]) {
             if c == m || ranges[c].intersect(&ranges[m]).is_none() {
                 continue;
             }

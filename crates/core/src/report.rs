@@ -132,6 +132,19 @@ impl CampionReport {
             "ite lookups/hits",
             format!("{}/{}", s.ite_lookups, s.ite_hits),
         );
+        row(
+            "rule-cache hit rate",
+            format!(
+                "{:.4} ({} lookups)",
+                s.rule_cache_hit_rate(),
+                s.rule_cache_lookups
+            ),
+        );
+        row(
+            "diff pairs examined",
+            format!("{} ({} pruned)", s.pairs_examined, s.pairs_pruned),
+        );
+        row("diff early exits", s.early_exits.to_string());
         out
     }
 }

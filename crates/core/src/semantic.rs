@@ -240,6 +240,195 @@ pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<Pol
     out
 }
 
+/// Difference-restricted path enumeration for an ACL *pair* — the fast
+/// path behind [`crate::driver::compare_routers`]'s ACL diffs.
+///
+/// [`acl_paths`] materializes every class predicate against the full
+/// universe, so its `remaining`-chain applys run on BDDs that grow with the
+/// ACL — the dominant cost at 10k rules, even though the diff only ever
+/// consumes the sliver of each class where the two sides disagree. Real
+/// comparison targets are near-identical, so this variant first *aligns*
+/// the two rule lists on content (condition BDD handle + action): a rule
+/// pair common to an order-preserving alignment decides every packet it
+/// first-matches identically on both sides, so disagreements live entirely
+/// inside `R` = the union of the *unaligned* rules' conditions — a small
+/// set when the configs are close. Both sides' classes are then enumerated
+/// restricted to `R`, keeping every chain op small.
+///
+/// Every difference reported by [`semantic_diff`] satisfies
+/// `input = p₁ ∧ p₂ ⊆ R`, and restricting both sides' predicates to `R`
+/// leaves each such intersection — and by hash-consing its handle —
+/// unchanged, so feeding these paths to [`semantic_diff`] yields
+/// byte-identical differences to the full enumeration. Classes with an
+/// empty restriction are exactly the ones the pruned diff would skip. When
+/// the alignment finds little in common, `R` falls back to the universe
+/// and this degrades to plain [`acl_paths`] (minus shadowed duplicates).
+///
+/// Returned predicates are protected, like [`acl_paths`]'s; release with
+/// [`release_paths`].
+pub fn acl_diff_paths(
+    space: &mut PacketSpace,
+    a1: &AclIr,
+    a2: &AclIr,
+) -> (Vec<PolicyPath>, Vec<PolicyPath>) {
+    let conds1 = rule_contents(space, a1);
+    let conds2 = rule_contents(space, a2);
+    let restrict = match unaligned_union(space, &conds1, &conds2) {
+        Some(r) => r,
+        None => space.universe(),
+    };
+    space.manager.protect(restrict);
+    let paths1 = acl_paths_within(space, a1, restrict);
+    let paths2 = acl_paths_within(space, a2, restrict);
+    space.manager.unprotect(restrict);
+    space.manager.gc_checkpoint();
+    (paths1, paths2)
+}
+
+/// Content identity of each rule: `(condition handle, action)`. Handles are
+/// canonical, so equal pairs ⇔ behaviorally identical rules. The handles
+/// are rooted by the space's rule cache; no extra protection needed.
+fn rule_contents(space: &mut PacketSpace, acl: &AclIr) -> Vec<(Bdd, bool)> {
+    acl.rules
+        .iter()
+        .map(|r| (space.rule_bdd(r), r.permit))
+        .collect()
+}
+
+/// The union of the conditions of rules *not* covered by an
+/// order-preserving alignment of the two content sequences, or `None` when
+/// the lists share too little for the restriction to pay for itself.
+/// Alignment: common prefix + common suffix, then a positional pass over
+/// equal-length middles (the in-place-edit shape) or an LCS when the
+/// middles are small; anything else counts as unaligned. No safe points.
+fn unaligned_union(space: &mut PacketSpace, c1: &[(Bdd, bool)], c2: &[(Bdd, bool)]) -> Option<Bdd> {
+    let mut common1 = vec![false; c1.len()];
+    let mut common2 = vec![false; c2.len()];
+    let mut p = 0;
+    while p < c1.len() && p < c2.len() && c1[p] == c2[p] {
+        common1[p] = true;
+        common2[p] = true;
+        p += 1;
+    }
+    let mut s = 0;
+    while s < c1.len() - p && s < c2.len() - p && c1[c1.len() - 1 - s] == c2[c2.len() - 1 - s] {
+        common1[c1.len() - 1 - s] = true;
+        common2[c2.len() - 1 - s] = true;
+        s += 1;
+    }
+    let (m1, m2) = (p..c1.len() - s, p..c2.len() - s);
+    if m1.len() == m2.len() {
+        for (i, j) in m1.clone().zip(m2.clone()) {
+            if c1[i] == c2[j] {
+                common1[i] = true;
+                common2[j] = true;
+            }
+        }
+    } else if m1.len() * m2.len() <= 1 << 20 {
+        for (i, j) in lcs_pairs(&c1[m1.clone()], &c2[m2.clone()]) {
+            common1[p + i] = true;
+            common2[p + j] = true;
+        }
+    }
+    // Distinct conditions of unaligned rules on either side.
+    let mut seen = std::collections::HashSet::new();
+    let mut uncommon = Vec::new();
+    for (contents, common) in [(c1, &common1), (c2, &common2)] {
+        for (&(cond, _), &is_common) in contents.iter().zip(common.iter()) {
+            if !is_common && seen.insert(cond) {
+                uncommon.push(cond);
+            }
+        }
+    }
+    // A wide restriction set costs more to build and subtract against than
+    // it saves; past a quarter of the rules, enumerate the full universe.
+    if uncommon.len() * 4 > c1.len() + c2.len() {
+        return None;
+    }
+    Some(space.manager.or_all(&uncommon))
+}
+
+/// Index pairs of one longest common subsequence (classic quadratic DP;
+/// callers bound the input product).
+fn lcs_pairs(a: &[(Bdd, bool)], b: &[(Bdd, bool)]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[at(i, j)] = if a[i] == b[j] {
+                dp[at(i + 1, j + 1)] + 1
+            } else {
+                dp[at(i + 1, j)].max(dp[at(i, j + 1)])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[at(i + 1, j)] >= dp[at(i, j + 1)] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// [`acl_paths`] with the chain restricted to `within`: class predicates
+/// come out as `predicate ∧ within`, and enumeration stops once the
+/// restriction set is exhausted (every later class would restrict to ∅).
+fn acl_paths_within(space: &mut PacketSpace, acl: &AclIr, within: Bdd) -> Vec<PolicyPath> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut remaining = within;
+    space.manager.protect(remaining);
+    for rule in &acl.rules {
+        if !space.manager.is_sat(remaining) {
+            break;
+        }
+        let cond = space.rule_bdd(rule);
+        if !seen.insert(cond) {
+            // Duplicate condition: shadowed, fires on nothing.
+            continue;
+        }
+        let fire = space.manager.and(remaining, cond);
+        let next = space.manager.diff(remaining, cond);
+        space.manager.protect(next);
+        space.manager.unprotect(remaining);
+        remaining = next;
+        if space.manager.is_sat(fire) {
+            space.manager.protect(fire);
+            out.push(PolicyPath {
+                predicate: fire,
+                effect: ActionEffect::terminal(rule.permit),
+                labels: vec![rule.label.clone()],
+                spans: vec![rule.span],
+                is_default: false,
+                non_prefix_match: true,
+            });
+        }
+        space.manager.gc_checkpoint();
+    }
+    if space.manager.is_sat(remaining) {
+        out.push(PolicyPath {
+            predicate: remaining,
+            effect: ActionEffect::terminal(false),
+            labels: Vec::new(),
+            spans: Vec::new(),
+            is_default: true,
+            non_prefix_match: true,
+        });
+    } else {
+        space.manager.unprotect(remaining);
+    }
+    out
+}
+
 /// One behavioral difference between two components: the paper's quintuple
 /// `(i, a₁, a₂, t₁, t₂)`.
 #[derive(Debug, Clone)]
@@ -266,9 +455,153 @@ pub struct SemanticDifference {
     pub non_prefix_match: bool,
 }
 
-/// Pairwise comparison of two components' path classes. `manager_and` is
-/// abstracted so route maps and ACLs share the code.
+/// Counters describing how much of the path-pair cross product the pruned
+/// [`semantic_diff`] actually had to look at. Merged into
+/// [`campion_bdd::ManagerStats`] by the driver so `--stats` and the
+/// scalability bench can report them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffPruneStats {
+    /// Inner-loop `(p1, p2)` visits actually performed.
+    pub pairs_examined: u64,
+    /// Pairs skipped without a visit (`|paths1|·|paths2|` minus examined):
+    /// whole rows cut by the disagreement pre-filter plus inner-loop tails
+    /// cut by the remainder early exit.
+    pub pairs_pruned: u64,
+    /// Inner loops that exited before exhausting `paths2` because the
+    /// remainder set emptied.
+    pub early_exits: u64,
+}
+
+/// Pairwise comparison of two components' path classes, output-sensitive.
+///
+/// Both inputs must be *partitions* of a common universe — exactly what
+/// [`policy_paths`] and [`acl_paths`] produce (disjoint classes covering
+/// every input). The naive comparison intersects all `|paths1|·|paths2|`
+/// pairs; this implementation only pays for pairs that can actually
+/// disagree, in three steps (the *selective symbolic simulation* idea —
+/// restrict exploration to inputs where behavior can differ):
+///
+/// 1. **Disagreement pre-filter.** One linear pass builds, per distinct
+///    side-2 [`ActionEffect`], the union of its class predicates; the
+///    disagreement set `D = ⋃ p1 ∧ ¬union2[p1.effect]` then contains
+///    exactly the inputs the two sides treat differently (for a two-effect
+///    ACL this degenerates to `permit₁ XOR permit₂`). A row whose
+///    `p1.predicate ∧ D` is empty is skipped with that single `and`.
+/// 2. **Partition-aware early exit.** A surviving row tracks its remainder
+///    `rem = p1.predicate ∧ D` and subtracts each intersecting `p2`; since
+///    side-2 classes are disjoint, `rem` empties as soon as every
+///    overlapping class has been seen and the inner loop breaks — its cost
+///    is the number of *overlapping* classes, not `|paths2|`.
+/// 3. Equal-effect pairs need no subtraction at all: their intersection is
+///    disjoint from `D` by construction.
+///
+/// Every emitted intersection equals `p1.predicate ∧ p2.predicate` as a
+/// function, so hash-consing makes the result — quintuples, order, and BDD
+/// handles — identical to the all-pairs loop (kept as a `#[cfg(test)]`
+/// reference oracle below).
 pub fn semantic_diff(
+    manager: &mut Manager,
+    paths1: &[PolicyPath],
+    paths2: &[PolicyPath],
+) -> Vec<SemanticDifference> {
+    let mut stats = DiffPruneStats::default();
+    semantic_diff_stats(manager, paths1, paths2, &mut stats)
+}
+
+/// [`semantic_diff`] with pruning counters reported through `stats`
+/// (counters accumulate, so one instance can span several components).
+pub fn semantic_diff_stats(
+    manager: &mut Manager,
+    paths1: &[PolicyPath],
+    paths2: &[PolicyPath],
+    stats: &mut DiffPruneStats,
+) -> Vec<SemanticDifference> {
+    let total_pairs = paths1.len() as u64 * paths2.len() as u64;
+    let examined_before = stats.pairs_examined;
+
+    // Step 1a: per-effect predicate unions of side 2, in first-seen order.
+    // The number of distinct effects is tiny (2 for ACLs), so a linear
+    // scan beats imposing Hash/Ord on ActionEffect.
+    let mut groups: Vec<(&ActionEffect, Vec<Bdd>)> = Vec::new();
+    for p2 in paths2 {
+        match groups.iter_mut().find(|(e, _)| **e == p2.effect) {
+            Some((_, preds)) => preds.push(p2.predicate),
+            None => groups.push((&p2.effect, vec![p2.predicate])),
+        }
+    }
+    let unions: Vec<(&ActionEffect, Bdd)> = groups
+        .iter()
+        .map(|(e, preds)| (*e, manager.or_all(preds)))
+        .collect();
+
+    // Step 1b: the disagreement set D. Built whole before any checkpoint,
+    // so the unions and row terms need no roots of their own.
+    let mut terms = Vec::with_capacity(paths1.len());
+    for p1 in paths1 {
+        let same = unions
+            .iter()
+            .find(|(e, _)| **e == p1.effect)
+            .map_or(Bdd::FALSE, |(_, u)| *u);
+        terms.push(manager.diff(p1.predicate, same));
+    }
+    let disagree = manager.or_all(&terms);
+    // D is consulted across every row checkpoint below — root it. The
+    // construction garbage (unions, row terms) may go right away.
+    manager.protect(disagree);
+    manager.gc_checkpoint();
+
+    let mut out = Vec::new();
+    for p1 in paths1 {
+        // Step 2: the row remainder. Empty ⇒ no p2 can disagree with p1.
+        let mut rem = manager.and(p1.predicate, disagree);
+        if manager.is_sat(rem) {
+            for p2 in paths2 {
+                stats.pairs_examined += 1;
+                if p1.effect == p2.effect {
+                    // rem ∧ p2 = ∅: equal-effect intersections never meet D.
+                    continue;
+                }
+                // rem ⊆ p1 minus already-subtracted (disjoint) classes, and
+                // differing-effect intersections lie inside D, so this is
+                // exactly p1.predicate ∧ p2.predicate.
+                let inter = manager.and(rem, p2.predicate);
+                if manager.is_sat(inter) {
+                    // Returned inputs are rooted; the driver releases each
+                    // one after presenting it.
+                    manager.protect(inter);
+                    out.push(SemanticDifference {
+                        input: inter,
+                        effect1: p1.effect.clone(),
+                        effect2: p2.effect.clone(),
+                        labels1: p1.labels.clone(),
+                        labels2: p2.labels.clone(),
+                        spans1: p1.spans.clone(),
+                        spans2: p2.spans.clone(),
+                        default1: p1.is_default,
+                        default2: p2.is_default,
+                        non_prefix_match: p1.non_prefix_match || p2.non_prefix_match,
+                    });
+                    rem = manager.diff(rem, inter);
+                    if manager.is_false(rem) {
+                        stats.early_exits += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        manager.gc_checkpoint();
+    }
+    manager.unprotect(disagree);
+    stats.pairs_pruned += total_pairs - (stats.pairs_examined - examined_before);
+    out
+}
+
+/// The original all-pairs comparison, retained verbatim as the reference
+/// oracle for the pruned [`semantic_diff`]: proptests assert the two return
+/// identical difference lists (same handles, labels, spans, effects) for
+/// random policy/ACL pairs under every GC mode.
+#[cfg(test)]
+pub(crate) fn semantic_diff_all_pairs(
     manager: &mut Manager,
     paths1: &[PolicyPath],
     paths2: &[PolicyPath],
@@ -281,8 +614,6 @@ pub fn semantic_diff(
             }
             let inter = manager.and(p1.predicate, p2.predicate);
             if manager.is_sat(inter) {
-                // Returned inputs are rooted; the driver releases each one
-                // after presenting it.
                 manager.protect(inter);
                 out.push(SemanticDifference {
                     input: inter,

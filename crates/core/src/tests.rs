@@ -705,3 +705,235 @@ fn missing_policy_compares_as_permit_all() {
     let r2 = compare_routers(&a, &restrictive, &CampionOptions::default());
     assert_eq!(r2.route_map_diffs.len(), 1, "{r2}");
 }
+
+// ------------------------------------------------------- pruning oracle
+
+/// Differential oracle for the disagreement-set-pruned [`semantic_diff`]:
+/// the quadratic all-pairs loop is kept verbatim (test-only) and random
+/// near-identical component pairs are pushed through both, under every GC
+/// mode. Both run in the *same* manager, so hash-consing makes BDD handle
+/// equality function equality — the strongest possible "same predicate"
+/// check — and the remaining fields are compared structurally.
+mod prune_oracle {
+    use super::*;
+    use crate::driver::GcMode;
+    use crate::semantic::{semantic_diff_all_pairs, SemanticDifference};
+    use campion_cfg::Span;
+    use campion_ir::{
+        AclIr, AclRuleIr, Clause, Match, PrefixMatcher, PrefixMatcherEntry, RoutePolicy, SetAction,
+        Terminal,
+    };
+    use campion_net::{Community, IpProtocol, PortRange, Prefix, WildcardMask};
+    use campion_symbolic::PacketSpace;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    /// Seed for one ACL rule: addresses, (dst-port base, protocol selector,
+    /// permit), and the side-2 mutation selector.
+    type RuleSeed = (u32, u8, u32, u8, (u16, u8, bool), u8);
+
+    fn mk_rule(i: usize, s: &RuleSeed, flip: bool, widen: bool) -> AclRuleIr {
+        let (src_bits, src_len, dst_bits, dst_len, (port_lo, proto_sel, permit), _) = *s;
+        let dst_len = if widen {
+            dst_len.saturating_sub(4)
+        } else {
+            dst_len
+        };
+        let src = WildcardMask::from_prefix(&Prefix::new(Ipv4Addr::from(src_bits), src_len));
+        let dst = WildcardMask::from_prefix(&Prefix::new(Ipv4Addr::from(dst_bits), dst_len));
+        let protocols = match proto_sel {
+            0 => Vec::new(),
+            1 => vec![IpProtocol::Tcp],
+            2 => vec![IpProtocol::Udp],
+            _ => vec![IpProtocol::Tcp, IpProtocol::Udp],
+        };
+        let dst_ports = if proto_sel > 0 {
+            vec![PortRange::new(port_lo, port_lo.saturating_add(100))]
+        } else {
+            Vec::new()
+        };
+        AclRuleIr {
+            label: format!("seq {}", 10 * (i + 1)),
+            permit: permit ^ flip,
+            protocols,
+            src: vec![src],
+            dst: vec![dst],
+            src_ports: Vec::new(),
+            dst_ports,
+            span: Span::default(),
+        }
+    }
+
+    /// Build a near-identical ACL pair: side 2 is side 1 with per-rule
+    /// mutations (most rules identical, a few flipped / dropped / widened —
+    /// the regime the pruning is designed for).
+    fn acl_pair(seeds: &[RuleSeed]) -> (AclIr, AclIr) {
+        let mut r1 = Vec::new();
+        let mut r2 = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            r1.push(mk_rule(i, s, false, false));
+            match s.5 {
+                5 => r2.push(mk_rule(i, s, true, false)),
+                6 => {}
+                7 => r2.push(mk_rule(i, s, false, true)),
+                _ => r2.push(mk_rule(i, s, false, false)),
+            }
+        }
+        let mk = |rules| AclIr {
+            name: "ORACLE".into(),
+            rules,
+            span: Span::default(),
+        };
+        (mk(r1), mk(r2))
+    }
+
+    /// Seed for one policy clause: prefix bits/len, set-action selector,
+    /// terminal selector, and the side-2 mutation selector.
+    type ClauseSeed = (u32, u8, u8, u8, u8);
+
+    fn mk_clause(i: usize, s: &ClauseSeed, flip_term: bool, alt_sets: bool) -> Clause {
+        let (bits, len, action_sel, term_sel, _) = *s;
+        let range = PrefixRange::new(Prefix::new(Ipv4Addr::from(bits), len), len, 32);
+        let matcher = PrefixMatcher {
+            entries: vec![PrefixMatcherEntry {
+                permit: true,
+                range,
+                span: Span::default(),
+            }],
+            name: String::new(),
+        };
+        let sets = match (action_sel % 4, alt_sets) {
+            (_, true) => vec![SetAction::LocalPref(300)],
+            (0, _) => Vec::new(),
+            (1, _) => vec![SetAction::LocalPref(200)],
+            (2, _) => vec![SetAction::Metric(50)],
+            _ => vec![SetAction::CommunityAdd(vec![Community::new(10, 10)])],
+        };
+        let accept = (term_sel % 2 == 0) ^ flip_term;
+        Clause {
+            label: format!("seq {}", 10 * (i + 1)),
+            matches: vec![Match::Prefix(vec![matcher])],
+            sets,
+            terminal: if accept {
+                Terminal::Accept
+            } else {
+                Terminal::Reject
+            },
+            span: Span::default(),
+        }
+    }
+
+    /// Near-identical policy pair, mutation scheme as for ACLs.
+    fn policy_pair(seeds: &[ClauseSeed], default_accept: bool) -> (RoutePolicy, RoutePolicy) {
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            c1.push(mk_clause(i, s, false, false));
+            match s.4 {
+                5 => c2.push(mk_clause(i, s, true, false)),
+                6 => {}
+                7 => c2.push(mk_clause(i, s, false, true)),
+                _ => c2.push(mk_clause(i, s, false, false)),
+            }
+        }
+        let mk = |clauses| RoutePolicy {
+            name: "ORACLE".into(),
+            clauses,
+            default_terminal: if default_accept {
+                Terminal::Accept
+            } else {
+                Terminal::Reject
+            },
+            span: Span::default(),
+        };
+        (mk(c1), mk(c2))
+    }
+
+    /// Field-by-field comparison of two difference lists (order included).
+    fn assert_same(
+        manager: &campion_bdd::Manager,
+        pruned: &[SemanticDifference],
+        reference: &[SemanticDifference],
+        gc: GcMode,
+    ) -> Result<(), proptest::prelude::TestCaseError> {
+        prop_assert_eq!(pruned.len(), reference.len(), "count, gc={:?}", gc);
+        for (a, b) in pruned.iter().zip(reference.iter()) {
+            prop_assert_eq!(a.input, b.input, "input handle, gc={:?}", gc);
+            prop_assert!(manager.equivalent(a.input, b.input));
+            prop_assert_eq!(&a.effect1, &b.effect1, "effect1, gc={:?}", gc);
+            prop_assert_eq!(&a.effect2, &b.effect2, "effect2, gc={:?}", gc);
+            prop_assert_eq!(&a.labels1, &b.labels1, "labels1, gc={:?}", gc);
+            prop_assert_eq!(&a.labels2, &b.labels2, "labels2, gc={:?}", gc);
+            prop_assert_eq!(&a.spans1, &b.spans1, "spans1, gc={:?}", gc);
+            prop_assert_eq!(&a.spans2, &b.spans2, "spans2, gc={:?}", gc);
+            prop_assert_eq!(a.default1, b.default1, "default1, gc={:?}", gc);
+            prop_assert_eq!(a.default2, b.default2, "default2, gc={:?}", gc);
+            prop_assert_eq!(
+                a.non_prefix_match,
+                b.non_prefix_match,
+                "non_prefix_match, gc={:?}",
+                gc
+            );
+        }
+        Ok(())
+    }
+
+    const GC_MODES: [GcMode; 3] = [GcMode::Off, GcMode::Auto, GcMode::Aggressive];
+
+    proptest! {
+        // The acceptance bar for this oracle is ≥256 cases per property;
+        // honor a larger PROPTEST_CASES from the environment.
+        #![proptest_config(ProptestConfig::with_cases(
+            ProptestConfig::default().cases.max(256)
+        ))]
+
+        /// ACL diff: pruned == all-pairs reference under every GC mode.
+        #[test]
+        fn acl_pruned_diff_matches_all_pairs(
+            seeds in proptest::collection::vec(
+                (any::<u32>(), 0u8..=32, any::<u32>(), 0u8..=32,
+                 (any::<u16>(), 0u8..=3, any::<bool>()), 0u8..=7),
+                1..10,
+            )
+        ) {
+            let (a1, a2) = acl_pair(&seeds);
+            for gc in GC_MODES {
+                let mut space = PacketSpace::new();
+                space.manager.set_gc_policy(gc.policy());
+                let u = space.universe();
+                let paths1 = acl_paths(&mut space, &a1, u);
+                let paths2 = acl_paths(&mut space, &a2, u);
+                let pruned = semantic_diff(&mut space.manager, &paths1, &paths2);
+                let reference =
+                    semantic_diff_all_pairs(&mut space.manager, &paths1, &paths2);
+                assert_same(&space.manager, &pruned, &reference, gc)?;
+            }
+        }
+
+        /// Route-policy diff: pruned == all-pairs reference under every GC
+        /// mode (exercises multi-effect grouping: accept verdicts carry
+        /// distinct rewrite sets).
+        #[test]
+        fn policy_pruned_diff_matches_all_pairs(
+            seeds in proptest::collection::vec(
+                (any::<u32>(), 0u8..=24, 0u8..=3, 0u8..=1, 0u8..=7),
+                1..8,
+            ),
+            default_accept in any::<bool>(),
+        ) {
+            let (p1, p2) = policy_pair(&seeds, default_accept);
+            for gc in GC_MODES {
+                let mut space = RouteSpace::for_policies(&[&p1, &p2]);
+                space.manager.set_gc_policy(gc.policy());
+                let u = space.universe();
+                space.manager.protect(u);
+                let paths1 = policy_paths(&mut space, &p1, u);
+                let paths2 = policy_paths(&mut space, &p2, u);
+                let pruned = semantic_diff(&mut space.manager, &paths1, &paths2);
+                let reference =
+                    semantic_diff_all_pairs(&mut space.manager, &paths1, &paths2);
+                assert_same(&space.manager, &pruned, &reference, gc)?;
+            }
+        }
+    }
+}

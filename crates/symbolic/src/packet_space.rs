@@ -1,13 +1,41 @@
 //! The symbolic packet space for ACL analysis: the classic 5-tuple.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
 use campion_bdd::{Assignment, Bdd, Manager};
 use campion_ir::AclRuleIr;
-use campion_net::{Flow, IpProtocol, PortRange, Prefix};
+use campion_net::{Flow, IpProtocol, PortRange, Prefix, WildcardMask};
 
 use crate::bits;
+
+/// Canonical identity of an ACL rule's *match condition* — every field that
+/// feeds [`PacketSpace::rule_bdd`], and nothing else (label, span and
+/// permit/deny don't shape the BDD). Near-identical configs repeat match
+/// conditions almost verbatim across the two sides of a pair, so keying the
+/// rule cache on this content hash makes the second side's encoding (and
+/// duplicated rules within one ACL) a lookup instead of a rebuild.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RuleKey {
+    protocols: Vec<IpProtocol>,
+    src: Vec<WildcardMask>,
+    dst: Vec<WildcardMask>,
+    src_ports: Vec<PortRange>,
+    dst_ports: Vec<PortRange>,
+}
+
+impl RuleKey {
+    fn of(rule: &AclRuleIr) -> Self {
+        RuleKey {
+            protocols: rule.protocols.clone(),
+            src: rule.src.clone(),
+            dst: rule.dst.clone(),
+            src_ports: rule.src_ports.clone(),
+            dst_ports: rule.dst_ports.clone(),
+        }
+    }
+}
 
 /// Variables of the destination address (first so destination-prefix
 /// localization mirrors the route space's layout).
@@ -28,6 +56,13 @@ pub const NUM_VARS: u32 = 104;
 pub struct PacketSpace {
     /// The BDD manager (exposed so callers can run set operations).
     pub manager: Manager,
+    /// Memoized rule-condition BDDs keyed by canonical match content.
+    /// Entries are GC-rooted at insert: the cache is consulted for the
+    /// space's whole lifetime, so they must survive any collection between
+    /// rules.
+    rule_cache: HashMap<RuleKey, Bdd>,
+    rule_cache_lookups: u64,
+    rule_cache_hits: u64,
 }
 
 impl Default for PacketSpace {
@@ -41,20 +76,42 @@ impl PacketSpace {
     pub fn new() -> Self {
         PacketSpace {
             manager: Manager::new(NUM_VARS),
+            rule_cache: HashMap::new(),
+            rule_cache_lookups: 0,
+            rule_cache_hits: 0,
         }
     }
 
     /// Every packet (the packet universe is unconstrained).
-    ///
-    /// Unlike [`crate::RouteSpace`], this space caches no non-terminal
-    /// BDDs of its own, so it needs no GC roots: a terminal handle is
-    /// always live under the manager's reachable-mark collector.
     pub fn universe(&self) -> Bdd {
         Bdd::TRUE
     }
 
-    /// Encode one ACL rule's match condition.
+    /// Rule-cache counters `(lookups, hits)` — one lookup per
+    /// [`PacketSpace::rule_bdd`] call. The driver folds these into the
+    /// report's [`campion_bdd::ManagerStats`].
+    pub fn rule_cache_stats(&self) -> (u64, u64) {
+        (self.rule_cache_lookups, self.rule_cache_hits)
+    }
+
+    /// Encode one ACL rule's match condition. Memoized on the rule's
+    /// canonical match content, so both ACLs of a pair (which share this
+    /// space and typically share almost all rules) encode each distinct
+    /// condition once.
     pub fn rule_bdd(&mut self, rule: &AclRuleIr) -> Bdd {
+        let key = RuleKey::of(rule);
+        self.rule_cache_lookups += 1;
+        if let Some(&b) = self.rule_cache.get(&key) {
+            self.rule_cache_hits += 1;
+            return b;
+        }
+        let b = self.rule_bdd_uncached(rule);
+        self.manager.protect(b);
+        self.rule_cache.insert(key, b);
+        b
+    }
+
+    fn rule_bdd_uncached(&mut self, rule: &AclRuleIr) -> Bdd {
         let mut acc = Bdd::TRUE;
 
         // Protocol alternatives.

@@ -1,7 +1,7 @@
 //! The symbolic route-advertisement space and the transfer machinery for
 //! route policies.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use campion_bdd::{Assignment, Bdd, Manager};
@@ -78,6 +78,16 @@ pub struct RouteSpace {
     num_vars: u32,
     /// Cached canonical-prefix constraint (see [`RouteSpace::canonical`]).
     canonical: Option<Bdd>,
+    /// Memoized first-match folds of prefix matchers, keyed by canonical
+    /// content (entries only — name and spans don't shape the BDD). Both
+    /// policies of a pair share this space and near-identical pairs reuse
+    /// the same prefix lists, and fall-through forks of [`policy_paths`]
+    /// re-encode the same clause once per frame; each distinct matcher is
+    /// folded once. Entries are GC-rooted at insert (cache lives as long
+    /// as the space).
+    matcher_cache: HashMap<Vec<(bool, PrefixRange)>, Bdd>,
+    matcher_cache_lookups: u64,
+    matcher_cache_hits: u64,
 }
 
 /// First variable of the prefix-address run.
@@ -169,7 +179,17 @@ impl RouteSpace {
             metric_base,
             num_vars,
             canonical: None,
+            matcher_cache: HashMap::new(),
+            matcher_cache_lookups: 0,
+            matcher_cache_hits: 0,
         }
+    }
+
+    /// Rule-cache counters `(lookups, hits)` — one lookup per
+    /// [`RouteSpace::prefix_matcher_bdd`] call. The driver folds these into
+    /// the report's [`campion_bdd::ManagerStats`].
+    pub fn rule_cache_stats(&self) -> (u64, u64) {
+        (self.matcher_cache_lookups, self.matcher_cache_hits)
     }
 
     /// The canonical-prefix constraint: address bits at positions ≥ the
@@ -347,8 +367,16 @@ impl RouteSpace {
         self.manager.and(range, canon)
     }
 
-    /// First-match fold of an ordered permit/deny prefix matcher.
+    /// First-match fold of an ordered permit/deny prefix matcher. Memoized
+    /// on the matcher's canonical entry list (see `matcher_cache`).
     pub fn prefix_matcher_bdd(&mut self, pm: &PrefixMatcher) -> Bdd {
+        let key: Vec<(bool, PrefixRange)> =
+            pm.entries.iter().map(|e| (e.permit, e.range)).collect();
+        self.matcher_cache_lookups += 1;
+        if let Some(&b) = self.matcher_cache.get(&key) {
+            self.matcher_cache_hits += 1;
+            return b;
+        }
         let mut result = Bdd::FALSE;
         // Fold from the last entry backwards: earlier entries shadow later.
         for e in pm.entries.iter().rev() {
@@ -356,6 +384,8 @@ impl RouteSpace {
             let val = if e.permit { Bdd::TRUE } else { Bdd::FALSE };
             result = self.manager.ite(cond, val, result);
         }
+        self.manager.protect(result);
+        self.matcher_cache.insert(key, result);
         result
     }
 
