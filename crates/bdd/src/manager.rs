@@ -445,6 +445,11 @@ pub struct ManagerStats {
     pub gc_nodes_freed: u64,
     /// Times a computed cache changed size after a collection.
     pub cache_resizes: u64,
+    /// GC pauses: entries into the collector, including mark-only passes
+    /// that skipped the sweep (a superset of `gc_runs`).
+    pub gc_pauses: u64,
+    /// Total wall-clock time spent paused in the collector, microseconds.
+    pub gc_pause_us: u64,
     /// Unique-table lookups (one per `mk` after the reduction rule).
     pub unique_lookups: u64,
     /// Unique-table lookups that found an existing node.
@@ -516,6 +521,8 @@ impl ManagerStats {
         self.gc_runs += other.gc_runs;
         self.gc_nodes_freed += other.gc_nodes_freed;
         self.cache_resizes += other.cache_resizes;
+        self.gc_pauses += other.gc_pauses;
+        self.gc_pause_us += other.gc_pause_us;
         self.unique_lookups += other.unique_lookups;
         self.unique_hits += other.unique_hits;
         self.unique_collisions += other.unique_collisions;
@@ -569,6 +576,8 @@ pub struct Manager {
     gc_runs: u64,
     gc_nodes_freed: u64,
     cache_resizes: u64,
+    gc_pauses: u64,
+    gc_pause_us: u64,
 }
 
 impl std::fmt::Debug for Manager {
@@ -620,6 +629,8 @@ impl Manager {
             gc_runs: 0,
             gc_nodes_freed: 0,
             cache_resizes: 0,
+            gc_pauses: 0,
+            gc_pause_us: 0,
         }
     }
 
@@ -644,6 +655,8 @@ impl Manager {
             gc_runs: self.gc_runs,
             gc_nodes_freed: self.gc_nodes_freed,
             cache_resizes: self.cache_resizes,
+            gc_pauses: self.gc_pauses,
+            gc_pause_us: self.gc_pause_us,
             unique_lookups: self.unique.lookups,
             unique_hits: self.unique.hits,
             unique_collisions: self.unique.collisions,
@@ -1294,12 +1307,28 @@ impl Manager {
         (marks, live)
     }
 
+    /// Pause-accounting wrapper around [`Manager::collect_inner`]: every
+    /// collector entry (sweeps *and* mark-only back-offs) counts as one GC
+    /// pause, its wall time accumulates into `gc_pause_us`, and — when the
+    /// trace collector is on — the pause shows up as a `bdd.gc` span on the
+    /// worker's track with the freed-node count attached.
+    fn collect(&mut self, force: bool) -> usize {
+        let t0 = std::time::Instant::now();
+        let mut span = campion_trace::span("bdd.gc");
+        let freed = self.collect_inner(force);
+        self.gc_pauses += 1;
+        self.gc_pause_us += t0.elapsed().as_micros() as u64;
+        span.counter("freed_nodes", freed as i64);
+        span.counter("live_nodes", self.node_count() as i64);
+        freed
+    }
+
     /// The mark/sweep engine behind [`Manager::gc`] and
     /// [`Manager::gc_checkpoint`]. When `force` is false (automatic trigger)
     /// and less than 1/8 of the in-use nodes are garbage, the sweep is
     /// skipped — marking already paid the traversal, so we just raise the
     /// trigger floor and return. Returns the number of nodes freed.
-    fn collect(&mut self, force: bool) -> usize {
+    fn collect_inner(&mut self, force: bool) -> usize {
         let in_use = self.nodes.len() - self.free.len();
         let (marks, live) = self.mark_reachable();
         let garbage = in_use - live;

@@ -29,12 +29,21 @@ struct SizeResult {
     peak_nodes: u64,
     post_gc_nodes: u64,
     gc_runs: u64,
+    gc_pauses: u64,
+    gc_pause_us: u64,
     apply_hit_rate: f64,
     unique_hit_rate: f64,
     pairs_examined: u64,
     pairs_pruned: u64,
     rule_cache_hit_rate: f64,
+    /// Per-phase timing breakdown (`Trace::phases_json`), captured for the
+    /// CI-gated sizes only.
+    phases: Option<String>,
 }
+
+/// The sizes whose per-phase breakdown lands in `BENCH_campion.json` —
+/// the two workloads the CI regression gate watches.
+const PHASE_SIZES: [usize; 2] = [1000, 10000];
 
 fn opts_with_jobs(jobs: usize) -> CampionOptions {
     CampionOptions {
@@ -76,6 +85,15 @@ fn main() {
         let diffs = 10.min(n / 2);
         let (cisco, juniper) = capirca_acl_pair(n, diffs, 0xC0FFEE + n as u64);
 
+        // Trace the CI-gated sizes so the JSON report carries a per-phase
+        // breakdown. The collector's hot path is a relaxed atomic load plus
+        // a handful of events per work item, so it does not move the timing
+        // columns measurably.
+        let traced = PHASE_SIZES.contains(&n);
+        if traced {
+            campion_trace::enable();
+        }
+
         let t0 = Instant::now();
         let rc = load(&cisco);
         let rj = load(&juniper);
@@ -86,6 +104,17 @@ fn main() {
         let t1 = Instant::now();
         let report = compare_routers(&rc, &rj, &opts_with_jobs(1));
         let diff_time = t1.elapsed();
+
+        let phases = if traced {
+            campion_trace::disable();
+            let trace = campion_trace::drain();
+            println!("--- per-phase breakdown at {n} rules ---");
+            print!("{}", trace.render_table());
+            println!();
+            Some(trace.phases_json())
+        } else {
+            None
+        };
 
         times.push(diff_time.as_secs_f64());
         let s = &report.bdd_stats;
@@ -108,11 +137,14 @@ fn main() {
             peak_nodes: s.peak_nodes,
             post_gc_nodes: s.post_gc_nodes,
             gc_runs: s.gc_runs,
+            gc_pauses: s.gc_pauses,
+            gc_pause_us: s.gc_pause_us,
             apply_hit_rate: s.apply_hit_rate(),
             unique_hit_rate: s.unique_hit_rate(),
             pairs_examined: s.pairs_examined,
             pairs_pruned: s.pairs_pruned,
             rule_cache_hit_rate: s.rule_cache_hit_rate(),
+            phases,
         });
     }
     print_rows(
@@ -174,7 +206,8 @@ fn main() {
                 out,
                 "    {{\"rules\": {}, \"parse_s\": {:.6}, \"semdiff_s\": {:.6}, \
                  \"diffs_found\": {}, \"bdd_nodes\": {}, \"peak_nodes\": {}, \
-                 \"post_gc_nodes\": {}, \"gc_runs\": {}, \"apply_hit_rate\": {:.4}, \
+                 \"post_gc_nodes\": {}, \"gc_runs\": {}, \"gc_pauses\": {}, \
+                 \"gc_pause_us\": {}, \"apply_hit_rate\": {:.4}, \
                  \"unique_hit_rate\": {:.4}, \"pairs_examined\": {}, \
                  \"pairs_pruned\": {}, \"rule_cache_hit_rate\": {:.4}}}",
                 r.rules,
@@ -185,6 +218,8 @@ fn main() {
                 r.peak_nodes,
                 r.post_gc_nodes,
                 r.gc_runs,
+                r.gc_pauses,
+                r.gc_pause_us,
                 r.apply_hit_rate,
                 r.unique_hit_rate,
                 r.pairs_examined,
@@ -203,9 +238,21 @@ fn main() {
             }
             None => "\"skipped_single_core\": true".to_string(),
         };
+        // Per-phase breakdowns for the gated sizes, keyed by rule count.
+        out.push_str("  ],\n  \"phases\": {\n");
+        let phase_entries: Vec<String> = size_results
+            .iter()
+            .filter_map(|r| {
+                r.phases
+                    .as_ref()
+                    .map(|p| format!("    \"{}\": {p}", r.rules))
+            })
+            .collect();
+        out.push_str(&phase_entries.join(",\n"));
+        out.push_str("\n  },\n");
         let _ = write!(
             out,
-            "  ],\n  \"ratio_1k_to_10k\": {ratio:.2},\n  \"parallel\": {{\n    \
+            "  \"ratio_1k_to_10k\": {ratio:.2},\n  \"parallel\": {{\n    \
              \"acl_pairs\": {PAIRS}, \"rules_per_pair\": {PAIR_RULES}, \
              \"jobs1_s\": {t_seq:.6}, {par_timing}, \
              \"hardware_threads\": {hw},\n    \

@@ -152,24 +152,84 @@ fn run_item(
             let (diffs, stats) = diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name], opts);
             WorkOutput::Acls(diffs, stats)
         }
-        WorkItem::StaticRoutes => WorkOutput::Structural(structural::diff_static_routes(r1, r2)),
+        WorkItem::StaticRoutes => {
+            campion_trace::span!("item.structural");
+            WorkOutput::Structural(structural::diff_static_routes(r1, r2))
+        }
         WorkItem::ConnectedRoutes => {
+            campion_trace::span!("item.structural");
             WorkOutput::Structural(structural::diff_connected_routes(r1, r2))
         }
-        WorkItem::BgpProperties => WorkOutput::Structural(structural::diff_bgp_properties(r1, r2)),
-        WorkItem::Ospf => WorkOutput::Structural(structural::diff_ospf(r1, r2)),
+        WorkItem::BgpProperties => {
+            campion_trace::span!("item.structural");
+            WorkOutput::Structural(structural::diff_bgp_properties(r1, r2))
+        }
+        WorkItem::Ospf => {
+            campion_trace::span!("item.structural");
+            WorkOutput::Structural(structural::diff_ospf(r1, r2))
+        }
     }
+}
+
+/// Attach the pair manager's counter deltas (exit snapshot minus entry
+/// snapshot) to a work-item span: BDD arena growth, cache traffic, GC
+/// effort, and the semantic-diff pruning counters.
+fn attach_stats_delta(
+    span: &mut campion_trace::SpanGuard,
+    before: &ManagerStats,
+    after: &ManagerStats,
+) {
+    if !span.is_active() {
+        return;
+    }
+    let d = |a: u64, b: u64| a as i64 - b as i64;
+    span.counter("bdd_nodes", d(after.nodes, before.nodes));
+    span.counter("peak_nodes", d(after.peak_nodes, before.peak_nodes));
+    span.counter(
+        "unique_lookups",
+        d(after.unique_lookups, before.unique_lookups),
+    );
+    span.counter(
+        "apply_lookups",
+        d(after.apply_lookups, before.apply_lookups),
+    );
+    span.counter("apply_hits", d(after.apply_hits, before.apply_hits));
+    span.counter("gc_runs", d(after.gc_runs, before.gc_runs));
+    span.counter("gc_pauses", d(after.gc_pauses, before.gc_pauses));
+    span.counter("gc_pause_us", d(after.gc_pause_us, before.gc_pause_us));
+    span.counter(
+        "gc_nodes_freed",
+        d(after.gc_nodes_freed, before.gc_nodes_freed),
+    );
+    span.counter(
+        "rule_cache_lookups",
+        d(after.rule_cache_lookups, before.rule_cache_lookups),
+    );
+    span.counter(
+        "rule_cache_hits",
+        d(after.rule_cache_hits, before.rule_cache_hits),
+    );
+    span.counter(
+        "pairs_examined",
+        d(after.pairs_examined, before.pairs_examined),
+    );
+    span.counter("pairs_pruned", d(after.pairs_pruned, before.pairs_pruned));
+    span.counter("early_exits", d(after.early_exits, before.early_exits));
 }
 
 /// The top-level ConfigDiff algorithm: pair components, diff each pair, and
 /// present the localized differences.
 pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> CampionReport {
+    campion_trace::span!("core.compare");
     let mut report = CampionReport {
         router1: r1.name.clone(),
         router2: r2.name.clone(),
         ..CampionReport::default()
     };
-    let matched = match_policies(r1, r2);
+    let matched = {
+        campion_trace::span!("core.match");
+        match_policies(r1, r2)
+    };
     report.unmatched = matched.unmatched.clone();
 
     // Collect every enabled unit of work. The vector order is the report
@@ -206,16 +266,24 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
         slots.resize_with(items.len(), || None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let items = &items;
                     scope.spawn(move || {
+                        // Each worker gets its own trace track (lane in the
+                        // Chrome trace); track 0 is the coordinating thread.
+                        campion_trace::set_track(w as u32 + 1);
                         let mut done = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
                             done.push((i, run_item(r1, r2, item, opts)));
                         }
+                        // Hand the buffered span events over before the
+                        // scope observes this closure as finished — the
+                        // thread-local backstop flush would race a drain
+                        // that runs right after the join.
+                        campion_trace::flush();
                         done
                     })
                 })
@@ -291,6 +359,7 @@ fn diff_policy_pair(
     pair: &PolicyPair,
     opts: &CampionOptions,
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
+    let mut item_span = campion_trace::span("item.policy_pair");
     let p1 = match &pair.name1 {
         Some(n) => r1.policy_or_permit(n),
         None => RoutePolicy::permit_all("(no policy)"),
@@ -301,6 +370,7 @@ fn diff_policy_pair(
     };
     let mut space = RouteSpace::for_policies(&[&p1, &p2]);
     space.manager.set_gc_policy(opts.effective_gc().policy());
+    let stats_at_entry = space.manager.stats();
     let universe = space.universe();
     // The universe is consulted by both path enumerations, which contain
     // safe points — root it for the whole pair.
@@ -325,6 +395,7 @@ fn diff_policy_pair(
 
     let mut out = Vec::new();
     for d in &diffs {
+        campion_trace::span!("present.localize");
         let projected = space.project_to_prefix(d.input);
         let loc = headerloc::header_localize_with(&mut space, projected, &dag);
         let example = if opts.exhaustive_communities {
@@ -363,6 +434,7 @@ fn diff_policy_pair(
     stats.pairs_examined = prune.pairs_examined;
     stats.pairs_pruned = prune.pairs_pruned;
     stats.early_exits = prune.early_exits;
+    attach_stats_delta(&mut item_span, &stats_at_entry, &stats);
     (out, stats)
 }
 
@@ -416,8 +488,10 @@ fn diff_acl_pair(
     a2: &AclIr,
     opts: &CampionOptions,
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
+    let mut item_span = campion_trace::span("item.acl_pair");
     let mut space = PacketSpace::new();
     space.manager.set_gc_policy(opts.effective_gc().policy());
+    let stats_at_entry = space.manager.stats();
     // Pair-aware enumeration: both sides' classes restricted to the
     // disagreement set, so the chain never materializes predicates the
     // diff would prune anyway (the 10k-rule hot path).
@@ -451,6 +525,7 @@ fn diff_acl_pair(
     space.manager.gc_checkpoint();
     let mut out = Vec::new();
     for d in &diffs {
+        campion_trace::span!("present.localize");
         let dst_proj = space.project_to_dst(d.input);
         let dst_loc =
             headerloc::header_localize_with(&mut DstAddrSpace(&mut space), dst_proj, &dst_dag);
@@ -526,5 +601,6 @@ fn diff_acl_pair(
     stats.pairs_examined = prune.pairs_examined;
     stats.pairs_pruned = prune.pairs_pruned;
     stats.early_exits = prune.early_exits;
+    attach_stats_delta(&mut item_span, &stats_at_entry, &stats);
     (out, stats)
 }

@@ -136,6 +136,7 @@ impl RangeDag {
     /// Build the ddNF over the given configuration ranges (plus the
     /// universe, closed under intersection).
     pub fn build<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> RangeDag {
+        campion_trace::span!("headerloc.ddnf");
         build_ddnf(space, ranges)
     }
 
@@ -435,6 +436,7 @@ pub fn header_localize_with<E: RangeEncoder>(
     s: Bdd,
     ddnf: &RangeDag,
 ) -> HeaderLocalization {
+    campion_trace::span!("headerloc.localize");
     let mut exact = true;
     let nested = get_match(space, ddnf, s, ddnf.root, &mut exact);
     let mut terms = flatten(nested);

@@ -114,6 +114,10 @@ impl CampionReport {
         row("post-GC live nodes", s.post_gc_nodes.to_string());
         row("GC collections", s.gc_runs.to_string());
         row("GC nodes freed", s.gc_nodes_freed.to_string());
+        row(
+            "GC pause time",
+            format!("{} \u{b5}s across {} pause(s)", s.gc_pause_us, s.gc_pauses),
+        );
         row("cache resizes", s.cache_resizes.to_string());
         row("unique-table grows", s.unique_grows.to_string());
         row(

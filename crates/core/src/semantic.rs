@@ -65,6 +65,7 @@ pub fn policy_paths(
     policy: &RoutePolicy,
     universe: Bdd,
 ) -> Vec<PolicyPath> {
+    campion_trace::span!("semdiff.policy_paths");
     struct Frame {
         idx: usize,
         predicate: Bdd,
@@ -271,15 +272,24 @@ pub fn acl_diff_paths(
     a1: &AclIr,
     a2: &AclIr,
 ) -> (Vec<PolicyPath>, Vec<PolicyPath>) {
-    let conds1 = rule_contents(space, a1);
-    let conds2 = rule_contents(space, a2);
-    let restrict = match unaligned_union(space, &conds1, &conds2) {
-        Some(r) => r,
-        None => space.universe(),
+    campion_trace::span!("semdiff.acl_paths");
+    let restrict = {
+        campion_trace::span!("semdiff.align");
+        let conds1 = rule_contents(space, a1);
+        let conds2 = rule_contents(space, a2);
+        match unaligned_union(space, &conds1, &conds2) {
+            Some(r) => r,
+            None => space.universe(),
+        }
     };
     space.manager.protect(restrict);
-    let paths1 = acl_paths_within(space, a1, restrict);
-    let paths2 = acl_paths_within(space, a2, restrict);
+    let (paths1, paths2) = {
+        campion_trace::span!("semdiff.enumerate");
+        (
+            acl_paths_within(space, a1, restrict),
+            acl_paths_within(space, a2, restrict),
+        )
+    };
     space.manager.unprotect(restrict);
     space.manager.gc_checkpoint();
     (paths1, paths2)
@@ -516,35 +526,40 @@ pub fn semantic_diff_stats(
     paths2: &[PolicyPath],
     stats: &mut DiffPruneStats,
 ) -> Vec<SemanticDifference> {
+    campion_trace::span!("semdiff.diff");
     let total_pairs = paths1.len() as u64 * paths2.len() as u64;
     let examined_before = stats.pairs_examined;
 
-    // Step 1a: per-effect predicate unions of side 2, in first-seen order.
-    // The number of distinct effects is tiny (2 for ACLs), so a linear
-    // scan beats imposing Hash/Ord on ActionEffect.
-    let mut groups: Vec<(&ActionEffect, Vec<Bdd>)> = Vec::new();
-    for p2 in paths2 {
-        match groups.iter_mut().find(|(e, _)| **e == p2.effect) {
-            Some((_, preds)) => preds.push(p2.predicate),
-            None => groups.push((&p2.effect, vec![p2.predicate])),
+    let disagree = {
+        campion_trace::span!("semdiff.disagreement");
+        // Step 1a: per-effect predicate unions of side 2, in first-seen
+        // order. The number of distinct effects is tiny (2 for ACLs), so a
+        // linear scan beats imposing Hash/Ord on ActionEffect.
+        let mut groups: Vec<(&ActionEffect, Vec<Bdd>)> = Vec::new();
+        for p2 in paths2 {
+            match groups.iter_mut().find(|(e, _)| **e == p2.effect) {
+                Some((_, preds)) => preds.push(p2.predicate),
+                None => groups.push((&p2.effect, vec![p2.predicate])),
+            }
         }
-    }
-    let unions: Vec<(&ActionEffect, Bdd)> = groups
-        .iter()
-        .map(|(e, preds)| (*e, manager.or_all(preds)))
-        .collect();
-
-    // Step 1b: the disagreement set D. Built whole before any checkpoint,
-    // so the unions and row terms need no roots of their own.
-    let mut terms = Vec::with_capacity(paths1.len());
-    for p1 in paths1 {
-        let same = unions
+        let unions: Vec<(&ActionEffect, Bdd)> = groups
             .iter()
-            .find(|(e, _)| **e == p1.effect)
-            .map_or(Bdd::FALSE, |(_, u)| *u);
-        terms.push(manager.diff(p1.predicate, same));
-    }
-    let disagree = manager.or_all(&terms);
+            .map(|(e, preds)| (*e, manager.or_all(preds)))
+            .collect();
+
+        // Step 1b: the disagreement set D. Built whole before any
+        // checkpoint, so the unions and row terms need no roots of their
+        // own.
+        let mut terms = Vec::with_capacity(paths1.len());
+        for p1 in paths1 {
+            let same = unions
+                .iter()
+                .find(|(e, _)| **e == p1.effect)
+                .map_or(Bdd::FALSE, |(_, u)| *u);
+            terms.push(manager.diff(p1.predicate, same));
+        }
+        manager.or_all(&terms)
+    };
     // D is consulted across every row checkpoint below — root it. The
     // construction garbage (unions, row terms) may go right away.
     manager.protect(disagree);

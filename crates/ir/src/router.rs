@@ -66,6 +66,7 @@ impl RouterIr {
 
 /// Lower a parsed vendor configuration into the VI model.
 pub fn lower(cfg: &VendorConfig) -> Result<RouterIr, LowerError> {
+    campion_trace::span!("ir.lower");
     match cfg {
         VendorConfig::Cisco(c) => lower_cisco(c),
         VendorConfig::Juniper(j) => lower_juniper(j),

@@ -1,0 +1,31 @@
+//! `tracecheck <file>` — validate a Chrome trace-event JSON file emitted by
+//! `campion --trace` (or the scalability bench) against the schema rules in
+//! [`campion_trace::json::validate_chrome_trace`]. Exit codes: 0 valid,
+//! 1 invalid, 2 usage/IO error. CI runs this on the smoke-job artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: tracecheck <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match campion_trace::json::validate_chrome_trace(&text) {
+        Ok(summary) => {
+            println!("{path}: valid Chrome trace ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

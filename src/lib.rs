@@ -27,3 +27,4 @@ pub use campion_minesweeper as minesweeper;
 pub use campion_net as net;
 pub use campion_srp as srp;
 pub use campion_symbolic as symbolic;
+pub use campion_trace as trace;

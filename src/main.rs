@@ -3,6 +3,8 @@
 //! ```text
 //! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
 //!                 [--no-structural] [--exhaustive-communities] [--jobs N]
+//!                 [--gc off|auto|aggressive] [--stats] [--metrics]
+//!                 [--trace <file>]
 //! campion translate <config>            # emit the JunOS rewrite
 //! campion baseline <config1> <config2>  # Minesweeper-style single cex
 //! ```
@@ -10,6 +12,13 @@
 //! `compare` exits 0 when the two configurations are behaviorally
 //! equivalent, 1 when differences were found, 2 on usage or parse errors —
 //! so it drops straight into a change-management pipeline.
+//!
+//! Observability: `--stats` appends the aggregate BDD-engine counters to
+//! stdout; `--metrics` prints the per-phase timing table (count / total /
+//! p50 / max plus counter deltas) on **stderr**; `--trace <file>` writes
+//! Chrome trace-event JSON loadable in `chrome://tracing` / Perfetto, one
+//! track per worker. None of the three perturb the report: the rendered
+//! comparison is byte-identical with or without them.
 
 use std::process::ExitCode;
 
@@ -21,7 +30,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
          \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
-         \x20                 [--gc off|auto|aggressive] [--stats]\n\
+         \x20                 [--gc off|auto|aggressive] [--stats] [--metrics]\n\
+         \x20                 [--trace <file>]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -37,6 +47,8 @@ fn load_file(path: &str) -> Result<RouterIr, String> {
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut show_stats = false;
+    let mut show_metrics = false;
+    let mut trace_path: Option<String> = None;
     let mut opts = CampionOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -51,6 +63,14 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             }
             "--exhaustive-communities" => opts.exhaustive_communities = true,
             "--stats" => show_stats = true,
+            "--metrics" => show_metrics = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace requires an output file path");
+                    return usage();
+                }
+            },
             "--gc" => match it.next().map(String::as_str) {
                 Some("off") => opts.gc = GcMode::Off,
                 Some("auto") => opts.gc = GcMode::Auto,
@@ -77,6 +97,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     let [p1, p2] = paths.as_slice() else {
         return usage();
     };
+    // Tracing covers the whole pipeline — parse, lower, and compare — so
+    // enable it before the first file loads. The report itself is rendered
+    // identically either way; the sinks go to stderr / a side file.
+    let tracing = show_metrics || trace_path.is_some();
+    if tracing {
+        campion::trace::enable();
+    }
     let (r1, r2) = match (load_file(p1), load_file(p2)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
@@ -88,6 +115,19 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     println!("{report}");
     if show_stats {
         println!("{}", report.render_stats());
+    }
+    if tracing {
+        campion::trace::disable();
+        let trace = campion::trace::drain();
+        if let Some(p) = &trace_path {
+            if let Err(e) = std::fs::write(p, trace.chrome_json()) {
+                eprintln!("error: {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if show_metrics {
+            eprint!("{}", trace.render_table());
+        }
     }
     if report.is_equivalent() {
         ExitCode::SUCCESS

@@ -177,6 +177,64 @@ fn gc_flag_modes_accepted_and_equal() {
 }
 
 #[test]
+fn metrics_flag_reports_on_stderr_and_leaves_stdout_alone() {
+    let plain = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    let out = campion(&[
+        "compare",
+        "--metrics",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        out.stdout, plain.stdout,
+        "--metrics must not perturb the report"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("=== campion per-phase metrics ==="),
+        "{stderr}"
+    );
+    for phase in ["core.compare", "item.policy_pair", "cfg.parse", "ir.lower"] {
+        assert!(stderr.contains(phase), "missing phase `{phase}`:\n{stderr}");
+    }
+    assert!(stderr.contains("top-level span coverage"), "{stderr}");
+}
+
+#[test]
+fn trace_flag_writes_valid_chrome_json() {
+    let plain = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    let tmp = std::env::temp_dir().join("campion_cli_trace.json");
+    let out = campion(&[
+        "compare",
+        "--trace",
+        tmp.to_str().expect("utf8 path"),
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        out.stdout, plain.stdout,
+        "--trace must not perturb the report"
+    );
+    let json = std::fs::read_to_string(&tmp).expect("trace file written");
+    let check = campion::trace::json::validate_chrome_trace(&json)
+        .expect("chrome trace-event JSON validates");
+    assert!(check.spans > 0, "trace records spans: {check}");
+    // A missing output path is a usage error, not a silent no-op.
+    let out = campion(&["compare", "--trace"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn aggressive_gc_env_override_is_byte_identical() {
     // CAMPION_GC_AGGRESSIVE=1 forces a collection at every safe point no
     // matter what the options say — the differential hook CI uses. The
