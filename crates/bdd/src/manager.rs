@@ -202,6 +202,7 @@ const POISON_NODE: Node = Node {
 
 /// Open-addressing unique table: node indices keyed by the node's
 /// `(var, low, high)` triple, resolved against the arena.
+#[derive(Clone)]
 struct UniqueTable {
     /// Node index per slot, or [`EMPTY`]. Length is a power of two.
     slots: Vec<u32>,
@@ -296,6 +297,7 @@ impl UniqueTable {
 
 /// A direct-mapped computed table (lossy overwrite on collision). The slot
 /// count is fixed between collections; the collector may resize it.
+#[derive(Clone)]
 struct DirectCache<K: Copy + PartialEq> {
     entries: Vec<Option<(K, Bdd)>>,
     mask: usize,
@@ -555,6 +557,12 @@ fn rate(hits: u64, lookups: u64) -> f64 {
 /// decision level. Campion's symbolic layer chooses an order that keeps
 /// related header bits adjacent (most-significant destination-IP bit first),
 /// which keeps prefix constraints linear-sized.
+///
+/// `Clone` snapshots the whole arena. Node indices are preserved, so every
+/// [`Bdd`] handle (and protect refcount) valid in the original is valid in
+/// the clone and denotes the same function — clones can fan read-mostly
+/// work out across threads and be dropped wholesale afterwards.
+#[derive(Clone)]
 pub struct Manager {
     num_vars: u32,
     nodes: Vec<Node>,

@@ -39,6 +39,16 @@ struct SizeResult {
     /// Per-phase timing breakdown (`Trace::phases_json`), captured for the
     /// CI-gated sizes only.
     phases: Option<String>,
+    /// Localization share of the whole comparison: (`headerloc.ddnf` +
+    /// `present.localize`) ÷ `core.compare` wall seconds — the nested
+    /// `headerloc.localize` spans ride inside `present.localize`. CI gates
+    /// the 10 000-rule value at ≤ 0.45.
+    headerloc_share: Option<f64>,
+    /// Per-difference localization sub-items: how many `headerloc.localize`
+    /// and `present.localize` spans the comparison ran — the work items
+    /// the driver fans out across its pool when differences outnumber
+    /// pairs.
+    localize_subitems: Option<u64>,
 }
 
 /// The sizes whose per-phase breakdown lands in `BENCH_campion.json` —
@@ -105,15 +115,35 @@ fn main() {
         let report = compare_routers(&rc, &rj, &opts_with_jobs(1));
         let diff_time = t1.elapsed();
 
-        let phases = if traced {
+        let (phases, headerloc_share, localize_subitems) = if traced {
             campion_trace::disable();
             let trace = campion_trace::drain();
             println!("--- per-phase breakdown at {n} rules ---");
             print!("{}", trace.render_table());
             println!();
-            Some(trace.phases_json())
+            let stats = trace.phase_stats();
+            let phase = |name: &str| stats.iter().find(|s| s.name == name);
+            let total_s = |name: &str| phase(name).map_or(0.0, |s| s.total_ns as f64 / 1e9);
+            // `present.localize` wraps the nested `headerloc.localize`
+            // spans, so the localization wall is ddNF builds plus the
+            // per-difference presentation spans — adding the nested spans
+            // on top would double-count them.
+            let loc_s = total_s("headerloc.ddnf") + total_s("present.localize");
+            let compare_s = total_s("core.compare");
+            let share = if compare_s > 0.0 {
+                loc_s / compare_s
+            } else {
+                0.0
+            };
+            let subitems = phase("headerloc.localize").map_or(0, |s| s.count)
+                + phase("present.localize").map_or(0, |s| s.count);
+            println!(
+                "localization share of core.compare: {share:.3} \
+                 ({subitems} localize sub-items)\n"
+            );
+            (Some(trace.phases_json()), Some(share), Some(subitems))
         } else {
-            None
+            (None, None, None)
         };
 
         times.push(diff_time.as_secs_f64());
@@ -145,6 +175,8 @@ fn main() {
             pairs_pruned: s.pairs_pruned,
             rule_cache_hit_rate: s.rule_cache_hit_rate(),
             phases,
+            headerloc_share,
+            localize_subitems,
         });
     }
     print_rows(
@@ -249,6 +281,29 @@ fn main() {
             })
             .collect();
         out.push_str(&phase_entries.join(",\n"));
+        out.push_str("\n  },\n");
+        // Localization metrics for the gated sizes, as their own top-level
+        // maps (the CI per-phase walker expects every `phases` value to be
+        // a dict of span stats, so these must not live inside it).
+        let share_entries: Vec<String> = size_results
+            .iter()
+            .filter_map(|r| {
+                r.headerloc_share
+                    .map(|s| format!("    \"{}\": {s:.4}", r.rules))
+            })
+            .collect();
+        out.push_str("  \"headerloc_share\": {\n");
+        out.push_str(&share_entries.join(",\n"));
+        out.push_str("\n  },\n");
+        let sub_entries: Vec<String> = size_results
+            .iter()
+            .filter_map(|r| {
+                r.localize_subitems
+                    .map(|c| format!("    \"{}\": {c}", r.rules))
+            })
+            .collect();
+        out.push_str("  \"localize_subitems\": {\n");
+        out.push_str(&sub_entries.join(",\n"));
         out.push_str("\n  },\n");
         let _ = write!(
             out,

@@ -217,6 +217,65 @@ fn attach_stats_delta(
     span.counter("early_exits", d(after.early_exits, before.early_exits));
 }
 
+/// Work-stealing fan-out shared by the pair pool and the per-difference
+/// localization pool: one scoped worker thread per element of `states`
+/// (each worker owns its state), claiming indices `0..n` from a shared
+/// cursor so a slow item never serializes the rest. Outputs come back in
+/// index order, making the callers' merges byte-identical to a sequential
+/// run regardless of the worker count. `on_start` runs on each worker
+/// thread before any work (trace-track assignment).
+fn steal_indexed<S, T>(
+    states: Vec<S>,
+    n: usize,
+    on_start: impl Fn(usize) + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = states
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut state)| {
+                let cursor = &cursor;
+                let f = &f;
+                let on_start = &on_start;
+                scope.spawn(move || {
+                    on_start(w);
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(&mut state, i)));
+                    }
+                    // Hand the buffered span events over before the scope
+                    // observes this closure as finished — the thread-local
+                    // backstop flush would race a drain that runs right
+                    // after the join.
+                    campion_trace::flush();
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("diff worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("work item never claimed"))
+        .collect()
+}
+
 /// The top-level ConfigDiff algorithm: pair components, diff each pair, and
 /// present the localized differences.
 pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> CampionReport {
@@ -256,48 +315,31 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
     }
 
     let jobs = opts.effective_jobs().min(items.len()).max(1);
-    let outputs: Vec<WorkOutput> = if jobs <= 1 {
-        items.iter().map(|it| run_item(r1, r2, it, opts)).collect()
+    // When pairs are scarcer than workers, the spare parallelism moves down
+    // a level: each pair's per-difference localizations fan out over
+    // `inner` sub-workers instead (see `diff_policy_pair`).
+    let inner = if items.len() >= opts.effective_jobs() {
+        1
     } else {
-        // Work-stealing by shared cursor: each worker claims the next
-        // unprocessed index, so a slow pair never serializes the rest.
-        let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<WorkOutput>> = Vec::new();
-        slots.resize_with(items.len(), || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|w| {
-                    let cursor = &cursor;
-                    let items = &items;
-                    scope.spawn(move || {
-                        // Each worker gets its own trace track (lane in the
-                        // Chrome trace); track 0 is the coordinating thread.
-                        campion_trace::set_track(w as u32 + 1);
-                        let mut done = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            done.push((i, run_item(r1, r2, item, opts)));
-                        }
-                        // Hand the buffered span events over before the
-                        // scope observes this closure as finished — the
-                        // thread-local backstop flush would race a drain
-                        // that runs right after the join.
-                        campion_trace::flush();
-                        done
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, out) in h.join().expect("diff worker panicked") {
-                    slots[i] = Some(out);
-                }
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("work item never claimed"))
+        opts.effective_jobs() / items.len().max(1)
+    };
+    let mut diff_opts = opts.clone();
+    diff_opts.jobs = inner.max(1);
+    let diff_opts = &diff_opts;
+    let outputs: Vec<WorkOutput> = if jobs <= 1 {
+        items
+            .iter()
+            .map(|it| run_item(r1, r2, it, diff_opts))
             .collect()
+    } else {
+        steal_indexed(
+            vec![(); jobs],
+            items.len(),
+            // Each worker gets its own trace track (lane in the Chrome
+            // trace); track 0 is the coordinating thread.
+            |w| campion_trace::set_track(w as u32 + 1),
+            |(), i| run_item(r1, r2, &items[i], diff_opts),
+        )
     };
 
     // Merge in item order: identical to the sequential driver's appends.
@@ -393,38 +435,49 @@ fn diff_policy_pair(
     let dag = headerloc::RangeDag::build(&mut space, &ranges);
     space.manager.gc_checkpoint();
 
-    let mut out = Vec::new();
-    for d in &diffs {
-        campion_trace::span!("present.localize");
-        let projected = space.project_to_prefix(d.input);
-        let loc = headerloc::header_localize_with(&mut space, projected, &dag);
-        let example = if opts.exhaustive_communities {
-            let cl = crate::commloc::community_localize(&mut space, d.input);
-            if cl.is_unconstrained() {
-                None
-            } else {
-                Some(format!("Communities: {cl}"))
-            }
-        } else {
-            non_prefix_example(&mut space, d)
-        };
-        out.push(PolicyDiffReport {
-            context: pair.context.clone(),
-            name1: p1.name.clone(),
-            name2: p2.name.clone(),
-            included: loc.included(),
-            excluded: loc.excluded(),
-            example,
-            action1: d.effect1.to_string(),
-            action2: d.effect2.to_string(),
-            text1: side_text(r1, &d.spans1, d.default1, &p1),
-            text2: side_text(r2, &d.spans2, d.default2, &p2),
-        });
-        // This difference is fully presented: drop its root and let the
-        // localization intermediates go at the safe point.
-        space.manager.unprotect(d.input);
+    let inner_jobs = opts.effective_jobs().min(diffs.len());
+    let out: Vec<PolicyDiffReport> = if diffs.is_empty() {
+        Vec::new()
+    } else if inner_jobs <= 1 {
+        // Present against a snapshot clone even when sequential: the
+        // localization intermediates then live (and die) in the clone's
+        // arena exactly as they do in a parallel worker's, so the main
+        // manager sees the same operation sequence — and the pair reports
+        // the same ManagerStats — at every worker count.
+        let (mut sp, dg) = (space.clone(), dag.clone());
+        let out = diffs
+            .iter()
+            .map(|d| present_policy_diff(r1, r2, &mut sp, &dg, &p1, &p2, pair, d, opts))
+            .collect();
+        for d in &diffs {
+            space.manager.unprotect(d.input);
+        }
         space.manager.gc_checkpoint();
-    }
+        out
+    } else {
+        // Per-difference fan-out: localizations against a fixed DAG are
+        // independent, so each sub-worker takes a snapshot clone of the
+        // space and the DAG (node indices survive cloning, so results are
+        // the sequential ones bit for bit) and the differences are claimed
+        // work-stealing style. The clones' arenas and stats are discarded;
+        // the original manager stays untouched until the roots are dropped
+        // below, at the same safe point a sequential run reaches.
+        let parent = campion_trace::track().unwrap_or(0);
+        let states: Vec<(RouteSpace, headerloc::RangeDag)> = (0..inner_jobs)
+            .map(|_| (space.clone(), dag.clone()))
+            .collect();
+        let out = steal_indexed(
+            states,
+            diffs.len(),
+            |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+            |(sp, dg), i| present_policy_diff(r1, r2, sp, dg, &p1, &p2, pair, &diffs[i], opts),
+        );
+        for d in &diffs {
+            space.manager.unprotect(d.input);
+        }
+        space.manager.gc_checkpoint();
+        out
+    };
     dag.release(&mut space.manager);
     space.manager.unprotect(universe);
     let mut stats = space.manager.stats();
@@ -436,6 +489,49 @@ fn diff_policy_pair(
     stats.early_exits = prune.early_exits;
     attach_stats_delta(&mut item_span, &stats_at_entry, &stats);
     (out, stats)
+}
+
+/// Present one route-map difference: localize its input over the pair's
+/// ddNF and render the report row. Pure with respect to the report — only
+/// the space's caches/arena mutate — so the driver can run it on snapshot
+/// clones in parallel.
+#[allow(clippy::too_many_arguments)]
+fn present_policy_diff(
+    r1: &RouterIr,
+    r2: &RouterIr,
+    space: &mut RouteSpace,
+    dag: &headerloc::RangeDag,
+    p1: &RoutePolicy,
+    p2: &RoutePolicy,
+    pair: &PolicyPair,
+    d: &SemanticDifference,
+    opts: &CampionOptions,
+) -> PolicyDiffReport {
+    campion_trace::span!("present.localize");
+    let projected = space.project_to_prefix(d.input);
+    let loc = headerloc::header_localize_with(space, projected, dag);
+    let example = if opts.exhaustive_communities {
+        let cl = crate::commloc::community_localize(space, d.input);
+        if cl.is_unconstrained() {
+            None
+        } else {
+            Some(format!("Communities: {cl}"))
+        }
+    } else {
+        non_prefix_example(space, d)
+    };
+    PolicyDiffReport {
+        context: pair.context.clone(),
+        name1: p1.name.clone(),
+        name2: p2.name.clone(),
+        included: loc.included(),
+        excluded: loc.excluded(),
+        example,
+        action1: d.effect1.to_string(),
+        action2: d.effect2.to_string(),
+        text1: side_text(r1, &d.spans1, d.default1, p1),
+        text2: side_text(r2, &d.spans2, d.default2, p2),
+    }
 }
 
 /// Campion reports exhaustive prefix information but a single example for
@@ -477,6 +573,84 @@ fn non_prefix_example(space: &mut RouteSpace, d: &SemanticDifference) -> Option<
         parts.push(format!("Protocol: {}", ex.protocol));
     }
     Some(parts.join("\n"))
+}
+
+/// Present one ACL difference: destination/source address localization,
+/// port localization, and an example packet. As `present_policy_diff`,
+/// safe to run on snapshot clones.
+#[allow(clippy::too_many_arguments)]
+fn present_acl_diff(
+    r1: &RouterIr,
+    r2: &RouterIr,
+    space: &mut PacketSpace,
+    dst_dag: &headerloc::RangeDag,
+    src_dag: &headerloc::RangeDag,
+    a1: &AclIr,
+    a2: &AclIr,
+    d: &SemanticDifference,
+) -> PolicyDiffReport {
+    campion_trace::span!("present.localize");
+    let dst_proj = space.project_to_dst(d.input);
+    let dst_loc = headerloc::header_localize_with(&mut DstAddrSpace(space), dst_proj, dst_dag);
+    let src_proj = space.project_to_src(d.input);
+    let src_loc = headerloc::header_localize_with(&mut SrcAddrSpace(space), src_proj, src_dag);
+    // Render address sets as prefixes (drop the length dimension, which
+    // is meaningless for packets).
+    let as_addr = |rs: Vec<PrefixRange>| -> Vec<PrefixRange> {
+        rs.into_iter()
+            .map(|r| PrefixRange::new(r.prefix, 32, 32))
+            .collect()
+    };
+    let example = {
+        let a = space.manager.first_sat_assignment(d.input);
+        a.map(|a| space.concretize(&a).to_string())
+    };
+    let fmt_addr = |loc: &[PrefixRange]| {
+        loc.iter()
+            .map(|r| r.prefix.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let included = as_addr(dst_loc.included());
+    let excluded = as_addr(dst_loc.excluded());
+    let src_inc = fmt_addr(&src_loc.included());
+    let src_exc = fmt_addr(&src_loc.excluded());
+    let mut example_text = format!("srcIP: {src_inc}");
+    if !src_exc.is_empty() {
+        example_text.push_str(&format!(" excluding {src_exc}"));
+    }
+    // Port localization (extension; see portloc): exhaustive intervals
+    // when the difference constrains destination ports.
+    if let Some(ports) = crate::portloc::dst_port_localize(space, d.input) {
+        let ps: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
+        example_text.push_str(&format!("\ndstPort: {}", ps.join(", ")));
+    }
+    if let Some(e) = example {
+        example_text.push_str(&format!("\nexample packet: {e}"));
+    }
+    let text_for = |router: &RouterIr, spans: &[Span], is_default: bool| {
+        if is_default {
+            "(implicit deny at end of ACL)".to_string()
+        } else {
+            spans
+                .iter()
+                .map(|s| router.snippet(*s))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    };
+    PolicyDiffReport {
+        context: format!("ACL {}", a1.name),
+        name1: a1.name.clone(),
+        name2: a2.name.clone(),
+        included,
+        excluded,
+        example: Some(example_text),
+        action1: d.effect1.to_string(),
+        action2: d.effect2.to_string(),
+        text1: text_for(r1, &d.spans1, d.default1),
+        text2: text_for(r2, &d.spans2, d.default2),
+    }
 }
 
 /// Run SemanticDiff + address localization + Present for one ACL pair.
@@ -523,75 +697,42 @@ fn diff_acl_pair(
     let dst_dag = headerloc::RangeDag::build(&mut DstAddrSpace(&mut space), &dst_ranges);
     let src_dag = headerloc::RangeDag::build(&mut SrcAddrSpace(&mut space), &src_ranges);
     space.manager.gc_checkpoint();
-    let mut out = Vec::new();
-    for d in &diffs {
-        campion_trace::span!("present.localize");
-        let dst_proj = space.project_to_dst(d.input);
-        let dst_loc =
-            headerloc::header_localize_with(&mut DstAddrSpace(&mut space), dst_proj, &dst_dag);
-        let src_proj = space.project_to_src(d.input);
-        let src_loc =
-            headerloc::header_localize_with(&mut SrcAddrSpace(&mut space), src_proj, &src_dag);
-        // Render address sets as prefixes (drop the length dimension, which
-        // is meaningless for packets).
-        let as_addr = |rs: Vec<PrefixRange>| -> Vec<PrefixRange> {
-            rs.into_iter()
-                .map(|r| PrefixRange::new(r.prefix, 32, 32))
-                .collect()
-        };
-        let example = {
-            let a = space.manager.first_sat_assignment(d.input);
-            a.map(|a| space.concretize(&a).to_string())
-        };
-        let fmt_addr = |loc: &[PrefixRange]| {
-            loc.iter()
-                .map(|r| r.prefix.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        let included = as_addr(dst_loc.included());
-        let excluded = as_addr(dst_loc.excluded());
-        let src_inc = fmt_addr(&src_loc.included());
-        let src_exc = fmt_addr(&src_loc.excluded());
-        let mut example_text = format!("srcIP: {src_inc}");
-        if !src_exc.is_empty() {
-            example_text.push_str(&format!(" excluding {src_exc}"));
+    let inner_jobs = opts.effective_jobs().min(diffs.len());
+    let out: Vec<PolicyDiffReport> = if diffs.is_empty() {
+        Vec::new()
+    } else if inner_jobs <= 1 {
+        // Sequential presentation runs on a snapshot clone too, keeping
+        // the main manager's operation sequence (and so the pair's
+        // ManagerStats) identical at every worker count; see
+        // diff_policy_pair.
+        let (mut sp, ddag, sdag) = (space.clone(), dst_dag.clone(), src_dag.clone());
+        let out = diffs
+            .iter()
+            .map(|d| present_acl_diff(r1, r2, &mut sp, &ddag, &sdag, a1, a2, d))
+            .collect();
+        for d in &diffs {
+            space.manager.unprotect(d.input);
         }
-        // Port localization (extension; see portloc): exhaustive intervals
-        // when the difference constrains destination ports.
-        if let Some(ports) = crate::portloc::dst_port_localize(&mut space, d.input) {
-            let ps: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
-            example_text.push_str(&format!("\ndstPort: {}", ps.join(", ")));
-        }
-        if let Some(e) = example {
-            example_text.push_str(&format!("\nexample packet: {e}"));
-        }
-        let text_for = |router: &RouterIr, spans: &[Span], is_default: bool| {
-            if is_default {
-                "(implicit deny at end of ACL)".to_string()
-            } else {
-                spans
-                    .iter()
-                    .map(|s| router.snippet(*s))
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            }
-        };
-        out.push(PolicyDiffReport {
-            context: format!("ACL {}", a1.name),
-            name1: a1.name.clone(),
-            name2: a2.name.clone(),
-            included,
-            excluded,
-            example: Some(example_text),
-            action1: d.effect1.to_string(),
-            action2: d.effect2.to_string(),
-            text1: text_for(r1, &d.spans1, d.default1),
-            text2: text_for(r2, &d.spans2, d.default2),
-        });
-        space.manager.unprotect(d.input);
         space.manager.gc_checkpoint();
-    }
+        out
+    } else {
+        // Per-difference fan-out over snapshot clones; see diff_policy_pair.
+        let parent = campion_trace::track().unwrap_or(0);
+        let states: Vec<(PacketSpace, headerloc::RangeDag, headerloc::RangeDag)> = (0..inner_jobs)
+            .map(|_| (space.clone(), dst_dag.clone(), src_dag.clone()))
+            .collect();
+        let out = steal_indexed(
+            states,
+            diffs.len(),
+            |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+            |(sp, ddag, sdag), i| present_acl_diff(r1, r2, sp, ddag, sdag, a1, a2, &diffs[i]),
+        );
+        for d in &diffs {
+            space.manager.unprotect(d.input);
+        }
+        space.manager.gc_checkpoint();
+        out
+    };
     dst_dag.release(&mut space.manager);
     src_dag.release(&mut space.manager);
     let mut stats = space.manager.stats();

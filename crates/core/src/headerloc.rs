@@ -6,20 +6,64 @@
 //! 1. extract every prefix range from the two configurations, add the
 //!    universe `U = (0.0.0.0/0, 0-32)`, and close the set under
 //!    intersection;
-//! 2. build the ddNF DAG: one node per distinct range *set* (BDD-keyed, so
-//!    structurally different ranges denoting the same set share a node),
-//!    with a cover edge `(m, n)` exactly when `λ(n) ⊂ λ(m)` with nothing in
-//!    between;
+//! 2. build the ddNF DAG: one node per distinct range *set* (structurally
+//!    different ranges denoting the same set share a node), with a cover
+//!    edge `(m, n)` exactly when `λ(n) ⊂ λ(m)` with nothing in between;
 //! 3. run the recursive `GetMatch` over the DAG: a node's *remainder* (its
 //!    range minus its children) is either inside or outside the target set
 //!    `S`, which drives inclusion of the node's range minus the non-matching
 //!    children (computed by recursing with `¬S`);
 //! 4. remove *nested differences* in a single pass:
 //!    `C − (F − G)` becomes `{C − F, G}`.
+//!
+//! ## How the DAG is built fast
+//!
+//! Everything the builder needs to decide — emptiness, set equality
+//! (dedup), containment — is decidable *structurally* on the ranges
+//! themselves, without touching the BDD engine:
+//!
+//! * In a route space a range denotes its **member prefixes**, and
+//!   [`PrefixRange::canonical_members`] is a perfect set key:
+//!   [`PrefixRange::member_superset`] decides containment exactly.
+//! * In a packet-address space a range denotes the **addresses** under its
+//!   covering prefix, so the key is the prefix and containment is
+//!   [`Prefix::contains`].
+//!
+//! [`RangeEncoder::semantics`] says which reading applies. BDDs are still
+//! *encoded* — once per distinct node, since `GetMatch` consumes them — but
+//! the closure/containment passes never call `diff`, and a [`PrefixTrie`]
+//! over the node prefixes supplies each node's possible partners (only
+//! prefix-nested ranges can be related) instead of a per-call BTreeMap scan
+//! with sort/dedup. The pre-trie, BDD-deciding builder is retained as
+//! [`build_ddnf_oracle`]; a property suite asserts both produce identical
+//! DAGs, node order included.
+//!
+//! ## How localization queries are kept cheap
+//!
+//! A pair's DAG serves ~10 difference queries, which overlap heavily. Three
+//! caches exploit that: per-node remainders (`λ(n) − children`) are computed
+//! once at build time; `GetMatch` results are memoized per `(node, S)` on
+//! the DAG (`¬S` recursions hit the same table); and `¬S` itself is computed
+//! once per localize call, not once per included node.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 use campion_bdd::{Bdd, Manager};
-use campion_net::PrefixRange;
+use campion_net::{Prefix, PrefixRange, PrefixTrie};
 use campion_symbolic::{PacketSpace, RouteSpace};
+
+/// What set a prefix range denotes in a given encoder — selects the
+/// structural set key the ddNF builder dedups and orders nodes by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeSemantics {
+    /// The range's member prefixes (route spaces: address **and** length
+    /// dimensions both matter).
+    Members,
+    /// The addresses under the range's covering prefix (packet spaces: the
+    /// length bounds are irrelevant).
+    Addresses,
+}
 
 /// Abstracts "a BDD space in which a prefix range denotes a set", so the
 /// same ddNF machinery serves route maps (prefix + length dimensions) and
@@ -29,6 +73,11 @@ pub trait RangeEncoder {
     fn manager(&mut self) -> &mut Manager;
     /// The set denoted by a prefix range in this space.
     fn encode(&mut self, r: &PrefixRange) -> Bdd;
+    /// Which structural reading of a range [`RangeEncoder::encode`]
+    /// implements. Must agree with `encode`: two ranges with equal set keys
+    /// must encode to the same BDD, and key containment must match BDD
+    /// containment.
+    fn semantics(&self) -> RangeSemantics;
 }
 
 impl RangeEncoder for RouteSpace {
@@ -37,6 +86,9 @@ impl RangeEncoder for RouteSpace {
     }
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
         self.prefix_range_bdd(r)
+    }
+    fn semantics(&self) -> RangeSemantics {
+        RangeSemantics::Members
     }
 }
 
@@ -52,6 +104,9 @@ impl RangeEncoder for DstAddrSpace<'_> {
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
         self.0.dst_prefix_bdd(&r.prefix)
     }
+    fn semantics(&self) -> RangeSemantics {
+        RangeSemantics::Addresses
+    }
 }
 
 /// Source-address view of a packet space.
@@ -63,6 +118,40 @@ impl RangeEncoder for SrcAddrSpace<'_> {
     }
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
         self.0.src_prefix_bdd(&r.prefix)
+    }
+    fn semantics(&self) -> RangeSemantics {
+        RangeSemantics::Addresses
+    }
+}
+
+/// A range's denoted set, as a hashable structural key. Under either
+/// semantics the key is in bijection with the denoted set (and hence with
+/// the encoded BDD): canonical member representatives for route spaces,
+/// the covering prefix for address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SetKey {
+    Members(PrefixRange),
+    Addr(Prefix),
+}
+
+impl SetKey {
+    /// The key of `r`'s denoted set, or `None` when that set is empty
+    /// (address sets never are).
+    fn of(sem: RangeSemantics, r: &PrefixRange) -> Option<SetKey> {
+        match sem {
+            RangeSemantics::Members => r.canonical_members().map(SetKey::Members),
+            RangeSemantics::Addresses => Some(SetKey::Addr(r.prefix)),
+        }
+    }
+
+    /// Exact set containment: `other ⊆ self`. Keys of different semantics
+    /// never meet (one builder, one encoder).
+    fn contains(&self, other: &SetKey) -> bool {
+        match (self, other) {
+            (SetKey::Members(a), SetKey::Members(b)) => a.member_superset(b),
+            (SetKey::Addr(a), SetKey::Addr(b)) => a.contains(b),
+            _ => unreachable!("mixed range semantics in one ddNF"),
+        }
     }
 }
 
@@ -119,8 +208,16 @@ impl std::fmt::Display for HeaderLocalization {
     }
 }
 
+/// `GetMatch` memo table: `(node, S) → (terms, exact)`.
+type GetMatchMemo = HashMap<(usize, Bdd), (Vec<NestedTerm>, bool)>;
+
 /// The ddNF DAG over prefix ranges. Build it once per compared pair with
 /// [`RangeDag::build`] and localize many difference sets against it.
+///
+/// Cloning a DAG alongside a clone of its manager-owning space yields an
+/// independent snapshot whose node handles (and memo entries) remain valid
+/// in the cloned arena — the basis of the driver's per-difference fan-out.
+#[derive(Clone)]
 pub struct RangeDag {
     /// Node ranges (label function λ).
     ranges: Vec<PrefixRange>,
@@ -128,8 +225,19 @@ pub struct RangeDag {
     bdds: Vec<Bdd>,
     /// Cover-edge children per node.
     children: Vec<Vec<usize>>,
+    /// Per-node remainder (`λ(n) − children`), precomputed at build time so
+    /// localize queries stop re-deriving them node by node.
+    remainders: Vec<Bdd>,
     /// Index of the universe node.
     root: usize,
+    /// Poison flag: [`RangeDag::release`] drops the GC roots, after which
+    /// localizing against this DAG would read collectable BDDs.
+    released: Cell<bool>,
+    /// `GetMatch` memo: `(node, S) → (terms, exact)`. Valid for one GC
+    /// generation — a sweep may recycle node indices, so the table is
+    /// cleared whenever the manager's sweep count moves past `memo_gen`.
+    memo: RefCell<GetMatchMemo>,
+    memo_gen: Cell<u64>,
 }
 
 impl RangeDag {
@@ -146,11 +254,13 @@ impl RangeDag {
     }
 
     /// Drop the GC roots this DAG holds on its node sets ([`RangeDag::build`]
-    /// protects every node BDD so the DAG survives the collections the
-    /// driver runs between differences). The DAG must not be used for
-    /// localization afterwards.
+    /// protects every node BDD and remainder so the DAG survives the
+    /// collections the driver runs between differences). The DAG must not
+    /// be used for localization afterwards (debug-asserted).
     pub fn release(&self, manager: &mut Manager) {
-        for &b in &self.bdds {
+        debug_assert!(!self.released.get(), "RangeDag released twice");
+        self.released.set(true);
+        for &b in self.bdds.iter().chain(self.remainders.iter()) {
             manager.unprotect(b);
         }
     }
@@ -163,7 +273,243 @@ impl RangeDag {
 
 type Ddnf = RangeDag;
 
-/// Candidate-pair index for the closure and containment scans.
+/// Close a range set under intersection, deduplicating by denoted set via
+/// structural keys. BDDs are encoded (and rooted) once per distinct node;
+/// the trie answers partner queries for the fixpoint loop.
+fn closed_ranges<E: RangeEncoder>(
+    space: &mut E,
+    ranges: &[PrefixRange],
+) -> (Vec<PrefixRange>, Vec<Bdd>, Vec<SetKey>, PrefixTrie) {
+    let sem = space.semantics();
+    let mut out: Vec<PrefixRange> = Vec::new();
+    let mut bdds: Vec<Bdd> = Vec::new();
+    let mut keys: Vec<SetKey> = Vec::new();
+    let mut trie = PrefixTrie::new();
+    let mut seen: std::collections::HashSet<SetKey> = std::collections::HashSet::new();
+    let mut push = |space: &mut E,
+                    out: &mut Vec<PrefixRange>,
+                    bdds: &mut Vec<Bdd>,
+                    keys: &mut Vec<SetKey>,
+                    trie: &mut PrefixTrie,
+                    r: PrefixRange| {
+        let Some(key) = SetKey::of(sem, &r) else {
+            return; // denotes ∅ — e.g. length bounds under the prefix's bits
+        };
+        if seen.insert(key) {
+            let b = space.encode(&r);
+            debug_assert!(!space.manager().is_false(b), "nonempty key, empty set");
+            // Root every distinct node set: the DAG outlives the safe
+            // points between localizations (released by `RangeDag::release`).
+            space.manager().protect(b);
+            trie.insert(out.len(), &r.prefix);
+            out.push(r);
+            bdds.push(b);
+            keys.push(key);
+        }
+    };
+    push(
+        space,
+        &mut out,
+        &mut bdds,
+        &mut keys,
+        &mut trie,
+        PrefixRange::universe(),
+    );
+    for r in ranges {
+        push(space, &mut out, &mut bdds, &mut keys, &mut trie, *r);
+    }
+    // Fixpoint closure under pairwise intersection, with the trie supplying
+    // each node's possible partners (only prefix-nested ranges intersect)
+    // instead of an all-pairs scan. Range intersection is again a range, so
+    // this terminates; candidates come back in ascending order, so pushes
+    // happen in the same order the plain `for j < i` loop produced.
+    let mut i = 0;
+    while i < out.len() {
+        for j in trie.candidates(&out[i].prefix) {
+            if j >= i {
+                break;
+            }
+            if let Some(x) = out[i].intersect(&out[j]) {
+                push(space, &mut out, &mut bdds, &mut keys, &mut trie, x);
+            }
+        }
+        i += 1;
+    }
+    (out, bdds, keys, trie)
+}
+
+/// Build the ddNF DAG from the closed range set, deciding containment on
+/// the structural set keys.
+fn build_ddnf<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> Ddnf {
+    let (ranges, bdds, keys, trie) = {
+        campion_trace::span!("headerloc.ddnf.close");
+        closed_ranges(space, ranges)
+    };
+    campion_trace::span!("headerloc.ddnf.edges");
+    let n = ranges.len();
+    // containers[c] = nodes whose set strictly contains node c's set
+    // (structurally different but equal ranges were already merged, so
+    // strictness is just key inequality). The trie narrows each node's
+    // possible containers to its prefix-nested partners, making this
+    // near-linear for the sparse range sets real configurations produce.
+    let mut containers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for m in trie.candidates(&ranges[c].prefix) {
+            if c == m || ranges[c].intersect(&ranges[m]).is_none() {
+                continue;
+            }
+            if keys[m].contains(&keys[c]) {
+                containers[c].push(m);
+            }
+        }
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (c, cs) in containers.iter().enumerate() {
+        // Cover edges: minimal containers of c (no other container of c
+        // sits strictly between). `set(k) ⊆ set(m)` is one structural
+        // check, replacing the former `containers[k].contains(&m)` scan.
+        for &m in cs {
+            let covered = cs.iter().any(|&k| k != m && keys[m].contains(&keys[k]));
+            if !covered {
+                children[m].push(c);
+            }
+        }
+    }
+    finish_dag(space, ranges, bdds, children)
+}
+
+/// Shared tail of both builders: locate the root and precompute (and root)
+/// every node's remainder.
+fn finish_dag<E: RangeEncoder>(
+    space: &mut E,
+    ranges: Vec<PrefixRange>,
+    bdds: Vec<Bdd>,
+    children: Vec<Vec<usize>>,
+) -> Ddnf {
+    campion_trace::span!("headerloc.ddnf.remainders");
+    let root = ranges
+        .iter()
+        .position(|r| *r == PrefixRange::universe())
+        .expect("universe inserted first");
+    let mut remainders = Vec::with_capacity(bdds.len());
+    for (i, &b) in bdds.iter().enumerate() {
+        let mut rem = b;
+        for &k in &children[i] {
+            rem = space.manager().diff(rem, bdds[k]);
+        }
+        space.manager().protect(rem);
+        remainders.push(rem);
+    }
+    Ddnf {
+        ranges,
+        bdds,
+        children,
+        remainders,
+        root,
+        released: Cell::new(false),
+        memo: RefCell::new(HashMap::new()),
+        memo_gen: Cell::new(u64::MAX),
+    }
+}
+
+/// The pre-trie `closed_ranges`: BDD-keyed dedup plus a BTreeMap prefix
+/// index. Retained verbatim as the differential oracle for the structural
+/// builder (`tests::ddnf` asserts identical DAGs).
+fn closed_ranges_oracle<E: RangeEncoder>(
+    space: &mut E,
+    ranges: &[PrefixRange],
+) -> (Vec<PrefixRange>, Vec<Bdd>, RangeIndex) {
+    let mut out: Vec<PrefixRange> = Vec::new();
+    let mut bdds: Vec<Bdd> = Vec::new();
+    let mut seen: std::collections::HashSet<Bdd> = std::collections::HashSet::new();
+    let mut push =
+        |space: &mut E, out: &mut Vec<PrefixRange>, bdds: &mut Vec<Bdd>, r: PrefixRange| {
+            let b = space.encode(&r);
+            if space.manager().is_false(b) {
+                return;
+            }
+            if seen.insert(b) {
+                space.manager().protect(b);
+                out.push(r);
+                bdds.push(b);
+            }
+        };
+    push(space, &mut out, &mut bdds, PrefixRange::universe());
+    for r in ranges {
+        push(space, &mut out, &mut bdds, *r);
+    }
+    let mut index = RangeIndex::new();
+    for (id, r) in out.iter().enumerate() {
+        index.insert(id, r);
+    }
+    let mut i = 0;
+    while i < out.len() {
+        for j in index.candidates(&out[i]) {
+            if j >= i {
+                break;
+            }
+            if let Some(x) = out[i].intersect(&out[j]) {
+                let before = out.len();
+                push(space, &mut out, &mut bdds, x);
+                if out.len() > before {
+                    index.insert(before, &out[before]);
+                }
+            }
+        }
+        i += 1;
+    }
+    (out, bdds, index)
+}
+
+/// The pre-trie DAG builder, deciding containment with BDD `diff`. Retained
+/// as the differential-testing oracle for [`RangeDag::build`]; not used on
+/// the production path.
+#[doc(hidden)]
+pub fn build_ddnf_oracle<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> RangeDag {
+    let (ranges, bdds, index) = closed_ranges_oracle(space, ranges);
+    let n = ranges.len();
+    let mut containers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for m in index.candidates(&ranges[c]) {
+            if c == m || ranges[c].intersect(&ranges[m]).is_none() {
+                continue;
+            }
+            let extra = space.manager().diff(bdds[c], bdds[m]);
+            if space.manager().is_false(extra) {
+                containers[c].push(m);
+            }
+        }
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for &m in &containers[c] {
+            let covered = containers[c]
+                .iter()
+                .any(|&k| k != m && containers[k].contains(&m));
+            if !covered {
+                children[m].push(c);
+            }
+        }
+    }
+    finish_dag(space, ranges, bdds, children)
+}
+
+/// The DAG's full skeleton `(ranges, bdds, children, remainders, root)`,
+/// for the differential suite's node-order-included equality assertions
+/// (two builds in one manager must agree on every node handle too).
+#[doc(hidden)]
+#[allow(clippy::type_complexity)]
+pub fn dag_structure(dag: &RangeDag) -> (&[PrefixRange], &[Bdd], &[Vec<usize>], &[Bdd], usize) {
+    (
+        &dag.ranges,
+        &dag.bdds,
+        &dag.children,
+        &dag.remainders,
+        dag.root,
+    )
+}
+
+/// Candidate-pair index for the oracle's closure and containment scans.
 ///
 /// Two prefix ranges can intersect only when one's prefix is a truncation
 /// of the other's (`PrefixRange::intersect` demands the shorter prefix's
@@ -174,6 +520,7 @@ type Ddnf = RangeDag;
 /// the true partner set (the caller still runs `intersect`), returned in
 /// ascending node order so scan order matches the plain nested loops
 /// exactly (node order flows into report rendering order).
+/// [`PrefixTrie`] answers the same query without the per-call sort/dedup.
 struct RangeIndex {
     by_prefix: std::collections::BTreeMap<(u32, u8), Vec<usize>>,
 }
@@ -222,107 +569,6 @@ impl RangeIndex {
     }
 }
 
-/// Close a range set under intersection and deduplicate by denoted set.
-fn closed_ranges<E: RangeEncoder>(
-    space: &mut E,
-    ranges: &[PrefixRange],
-) -> (Vec<PrefixRange>, Vec<Bdd>, RangeIndex) {
-    let mut out: Vec<PrefixRange> = Vec::new();
-    let mut bdds: Vec<Bdd> = Vec::new();
-    let mut seen: std::collections::HashSet<Bdd> = std::collections::HashSet::new();
-    let mut push =
-        |space: &mut E, out: &mut Vec<PrefixRange>, bdds: &mut Vec<Bdd>, r: PrefixRange| {
-            let b = space.encode(&r);
-            if space.manager().is_false(b) {
-                return;
-            }
-            if seen.insert(b) {
-                // Root every distinct node set: the DAG outlives the safe
-                // points between localizations (released by `RangeDag::release`).
-                space.manager().protect(b);
-                out.push(r);
-                bdds.push(b);
-            }
-        };
-    push(space, &mut out, &mut bdds, PrefixRange::universe());
-    for r in ranges {
-        push(space, &mut out, &mut bdds, *r);
-    }
-    let mut index = RangeIndex::new();
-    for (id, r) in out.iter().enumerate() {
-        index.insert(id, r);
-    }
-    // Fixpoint closure under pairwise intersection, with the prefix index
-    // supplying each node's possible partners instead of an all-pairs scan.
-    // Range intersection is again a range, so this terminates; candidates
-    // come back in ascending order, so pushes happen in the same order the
-    // plain `for j < i` loop produced.
-    let mut i = 0;
-    while i < out.len() {
-        for j in index.candidates(&out[i]) {
-            if j >= i {
-                break;
-            }
-            if let Some(x) = out[i].intersect(&out[j]) {
-                let before = out.len();
-                push(space, &mut out, &mut bdds, x);
-                if out.len() > before {
-                    index.insert(before, &out[before]);
-                }
-            }
-        }
-        i += 1;
-    }
-    (out, bdds, index)
-}
-
-/// Build the ddNF DAG from the closed range set.
-fn build_ddnf<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) -> Ddnf {
-    let (ranges, bdds, index) = closed_ranges(space, ranges);
-    let n = ranges.len();
-    // containers[c] = nodes whose set strictly contains node c's set,
-    // decided on the BDDs (structurally different but equal ranges were
-    // already merged, so strictness is just inequality). The prefix index
-    // is a cheap sound prefilter: only prefix-nesting ranges can be
-    // related, which makes this near-linear for the sparse range sets real
-    // configurations produce.
-    let mut containers: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for c in 0..n {
-        for m in index.candidates(&ranges[c]) {
-            if c == m || ranges[c].intersect(&ranges[m]).is_none() {
-                continue;
-            }
-            let extra = space.manager().diff(bdds[c], bdds[m]);
-            if space.manager().is_false(extra) {
-                containers[c].push(m);
-            }
-        }
-    }
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for c in 0..n {
-        // Cover edges: minimal containers of c (no other container of c
-        // sits strictly between).
-        for &m in &containers[c] {
-            let covered = containers[c]
-                .iter()
-                .any(|&k| k != m && containers[k].contains(&m));
-            if !covered {
-                children[m].push(c);
-            }
-        }
-    }
-    let root = ranges
-        .iter()
-        .position(|r| *r == PrefixRange::universe())
-        .expect("universe inserted first");
-    Ddnf {
-        ranges,
-        bdds,
-        children,
-        root,
-    }
-}
-
 /// `GetMatch` (paper §3.2): returns terms representing `S ∩ set(node)`,
 /// assuming every ddNF cell is inside or outside `S`. Terms may be nested
 /// (a minus item carrying its own minus list) until the cleanup pass.
@@ -332,35 +578,30 @@ struct NestedTerm {
     minus: Vec<NestedTerm>,
 }
 
+/// One `GetMatch` node visit, memoized per `(node, s)` on the DAG. `not_s`
+/// is `¬s`, threaded down so the include-branch recursion (which queries
+/// the complement) costs no `not()` calls; the roles swap on recursion
+/// since `¬¬s = s` is free in a canonical BDD.
 fn get_match<E: RangeEncoder>(
     space: &mut E,
     ddnf: &Ddnf,
     s: Bdd,
+    not_s: Bdd,
     node: usize,
     exact: &mut bool,
 ) -> Vec<NestedTerm> {
+    if let Some((terms, sub_exact)) = ddnf.memo.borrow().get(&(node, s)).cloned() {
+        if !sub_exact {
+            *exact = false;
+        }
+        return terms;
+    }
     let range_bdd = ddnf.bdds[node];
     let kids = &ddnf.children[node];
-    if kids.is_empty() {
-        // Leaf: included iff contained in S.
-        let outside = space.manager().diff(range_bdd, s);
-        if space.manager().is_false(outside) {
-            return vec![NestedTerm {
-                base: ddnf.ranges[node],
-                minus: Vec::new(),
-            }];
-        }
-        let inside = space.manager().and(range_bdd, s);
-        if space.manager().is_sat(inside) {
-            *exact = false; // cell splits S: decomposition inexact
-        }
-        return Vec::new();
-    }
-    // Remainder = range minus all children.
-    let mut remainder = range_bdd;
-    for &k in kids {
-        remainder = space.manager().diff(remainder, ddnf.bdds[k]);
-    }
+    // Remainder = range minus all children (precomputed; equals the range
+    // itself at leaves).
+    let remainder = ddnf.remainders[node];
+    let mut sub_exact = true;
     let rem_outside = space.manager().diff(remainder, s);
     let overlaps_s = {
         let x = space.manager().and(range_bdd, s);
@@ -369,12 +610,11 @@ fn get_match<E: RangeEncoder>(
     // Include-branch: the remainder is inside S (an empty remainder counts,
     // provided the range overlaps S at all — otherwise the node contributes
     // nothing and we just recurse).
-    if space.manager().is_false(rem_outside) && overlaps_s {
+    let terms = if space.manager().is_false(rem_outside) && overlaps_s {
         // Remainder ⊆ S: include the range minus the children not in S.
-        let not_s = space.manager().not(s);
         let mut minus = Vec::new();
         for &k in kids {
-            minus.extend(get_match(space, ddnf, not_s, k, exact));
+            minus.extend(get_match(space, ddnf, not_s, s, k, &mut sub_exact));
         }
         vec![NestedTerm {
             base: ddnf.ranges[node],
@@ -384,15 +624,22 @@ fn get_match<E: RangeEncoder>(
         if space.manager().is_sat(remainder) {
             let rem_inside = space.manager().and(remainder, s);
             if space.manager().is_sat(rem_inside) {
-                *exact = false;
+                sub_exact = false; // cell splits S: decomposition inexact
             }
         }
         let mut out = Vec::new();
         for &k in kids {
-            out.extend(get_match(space, ddnf, s, k, exact));
+            out.extend(get_match(space, ddnf, s, not_s, k, &mut sub_exact));
         }
         out
+    };
+    if !sub_exact {
+        *exact = false;
     }
+    ddnf.memo
+        .borrow_mut()
+        .insert((node, s), (terms.clone(), sub_exact));
+    terms
 }
 
 /// Remove nested differences in one pass: `C − (F − G)` → `{C − F, G}`.
@@ -437,8 +684,22 @@ pub fn header_localize_with<E: RangeEncoder>(
     ddnf: &RangeDag,
 ) -> HeaderLocalization {
     campion_trace::span!("headerloc.localize");
+    debug_assert!(
+        !ddnf.released.get(),
+        "localize against a released RangeDag (its node BDDs are unrooted)"
+    );
+    // Memo entries name arena indices, which stay put between sweeps and
+    // may be recycled by one: key the table to the manager's sweep count.
+    // (No sweep can happen inside this call — collection only runs at
+    // explicit checkpoints, and there are none below.)
+    let gc_gen = space.manager().stats().gc_runs;
+    if ddnf.memo_gen.get() != gc_gen {
+        ddnf.memo.borrow_mut().clear();
+        ddnf.memo_gen.set(gc_gen);
+    }
     let mut exact = true;
-    let nested = get_match(space, ddnf, s, ddnf.root, &mut exact);
+    let not_s = space.manager().not(s);
+    let nested = get_match(space, ddnf, s, not_s, ddnf.root, &mut exact);
     let mut terms = flatten(nested);
     // Deterministic output order, and deduplication: a shared DAG node can
     // be reached through several parents and must be reported once.

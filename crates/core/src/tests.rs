@@ -937,3 +937,201 @@ mod prune_oracle {
         }
     }
 }
+
+// --------------------------------------------------------------- ddNF/trie
+
+/// Differential suite for the structural ddNF builder: the trie-based
+/// [`RangeDag::build`] must produce byte-identical DAGs — node order, cover
+/// edges, BDD handles and remainders included — versus the retained
+/// BDD-deciding oracle, and localizations against either must agree.
+mod ddnf {
+    use std::net::Ipv4Addr;
+
+    use campion_net::Prefix;
+    use campion_symbolic::PacketSpace;
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::headerloc::{
+        build_ddnf_oracle, dag_structure, header_localize_with, DstAddrSpace, RangeDag,
+        RangeEncoder,
+    };
+
+    /// Build with both builders in the same space (so deterministic
+    /// hash-consing makes node handles comparable), assert full equality,
+    /// then cross-check localization of every input range and their union.
+    fn assert_same_dag<E: RangeEncoder>(space: &mut E, ranges: &[PrefixRange]) {
+        let oracle = build_ddnf_oracle(space, ranges);
+        let fast = RangeDag::build(space, ranges);
+        assert_eq!(
+            dag_structure(&oracle),
+            dag_structure(&fast),
+            "trie builder diverged from the oracle"
+        );
+        let mut targets = Vec::new();
+        let mut union = campion_bdd::Bdd::FALSE;
+        for r in ranges {
+            let b = space.encode(r);
+            targets.push(b);
+            union = space.manager().or(union, b);
+        }
+        targets.push(union);
+        targets.push(campion_bdd::Bdd::FALSE);
+        let valid = space.encode(&PrefixRange::universe());
+        for t in targets {
+            let s = space.manager().and(t, valid);
+            let a = header_localize_with(space, s, &oracle);
+            let b = header_localize_with(space, s, &fast);
+            assert_eq!(a, b, "localization diverged between oracle and trie DAG");
+        }
+        oracle.release(space.manager());
+        fast.release(space.manager());
+    }
+
+    fn route_space() -> RouteSpace {
+        let dummy = campion_ir::RoutePolicy::permit_all("x");
+        RouteSpace::for_policies(&[&dummy])
+    }
+
+    proptest! {
+        /// Route-space (member semantics): arbitrary length intervals,
+        /// including empty member sets and truncation chains.
+        #[test]
+        fn trie_matches_oracle_in_route_spaces(
+            seeds in proptest::collection::vec(
+                (any::<u32>(), 0u8..=32, 0u8..=32, 0u8..=32), 1..8)
+        ) {
+            let ranges: Vec<PrefixRange> = seeds
+                .iter()
+                .map(|&(bits, len, a, b)| {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    PrefixRange::new(Prefix::new(Ipv4Addr::from(bits), len), lo, hi)
+                })
+                .collect();
+            assert_same_dag(&mut route_space(), &ranges);
+        }
+
+        /// Address-space (prefix-only semantics), as the ACL driver builds
+        /// them: `or_longer` ranges from rule prefixes.
+        #[test]
+        fn trie_matches_oracle_in_addr_spaces(
+            seeds in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..8)
+        ) {
+            let ranges: Vec<PrefixRange> = seeds
+                .iter()
+                .map(|&(bits, len)| {
+                    PrefixRange::or_longer(Prefix::new(Ipv4Addr::from(bits), len))
+                })
+                .collect();
+            let mut space = PacketSpace::new();
+            assert_same_dag(&mut DstAddrSpace(&mut space), &ranges);
+        }
+    }
+
+    /// The IPv4 corners: /0, /32, adjacent blocks, duplicates, and
+    /// structurally different spellings of the same member set.
+    #[test]
+    fn trie_matches_oracle_on_edge_cases() {
+        let r = |s: &str| s.parse::<PrefixRange>().unwrap();
+        let ranges = vec![
+            r("0.0.0.0/0:0-0"),
+            r("0.0.0.0/0:0-32"), // duplicate of the implicit universe
+            r("10.0.0.0/9:9-32"),
+            r("10.128.0.0/9:9-32"), // adjacent block of the previous
+            r("10.0.0.0/8:8-32"),
+            r("255.255.255.255/32:32-32"),
+            r("10.0.0.0/8:8-8"),
+            r("10.0.0.0/16:8-8"), // same member set as the previous
+            r("10.0.0.0/8:0-6"),  // empty member set
+            r("10.0.0.0/8:8-32"), // literal duplicate
+        ];
+        assert_same_dag(&mut route_space(), &ranges);
+    }
+
+    /// Localizing against a released DAG is a use-after-free of its GC
+    /// roots; the poison flag catches it in debug builds.
+    #[test]
+    #[should_panic(expected = "released RangeDag")]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "the poison flag is a debug_assert; it compiles out in release builds"
+    )]
+    fn localize_after_release_is_poisoned() {
+        let mut space = route_space();
+        let dag = RangeDag::build(&mut space, &[]);
+        dag.release(&mut space.manager);
+        let _ = header_localize_with(&mut space, campion_bdd::Bdd::FALSE, &dag);
+    }
+
+    /// The `(node, S)` memo must serve repeat queries and reset when a
+    /// sweep recycles node indices.
+    #[test]
+    fn memo_is_stable_across_queries_and_collections() {
+        let r = |s: &str| s.parse::<PrefixRange>().unwrap();
+        let ranges = [
+            r("10.0.0.0/8:8-32"),
+            r("10.1.0.0/16:16-32"),
+            r("20.0.0.0/8:8-32"),
+        ];
+        let mut space = route_space();
+        space
+            .manager
+            .set_gc_policy(campion_bdd::GcPolicy::Aggressive);
+        let dag = RangeDag::build(&mut space, &ranges);
+        let b = space.prefix_range_bdd(&ranges[0]);
+        let valid = space.prefix_range_bdd(&PrefixRange::universe());
+        let s = space.manager.and(b, valid);
+        space.manager.protect(s);
+        let first = header_localize_with(&mut space, s, &dag);
+        let memo_hit = header_localize_with(&mut space, s, &dag);
+        assert_eq!(first, memo_hit);
+        space.manager.gc_checkpoint(); // aggressive: sweeps, indices may move
+        let after_gc = header_localize_with(&mut space, s, &dag);
+        assert_eq!(first, after_gc);
+        space.manager.unprotect(s);
+        dag.release(&mut space.manager);
+    }
+
+    /// The fan-out invariant: a cloned (space, DAG) snapshot localizes
+    /// byte-identically to the original, even after the arenas diverge.
+    #[test]
+    fn snapshot_clones_localize_identically() {
+        let r = |s: &str| s.parse::<PrefixRange>().unwrap();
+        let ranges = [
+            r("10.0.0.0/8:8-32"),
+            r("10.1.0.0/16:16-32"),
+            r("10.2.0.0/16:16-32"),
+            r("20.0.0.0/8:8-24"),
+        ];
+        let mut space = route_space();
+        let dag = RangeDag::build(&mut space, &ranges);
+        let valid = space.prefix_range_bdd(&PrefixRange::universe());
+        let mut targets = Vec::new();
+        for r in &ranges {
+            let b = space.prefix_range_bdd(r);
+            let s = space.manager.and(b, valid);
+            space.manager.protect(s);
+            targets.push(s);
+        }
+        let mut clone_space = space.clone();
+        let clone_dag = dag.clone();
+        // Diverge the clone's arena before querying: new nodes beyond the
+        // snapshot must not disturb snapshot handles.
+        let extra = clone_space.prefix_range_bdd(&r("99.0.0.0/8:8-32"));
+        let _ = clone_space.manager.not(extra);
+        for (i, &s) in targets.iter().enumerate() {
+            // Opposite query orders on purpose.
+            let from_clone =
+                header_localize_with(&mut clone_space, targets[targets.len() - 1 - i], &clone_dag);
+            let from_orig = header_localize_with(&mut space, targets[targets.len() - 1 - i], &dag);
+            assert_eq!(from_orig, from_clone);
+            let a = header_localize_with(&mut space, s, &dag);
+            let b = header_localize_with(&mut clone_space, s, &clone_dag);
+            assert_eq!(a, b);
+        }
+        for s in targets {
+            space.manager.unprotect(s);
+        }
+        dag.release(&mut space.manager);
+    }
+}

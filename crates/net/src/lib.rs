@@ -15,12 +15,14 @@ mod prefix;
 mod range;
 pub mod regex;
 pub mod regex_dfa;
+mod trie;
 mod wildcard;
 
 pub use community::Community;
 pub use flow::{Flow, IpProtocol, PortRange};
 pub use prefix::{ParseNetError, Prefix};
 pub use range::PrefixRange;
+pub use trie::PrefixTrie;
 pub use wildcard::WildcardMask;
 
 #[cfg(test)]

@@ -115,6 +115,69 @@ impl PrefixRange {
         Some(PrefixRange::new(longer.prefix, min_len, max_len))
     }
 
+    /// The canonical representative of this range's **member set**, or
+    /// `None` when the set is empty.
+    ///
+    /// Structurally different ranges can denote the same set of prefixes:
+    /// `(10.0.0.0/8, 0-8)` and `(10.0.0.0/16, 8-8)` both contain exactly
+    /// `{10.0.0.0/8}`. Two normalizations make the representation unique:
+    ///
+    /// * A member of length `l < prefix.len()` is the *truncation* of the
+    ///   covering prefix, and exists only when truncating to `l` bits
+    ///   preserves them all — i.e. when `l ≥ significant_len(bits)`. The
+    ///   nonempty member lengths therefore form the contiguous interval
+    ///   `[max(min_len, significant_len), max_len]`, which becomes the
+    ///   canonical interval (`None` when it is empty).
+    /// * Bits of the covering prefix beyond `max_len` never constrain any
+    ///   member (all members are at most `max_len` long), so the covering
+    ///   prefix is truncated to `min(prefix.len(), max_len)`.
+    ///
+    /// After both steps, equal member sets have equal representatives: the
+    /// canonical interval is exactly the set's length profile (one member
+    /// per length up to the covering length, a full fan-out beyond it), so
+    /// the set determines the interval, and its shortest member determines
+    /// the covering prefix.
+    pub fn canonical_members(&self) -> Option<PrefixRange> {
+        let z = significant_len(self.prefix.bits());
+        let min_len = self.min_len.max(z);
+        if min_len > self.max_len {
+            return None;
+        }
+        let plen = self.prefix.len().min(self.max_len);
+        let prefix = Prefix::new(self.prefix.addr(), plen);
+        Some(PrefixRange::new(prefix, min_len, self.max_len))
+    }
+
+    /// Exact member-set containment: is every member of `other` a member
+    /// of `self`? Unlike [`PrefixRange::contains`] — which is sound but
+    /// incomplete on non-canonical ranges — this decides the relation
+    /// exactly, by comparing canonical representatives.
+    pub fn member_superset(&self, other: &PrefixRange) -> bool {
+        let Some(a) = other.canonical_members() else {
+            return true; // ∅ ⊆ anything
+        };
+        let Some(b) = self.canonical_members() else {
+            return false; // a is nonempty
+        };
+        // b's interval must cover a's, and every member of a must match
+        // b's covering bits. Members of a at length ≥ a.prefix.len() all
+        // share a's covering bits on the first a.prefix.len() bits but are
+        // otherwise free, so when b's covering prefix is *longer* than
+        // a's, containment additionally requires a to have no members
+        // beyond its covering length — canonically, `a.max_len ==
+        // a.prefix.len()` (a is a chain of truncations, pinned bitwise).
+        b.min_len <= a.min_len
+            && a.max_len <= b.max_len
+            && a.prefix.bits() & mask(b.prefix.len()) == b.prefix.bits()
+            && (b.prefix.len() <= a.prefix.len() || a.max_len == a.prefix.len())
+    }
+
+    /// Exact member-set emptiness (e.g. `(10.0.0.0/8, 0-6)` has no
+    /// members: no 0–6-bit truncation preserves the `10.` octet).
+    pub fn members_empty(&self) -> bool {
+        self.canonical_members().is_none()
+    }
+
     /// Number of member prefixes (for minimality metrics in tests).
     pub fn member_count(&self) -> u128 {
         let mut total = 0u128;
@@ -131,6 +194,16 @@ impl PrefixRange {
             }
         }
         total
+    }
+}
+
+/// The shortest truncation of `bits` that preserves them all: `32 −
+/// trailing_zeros`, or 0 for the all-zero address.
+fn significant_len(bits: u32) -> u8 {
+    if bits == 0 {
+        0
+    } else {
+        (32 - bits.trailing_zeros()) as u8
     }
 }
 

@@ -251,4 +251,92 @@ mod properties {
             prop_assert_eq!(w.matches(ip), p.contains_addr(ip));
         }
     }
+
+    /// A range whose members all live in the ≤ /8 universe, so member sets
+    /// can be enumerated exhaustively (Σ 2^l for l ≤ 8 = 511 prefixes).
+    fn arb_small_range() -> impl Strategy<Value = PrefixRange> {
+        (any::<u32>(), 0u8..=8, 0u8..=8, 0u8..=8).prop_map(|(bits, len, a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            PrefixRange::new(Prefix::new(Ipv4Addr::from(bits), len), lo, hi)
+        })
+    }
+
+    /// Every prefix of length ≤ 8.
+    fn small_universe() -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for len in 0u8..=8 {
+            for block in 0u32..(1 << len) {
+                let bits = if len == 0 { 0 } else { block << (32 - len) };
+                out.push(Prefix::new(Ipv4Addr::from(bits), len));
+            }
+        }
+        out
+    }
+
+    fn member_set(r: &PrefixRange, universe: &[Prefix]) -> Vec<Prefix> {
+        universe.iter().filter(|p| r.member(p)).copied().collect()
+    }
+
+    proptest! {
+        #[test]
+        fn canonical_members_preserves_the_member_set(r in arb_small_range()) {
+            let universe = small_universe();
+            let members = member_set(&r, &universe);
+            match r.canonical_members() {
+                None => prop_assert!(members.is_empty(), "{r} claimed empty"),
+                Some(c) => {
+                    prop_assert!(!members.is_empty(), "{r} → {c} claimed nonempty");
+                    prop_assert_eq!(member_set(&c, &universe), members);
+                }
+            }
+        }
+
+        #[test]
+        fn canonical_members_is_a_set_key(a in arb_small_range(), b in arb_small_range()) {
+            let universe = small_universe();
+            let equal_sets = member_set(&a, &universe) == member_set(&b, &universe);
+            prop_assert_eq!(
+                a.canonical_members() == b.canonical_members(),
+                equal_sets,
+                "{} vs {}", a, b
+            );
+        }
+
+        #[test]
+        fn member_superset_is_exact(a in arb_small_range(), b in arb_small_range()) {
+            let universe = small_universe();
+            let sa = member_set(&a, &universe);
+            let sb = member_set(&b, &universe);
+            let brute = sb.iter().all(|p| sa.contains(p));
+            prop_assert_eq!(a.member_superset(&b), brute, "{} ⊇ {}", a, b);
+            // And the structural `contains` stays sound w.r.t. member sets.
+            if a.contains(&b) {
+                prop_assert!(brute);
+            }
+        }
+    }
+
+    #[test]
+    fn member_set_algebra_edge_cases() {
+        let r = |s: &str| s.parse::<PrefixRange>().unwrap();
+        // Equal sets under different spellings.
+        assert_eq!(
+            r("10.0.0.0/8:8-8").canonical_members(),
+            r("10.0.0.0/16:8-8").canonical_members()
+        );
+        assert_eq!(
+            r("10.0.0.0/8:0-8").canonical_members(),
+            Some(r("10.0.0.0/8:7-8"))
+        );
+        // Truncation below the significant bits empties the set.
+        assert!(r("10.0.0.0/8:0-6").members_empty());
+        assert!(!r("10.0.0.0/8:0-7").members_empty());
+        // /0 and /32 extremes.
+        assert!(PrefixRange::universe().member_superset(&r("255.255.255.255/32:32-32")));
+        assert!(r("0.0.0.0/0:0-0").member_superset(&r("10.0.0.0/8:0-6")));
+        assert!(!r("0.0.0.0/0:0-0").member_superset(&r("0.0.0.0/0:0-1")));
+        // Adjacent blocks are unrelated.
+        assert!(!r("10.0.0.0/9:9-32").member_superset(&r("10.128.0.0/9:9-32")));
+        assert!(!r("10.128.0.0/9:9-32").member_superset(&r("10.0.0.0/9:9-32")));
+    }
 }

@@ -1,0 +1,212 @@
+//! A binary prefix trie with first-octet bucketing, for the ddNF builder's
+//! candidate queries.
+//!
+//! The ddNF closure and containment passes repeatedly ask, for a prefix
+//! `p`: *which stored prefixes are a truncation of `p`, and which are an
+//! extension of it?* Only those can intersect `p`'s address block. The trie
+//! answers both in one walk: ancestors are collected along `p`'s bit path,
+//! and extensions are the subtree hanging under `p`'s node.
+//!
+//! Real configurations concentrate their prefixes under a handful of first
+//! octets, so the top eight levels — where every lookup would walk the same
+//! near-empty chain of interior nodes — are collapsed into a flat 256-way
+//! bucket array indexed by the first octet (the classic routing-trie
+//! layout). Prefixes shorter than `/8` live in a small binary trie of their
+//! own; a `/k` query with `k < 8` additionally spans the `2^(8-k)` buckets
+//! of its address block, which is a contiguous bucket slice.
+
+use crate::prefix::{mask, Prefix};
+
+/// One binary-trie node: ids stored exactly at this prefix, plus the 0/1
+/// subtries.
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    ids: Vec<usize>,
+    kids: [Option<Box<TrieNode>>; 2],
+}
+
+impl TrieNode {
+    /// Append every id in this subtree to `out` (order is fixed up by the
+    /// caller's final sort).
+    fn collect(&self, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.ids);
+        for kid in self.kids.iter().flatten() {
+            kid.collect(out);
+        }
+    }
+}
+
+/// Bit `depth` of `bits` (bit 0 = most significant), as a child index.
+fn step(bits: u32, depth: u8) -> usize {
+    ((bits >> (31 - depth)) & 1) as usize
+}
+
+/// A set of `(id, Prefix)` entries supporting exact-ancestor and subtree
+/// queries in one pass.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie {
+    /// Prefixes of length 0–7, in a plain binary trie from the root.
+    short: TrieNode,
+    /// Prefixes of length ≥ 8, bucketed by first octet; each bucket is a
+    /// binary trie whose root sits at depth 8.
+    buckets: Vec<Option<Box<TrieNode>>>,
+    len: usize,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            short: TrieNode::default(),
+            buckets: vec![None; 256],
+            len: 0,
+        }
+    }
+
+    /// Number of inserted entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an entry. Multiple ids may share a prefix.
+    pub fn insert(&mut self, id: usize, p: &Prefix) {
+        let mut node = if p.len() < 8 {
+            &mut self.short
+        } else {
+            self.buckets[(p.bits() >> 24) as usize].get_or_insert_with(Box::default)
+        };
+        let mut depth = if p.len() < 8 { 0 } else { 8 };
+        while depth < p.len() {
+            node = node.kids[step(p.bits(), depth)].get_or_insert_with(Box::default);
+            depth += 1;
+        }
+        node.ids.push(id);
+        self.len += 1;
+    }
+
+    /// All ids whose prefix is a truncation of `p` (ancestors, including
+    /// `p` itself) or an extension of it (the subtree under `p`), in
+    /// ascending id order. This is exactly the set of stored prefixes whose
+    /// address blocks are nested with `p`'s — a superset of any
+    /// intersection/containment partner set.
+    pub fn candidates(&self, p: &Prefix) -> Vec<usize> {
+        let mut out = Vec::new();
+        // Walk the short trie along p's bits: nodes at depth < min(len, 8)
+        // are ancestors; reaching depth == len < 8 lands on p's own node,
+        // whose whole subtree (still within the short trie) is extensions.
+        let mut node = Some(&self.short);
+        let mut depth = 0u8;
+        while let Some(n) = node {
+            if depth == p.len() {
+                n.collect(&mut out);
+                break;
+            }
+            out.extend_from_slice(&n.ids);
+            if depth == 7 {
+                break;
+            }
+            node = n.kids[step(p.bits(), depth)].as_deref();
+            depth += 1;
+        }
+        if p.len() < 8 {
+            // Extensions of length ≥ 8 fill p's whole bucket slice (host
+            // bits of p are zero, so the slice starts at p's first octet).
+            let lo = (p.bits() >> 24) as usize;
+            let hi = ((p.bits() | !mask(p.len())) >> 24) as usize;
+            for bucket in self.buckets[lo..=hi].iter().flatten() {
+                bucket.collect(&mut out);
+            }
+        } else if let Some(bucket) = &self.buckets[(p.bits() >> 24) as usize] {
+            // Resume the walk inside p's bucket from depth 8.
+            let mut node = Some(bucket.as_ref());
+            let mut depth = 8u8;
+            while let Some(n) = node {
+                if depth == p.len() {
+                    n.collect(&mut out);
+                    break;
+                }
+                out.extend_from_slice(&n.ids);
+                node = n.kids[step(p.bits(), depth)].as_deref();
+                depth += 1;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Reference answer: blocks nested either way.
+    fn naive(entries: &[Prefix], q: &Prefix) -> Vec<usize> {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.contains(q) || q.contains(e))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_match_naive_scan() {
+        let entries: Vec<Prefix> = [
+            "0.0.0.0/0",
+            "0.0.0.0/1",
+            "128.0.0.0/1",
+            "10.0.0.0/7",
+            "10.0.0.0/8",
+            "10.0.0.0/9",
+            "10.128.0.0/9",
+            "10.9.0.0/16",
+            "10.9.1.0/24",
+            "10.9.1.128/25",
+            "10.9.1.200/32",
+            "11.0.0.0/8",
+            "192.168.0.0/16",
+            "192.168.0.0/16", // duplicate prefix, distinct id
+        ]
+        .iter()
+        .map(|s| p(s))
+        .collect();
+        let mut trie = PrefixTrie::new();
+        for (i, e) in entries.iter().enumerate() {
+            trie.insert(i, e);
+        }
+        assert_eq!(trie.len(), entries.len());
+        // Query every stored prefix plus a few absent ones.
+        let mut queries = entries.clone();
+        queries.extend(
+            ["10.9.2.0/24", "172.16.0.0/12", "0.0.0.0/32"]
+                .iter()
+                .map(|s| p(s)),
+        );
+        for q in &queries {
+            assert_eq!(trie.candidates(q), naive(&entries, q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_trie_has_no_candidates() {
+        let trie = PrefixTrie::new();
+        assert!(trie.is_empty());
+        assert!(trie.candidates(&p("10.0.0.0/8")).is_empty());
+        assert!(trie.candidates(&p("0.0.0.0/0")).is_empty());
+    }
+}

@@ -20,11 +20,20 @@ pub fn eq_const(m: &mut Manager, vars: &[u32], value: u64) -> Bdd {
 /// of `bits` (a prefix-address constraint).
 pub fn prefix_const(m: &mut Manager, vars: &[u32], bits: u32, prefix_len: u8) -> Bdd {
     debug_assert_eq!(vars.len(), 32);
+    // Built bottom-up, one node per constrained bit. The top-down
+    // `and(acc, literal)` form re-walks the whole accumulated chain on
+    // every bit (quadratic apply work) and interns a partial chain per
+    // step; this is the ddNF builder's per-node encode, so it runs tens
+    // of thousands of times per comparison.
     let mut acc = Bdd::TRUE;
-    for (i, &v) in vars.iter().enumerate().take(usize::from(prefix_len)) {
+    for i in (0..usize::from(prefix_len)).rev() {
         let bit = (bits >> (31 - i)) & 1 == 1;
-        let lit = m.literal(v, bit);
-        acc = m.and(acc, lit);
+        let var = m.var(vars[i]);
+        acc = if bit {
+            m.ite(var, acc, Bdd::FALSE)
+        } else {
+            m.ite(var, Bdd::FALSE, acc)
+        };
     }
     acc
 }

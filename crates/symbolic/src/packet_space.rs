@@ -53,6 +53,11 @@ pub const DPORT_VARS: std::ops::Range<u32> = 88..104;
 pub const NUM_VARS: u32 = 104;
 
 /// Variable layout and encoding operations for data-plane packets.
+///
+/// `Clone` snapshots the space (manager arena included, with node indices
+/// preserved) so independent localization queries can run on per-thread
+/// copies and be dropped afterwards.
+#[derive(Clone)]
 pub struct PacketSpace {
     /// The BDD manager (exposed so callers can run set operations).
     pub manager: Manager,

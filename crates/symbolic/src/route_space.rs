@@ -66,6 +66,11 @@ pub enum FieldState {
 /// | then             | one var per community atom           |
 /// | then             | one var per distinct tag constant    |
 /// | then             | one var per distinct metric constant |
+///
+/// `Clone` snapshots the space (manager arena included, with node indices
+/// preserved) so independent localization queries can run on per-thread
+/// copies and be dropped afterwards.
+#[derive(Clone)]
 pub struct RouteSpace {
     /// The BDD manager (exposed so callers can run set operations).
     pub manager: Manager,

@@ -173,6 +173,28 @@ pub fn set_track(track: u32) {
     LOCAL.with(|l| l.borrow_mut().track = Some(track));
 }
 
+/// The calling thread's track label, if [`set_track`] assigned one (the
+/// driver consults this to derive sub-worker lanes from the parent lane).
+pub fn track() -> Option<u32> {
+    LOCAL.with(|l| l.borrow().track)
+}
+
+/// First track id of the per-difference localization sub-worker lanes.
+/// Lanes `0..ANON_TRACK_BASE` split three ways: `0` is the coordinating
+/// thread, `1..SUB_TRACK_BASE` are driver workers, and from here up each
+/// parent lane owns a [`SUB_TRACK_STRIDE`]-wide block of sub-lanes.
+pub const SUB_TRACK_BASE: u32 = 100;
+
+/// Sub-lanes reserved per parent lane.
+pub const SUB_TRACK_STRIDE: u32 = 32;
+
+/// Track id for localization sub-worker `worker` forked from the lane
+/// `parent` (clamped so ids stay below [`ANON_TRACK_BASE`]).
+pub fn sub_track(parent: u32, worker: u32) -> u32 {
+    let parent = parent.min((ANON_TRACK_BASE - SUB_TRACK_BASE) / SUB_TRACK_STRIDE - 1);
+    SUB_TRACK_BASE + parent * SUB_TRACK_STRIDE + worker.min(SUB_TRACK_STRIDE - 1)
+}
+
 /// RAII span guard returned by [`span`]: records the end event (with any
 /// attached counters) when dropped. Inactive — a no-op shell — when the
 /// collector was disabled at construction.
@@ -598,6 +620,11 @@ fn track_label(track: u32) -> String {
     match track {
         0 => "main".to_string(),
         t if t >= ANON_TRACK_BASE => format!("thread-{}", t - ANON_TRACK_BASE),
+        t if t >= SUB_TRACK_BASE => format!(
+            "localize-{}.{}",
+            (t - SUB_TRACK_BASE) / SUB_TRACK_STRIDE,
+            (t - SUB_TRACK_BASE) % SUB_TRACK_STRIDE
+        ),
         t => format!("worker-{t}"),
     }
 }
