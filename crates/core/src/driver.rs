@@ -217,14 +217,15 @@ fn attach_stats_delta(
     span.counter("early_exits", d(after.early_exits, before.early_exits));
 }
 
-/// Work-stealing fan-out shared by the pair pool and the per-difference
-/// localization pool: one scoped worker thread per element of `states`
-/// (each worker owns its state), claiming indices `0..n` from a shared
-/// cursor so a slow item never serializes the rest. Outputs come back in
-/// index order, making the callers' merges byte-identical to a sequential
-/// run regardless of the worker count. `on_start` runs on each worker
-/// thread before any work (trace-track assignment).
-fn steal_indexed<S, T>(
+/// Work-stealing fan-out shared by the pair pool, the per-difference
+/// localization pool, and external batch drivers such as `campion-fuzz`:
+/// one scoped worker thread per element of `states` (each worker owns its
+/// state), claiming indices `0..n` from a shared cursor so a slow item
+/// never serializes the rest. Outputs come back in index order, making the
+/// callers' merges byte-identical to a sequential run regardless of the
+/// worker count. `on_start` runs on each worker thread before any work
+/// (trace-track assignment).
+pub fn steal_indexed<S, T>(
     states: Vec<S>,
     n: usize,
     on_start: impl Fn(usize) + Sync,
@@ -531,6 +532,10 @@ fn present_policy_diff(
         action2: d.effect2.to_string(),
         text1: side_text(r1, &d.spans1, d.default1, p1),
         text2: side_text(r2, &d.spans2, d.default2, p2),
+        spans1: d.spans1.clone(),
+        spans2: d.spans2.clone(),
+        default1: d.default1,
+        default2: d.default2,
     }
 }
 
@@ -650,6 +655,10 @@ fn present_acl_diff(
         action2: d.effect2.to_string(),
         text1: text_for(r1, &d.spans1, d.default1),
         text2: text_for(r2, &d.spans2, d.default2),
+        spans1: d.spans1.clone(),
+        spans2: d.spans2.clone(),
+        default1: d.default1,
+        default2: d.default2,
     }
 }
 
@@ -676,20 +685,29 @@ fn diff_acl_pair(
     release_paths(&mut space.manager, &paths2);
     space.manager.gc_checkpoint();
 
-    // Address universes from both ACLs' contiguous matchers.
+    // Address universes from both ACLs' matchers. Non-contiguous wildcard
+    // masks decompose into their covering prefixes (capped — past the cap a
+    // matcher contributes only its single enclosing prefix and localization
+    // may go inexact), so differences confined to a non-contiguous region
+    // still land on ddNF cells instead of vanishing from the included set.
+    const WILDCARD_COVER_CAP: usize = 256;
     let mut src_ranges = Vec::new();
     let mut dst_ranges = Vec::new();
     for acl in [a1, a2] {
         for rule in &acl.rules {
             for w in &rule.src {
-                if let Some(p) = w.as_prefix() {
-                    src_ranges.push(PrefixRange::or_longer(p));
-                }
+                src_ranges.extend(
+                    w.cover_prefixes(WILDCARD_COVER_CAP)
+                        .into_iter()
+                        .map(PrefixRange::or_longer),
+                );
             }
             for w in &rule.dst {
-                if let Some(p) = w.as_prefix() {
-                    dst_ranges.push(PrefixRange::or_longer(p));
-                }
+                dst_ranges.extend(
+                    w.cover_prefixes(WILDCARD_COVER_CAP)
+                        .into_iter()
+                        .map(PrefixRange::or_longer),
+                );
             }
         }
     }

@@ -47,7 +47,9 @@ pub mod semantic;
 pub mod structural;
 
 pub use commloc::{community_localize, CommunityCondition, CommunityLocalization};
-pub use driver::{compare_policies_by_name, compare_routers, CampionOptions, GcMode};
+pub use driver::{
+    compare_policies_by_name, compare_routers, steal_indexed, CampionOptions, GcMode,
+};
 pub use headerloc::{
     header_localize, header_localize_with, reencode, DstAddrSpace, HeaderLocalization, RangeDag,
     RangeEncoder, RangeTerm, SrcAddrSpace,

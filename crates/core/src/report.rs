@@ -65,6 +65,18 @@ pub struct PolicyDiffReport {
     pub text1: String,
     /// Configuration text in the second router.
     pub text2: String,
+    /// Source spans of the fired clauses/rules in the first router —
+    /// the structured form of `text1`, for machine consumers (the fuzz
+    /// harness's localization oracle). Deliberately absent from `Display`.
+    pub spans1: Vec<Span>,
+    /// See `spans1`.
+    pub spans2: Vec<Span>,
+    /// True when the first side's behavior comes from the component's
+    /// implicit default (no clause/rule fired), in which case `spans1` is
+    /// empty.
+    pub default1: bool,
+    /// See `default1`.
+    pub default2: bool,
 }
 
 /// The full output of comparing two routers.

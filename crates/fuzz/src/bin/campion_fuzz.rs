@@ -1,0 +1,164 @@
+//! `campion-fuzz` — the differential config-fuzzing CLI.
+//!
+//! ```text
+//! campion-fuzz [--seed N] [--cases M] [--jobs J] [--corpus DIR]
+//!              [--class NAME[,NAME..]] [--small] [--unchecked-injection]
+//!              [--emit-golden DIR] [--metrics] [--trace FILE]
+//! ```
+//!
+//! Exit status: 0 when every oracle passed, 1 when any case failed (a
+//! minimized reproducer is written under the corpus directory and the
+//! seed is printed), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use campion_fuzz::{corpus, runner, DivClass, FuzzOptions};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: campion-fuzz [--seed N] [--cases M] [--jobs J] [--corpus DIR]\n\
+         \x20                   [--class NAME[,NAME..]] [--small]\n\
+         \x20                   [--unchecked-injection] [--emit-golden DIR]\n\
+         \x20                   [--metrics] [--trace FILE]\n\
+         \n\
+         Generates matched Cisco/Juniper config pairs with injected semantic\n\
+         divergences, runs the full ConfigDiff pipeline on each, and checks\n\
+         the detection, localization, and simulation-agreement oracles.\n\
+         Failures are ddmin-shrunk and written to the corpus directory.\n\
+         \n\
+         classes: {}",
+        campion_fuzz::ALL_CLASSES
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FuzzOptions::default();
+    let mut show_metrics = false;
+    let mut trace_path: Option<String> = None;
+    let mut emit_golden: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage(),
+            },
+            "--cases" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.cases = v,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.jobs = v,
+                None => return usage(),
+            },
+            "--corpus" => match it.next() {
+                Some(p) => opts.corpus_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--class" => match it.next() {
+                Some(s) => {
+                    let classes: Vec<DivClass> = s.split(',').filter_map(DivClass::parse).collect();
+                    if classes.is_empty() {
+                        eprintln!("campion-fuzz: unknown divergence class in `{s}`");
+                        return usage();
+                    }
+                    opts.classes = classes;
+                }
+                None => return usage(),
+            },
+            "--small" => opts.size = campion_fuzz::SizeProfile::small(),
+            "--unchecked-injection" => opts.unchecked_injection = true,
+            "--emit-golden" => match it.next() {
+                Some(p) => emit_golden = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--metrics" => show_metrics = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("campion-fuzz: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let tracing = show_metrics || trace_path.is_some();
+    if tracing {
+        campion_trace::enable();
+    }
+
+    let status = if let Some(dir) = emit_golden {
+        emit_golden_corpus(&dir)
+    } else {
+        fuzz_run(&opts)
+    };
+
+    if tracing {
+        campion_trace::disable();
+        let report = campion_trace::drain();
+        if let Some(p) = &trace_path {
+            match std::fs::write(p, report.chrome_json()) {
+                Ok(()) => eprintln!("trace written to {p}"),
+                Err(e) => eprintln!("campion-fuzz: cannot write trace {p}: {e}"),
+            }
+        }
+        if show_metrics {
+            eprint!("{}", report.render_table());
+        }
+    }
+    status
+}
+
+/// Run the fuzzer and report; nonzero exit when any oracle failed.
+fn fuzz_run(opts: &FuzzOptions) -> ExitCode {
+    let summary = runner::run(opts);
+    print!("{}", summary.render());
+    if summary.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // The seed is the whole reproducer: print it on every failure.
+        eprintln!(
+            "campion-fuzz: {} oracle failure(s); reproduce with --seed {}",
+            summary.failures.len(),
+            opts.seed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Regenerate the golden corpus entries into `dir`.
+fn emit_golden_corpus(dir: &std::path::Path) -> ExitCode {
+    let cases = corpus::golden_cases();
+    if cases.len() < campion_fuzz::ALL_CLASSES.len() + 1 {
+        eprintln!(
+            "campion-fuzz: only {} of {} golden cases found",
+            cases.len(),
+            campion_fuzz::ALL_CLASSES.len() + 1
+        );
+        return ExitCode::FAILURE;
+    }
+    for (name, case, classes) in &cases {
+        match corpus::write_entry(dir, name, case, "small", classes, None, "") {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("campion-fuzz: cannot write {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,128 @@
+//! Deterministic case construction: seed + index → one complete fuzz case.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::inject::{draw_edit, find_witness, unchecked_witness, DivClass, Divergence};
+use crate::scenario::{generate, Scenario, SizeProfile};
+
+/// Knobs shared by the runner and the case builder.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Run seed; every case derives its RNG from `(seed, case index)`.
+    pub seed: u64,
+    /// Number of cases.
+    pub cases: u64,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Directory minimized reproducers are written to.
+    pub corpus_dir: std::path::PathBuf,
+    /// Skip witness verification of injected edits (the deliberate way to
+    /// break the injector's ground truth and exercise the shrinker).
+    pub unchecked_injection: bool,
+    /// Divergence classes to inject.
+    pub classes: Vec<DivClass>,
+    /// Scenario size profile.
+    pub size: SizeProfile,
+    /// Cap on minimized reproducers written per run.
+    pub max_reproducers: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 42,
+            cases: 256,
+            jobs: 0,
+            corpus_dir: std::path::PathBuf::from("testdata/fuzz-corpus"),
+            unchecked_injection: false,
+            classes: crate::inject::ALL_CLASSES.to_vec(),
+            size: SizeProfile::default(),
+            max_reproducers: 5,
+        }
+    }
+}
+
+/// One fully-specified fuzz case: the base (first-router) scenario plus
+/// the injected divergence, if any. The mutated (second-router) scenario
+/// is derived, never stored.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Run seed the case was derived from.
+    pub seed: u64,
+    /// Case index within the run.
+    pub case: u64,
+    /// Whether the injector ran unchecked.
+    pub unchecked: bool,
+    /// First-router scenario.
+    pub base: Scenario,
+    /// Injected divergences (empty = divergence-free pair). At most one
+    /// today: a single edit keeps the ground truth exact.
+    pub divs: Vec<Divergence>,
+}
+
+impl FuzzCase {
+    /// The second-router scenario: base with every edit applied.
+    pub fn mutated(&self) -> Scenario {
+        let mut m = self.base.clone();
+        for d in &self.divs {
+            d.edit.apply(&mut m);
+        }
+        m
+    }
+}
+
+/// Build case `case` of run `seed` — a pure function of `(seed, case,
+/// opts)`, byte-reproducible across machines and thread schedules (each
+/// case owns an RNG stream derived via `StdRng::for_stream`).
+pub fn build_case(seed: u64, case: u64, opts: &FuzzOptions) -> FuzzCase {
+    let mut rng = StdRng::for_stream(seed, case);
+    let base = generate(&mut rng, &opts.size);
+    // ~1 in 4 cases stay divergence-free: the false-positive check.
+    if rng.gen_bool(0.25) {
+        return FuzzCase {
+            seed,
+            case,
+            unchecked: opts.unchecked_injection,
+            base,
+            divs: Vec::new(),
+        };
+    }
+    let mut divs = Vec::new();
+    for attempt in 0..24 {
+        let class = opts.classes[rng.gen_range(0..opts.classes.len())];
+        let Some(edit) = draw_edit(&base, class, &mut rng) else {
+            continue;
+        };
+        let mut mutated = base.clone();
+        edit.apply(&mut mutated);
+        if opts.unchecked_injection {
+            // Accept the edit blind: when it lands on a shadowed rule the
+            // recorded ground truth is wrong — by design.
+            let witness = unchecked_witness(&base, &mutated, &mut rng, &edit);
+            divs.push(Divergence {
+                edit,
+                witness,
+                verified: false,
+            });
+            break;
+        }
+        if let Some(witness) = find_witness(&base, &mutated, &mut rng, &edit) {
+            divs.push(Divergence {
+                edit,
+                witness,
+                verified: true,
+            });
+            break;
+        }
+        // Shadowed edit: redraw. Late attempts fall back to a clean case.
+        let _ = attempt;
+    }
+    FuzzCase {
+        seed,
+        case,
+        unchecked: opts.unchecked_injection,
+        base,
+        divs,
+    }
+}

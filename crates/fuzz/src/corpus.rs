@@ -1,0 +1,183 @@
+//! Corpus entries: minimized reproducers and golden replay cases under
+//! `testdata/fuzz-corpus/`.
+//!
+//! An entry is a directory holding the rendered pair (`cisco.cfg`,
+//! `juniper.cfg`) and a `case.meta` key-value file. Golden entries record
+//! the exact `(seed, case, classes, profile)` they were generated from, so
+//! the replay test regenerates them through the library and asserts the
+//! committed bytes come back — the cross-machine reproducibility contract
+//! of `StdRng::for_stream`. Reproducer entries are written by the shrinker
+//! when an oracle fails; they are diagnostic artifacts, replayed only as a
+//! does-not-crash smoke check (their recorded failure is a *bug*, expected
+//! to disappear once fixed).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::case::{build_case, FuzzCase, FuzzOptions};
+use crate::inject::{DivClass, ALL_CLASSES};
+use crate::oracle::{run_case, OracleKind};
+use crate::scenario::{render_cisco, render_juniper, SizeProfile};
+
+/// Parsed `case.meta` contents.
+pub type Meta = BTreeMap<String, String>;
+
+/// Read a `case.meta` file.
+pub fn read_meta(path: &Path) -> io::Result<Meta> {
+    let text = std::fs::read_to_string(path)?;
+    let mut meta = Meta::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            meta.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    Ok(meta)
+}
+
+/// The size profile named in an entry's metadata.
+pub fn profile_by_name(name: &str) -> SizeProfile {
+    match name {
+        "small" => SizeProfile::small(),
+        _ => SizeProfile::default(),
+    }
+}
+
+/// Rebuild the [`FuzzOptions`] a golden entry was generated with.
+pub fn options_from_meta(meta: &Meta) -> Option<FuzzOptions> {
+    let seed = meta.get("seed")?.parse().ok()?;
+    let classes: Vec<DivClass> = match meta.get("classes").map(String::as_str) {
+        None | Some("") => ALL_CLASSES.to_vec(),
+        Some(s) => s.split(',').filter_map(DivClass::parse).collect(),
+    };
+    Some(FuzzOptions {
+        seed,
+        classes: if classes.is_empty() {
+            ALL_CLASSES.to_vec()
+        } else {
+            classes
+        },
+        size: profile_by_name(meta.get("profile").map_or("default", String::as_str)),
+        unchecked_injection: meta.get("unchecked").map(String::as_str) == Some("true"),
+        ..FuzzOptions::default()
+    })
+}
+
+/// Regenerate a golden entry's case from its metadata.
+pub fn regenerate(meta: &Meta) -> Option<FuzzCase> {
+    let opts = options_from_meta(meta)?;
+    let case = meta.get("case")?.parse().ok()?;
+    Some(build_case(opts.seed, case, &opts))
+}
+
+fn render_meta(
+    kind: &str,
+    case: &FuzzCase,
+    profile: &str,
+    classes: &[DivClass],
+    oracle: Option<OracleKind>,
+    detail: &str,
+) -> String {
+    let mut out = String::from("# campion-fuzz case metadata\n");
+    let mut kv = |k: &str, v: String| out.push_str(&format!("{k} = {v}\n"));
+    kv("kind", kind.to_string());
+    kv("seed", case.seed.to_string());
+    kv("case", case.case.to_string());
+    kv("profile", profile.to_string());
+    kv(
+        "classes",
+        classes
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    kv("unchecked", case.unchecked.to_string());
+    kv(
+        "oracle",
+        oracle.map_or("pass".to_string(), |o| o.name().to_string()),
+    );
+    if !detail.is_empty() {
+        kv("detail", detail.replace('\n', " "));
+    }
+    kv("divergences", case.divs.len().to_string());
+    for (i, d) in case.divs.iter().enumerate() {
+        kv(
+            &format!("div{i}"),
+            format!("{}: {}", d.class().name(), d.edit.describe()),
+        );
+    }
+    out
+}
+
+/// Write one corpus entry; returns its directory.
+pub fn write_entry(
+    corpus_dir: &Path,
+    name: &str,
+    case: &FuzzCase,
+    profile: &str,
+    classes: &[DivClass],
+    oracle: Option<OracleKind>,
+    detail: &str,
+) -> io::Result<PathBuf> {
+    let dir = corpus_dir.join(name);
+    std::fs::create_dir_all(&dir)?;
+    let mutated = case.mutated();
+    std::fs::write(dir.join("cisco.cfg"), render_cisco(&case.base).text)?;
+    std::fs::write(dir.join("juniper.cfg"), render_juniper(&mutated).text)?;
+    let kind = if oracle.is_some() {
+        "reproducer"
+    } else {
+        "golden"
+    };
+    std::fs::write(
+        dir.join("case.meta"),
+        render_meta(kind, case, profile, classes, oracle, detail),
+    )?;
+    Ok(dir)
+}
+
+/// Generate the golden corpus: one small passing case per divergence class
+/// plus one divergence-free case, each found by scanning case indices of a
+/// fixed per-class seed until the injector lands the wanted class *and*
+/// all three oracles pass. Deterministic — committed entries regenerate
+/// byte-identically on any machine.
+pub fn golden_cases() -> Vec<(String, FuzzCase, Vec<DivClass>)> {
+    let mut out = Vec::new();
+    for (k, class) in ALL_CLASSES.into_iter().enumerate() {
+        let opts = FuzzOptions {
+            seed: 9000 + k as u64,
+            classes: vec![class],
+            size: SizeProfile::small(),
+            ..FuzzOptions::default()
+        };
+        let found = (0..500).find_map(|i| {
+            let case = build_case(opts.seed, i, &opts);
+            let ok = case.divs.len() == 1
+                && case.divs[0].class() == class
+                && run_case(&case).failures.is_empty();
+            ok.then_some(case)
+        });
+        if let Some(case) = found {
+            out.push((format!("golden-{}", class.name()), case, vec![class]));
+        }
+    }
+    // The divergence-free golden: the false-positive replay check.
+    let opts = FuzzOptions {
+        seed: 8999,
+        size: SizeProfile::small(),
+        ..FuzzOptions::default()
+    };
+    let found = (0..500).find_map(|i| {
+        let case = build_case(opts.seed, i, &opts);
+        (case.divs.is_empty() && run_case(&case).failures.is_empty()).then_some(case)
+    });
+    if let Some(case) = found {
+        out.push(("golden-clean".to_string(), case, ALL_CLASSES.to_vec()));
+    }
+    out
+}

@@ -1,0 +1,455 @@
+//! Divergence injection: mutate a base scenario in a known way and find a
+//! concrete **witness** input that the injected edit actually flips.
+//!
+//! Every injected edit is witness-verified by the concrete interpreters
+//! before it counts as a divergence: an edit to a shadowed rule changes no
+//! behavior and must not make the detection oracle expect a difference.
+//! Passing `checked = false` (the CLI's `--unchecked-injection`) disables
+//! exactly that verification — the deliberate way to hand the harness a
+//! false ground truth and watch the shrinker produce a reproducer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::scenario::{
+    acl_decide, mask, rmap_decide, AclRule, FlowWitness, RouteWitness, Scenario,
+};
+
+/// The divergence classes the injector knows how to plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivClass {
+    /// ACL rule edit: action flip or address-bound tweak.
+    AclEdit,
+    /// Adjacent ACL rule swap.
+    AclReorder,
+    /// ACL rule deletion.
+    AclDelete,
+    /// Prefix-list upper-bound (`le` / `upto`) tweak.
+    PlistBound,
+    /// Route-map clause action flip.
+    RmapFlip,
+    /// Community value edit in a matcher.
+    CommEdit,
+}
+
+/// All classes, in stable order.
+pub const ALL_CLASSES: [DivClass; 6] = [
+    DivClass::AclEdit,
+    DivClass::AclReorder,
+    DivClass::AclDelete,
+    DivClass::PlistBound,
+    DivClass::RmapFlip,
+    DivClass::CommEdit,
+];
+
+impl DivClass {
+    /// Stable kebab-case name (corpus metadata key).
+    pub fn name(self) -> &'static str {
+        match self {
+            DivClass::AclEdit => "acl-edit",
+            DivClass::AclReorder => "acl-reorder",
+            DivClass::AclDelete => "acl-delete",
+            DivClass::PlistBound => "plist-bound",
+            DivClass::RmapFlip => "rmap-flip",
+            DivClass::CommEdit => "comm-edit",
+        }
+    }
+
+    /// Parse a name produced by [`DivClass::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_CLASSES.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// One structural edit applied to the base scenario to derive the mutated
+/// (second-router) scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Flip the action of ACL rule `rule`.
+    AclFlip {
+        /// Target rule index.
+        rule: usize,
+    },
+    /// Replace the destination matcher of ACL rule `rule`.
+    AclDstTweak {
+        /// Target rule index.
+        rule: usize,
+        /// New destination prefix (or any).
+        new: Option<(u32, u8)>,
+    },
+    /// Delete ACL rule `rule` (never the catch-all).
+    AclDelete {
+        /// Target rule index.
+        rule: usize,
+    },
+    /// Swap ACL rules `rule` and `rule + 1`.
+    AclSwap {
+        /// First of the two swapped rules.
+        rule: usize,
+    },
+    /// Change the `le` bound of a prefix-list entry.
+    PlistBound {
+        /// Target prefix list.
+        plist: usize,
+        /// Target entry.
+        entry: usize,
+        /// New upper bound (`None` = exact).
+        new_le: Option<u8>,
+    },
+    /// Flip the action of route-map clause `clause`.
+    ClauseFlip {
+        /// Target clause index.
+        clause: usize,
+    },
+    /// Replace community definition `comm` with a new value.
+    CommEdit {
+        /// Target community index.
+        comm: usize,
+        /// New (asn, value).
+        new: (u16, u16),
+    },
+}
+
+impl Edit {
+    /// The divergence class this edit belongs to.
+    pub fn class(&self) -> DivClass {
+        match self {
+            Edit::AclFlip { .. } | Edit::AclDstTweak { .. } => DivClass::AclEdit,
+            Edit::AclDelete { .. } => DivClass::AclDelete,
+            Edit::AclSwap { .. } => DivClass::AclReorder,
+            Edit::PlistBound { .. } => DivClass::PlistBound,
+            Edit::ClauseFlip { .. } => DivClass::RmapFlip,
+            Edit::CommEdit { .. } => DivClass::CommEdit,
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            Edit::AclFlip { rule } => format!("flip action of ACL rule {rule}"),
+            Edit::AclDstTweak { rule, new } => match new {
+                Some((a, l)) => format!(
+                    "retarget ACL rule {rule} dst to {}/{l}",
+                    std::net::Ipv4Addr::from(*a)
+                ),
+                None => format!("widen ACL rule {rule} dst to any"),
+            },
+            Edit::AclDelete { rule } => format!("delete ACL rule {rule}"),
+            Edit::AclSwap { rule } => format!("swap ACL rules {rule} and {}", rule + 1),
+            Edit::PlistBound {
+                plist,
+                entry,
+                new_le,
+            } => format!("set PL{plist} entry {entry} le bound to {new_le:?}"),
+            Edit::ClauseFlip { clause } => format!("flip action of route-map clause {clause}"),
+            Edit::CommEdit { comm, new } => {
+                format!("change community C{comm} to {}:{}", new.0, new.1)
+            }
+        }
+    }
+
+    /// Apply the edit to `sc` (the mutated-side scenario).
+    pub fn apply(&self, sc: &mut Scenario) {
+        match self {
+            Edit::AclFlip { rule } => sc.acl[*rule].permit = !sc.acl[*rule].permit,
+            Edit::AclDstTweak { rule, new } => sc.acl[*rule].dst = *new,
+            Edit::AclDelete { rule } => {
+                sc.acl.remove(*rule);
+            }
+            Edit::AclSwap { rule } => sc.acl.swap(*rule, *rule + 1),
+            Edit::PlistBound {
+                plist,
+                entry,
+                new_le,
+            } => sc.plists[*plist].entries[*entry].le = *new_le,
+            Edit::ClauseFlip { clause } => {
+                let c = &mut sc.clauses[*clause];
+                c.permit = !c.permit;
+                if !c.permit {
+                    // Sets on deny clauses are dead on both vendors; keep
+                    // the rendering symmetric.
+                    c.local_pref = None;
+                }
+            }
+            Edit::CommEdit { comm, new } => sc.comms[*comm] = *new,
+        }
+    }
+
+    /// Does the edit concern the ACL (flow witnesses) rather than the
+    /// route map (route witnesses)?
+    pub fn is_acl(&self) -> bool {
+        matches!(
+            self,
+            Edit::AclFlip { .. }
+                | Edit::AclDstTweak { .. }
+                | Edit::AclDelete { .. }
+                | Edit::AclSwap { .. }
+        )
+    }
+}
+
+/// A concrete input separating (or, in unchecked mode, merely aimed at)
+/// the two sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// A packet, for ACL divergences.
+    Flow(FlowWitness),
+    /// A route advertisement, for route-map divergences.
+    Route(RouteWitness),
+}
+
+/// One injected divergence with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The structural edit.
+    pub edit: Edit,
+    /// The separating input (verified when the injector ran checked).
+    pub witness: Witness,
+    /// Whether the witness was verified to separate the two sides.
+    pub verified: bool,
+}
+
+impl Divergence {
+    /// The divergence class.
+    pub fn class(&self) -> DivClass {
+        self.edit.class()
+    }
+}
+
+/// Draw one random edit of `class` against `base`. Returns `None` when the
+/// scenario has no viable target (e.g. reorder with a single rule).
+pub fn draw_edit(base: &Scenario, class: DivClass, rng: &mut StdRng) -> Option<Edit> {
+    let n_rules = base.acl.len();
+    match class {
+        DivClass::AclEdit => {
+            let rule = rng.gen_range(0..n_rules);
+            if rng.gen_bool(0.5) || base.acl[rule].is_catch_all() {
+                Some(Edit::AclFlip { rule })
+            } else {
+                // Boundary-biased retarget: /0, /31, /32 show up often.
+                let new = rng.gen_bool(0.2).then(|| {
+                    let len: u8 = match rng.gen_range(0u8..6) {
+                        0 => 0,
+                        1 => 31,
+                        2 => 32,
+                        _ => rng.gen_range(8u8..=28),
+                    };
+                    (rng.gen::<u32>() & mask(len), len)
+                });
+                Some(Edit::AclDstTweak { rule, new })
+            }
+        }
+        DivClass::AclReorder => {
+            // Never move the catch-all off the end.
+            if n_rules < 3 {
+                return None;
+            }
+            Some(Edit::AclSwap {
+                rule: rng.gen_range(0..n_rules - 2),
+            })
+        }
+        DivClass::AclDelete => {
+            if n_rules < 2 {
+                return None;
+            }
+            Some(Edit::AclDelete {
+                rule: rng.gen_range(0..n_rules - 1),
+            })
+        }
+        DivClass::PlistBound => {
+            if base.plists.is_empty() {
+                return None;
+            }
+            let plist = rng.gen_range(0..base.plists.len());
+            let entry = rng.gen_range(0..base.plists[plist].entries.len());
+            let e = base.plists[plist].entries[entry];
+            let new_le = match e.le {
+                // Tighten to exact, or nudge the bound.
+                Some(le) if rng.gen_bool(0.5) || le == e.len + 1 => None,
+                Some(le) => Some(rng.gen_range(e.len + 1..le)),
+                None if e.len < 32 => Some(rng.gen_range(e.len + 1..=32)),
+                None => return None,
+            };
+            Some(Edit::PlistBound {
+                plist,
+                entry,
+                new_le,
+            })
+        }
+        DivClass::RmapFlip => Some(Edit::ClauseFlip {
+            clause: rng.gen_range(0..base.clauses.len()),
+        }),
+        DivClass::CommEdit => {
+            if base.comms.is_empty() {
+                return None;
+            }
+            let comm = rng.gen_range(0..base.comms.len());
+            let mut new = (rng.gen_range(1u16..=65000), rng.gen_range(1u16..=65000));
+            if new == base.comms[comm] {
+                new.1 = new.1.wrapping_add(1).max(1);
+            }
+            Some(Edit::CommEdit { comm, new })
+        }
+    }
+}
+
+/// Targeted flow probes: for each rule of both sides, candidates that sit
+/// on the rule's matcher boundaries (inside, last address, one past the
+/// end, port off-by-one, sibling protocol).
+pub fn flow_probes(base: &Scenario, mutated: &Scenario, rng: &mut StdRng) -> Vec<FlowWitness> {
+    let mut out = Vec::new();
+    let mut push_rule_probes = |r: &AclRule| {
+        let srcs: Vec<u32> = match r.src {
+            Some((a, l)) => vec![a, a | !mask(l)],
+            None => vec![0x0a090807],
+        };
+        let dsts: Vec<u32> = match r.dst {
+            Some((a, l)) => {
+                let mut v = vec![a, a | !mask(l)];
+                if l > 0 {
+                    v.push(a.wrapping_add(!mask(l)).wrapping_add(1)); // one past
+                }
+                v
+            }
+            None => vec![0x0a0a0a0a, 0, u32::MAX],
+        };
+        let protos: Vec<u8> = match r.proto {
+            Some(p) => vec![p],
+            None => vec![6, 17],
+        };
+        let ports: Vec<u16> = match r.dst_port {
+            Some(p) => vec![p, p.wrapping_add(1)],
+            None => vec![80],
+        };
+        for &src in &srcs {
+            for &dst in &dsts {
+                for &proto in &protos {
+                    for &dst_port in &ports {
+                        out.push(FlowWitness {
+                            src,
+                            dst,
+                            proto,
+                            dst_port,
+                        });
+                    }
+                }
+            }
+        }
+    };
+    for r in base.acl.iter().chain(mutated.acl.iter()) {
+        push_rule_probes(r);
+    }
+    for _ in 0..64 {
+        out.push(FlowWitness {
+            src: rng.gen(),
+            dst: rng.gen(),
+            proto: *[1u8, 6, 17]
+                .get(rng.gen_range(0usize..3))
+                .expect("index in range"),
+            dst_port: rng.gen_range(0u16..=1024),
+        });
+    }
+    out
+}
+
+/// Targeted route probes: members at every prefix-list bound of both
+/// sides, crossed with the community subsets that matter (empty, each
+/// single atom from either side's universe).
+pub fn route_probes(base: &Scenario, mutated: &Scenario, rng: &mut StdRng) -> Vec<RouteWitness> {
+    let mut comm_sets: Vec<Vec<(u16, u16)>> = vec![Vec::new()];
+    for &c in base.comms.iter().chain(mutated.comms.iter()) {
+        if !comm_sets.iter().any(|s| s.as_slice() == [c]) {
+            comm_sets.push(vec![c]);
+        }
+    }
+    let mut shapes: Vec<(u32, u8)> = Vec::new();
+    for sc in [base, mutated] {
+        for pl in &sc.plists {
+            for e in &pl.entries {
+                let hi = e.le.unwrap_or(e.len);
+                let mut lens = vec![e.len, hi, 32];
+                if hi < 32 {
+                    lens.push(hi + 1);
+                }
+                if e.len < 32 {
+                    lens.push(e.len + 1);
+                }
+                for l in lens {
+                    shapes.push((e.addr & mask(l.min(32)), l.min(32)));
+                    // A sibling member inside the entry, when one exists.
+                    if l > e.len {
+                        let bit = 1u32 << (32 - u32::from(l));
+                        shapes.push(((e.addr | bit) & mask(l), l));
+                    }
+                }
+            }
+        }
+    }
+    for _ in 0..16 {
+        let len = rng.gen_range(0u8..=32);
+        shapes.push((rng.gen::<u32>() & mask(len), len));
+    }
+    shapes.sort_unstable();
+    shapes.dedup();
+    let mut out = Vec::new();
+    for &(addr, len) in &shapes {
+        for cs in &comm_sets {
+            out.push(RouteWitness {
+                addr,
+                len,
+                comms: cs.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Search the probe sets for an input the two sides disagree on. Returns
+/// the first (in probe order) separating witness.
+pub fn find_witness(
+    base: &Scenario,
+    mutated: &Scenario,
+    rng: &mut StdRng,
+    edit: &Edit,
+) -> Option<Witness> {
+    if edit.is_acl() {
+        flow_probes(base, mutated, rng)
+            .into_iter()
+            .find(|f| acl_decide(&base.acl, f).0 != acl_decide(&mutated.acl, f).0)
+            .map(Witness::Flow)
+    } else {
+        route_probes(base, mutated, rng)
+            .into_iter()
+            .find(|r| {
+                let v1 = rmap_decide(base, r);
+                let v2 = rmap_decide(mutated, r);
+                v1.accept != v2.accept || (v1.accept && v2.accept && v1.local_pref != v2.local_pref)
+            })
+            .map(Witness::Route)
+    }
+}
+
+/// A fallback witness for unchecked mode: an input aimed at the edit site
+/// with no guarantee it separates the sides.
+pub fn unchecked_witness(
+    base: &Scenario,
+    mutated: &Scenario,
+    rng: &mut StdRng,
+    edit: &Edit,
+) -> Witness {
+    if edit.is_acl() {
+        Witness::Flow(
+            flow_probes(base, mutated, rng)
+                .into_iter()
+                .next()
+                .expect("probe set is never empty"),
+        )
+    } else {
+        Witness::Route(
+            route_probes(base, mutated, rng)
+                .into_iter()
+                .next()
+                .expect("probe set is never empty"),
+        )
+    }
+}

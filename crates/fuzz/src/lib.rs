@@ -1,0 +1,43 @@
+//! # campion-fuzz — the differential config-fuzzing harness
+//!
+//! A standing correctness subsystem for the whole ConfigDiff pipeline:
+//! generate matched Cisco/Juniper configuration pairs, inject a known
+//! semantic divergence, run parse → lower → compare, and hold the report
+//! to three oracles:
+//!
+//! 1. **Detection** ([`oracle`]) — every injected divergence is reported;
+//!    divergence-free pairs come back equivalent.
+//! 2. **Localization** — the reported text spans cover the injected edit
+//!    site on each side, with the right accept/reject actions, and the
+//!    witness input is a member of the header-localized prefix set.
+//! 3. **Simulation agreement** — `campion-srp` packet forwarding and BGP
+//!    export agree with the verdict on a targeted probe set.
+//!
+//! On failure the case is ddmin-shrunk ([`shrink`]) and written to
+//! `testdata/fuzz-corpus/` with its seed ([`corpus`]); the run exits
+//! nonzero. Everything is a pure function of `--seed`: per-case RNG
+//! streams come from `rand`'s documented `StdRng::for_stream` entry
+//! point, so runs and reproducers are byte-identical across machines,
+//! worker counts, and thread schedules.
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod corpus;
+pub mod inject;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use case::{build_case, FuzzCase, FuzzOptions};
+pub use inject::{DivClass, Divergence, Edit, Witness, ALL_CLASSES};
+pub use oracle::{run_case, CaseOutcome, Coverage, Failure, OracleKind};
+pub use runner::{run, CaseFailure, RunSummary};
+pub use scenario::{
+    acl_decide, generate, render_cisco, render_juniper, rmap_decide, FlowWitness, Rendered,
+    RouteWitness, Scenario, SizeProfile,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,536 @@
+//! The three oracles: detection, localization coverage, and simulation
+//! agreement against `campion-srp`.
+//!
+//! Each case renders its scenario pair, runs the real parse → lower →
+//! compare pipeline, and checks the report against the injector's ground
+//! truth *and* against behavioral simulation:
+//!
+//! 1. **Detection** — a divergence-free pair must come back equivalent;
+//!    a pair with a (witness-verified) injected divergence must not.
+//! 2. **Localization** — for the injected witness, some reported
+//!    difference must quote lines covering the deciding rule/clause on
+//!    *each* side, carry matching accept/reject actions, and include the
+//!    witness in its header-localized prefix set.
+//! 3. **Simulation agreement** — for a targeted probe set, packet
+//!    forwarding through an `campion-srp` network (ingress ACL + FIB) and
+//!    BGP export through the per-edge transfer function must agree with
+//!    the abstract interpreters on each side, and disagree across sides
+//!    exactly when Campion reports a difference of that kind.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use campion_cfg::parse_config;
+use campion_core::{compare_routers, CampionOptions, CampionReport, PolicyDiffReport};
+use campion_ir::{lower, BgpIr, BgpNeighborIr, IfaceIr, NextHopIr, RouterIr, StaticRouteIr};
+use campion_net::{Community, Flow, Prefix};
+use campion_srp::bgp::BgpRoute;
+use campion_srp::Network;
+use rand::rngs::StdRng;
+
+use crate::case::FuzzCase;
+use crate::inject::Witness;
+use crate::scenario::{
+    acl_decide, render_cisco, render_juniper, rmap_decide, Rendered, Scenario, ACL_NAME,
+    POLICY_NAME,
+};
+
+/// Which oracle a failure came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// The rendered pair failed to parse/lower — a generator or parser bug.
+    Pipeline,
+    /// Missed divergence or spurious difference.
+    Detection,
+    /// Reported lines do not cover the injected edit site.
+    Localization,
+    /// Campion's verdict disagrees with behavioral simulation.
+    SrpAgreement,
+}
+
+impl OracleKind {
+    /// Stable kebab-case name (corpus metadata / CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Pipeline => "pipeline",
+            OracleKind::Detection => "detection",
+            OracleKind::Localization => "localization",
+            OracleKind::SrpAgreement => "srp-agreement",
+        }
+    }
+}
+
+/// One oracle failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The violated oracle.
+    pub oracle: OracleKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Config-line coverage counters (arXiv 2209.12870 framing: which config
+/// lines the reported differences actually exercised).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coverage {
+    /// Total rendered lines, first side.
+    pub total1: u64,
+    /// Lines quoted by some reported difference, first side.
+    pub hit1: u64,
+    /// Total rendered lines, second side.
+    pub total2: u64,
+    /// Lines quoted by some reported difference, second side.
+    pub hit2: u64,
+}
+
+impl Coverage {
+    /// Accumulate another case's counters.
+    pub fn merge(&mut self, o: &Coverage) {
+        self.total1 += o.total1;
+        self.hit1 += o.hit1;
+        self.total2 += o.total2;
+        self.hit2 += o.hit2;
+    }
+}
+
+/// The outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Oracle failures (empty = pass).
+    pub failures: Vec<Failure>,
+    /// Line coverage of the reported differences.
+    pub coverage: Coverage,
+    /// Number of reported differences.
+    pub differences: usize,
+}
+
+fn spans_intersect(spans: &[campion_cfg::Span], range: (u32, u32)) -> bool {
+    spans.iter().any(|s| s.start <= range.1 && s.end >= range.0)
+}
+
+fn accepts(action: &str) -> bool {
+    action.ends_with("ACCEPT")
+}
+
+/// The per-diff localization checks for one witness: spans cover the
+/// deciding sites, actions agree with the concrete interpreters, and the
+/// witness is a member of the diff's header-localized included set.
+fn diff_covers_flow(
+    d: &PolicyDiffReport,
+    expect1: ((u32, u32), bool),
+    expect2: ((u32, u32), bool),
+    dst: u32,
+) -> bool {
+    !d.default1
+        && !d.default2
+        && spans_intersect(&d.spans1, expect1.0)
+        && spans_intersect(&d.spans2, expect2.0)
+        && accepts(&d.action1) == expect1.1
+        && accepts(&d.action2) == expect2.1
+        && d.included
+            .iter()
+            .any(|r| r.prefix.contains_addr(Ipv4Addr::from(dst)))
+}
+
+fn diff_covers_route(
+    d: &PolicyDiffReport,
+    expect1: ((u32, u32), bool),
+    expect2: ((u32, u32), bool),
+    prefix: &Prefix,
+) -> bool {
+    !d.default1
+        && !d.default2
+        && spans_intersect(&d.spans1, expect1.0)
+        && spans_intersect(&d.spans2, expect2.0)
+        && accepts(&d.action1) == expect1.1
+        && accepts(&d.action2) == expect2.1
+        && d.included.iter().any(|r| r.member(prefix))
+}
+
+/// Augment a lowered router for simulation: an addressed ingress interface
+/// bound to the generated ACL, a discard default route so every packet has
+/// a FIB entry, and an iBGP neighbor whose export policy is the generated
+/// route map (iBGP so LOCAL_PREF survives the edge; `send_community` on
+/// both sides so community differences survive it too).
+fn augment_for_srp(mut r: RouterIr, name: &str) -> RouterIr {
+    r.name = name.to_string();
+    r.interfaces.insert(
+        "eth0".to_string(),
+        IfaceIr {
+            name: "eth0".to_string(),
+            address: Some((
+                Ipv4Addr::new(10, 255, 0, 1),
+                Prefix::new(Ipv4Addr::new(10, 255, 0, 0), 24),
+            )),
+            acl_in: Some(ACL_NAME.to_string()),
+            acl_out: None,
+            shutdown: false,
+            description: None,
+            span: campion_cfg::Span::line(1),
+        },
+    );
+    r.static_routes.push(StaticRouteIr {
+        prefix: Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0),
+        next_hop: NextHopIr::Discard,
+        admin_distance: 1,
+        tag: None,
+        span: campion_cfg::Span::line(1),
+    });
+    let collector = Ipv4Addr::new(10, 255, 255, 2);
+    let mut neighbors = std::collections::BTreeMap::new();
+    neighbors.insert(
+        collector,
+        BgpNeighborIr {
+            addr: collector,
+            remote_as: Some(65000),
+            import_policy: None,
+            export_policy: Some(POLICY_NAME.to_string()),
+            send_community: true,
+            route_reflector_client: false,
+            next_hop_self: false,
+            span: campion_cfg::Span::line(1),
+        },
+    );
+    r.bgp = Some(BgpIr {
+        asn: 65000,
+        router_id: None,
+        neighbors,
+        redistribute: Vec::new(),
+        networks: Vec::new(),
+        distance: None,
+        span: campion_cfg::Span::line(1),
+    });
+    r
+}
+
+/// Address of the iBGP collector neighbor installed by [`augment_for_srp`].
+const COLLECTOR: Ipv4Addr = Ipv4Addr::new(10, 255, 255, 2);
+
+fn export_route(
+    router: &RouterIr,
+    w: &crate::scenario::RouteWitness,
+) -> Option<campion_ir::RouteAdvert> {
+    let prefix = Prefix::new(Ipv4Addr::from(w.addr), w.len);
+    let advert = campion_ir::RouteAdvert::bgp(prefix)
+        .with_communities(w.comms.iter().map(|&(a, v)| Community::new(a, v)));
+    let route = BgpRoute {
+        advert,
+        as_path_len: 1,
+        ebgp: true,
+        learned_from: Ipv4Addr::new(10, 255, 255, 1),
+    };
+    campion_srp::bgp::export(router, COLLECTOR, &route).map(|r| r.advert)
+}
+
+/// Render, run the pipeline, and evaluate all three oracles for `case`.
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    let _span = campion_trace::span("fuzz.case");
+    let mutated = case.mutated();
+    let (rend1, rend2) = {
+        campion_trace::span!("fuzz.render");
+        (render_cisco(&case.base), render_juniper(&mutated))
+    };
+
+    let lowered = {
+        campion_trace::span!("fuzz.parse");
+        let p = |text: &str| -> Result<RouterIr, String> {
+            let cfg = parse_config(text).map_err(|e| e.to_string())?;
+            lower(&cfg).map_err(|e| e.to_string())
+        };
+        (p(&rend1.text), p(&rend2.text))
+    };
+    let (ir1, ir2) = match lowered {
+        (Ok(a), Ok(b)) => (a, b),
+        (r1, r2) => {
+            let detail = [r1.err(), r2.err()]
+                .into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .join("; ");
+            return CaseOutcome {
+                failures: vec![Failure {
+                    oracle: OracleKind::Pipeline,
+                    detail: format!("rendered pair failed to parse/lower: {detail}"),
+                }],
+                coverage: Coverage::default(),
+                differences: 0,
+            };
+        }
+    };
+
+    let report = {
+        campion_trace::span!("fuzz.compare");
+        let opts = CampionOptions {
+            jobs: 1,
+            ..CampionOptions::default()
+        };
+        compare_routers(&ir1, &ir2, &opts)
+    };
+
+    let mut failures = Vec::new();
+    {
+        campion_trace::span!("fuzz.oracle");
+        check_detection(case, &report, &mut failures);
+        check_localization(case, &mutated, &rend1, &rend2, &report, &mut failures);
+        check_srp_agreement(case, &mutated, &ir1, &ir2, &report, &mut failures);
+    }
+
+    CaseOutcome {
+        failures,
+        coverage: coverage_of(&report, &rend1, &rend2),
+        differences: report.total_differences(),
+    }
+}
+
+fn check_detection(case: &FuzzCase, report: &CampionReport, failures: &mut Vec<Failure>) {
+    if case.divs.is_empty() {
+        if !report.is_equivalent() {
+            let first = report
+                .route_map_diffs
+                .first()
+                .or(report.acl_diffs.first())
+                .map(|d| d.context.clone())
+                .or_else(|| report.structural.first().map(|s| s.description.clone()))
+                .or_else(|| report.unmatched.first().cloned())
+                .unwrap_or_default();
+            failures.push(Failure {
+                oracle: OracleKind::Detection,
+                detail: format!(
+                    "spurious difference on divergence-free pair ({} total; first: {first})",
+                    report.total_differences()
+                ),
+            });
+        }
+    } else if report.is_equivalent() {
+        let classes: Vec<&str> = case.divs.iter().map(|d| d.class().name()).collect();
+        failures.push(Failure {
+            oracle: OracleKind::Detection,
+            detail: format!(
+                "injected divergence not reported (classes: {})",
+                classes.join(",")
+            ),
+        });
+    }
+}
+
+fn check_localization(
+    case: &FuzzCase,
+    mutated: &Scenario,
+    rend1: &Rendered,
+    rend2: &Rendered,
+    report: &CampionReport,
+    failures: &mut Vec<Failure>,
+) {
+    for div in &case.divs {
+        if !div.verified {
+            continue; // unchecked mode: no trustworthy ground truth
+        }
+        let covered = match &div.witness {
+            Witness::Flow(f) => {
+                let (p1, i1) = acl_decide(&case.base.acl, f);
+                let (p2, i2) = acl_decide(&mutated.acl, f);
+                report.acl_diffs.iter().any(|d| {
+                    diff_covers_flow(
+                        d,
+                        (rend1.acl_lines[i1], p1),
+                        (rend2.acl_lines[i2], p2),
+                        f.dst,
+                    )
+                })
+            }
+            Witness::Route(r) => {
+                let v1 = rmap_decide(&case.base, r);
+                let v2 = rmap_decide(mutated, r);
+                let prefix = Prefix::new(Ipv4Addr::from(r.addr), r.len);
+                report.route_map_diffs.iter().any(|d| {
+                    diff_covers_route(
+                        d,
+                        (rend1.clause_lines[v1.clause], v1.accept),
+                        (rend2.clause_lines[v2.clause], v2.accept),
+                        &prefix,
+                    )
+                })
+            }
+        };
+        if !covered {
+            failures.push(Failure {
+                oracle: OracleKind::Localization,
+                detail: format!(
+                    "no reported difference covers the injected edit site ({}: {})",
+                    div.class().name(),
+                    div.edit.describe()
+                ),
+            });
+        }
+    }
+}
+
+fn check_srp_agreement(
+    case: &FuzzCase,
+    mutated: &Scenario,
+    ir1: &RouterIr,
+    ir2: &RouterIr,
+    report: &CampionReport,
+    failures: &mut Vec<Failure>,
+) {
+    // Probe rng: a distinct deterministic stream of the same (seed, case).
+    let mut rng = StdRng::for_stream(case.seed ^ 0x5250_AC5E_5250_AC5E, case.case);
+
+    let sim1 = augment_for_srp(ir1.clone(), "dut1");
+    let sim2 = augment_for_srp(ir2.clone(), "dut2");
+    let (mut net1, mut net2) = (Network::default(), Network::default());
+    net1.add_router(sim1.clone());
+    net2.add_router(sim2.clone());
+    let (ribs1, ribs2) = (net1.solve(), net2.solve());
+
+    // Packet plane: forwarding through the ingress ACL + FIB. Witnesses
+    // lead so the cap can never drop them.
+    let mut flows: Vec<_> = case
+        .divs
+        .iter()
+        .filter_map(|d| match &d.witness {
+            Witness::Flow(f) => Some(*f),
+            Witness::Route(_) => None,
+        })
+        .collect();
+    flows.extend(crate::inject::flow_probes(&case.base, mutated, &mut rng));
+    flows.truncate(512);
+    let mut flow_disagreements = 0usize;
+    for f in &flows {
+        let flow = Flow {
+            src_ip: Ipv4Addr::from(f.src),
+            dst_ip: Ipv4Addr::from(f.dst),
+            protocol: f.proto,
+            src_port: 0,
+            dst_port: f.dst_port,
+        };
+        let s1 = net1.forwards(&ribs1, "dut1", Some("eth0"), &flow);
+        let s2 = net2.forwards(&ribs2, "dut2", Some("eth0"), &flow);
+        let a1 = acl_decide(&case.base.acl, f).0;
+        let a2 = acl_decide(&mutated.acl, f).0;
+        if s1 != a1 || s2 != a2 {
+            failures.push(Failure {
+                oracle: OracleKind::SrpAgreement,
+                detail: format!(
+                    "simulation vs model mismatch for flow {}:{} -> {}:{} proto {} \
+                     (sim {s1}/{s2}, model {a1}/{a2})",
+                    Ipv4Addr::from(f.src),
+                    0,
+                    Ipv4Addr::from(f.dst),
+                    f.dst_port,
+                    f.proto
+                ),
+            });
+            return; // one detailed failure is enough per case
+        }
+        if s1 != s2 {
+            flow_disagreements += 1;
+        }
+    }
+    if flow_disagreements > 0 && report.acl_diffs.is_empty() {
+        failures.push(Failure {
+            oracle: OracleKind::SrpAgreement,
+            detail: format!(
+                "simulation forwards {flow_disagreements}/{} probe flows differently but \
+                 Campion reports no ACL difference",
+                flows.len()
+            ),
+        });
+    }
+    if report.is_equivalent() && flow_disagreements > 0 {
+        failures.push(Failure {
+            oracle: OracleKind::SrpAgreement,
+            detail: "report claims equivalence but simulated forwarding differs".to_string(),
+        });
+    }
+
+    // Control plane: BGP export through the per-edge transfer function.
+    let mut routes: Vec<_> = case
+        .divs
+        .iter()
+        .filter_map(|d| match &d.witness {
+            Witness::Route(r) => Some(r.clone()),
+            Witness::Flow(_) => None,
+        })
+        .collect();
+    routes.extend(crate::inject::route_probes(&case.base, mutated, &mut rng));
+    routes.truncate(512);
+    let mut route_disagreements = 0usize;
+    for w in &routes {
+        let e1 = export_route(&sim1, w);
+        let e2 = export_route(&sim2, w);
+        let v1 = rmap_decide(&case.base, w);
+        let v2 = rmap_decide(mutated, w);
+        let ok1 =
+            e1.is_some() == v1.accept && e1.as_ref().is_none_or(|a| a.local_pref == v1.local_pref);
+        let ok2 =
+            e2.is_some() == v2.accept && e2.as_ref().is_none_or(|a| a.local_pref == v2.local_pref);
+        if !ok1 || !ok2 {
+            failures.push(Failure {
+                oracle: OracleKind::SrpAgreement,
+                detail: format!(
+                    "BGP export vs model mismatch for {}/{} comms {:?} \
+                     (export accept {}/{}, model accept {}/{})",
+                    Ipv4Addr::from(w.addr),
+                    w.len,
+                    w.comms,
+                    e1.is_some(),
+                    e2.is_some(),
+                    v1.accept,
+                    v2.accept
+                ),
+            });
+            return;
+        }
+        if e1 != e2 {
+            route_disagreements += 1;
+        }
+    }
+    if route_disagreements > 0 && report.route_map_diffs.is_empty() {
+        failures.push(Failure {
+            oracle: OracleKind::SrpAgreement,
+            detail: format!(
+                "BGP export differs for {route_disagreements}/{} probe routes but Campion \
+                 reports no route-map difference",
+                routes.len()
+            ),
+        });
+    }
+    if report.is_equivalent() && route_disagreements > 0 {
+        failures.push(Failure {
+            oracle: OracleKind::SrpAgreement,
+            detail: "report claims equivalence but simulated BGP export differs".to_string(),
+        });
+    }
+}
+
+fn coverage_of(report: &CampionReport, rend1: &Rendered, rend2: &Rendered) -> Coverage {
+    let mut hit1: BTreeSet<u32> = BTreeSet::new();
+    let mut hit2: BTreeSet<u32> = BTreeSet::new();
+    let add = |set: &mut BTreeSet<u32>, spans: &[campion_cfg::Span], total: u32| {
+        for s in spans {
+            for l in s.start..=s.end.min(total) {
+                set.insert(l);
+            }
+        }
+    };
+    let (t1, t2) = (rend1.line_count(), rend2.line_count());
+    for d in report.route_map_diffs.iter().chain(report.acl_diffs.iter()) {
+        add(&mut hit1, &d.spans1, t1);
+        add(&mut hit2, &d.spans2, t2);
+    }
+    for s in &report.structural {
+        if let Some(sp) = s.span1 {
+            add(&mut hit1, &[sp], t1);
+        }
+        if let Some(sp) = s.span2 {
+            add(&mut hit2, &[sp], t2);
+        }
+    }
+    Coverage {
+        total1: u64::from(t1),
+        hit1: hit1.len() as u64,
+        total2: u64::from(t2),
+        hit2: hit2.len() as u64,
+    }
+}

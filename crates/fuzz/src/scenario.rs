@@ -1,0 +1,583 @@
+//! Abstract fuzz scenarios and their matched vendor renderers.
+//!
+//! A [`Scenario`] is a vendor-neutral model of one ACL and one route map:
+//! plain Rust data with its own tiny concrete interpreters
+//! ([`acl_decide`], [`rmap_decide`]). The interpreters share **no code**
+//! with the parse → lower → BDD pipeline under test, so agreement between
+//! the two is a genuine differential check, not a tautology.
+//!
+//! [`render_cisco`] / [`render_juniper`] emit semantically equivalent IOS
+//! and JunOS text for the same scenario and record, per rule and per
+//! clause, the 1-based line ranges they landed on — the injector's ground
+//! truth for the localization oracle. The renderers deliberately steer
+//! around the cross-vendor default gaps Campion is designed to *find*
+//! (IOS implicit deny vs JunOS default-accept, `send-community` defaults,
+//! community-list any-of vs members all-of): every component ends in an
+//! explicit catch-all and community matchers carry a single atom, so a
+//! divergence-free pair really is behaviorally equivalent.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Name of the generated ACL / firewall filter on both sides.
+pub const ACL_NAME: &str = "FUZZ-ACL";
+/// Name of the generated route map / policy statement on both sides.
+pub const POLICY_NAME: &str = "FUZZ-POL";
+
+/// The network-address mask for a prefix length (`len == 0` → 0).
+pub fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+/// One abstract ACL rule. `proto == None` means any IP protocol;
+/// `dst_port` is only populated for TCP/UDP rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclRule {
+    /// Permit or deny.
+    pub permit: bool,
+    /// IP protocol (6 = tcp, 17 = udp), or any.
+    pub proto: Option<u8>,
+    /// Source prefix (network address, length), or any.
+    pub src: Option<(u32, u8)>,
+    /// Destination prefix, or any.
+    pub dst: Option<(u32, u8)>,
+    /// Exact destination port, when `proto` is TCP/UDP.
+    pub dst_port: Option<u16>,
+}
+
+impl AclRule {
+    /// The catch-all rule every generated ACL ends with.
+    pub fn catch_all(permit: bool) -> Self {
+        AclRule {
+            permit,
+            proto: None,
+            src: None,
+            dst: None,
+            dst_port: None,
+        }
+    }
+
+    /// Does the rule have no matchers (i.e. is it a catch-all)?
+    pub fn is_catch_all(&self) -> bool {
+        self.proto.is_none() && self.src.is_none() && self.dst.is_none()
+    }
+}
+
+/// One prefix-list entry: `addr/len`, optionally extended to longer
+/// members up to `le` (Cisco `le N` / JunOS `upto /N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlEntry {
+    /// Network address (masked to `len`).
+    pub addr: u32,
+    /// Prefix length.
+    pub len: u8,
+    /// Upper member-length bound; `None` = exact match.
+    pub le: Option<u8>,
+}
+
+/// A named prefix list (`PL<i>` on the Cisco side; rendered as
+/// route-filter disjunctions on the JunOS side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixList {
+    /// Disjunctive entries.
+    pub entries: Vec<PlEntry>,
+}
+
+/// One route-map clause. Match conditions are conjunctive across kinds
+/// (prefix AND community), like both vendors' semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Accept or reject matched routes.
+    pub permit: bool,
+    /// Index into [`Scenario::plists`], when the clause matches on prefix.
+    pub plist: Option<usize>,
+    /// Index into [`Scenario::comms`], when the clause matches on community.
+    pub comm: Option<usize>,
+    /// `set local-preference`, only meaningful on permit clauses.
+    pub local_pref: Option<u32>,
+}
+
+impl Clause {
+    /// The final clause every generated route map ends with.
+    pub fn catch_all(permit: bool) -> Self {
+        Clause {
+            permit,
+            plist: None,
+            comm: None,
+            local_pref: None,
+        }
+    }
+
+    /// Does the clause match everything?
+    pub fn is_catch_all(&self) -> bool {
+        self.plist.is_none() && self.comm.is_none()
+    }
+}
+
+/// A complete abstract scenario: one ACL, one route map, and the prefix
+/// lists / single-atom communities the route map references. The last ACL
+/// rule and the last clause are always explicit catch-alls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// ACL rules, first-match. Never empty; last rule is a catch-all.
+    pub acl: Vec<AclRule>,
+    /// Prefix lists referenced by clauses.
+    pub plists: Vec<PrefixList>,
+    /// Community values (asn, value) referenced by clauses.
+    pub comms: Vec<(u16, u16)>,
+    /// Route-map clauses, first-match. Never empty; last is a catch-all.
+    pub clauses: Vec<Clause>,
+}
+
+/// Size knobs for [`generate`]. The defaults give mid-size cases; the
+/// golden corpus uses the `small()` profile.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeProfile {
+    /// Max non-catch-all ACL rules.
+    pub acl_rules: usize,
+    /// Max prefix lists.
+    pub plists: usize,
+    /// Max entries per prefix list.
+    pub pl_entries: usize,
+    /// Max community definitions.
+    pub comms: usize,
+    /// Max non-catch-all route-map clauses.
+    pub clauses: usize,
+}
+
+impl Default for SizeProfile {
+    fn default() -> Self {
+        SizeProfile {
+            acl_rules: 8,
+            plists: 3,
+            pl_entries: 3,
+            comms: 3,
+            clauses: 5,
+        }
+    }
+}
+
+impl SizeProfile {
+    /// The minimal profile used for golden corpus entries.
+    pub fn small() -> Self {
+        SizeProfile {
+            acl_rules: 3,
+            plists: 2,
+            pl_entries: 2,
+            comms: 2,
+            clauses: 2,
+        }
+    }
+}
+
+/// Draw a random prefix, biased toward boundary lengths (0, 31, 32) so the
+/// PrefixTrie fast path sees adversarial inputs routinely.
+fn random_prefix(rng: &mut StdRng) -> (u32, u8) {
+    let len: u8 = match rng.gen_range(0u8..10) {
+        0 => 0,
+        1 => 31,
+        2 => 32,
+        _ => rng.gen_range(8u8..=28),
+    };
+    let addr = rng.gen::<u32>() & mask(len);
+    (addr, len)
+}
+
+/// Generate a base scenario from `rng`, honoring `size`.
+pub fn generate(rng: &mut StdRng, size: &SizeProfile) -> Scenario {
+    // ACL.
+    let n_rules = rng.gen_range(1..=size.acl_rules.max(1));
+    let mut acl = Vec::with_capacity(n_rules + 1);
+    for _ in 0..n_rules {
+        let proto = match rng.gen_range(0u8..4) {
+            0 => None,
+            1 => Some(17),
+            _ => Some(6),
+        };
+        let dst_port = match proto {
+            Some(_) if rng.gen_bool(0.5) => Some(rng.gen_range(1u16..=1024)),
+            _ => None,
+        };
+        acl.push(AclRule {
+            permit: rng.gen_bool(0.5),
+            proto,
+            src: rng.gen_bool(0.4).then(|| random_prefix(rng)),
+            dst: rng.gen_bool(0.8).then(|| random_prefix(rng)),
+            dst_port,
+        });
+    }
+    acl.push(AclRule::catch_all(rng.gen_bool(0.3)));
+
+    // Prefix lists.
+    let n_pl = rng.gen_range(1..=size.plists.max(1));
+    let mut plists = Vec::with_capacity(n_pl);
+    for _ in 0..n_pl {
+        let n_e = rng.gen_range(1..=size.pl_entries.max(1));
+        let mut entries = Vec::with_capacity(n_e);
+        for _ in 0..n_e {
+            let (addr, len) = random_prefix(rng);
+            let le = if len < 32 && rng.gen_bool(0.5) {
+                Some(rng.gen_range(len + 1..=32))
+            } else {
+                None
+            };
+            entries.push(PlEntry { addr, len, le });
+        }
+        plists.push(PrefixList { entries });
+    }
+
+    // Communities.
+    let n_c = rng.gen_range(1..=size.comms.max(1));
+    let comms: Vec<(u16, u16)> = (0..n_c)
+        .map(|_| (rng.gen_range(1u16..=65000), rng.gen_range(1u16..=65000)))
+        .collect();
+
+    // Route map.
+    let n_cl = rng.gen_range(1..=size.clauses.max(1));
+    let mut clauses = Vec::with_capacity(n_cl + 1);
+    for _ in 0..n_cl {
+        let plist = rng.gen_bool(0.7).then(|| rng.gen_range(0..plists.len()));
+        let comm = rng.gen_bool(0.4).then(|| rng.gen_range(0..comms.len()));
+        let permit = rng.gen_bool(0.6);
+        clauses.push(Clause {
+            permit,
+            plist,
+            comm,
+            local_pref: (permit && rng.gen_bool(0.5)).then(|| rng.gen_range(50u32..=400)),
+        });
+    }
+    clauses.push(Clause::catch_all(rng.gen_bool(0.5)));
+
+    Scenario {
+        acl,
+        plists,
+        comms,
+        clauses,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete interpreters (independent of campion-ir).
+// ---------------------------------------------------------------------------
+
+/// A concrete packet for the ACL interpreters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowWitness {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// IP protocol.
+    pub proto: u8,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+/// A concrete route advertisement for the route-map interpreters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteWitness {
+    /// Announced network address (masked to `len`).
+    pub addr: u32,
+    /// Announced prefix length.
+    pub len: u8,
+    /// Attached communities.
+    pub comms: Vec<(u16, u16)>,
+}
+
+fn rule_matches(r: &AclRule, f: &FlowWitness) -> bool {
+    if let Some(p) = r.proto {
+        if f.proto != p {
+            return false;
+        }
+    }
+    if let Some((a, l)) = r.src {
+        if f.src & mask(l) != a {
+            return false;
+        }
+    }
+    if let Some((a, l)) = r.dst {
+        if f.dst & mask(l) != a {
+            return false;
+        }
+    }
+    if let Some(p) = r.dst_port {
+        if f.dst_port != p {
+            return false;
+        }
+    }
+    true
+}
+
+/// First-match ACL decision: `(permit, deciding rule index)`. Total,
+/// because the last rule is a catch-all.
+pub fn acl_decide(rules: &[AclRule], f: &FlowWitness) -> (bool, usize) {
+    for (i, r) in rules.iter().enumerate() {
+        if rule_matches(r, f) {
+            return (r.permit, i);
+        }
+    }
+    unreachable!("generated ACLs end in an explicit catch-all")
+}
+
+fn plist_matches(pl: &PrefixList, r: &RouteWitness) -> bool {
+    pl.entries.iter().any(|e| {
+        let hi = e.le.unwrap_or(e.len);
+        r.len >= e.len && r.len <= hi && r.addr & mask(e.len) == e.addr
+    })
+}
+
+/// The route-map verdict of the concrete interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmapVerdict {
+    /// Accepted?
+    pub accept: bool,
+    /// Effective LOCAL_PREF (default 100).
+    pub local_pref: u32,
+    /// Deciding clause index.
+    pub clause: usize,
+}
+
+/// First-match route-map decision. Total, because the last clause is a
+/// catch-all.
+pub fn rmap_decide(sc: &Scenario, r: &RouteWitness) -> RmapVerdict {
+    for (i, c) in sc.clauses.iter().enumerate() {
+        let pl_ok = c.plist.is_none_or(|p| plist_matches(&sc.plists[p], r));
+        let cm_ok = c.comm.is_none_or(|ci| r.comms.contains(&sc.comms[ci]));
+        if pl_ok && cm_ok {
+            return RmapVerdict {
+                accept: c.permit,
+                local_pref: if c.permit {
+                    c.local_pref.unwrap_or(100)
+                } else {
+                    100
+                },
+                clause: i,
+            };
+        }
+    }
+    unreachable!("generated route maps end in an explicit catch-all")
+}
+
+// ---------------------------------------------------------------------------
+// Renderers.
+// ---------------------------------------------------------------------------
+
+/// A rendered configuration plus the ground-truth line map: 1-based
+/// inclusive line ranges for every ACL rule and every clause, in scenario
+/// order (including the catch-alls).
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// Full configuration text.
+    pub text: String,
+    /// Per-ACL-rule line range.
+    pub acl_lines: Vec<(u32, u32)>,
+    /// Per-clause line range.
+    pub clause_lines: Vec<(u32, u32)>,
+}
+
+impl Rendered {
+    /// Total line count of the rendered configuration.
+    pub fn line_count(&self) -> u32 {
+        self.text.lines().count() as u32
+    }
+}
+
+fn ip(a: u32) -> String {
+    std::net::Ipv4Addr::from(a).to_string()
+}
+
+fn cisco_addr(p: Option<(u32, u8)>) -> String {
+    match p {
+        None => "any".to_string(),
+        Some((a, 32)) => format!("host {}", ip(a)),
+        Some((a, l)) => format!("{} {}", ip(a), ip(!mask(l))),
+    }
+}
+
+struct LineWriter {
+    text: String,
+    line: u32,
+}
+
+impl LineWriter {
+    fn new() -> Self {
+        LineWriter {
+            text: String::new(),
+            line: 0,
+        }
+    }
+
+    /// Append one line; returns its 1-based number.
+    fn push(&mut self, s: &str) -> u32 {
+        self.text.push_str(s);
+        self.text.push('\n');
+        self.line += 1;
+        self.line
+    }
+}
+
+/// Render the IOS side of a scenario.
+pub fn render_cisco(sc: &Scenario) -> Rendered {
+    let mut w = LineWriter::new();
+    w.push("hostname fuzz-cisco");
+    w.push("!");
+    let mut acl_lines = Vec::with_capacity(sc.acl.len());
+    w.push(&format!("ip access-list extended {ACL_NAME}"));
+    for r in &sc.acl {
+        let action = if r.permit { "permit" } else { "deny" };
+        let proto = match r.proto {
+            None => "ip",
+            Some(6) => "tcp",
+            Some(17) => "udp",
+            Some(_) => unreachable!("generator only emits ip/tcp/udp"),
+        };
+        let mut line = format!(
+            " {action} {proto} {} {}",
+            cisco_addr(r.src),
+            cisco_addr(r.dst)
+        );
+        if let Some(p) = r.dst_port {
+            line.push_str(&format!(" eq {p}"));
+        }
+        let n = w.push(&line);
+        acl_lines.push((n, n));
+    }
+    w.push("!");
+    for (i, pl) in sc.plists.iter().enumerate() {
+        for e in &pl.entries {
+            let mut line = format!("ip prefix-list PL{i} permit {}/{}", ip(e.addr), e.len);
+            if let Some(le) = e.le {
+                line.push_str(&format!(" le {le}"));
+            }
+            w.push(&line);
+        }
+    }
+    for (i, (asn, val)) in sc.comms.iter().enumerate() {
+        w.push(&format!(
+            "ip community-list standard C{i} permit {asn}:{val}"
+        ));
+    }
+    w.push("!");
+    let mut clause_lines = Vec::with_capacity(sc.clauses.len());
+    for (i, c) in sc.clauses.iter().enumerate() {
+        let action = if c.permit { "permit" } else { "deny" };
+        let start = w.push(&format!(
+            "route-map {POLICY_NAME} {action} {}",
+            (i + 1) * 10
+        ));
+        let mut end = start;
+        if let Some(p) = c.plist {
+            end = w.push(&format!(" match ip address prefix-list PL{p}"));
+        }
+        if let Some(ci) = c.comm {
+            end = w.push(&format!(" match community C{ci}"));
+        }
+        if let Some(lp) = c.local_pref.filter(|_| c.permit) {
+            end = w.push(&format!(" set local-preference {lp}"));
+        }
+        clause_lines.push((start, end));
+    }
+    Rendered {
+        text: w.text,
+        acl_lines,
+        clause_lines,
+    }
+}
+
+/// Render the JunOS side of a scenario.
+pub fn render_juniper(sc: &Scenario) -> Rendered {
+    let mut w = LineWriter::new();
+    w.push("system {");
+    w.push("    host-name fuzz-juniper;");
+    w.push("}");
+    w.push("firewall {");
+    w.push("    family inet {");
+    w.push(&format!("        filter {ACL_NAME} {{"));
+    let mut acl_lines = Vec::with_capacity(sc.acl.len());
+    for (i, r) in sc.acl.iter().enumerate() {
+        let start = w.push(&format!("            term t{i} {{"));
+        if !r.is_catch_all() {
+            w.push("                from {");
+            if let Some(p) = r.proto {
+                let name = match p {
+                    6 => "tcp",
+                    17 => "udp",
+                    _ => unreachable!("generator only emits tcp/udp protocols"),
+                };
+                w.push(&format!("                    protocol {name};"));
+            }
+            if let Some((a, l)) = r.src {
+                w.push(&format!(
+                    "                    source-address {}/{l};",
+                    ip(a)
+                ));
+            }
+            if let Some((a, l)) = r.dst {
+                w.push(&format!(
+                    "                    destination-address {}/{l};",
+                    ip(a)
+                ));
+            }
+            if let Some(p) = r.dst_port {
+                w.push(&format!("                    destination-port {p};"));
+            }
+            w.push("                }");
+        }
+        let action = if r.permit { "accept" } else { "discard" };
+        w.push(&format!("                then {action};"));
+        let end = w.push("            }");
+        acl_lines.push((start, end));
+    }
+    w.push("        }");
+    w.push("    }");
+    w.push("}");
+    w.push("policy-options {");
+    for (i, (asn, val)) in sc.comms.iter().enumerate() {
+        w.push(&format!("    community C{i} members {asn}:{val};"));
+    }
+    let mut clause_lines = Vec::with_capacity(sc.clauses.len());
+    w.push(&format!("    policy-statement {POLICY_NAME} {{"));
+    for (i, c) in sc.clauses.iter().enumerate() {
+        let start = w.push(&format!("        term c{i} {{"));
+        if !c.is_catch_all() {
+            w.push("            from {");
+            if let Some(p) = c.plist {
+                for e in &sc.plists[p].entries {
+                    let modifier = match e.le {
+                        None => "exact".to_string(),
+                        Some(le) => format!("upto /{le}"),
+                    };
+                    w.push(&format!(
+                        "                route-filter {}/{} {modifier};",
+                        ip(e.addr),
+                        e.len
+                    ));
+                }
+            }
+            if let Some(ci) = c.comm {
+                w.push(&format!("                community C{ci};"));
+            }
+            w.push("            }");
+        }
+        w.push("            then {");
+        if let Some(lp) = c.local_pref.filter(|_| c.permit) {
+            w.push(&format!("                local-preference {lp};"));
+        }
+        let action = if c.permit { "accept" } else { "reject" };
+        w.push(&format!("                {action};"));
+        w.push("            }");
+        let end = w.push("        }");
+        clause_lines.push((start, end));
+    }
+    w.push("    }");
+    w.push("}");
+    Rendered {
+        text: w.text,
+        acl_lines,
+        clause_lines,
+    }
+}

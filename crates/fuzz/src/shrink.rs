@@ -1,0 +1,244 @@
+//! ddmin-lite failure minimization: greedily remove scenario structure
+//! while the original oracle failure persists.
+//!
+//! A candidate reduction re-runs the *full* pipeline (`run_case`) and is
+//! kept only when a failure of the same [`OracleKind`] survives, so the
+//! minimized reproducer fails for the same reason the original did. The
+//! stored witness and edit are part of the case spec — reductions that
+//! would invalidate the edit's target are never proposed, and index
+//! remapping keeps the edit pointing at the same logical rule.
+
+use crate::case::FuzzCase;
+use crate::inject::Edit;
+use crate::oracle::{run_case, OracleKind};
+
+/// Remap an edit after removing base ACL rule `i`. `None` = the edit's
+/// target was touched, so the reduction is invalid.
+fn remap_acl(edit: &Edit, i: usize) -> Option<Edit> {
+    let adj = |r: usize| if r > i { Some(r - 1) } else { Some(r) };
+    match edit {
+        Edit::AclFlip { rule } if *rule != i => Some(Edit::AclFlip { rule: adj(*rule)? }),
+        Edit::AclDstTweak { rule, new } if *rule != i => Some(Edit::AclDstTweak {
+            rule: adj(*rule)?,
+            new: *new,
+        }),
+        Edit::AclDelete { rule } if *rule != i => Some(Edit::AclDelete { rule: adj(*rule)? }),
+        Edit::AclSwap { rule } if *rule != i && *rule + 1 != i => {
+            Some(Edit::AclSwap { rule: adj(*rule)? })
+        }
+        Edit::AclFlip { .. }
+        | Edit::AclDstTweak { .. }
+        | Edit::AclDelete { .. }
+        | Edit::AclSwap { .. } => None,
+        other => Some(other.clone()),
+    }
+}
+
+/// Every structurally-smaller candidate, one reduction at a time.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let sc = &case.base;
+
+    // Remove one non-catch-all ACL rule.
+    for i in 0..sc.acl.len().saturating_sub(1) {
+        let remapped: Option<Vec<_>> = case
+            .divs
+            .iter()
+            .map(|d| {
+                remap_acl(&d.edit, i).map(|edit| crate::inject::Divergence {
+                    edit,
+                    witness: d.witness.clone(),
+                    verified: d.verified,
+                })
+            })
+            .collect();
+        if let Some(divs) = remapped {
+            let mut c = case.clone();
+            c.base.acl.remove(i);
+            c.divs = divs;
+            out.push(c);
+        }
+    }
+
+    // Simplify one ACL rule: drop src, then port, then proto.
+    for i in 0..sc.acl.len() {
+        let r = &sc.acl[i];
+        if r.src.is_some() {
+            let mut c = case.clone();
+            c.base.acl[i].src = None;
+            out.push(c);
+        }
+        if r.dst_port.is_some() {
+            let mut c = case.clone();
+            c.base.acl[i].dst_port = None;
+            out.push(c);
+        }
+        if r.proto.is_some() && r.dst_port.is_none() {
+            let mut c = case.clone();
+            c.base.acl[i].proto = None;
+            out.push(c);
+        }
+    }
+
+    // Remove one non-catch-all clause.
+    for i in 0..sc.clauses.len().saturating_sub(1) {
+        let remapped: Option<Vec<_>> = case
+            .divs
+            .iter()
+            .map(|d| match &d.edit {
+                Edit::ClauseFlip { clause } if *clause == i => None,
+                Edit::ClauseFlip { clause } => Some(crate::inject::Divergence {
+                    edit: Edit::ClauseFlip {
+                        clause: if *clause > i { clause - 1 } else { *clause },
+                    },
+                    witness: d.witness.clone(),
+                    verified: d.verified,
+                }),
+                _ => Some(d.clone()),
+            })
+            .collect();
+        if let Some(divs) = remapped {
+            let mut c = case.clone();
+            c.base.clauses.remove(i);
+            c.divs = divs;
+            out.push(c);
+        }
+    }
+
+    // Drop one clause's community or prefix match.
+    for i in 0..sc.clauses.len() {
+        if sc.clauses[i].comm.is_some() {
+            let mut c = case.clone();
+            c.base.clauses[i].comm = None;
+            out.push(c);
+        }
+        if sc.clauses[i].plist.is_some() {
+            let mut c = case.clone();
+            c.base.clauses[i].plist = None;
+            out.push(c);
+        }
+        if sc.clauses[i].local_pref.is_some() {
+            let mut c = case.clone();
+            c.base.clauses[i].local_pref = None;
+            out.push(c);
+        }
+    }
+
+    // Remove one prefix-list entry (lists keep at least one entry).
+    for p in 0..sc.plists.len() {
+        if sc.plists[p].entries.len() < 2 {
+            continue;
+        }
+        for e in 0..sc.plists[p].entries.len() {
+            let remapped: Option<Vec<_>> = case
+                .divs
+                .iter()
+                .map(|d| match &d.edit {
+                    Edit::PlistBound { plist, entry, .. } if *plist == p && *entry == e => None,
+                    Edit::PlistBound {
+                        plist,
+                        entry,
+                        new_le,
+                    } if *plist == p && *entry > e => Some(crate::inject::Divergence {
+                        edit: Edit::PlistBound {
+                            plist: *plist,
+                            entry: entry - 1,
+                            new_le: *new_le,
+                        },
+                        witness: d.witness.clone(),
+                        verified: d.verified,
+                    }),
+                    _ => Some(d.clone()),
+                })
+                .collect();
+            if let Some(divs) = remapped {
+                let mut c = case.clone();
+                c.base.plists[p].entries.remove(e);
+                c.divs = divs;
+                out.push(c);
+            }
+        }
+    }
+
+    // Remove one unreferenced prefix list / community definition.
+    for p in 0..sc.plists.len() {
+        let referenced = sc.clauses.iter().any(|c| c.plist == Some(p))
+            || case
+                .divs
+                .iter()
+                .any(|d| matches!(&d.edit, Edit::PlistBound { plist, .. } if *plist == p));
+        if referenced {
+            continue;
+        }
+        let mut c = case.clone();
+        c.base.plists.remove(p);
+        for cl in &mut c.base.clauses {
+            if let Some(q) = cl.plist {
+                if q > p {
+                    cl.plist = Some(q - 1);
+                }
+            }
+        }
+        for d in &mut c.divs {
+            if let Edit::PlistBound { plist, .. } = &mut d.edit {
+                if *plist > p {
+                    *plist -= 1;
+                }
+            }
+        }
+        out.push(c);
+    }
+    for cm in 0..sc.comms.len() {
+        let referenced = sc.clauses.iter().any(|c| c.comm == Some(cm))
+            || case
+                .divs
+                .iter()
+                .any(|d| matches!(&d.edit, Edit::CommEdit { comm, .. } if *comm == cm));
+        if referenced {
+            continue;
+        }
+        let mut c = case.clone();
+        c.base.comms.remove(cm);
+        for cl in &mut c.base.clauses {
+            if let Some(q) = cl.comm {
+                if q > cm {
+                    cl.comm = Some(q - 1);
+                }
+            }
+        }
+        for d in &mut c.divs {
+            if let Edit::CommEdit { comm, .. } = &mut d.edit {
+                if *comm > cm {
+                    *comm -= 1;
+                }
+            }
+        }
+        out.push(c);
+    }
+
+    out
+}
+
+/// Shrink `case` while a failure of kind `oracle` persists. Greedy
+/// first-improvement to a fixpoint, bounded by `budget` pipeline re-runs.
+pub fn shrink(case: &FuzzCase, oracle: OracleKind, mut budget: usize) -> FuzzCase {
+    let _span = campion_trace::span("fuzz.shrink");
+    let mut current = case.clone();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if run_case(&cand).failures.iter().any(|f| f.oracle == oracle) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}

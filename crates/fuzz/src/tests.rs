@@ -1,0 +1,205 @@
+//! Harness self-tests: determinism, oracle soundness on checked cases,
+//! shrinker behavior, and corpus round-trips.
+
+use std::path::PathBuf;
+
+use crate::case::{build_case, FuzzOptions};
+use crate::corpus;
+use crate::inject::ALL_CLASSES;
+use crate::oracle::run_case;
+use crate::runner;
+use crate::scenario::{acl_decide, render_cisco, render_juniper, FlowWitness, SizeProfile};
+use crate::shrink::shrink;
+
+fn small_opts(seed: u64) -> FuzzOptions {
+    FuzzOptions {
+        seed,
+        size: SizeProfile::small(),
+        ..FuzzOptions::default()
+    }
+}
+
+/// A scratch directory under the system temp dir, cleared on entry.
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("campion-fuzz-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn build_case_is_deterministic() {
+    let opts = small_opts(7);
+    for i in 0..8 {
+        let a = build_case(7, i, &opts);
+        let b = build_case(7, i, &opts);
+        assert_eq!(render_cisco(&a.base).text, render_cisco(&b.base).text);
+        assert_eq!(
+            render_juniper(&a.mutated()).text,
+            render_juniper(&b.mutated()).text
+        );
+        assert_eq!(a.divs.len(), b.divs.len());
+        for (x, y) in a.divs.iter().zip(&b.divs) {
+            assert_eq!(x.edit.describe(), y.edit.describe());
+        }
+    }
+}
+
+#[test]
+fn case_streams_are_independent_of_index_order() {
+    // Building case 5 never depends on cases 0..4 having been built.
+    let opts = small_opts(3);
+    let early = build_case(3, 5, &opts);
+    for i in 0..5 {
+        let _ = build_case(3, i, &opts);
+    }
+    let late = build_case(3, 5, &opts);
+    assert_eq!(
+        render_cisco(&early.base).text,
+        render_cisco(&late.base).text
+    );
+}
+
+#[test]
+fn checked_cases_pass_all_oracles() {
+    let opts = small_opts(42);
+    for i in 0..24 {
+        let case = build_case(42, i, &opts);
+        let out = run_case(&case);
+        assert!(
+            out.failures.is_empty(),
+            "case {i} ({:?}): {:?}",
+            case.divs
+                .iter()
+                .map(|d| d.edit.describe())
+                .collect::<Vec<_>>(),
+            out.failures
+        );
+    }
+}
+
+#[test]
+fn run_summary_is_independent_of_worker_count() {
+    let mk = |jobs| FuzzOptions {
+        cases: 16,
+        jobs,
+        corpus_dir: test_dir("jobs"),
+        ..small_opts(11)
+    };
+    let a = runner::run(&mk(1));
+    let b = runner::run(&mk(4));
+    assert_eq!(a.clean, b.clean);
+    assert_eq!(a.injected, b.injected);
+    assert_eq!(a.differences, b.differences);
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+    assert!(b.failures.is_empty());
+}
+
+#[test]
+fn catch_all_terminates_every_acl_decision() {
+    let opts = small_opts(99);
+    for i in 0..8 {
+        let case = build_case(99, i, &opts);
+        let f = FlowWitness {
+            src: 0xC0A8_0101,
+            dst: 0x0808_0808,
+            proto: 6,
+            dst_port: 443,
+        };
+        // The decision always lands on some rule — the trailing catch-all
+        // guarantees first-match never falls off the end.
+        let (_, idx) = acl_decide(&case.base.acl, &f);
+        assert!(idx < case.base.acl.len());
+    }
+}
+
+#[test]
+fn unchecked_injection_fails_detection_and_shrinks() {
+    // With verification off, an edit landing on shadowed structure records
+    // false ground truth; the detection oracle must catch it, and the
+    // shrinker must keep the same failure kind while reducing the case.
+    let opts = FuzzOptions {
+        unchecked_injection: true,
+        ..small_opts(1234)
+    };
+    let mut found = None;
+    for i in 0..300 {
+        let case = build_case(1234, i, &opts);
+        if case.divs.iter().any(|d| !d.verified) {
+            let out = run_case(&case);
+            if let Some(f) = out.failures.first() {
+                found = Some((case, f.clone()));
+                break;
+            }
+        }
+    }
+    let (case, failure) = found.expect("no shadowed unchecked edit in 300 cases");
+    let min = shrink(&case, failure.oracle, 150);
+    assert!(
+        run_case(&min)
+            .failures
+            .iter()
+            .any(|f| f.oracle == failure.oracle),
+        "minimized case no longer fails the {} oracle",
+        failure.oracle.name()
+    );
+    let shrunk = min.base.acl.len() <= case.base.acl.len()
+        && min.base.clauses.len() <= case.base.clauses.len()
+        && min.base.plists.len() <= case.base.plists.len();
+    assert!(shrunk, "shrink grew the case");
+}
+
+#[test]
+fn runner_persists_minimized_reproducers() {
+    let dir = test_dir("repro");
+    let opts = FuzzOptions {
+        cases: 48,
+        jobs: 1,
+        unchecked_injection: true,
+        corpus_dir: dir.clone(),
+        max_reproducers: 2,
+        ..small_opts(1234)
+    };
+    let summary = runner::run(&opts);
+    assert!(
+        !summary.failures.is_empty(),
+        "expected unchecked injection to trip an oracle within 48 cases"
+    );
+    let written: Vec<_> = summary
+        .failures
+        .iter()
+        .filter_map(|f| f.reproducer.as_ref())
+        .collect();
+    assert!(!written.is_empty(), "no reproducer written");
+    for p in written {
+        assert!(p.join("cisco.cfg").is_file());
+        assert!(p.join("juniper.cfg").is_file());
+        let meta = corpus::read_meta(&p.join("case.meta")).unwrap();
+        assert_eq!(meta.get("kind").map(String::as_str), Some("reproducer"));
+        assert!(meta.contains_key("seed"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn golden_meta_regenerates_identical_bytes() {
+    let opts = FuzzOptions {
+        seed: 9100,
+        classes: vec![ALL_CLASSES[0]],
+        ..small_opts(9100)
+    };
+    let case = (0..200)
+        .map(|i| build_case(9100, i, &opts))
+        .find(|c| !c.divs.is_empty())
+        .expect("no injected case in 200 tries");
+    let dir = test_dir("roundtrip");
+    let entry = corpus::write_entry(&dir, "golden-test", &case, "small", &opts.classes, None, "")
+        .expect("write_entry");
+    let meta = corpus::read_meta(&entry.join("case.meta")).unwrap();
+    assert_eq!(meta.get("kind").map(String::as_str), Some("golden"));
+    let regen = corpus::regenerate(&meta).expect("regenerate");
+    let cisco = std::fs::read_to_string(entry.join("cisco.cfg")).unwrap();
+    let juniper = std::fs::read_to_string(entry.join("juniper.cfg")).unwrap();
+    assert_eq!(render_cisco(&regen.base).text, cisco);
+    assert_eq!(render_juniper(&regen.mutated()).text, juniper);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,223 @@
+//! Property tests for header localization on IPv4 boundary edits.
+//!
+//! Self-contained Cisco-vs-Cisco ACL pairs whose destination matchers sit
+//! on the awkward edges of the IPv4 lattice — `0.0.0.0/0`, `/31`, `/32`,
+//! and non-contiguous wildcard masks — with one rule's action flipped on
+//! the second side. A test-local first-match interpreter (`dst & !wild ==
+//! base & !wild`) provides ground truth: when it finds a separating
+//! destination, Campion must report a difference whose text spans cover
+//! the edited rule on *both* sides, whose actions agree with the
+//! interpreter, and whose header-localized included set contains the
+//! witness; when the flip is shadowed, the pair must come back equivalent.
+
+use std::net::Ipv4Addr;
+
+use campion_cfg::parse_config;
+use campion_core::{compare_routers, CampionOptions, CampionReport};
+use campion_ir::{lower, RouterIr};
+use proptest::prelude::*;
+
+/// A destination matcher: base address plus Cisco wildcard bits.
+#[derive(Clone, Copy, Debug)]
+struct Matcher {
+    base: u32,
+    wild: u32,
+}
+
+impl Matcher {
+    fn covers(&self, dst: u32) -> bool {
+        dst & !self.wild == self.base & !self.wild
+    }
+}
+
+/// The boundary shapes under test, selected by `kind`.
+fn matcher(kind: usize, addr: u32) -> Matcher {
+    match kind {
+        0 => Matcher {
+            base: 0,
+            wild: u32::MAX, // 0.0.0.0/0
+        },
+        1 => Matcher {
+            base: addr,
+            wild: 0, // /32
+        },
+        2 => Matcher {
+            base: addr & !1,
+            wild: 1, // /31
+        },
+        3 => Matcher {
+            base: addr,
+            wild: 0x0000_00FF, // /24-equivalent contiguous wildcard
+        },
+        4 => Matcher {
+            base: addr,
+            wild: 0x00FF_00FF, // non-contiguous wildcard
+        },
+        _ => Matcher {
+            base: addr,
+            wild: 0x8000_0001, // non-contiguous: both edge bits wild
+        },
+    }
+}
+
+/// One rule: matcher plus permit/deny.
+type Rule = (Matcher, bool);
+
+/// First-match decision over `rules` (which always end in a catch-all).
+fn decide(rules: &[Rule], dst: u32) -> (bool, usize) {
+    for (i, (m, permit)) in rules.iter().enumerate() {
+        if m.covers(dst) {
+            return (*permit, i);
+        }
+    }
+    unreachable!("catch-all rule always matches");
+}
+
+/// Render the pair's config text; rule `i` lives on 1-based line `i + 4`
+/// (after `hostname`, `!`, and the `ip access-list` header).
+fn render(host: &str, rules: &[Rule]) -> String {
+    let mut out = format!("hostname {host}\n!\nip access-list extended BOUND\n");
+    for (m, permit) in rules {
+        let action = if *permit { "permit" } else { "deny" };
+        out.push_str(&format!(
+            " {action} ip any {} {}\n",
+            Ipv4Addr::from(m.base),
+            Ipv4Addr::from(m.wild)
+        ));
+    }
+    out.push_str("!\n");
+    out
+}
+
+fn rule_line(i: usize) -> u32 {
+    i as u32 + 4
+}
+
+fn pipeline(text: &str) -> RouterIr {
+    let cfg = parse_config(text).expect("boundary config parses");
+    lower(&cfg).expect("boundary config lowers")
+}
+
+fn compare(rules1: &[Rule], rules2: &[Rule]) -> CampionReport {
+    let ir1 = pipeline(&render("r1", rules1));
+    let ir2 = pipeline(&render("r2", rules2));
+    let opts = CampionOptions {
+        jobs: 1,
+        ..CampionOptions::default()
+    };
+    compare_routers(&ir1, &ir2, &opts)
+}
+
+/// Search the boundary addresses of every rule for a destination the two
+/// rule lists decide differently.
+fn find_witness(rules1: &[Rule], rules2: &[Rule]) -> Option<u32> {
+    let mut probes = vec![0u32, u32::MAX];
+    for (m, _) in rules1 {
+        let lo = m.base & !m.wild;
+        let hi = lo | m.wild;
+        for p in [lo, hi, lo.wrapping_sub(1), hi.wrapping_add(1)] {
+            probes.push(p);
+        }
+    }
+    probes
+        .into_iter()
+        .find(|&dst| decide(rules1, dst).0 != decide(rules2, dst).0)
+}
+
+fn accepts(action: &str) -> bool {
+    action.ends_with("ACCEPT")
+}
+
+/// The full oracle for one flipped-rule pair. `edit` indexes the flipped
+/// rule (never the catch-all).
+fn check_flip(rules1: &[Rule], edit: usize) {
+    let mut rules2 = rules1.to_vec();
+    rules2[edit].1 = !rules2[edit].1;
+    let report = compare(rules1, &rules2);
+    let Some(dst) = find_witness(rules1, &rules2) else {
+        // The flipped rule is shadowed: behaviorally identical lists must
+        // come back equivalent — the false-positive half of the property.
+        assert!(
+            report.is_equivalent(),
+            "shadowed flip of rule {edit} reported differences:\n{report}"
+        );
+        return;
+    };
+    assert!(
+        !report.is_equivalent(),
+        "separating dst {} found but pair reported equivalent",
+        Ipv4Addr::from(dst)
+    );
+    let (p1, i1) = decide(rules1, dst);
+    let (p2, i2) = decide(&rules2, dst);
+    let covered = report.acl_diffs.iter().any(|d| {
+        let on1 = d
+            .spans1
+            .iter()
+            .any(|s| s.start <= rule_line(i1) && s.end >= rule_line(i1));
+        let on2 = d
+            .spans2
+            .iter()
+            .any(|s| s.start <= rule_line(i2) && s.end >= rule_line(i2));
+        on1 && on2
+            && accepts(&d.action1) == p1
+            && accepts(&d.action2) == p2
+            && d.included
+                .iter()
+                .any(|r| r.prefix.contains_addr(Ipv4Addr::from(dst)))
+    });
+    assert!(
+        covered,
+        "no reported ACL difference localizes the flip of rule {edit} \
+         (witness {}, deciding rules {i1}/{i2}):\n{report}",
+        Ipv4Addr::from(dst)
+    );
+}
+
+const CATCH_ALL: Rule = (
+    Matcher {
+        base: 0,
+        wild: u32::MAX,
+    },
+    false,
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flipped_boundary_rule_is_localized(
+        pre in proptest::collection::vec((0u32..=u32::MAX, 0usize..6, 0usize..2), 0..3),
+        target in (0u32..=u32::MAX, 0usize..6, 0usize..2),
+        post in proptest::collection::vec((0u32..=u32::MAX, 0usize..6, 0usize..2), 0..3),
+    ) {
+        let rule = |(addr, kind, act): (u32, usize, usize)| (matcher(kind, addr), act == 0);
+        let mut rules: Vec<Rule> = Vec::new();
+        rules.extend(pre.into_iter().map(rule));
+        let edit = rules.len();
+        rules.push(rule(target));
+        rules.extend(post.into_iter().map(rule));
+        rules.push(CATCH_ALL);
+        check_flip(&rules, edit);
+    }
+}
+
+/// Every boundary shape, deterministically: the edited rule leads the
+/// list, so it is never shadowed and must always be detected + localized.
+#[test]
+fn each_boundary_kind_is_detected_unshadowed() {
+    for kind in 0..6 {
+        let rules = vec![
+            (matcher(kind, 0x0A00_0102), true),
+            (
+                Matcher {
+                    base: 0xC0A8_0000,
+                    wild: 0x0000_FFFF,
+                },
+                true,
+            ),
+            CATCH_ALL,
+        ];
+        check_flip(&rules, 0);
+    }
+}

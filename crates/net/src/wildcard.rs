@@ -83,6 +83,54 @@ impl WildcardMask {
     pub fn free_bits(&self) -> u32 {
         self.wildcard.count_ones()
     }
+
+    /// Decompose the matched set into prefixes.
+    ///
+    /// A contiguous mask yields its single prefix. A non-contiguous mask
+    /// matches a union of `2^k` prefixes, where `k` counts the wildcard
+    /// bits above the trailing wildcard run: each assignment of those bits
+    /// pins one prefix. When that enumeration would exceed `max`, the
+    /// result degrades to the smallest single prefix covering the whole
+    /// set (the leading fixed bits) — a sound over-approximation for
+    /// consumers that only need a covering universe.
+    pub fn cover_prefixes(&self, max: usize) -> Vec<Prefix> {
+        if let Some(p) = self.as_prefix() {
+            return vec![p];
+        }
+        // Trailing wildcard bits fold into the prefix length; every
+        // wildcard bit above them must be enumerated.
+        // Non-contiguous, so 0 < wildcard and trailing_ones < 32.
+        let trailing = self.wildcard.trailing_ones();
+        let len = (32 - trailing) as u8;
+        let high_wild = self.wildcard & !((1u32 << trailing) - 1);
+        let k = high_wild.count_ones();
+        if k >= usize::BITS || (1usize << k) > max {
+            let cover_len = self.wildcard.leading_zeros();
+            let cover_mask = if cover_len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - cover_len)
+            };
+            return vec![Prefix::new(
+                Ipv4Addr::from(self.addr & cover_mask),
+                cover_len as u8,
+            )];
+        }
+        // Spread each counter value over the enumerated wildcard bit
+        // positions (LSB of the counter → lowest enumerated bit).
+        let positions: Vec<u32> = (0..32).filter(|b| high_wild & (1 << b) != 0).collect();
+        (0..1u32 << k)
+            .map(|combo| {
+                let mut addr = self.addr;
+                for (j, &pos) in positions.iter().enumerate() {
+                    if combo & (1 << j) != 0 {
+                        addr |= 1 << pos;
+                    }
+                }
+                Prefix::new(Ipv4Addr::from(addr), len)
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for WildcardMask {

@@ -102,22 +102,38 @@ fn name_seed(name: &str) -> u64 {
     h
 }
 
+/// The exact RNG seed for case `case` of the test named `name`: the
+/// **documented seedable entry point** for replaying one failing case by
+/// hand (`TestRng::from_seed(case_seed(name, case))`). A pure function of
+/// its inputs — byte-reproducible across machines. `PROPTEST_SEED=<u64>`
+/// in the environment replaces the name-derived base seed, re-aiming every
+/// property at a fresh deterministic stream without recompiling.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| name_seed(name));
+    base.wrapping_add(u64::from(case).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
 /// Run `config.cases` generated cases of the property `f` against
 /// `strategy`, panicking (like a failed `assert!`) on the first failing
-/// case with enough context to reproduce it.
+/// case. The panic message always carries the failing case's exact RNG
+/// seed, so any failure is replayable on any machine via
+/// [`case_seed`]/[`TestRng::from_seed`] regardless of how the base seed
+/// was chosen.
 pub fn run_cases<S, F>(config: &Config, name: &str, strategy: &S, mut f: F)
 where
     S: Strategy,
     F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
-    let base = name_seed(name);
     for case in 0..config.cases {
-        let mut rng =
-            TestRng::from_seed(base.wrapping_add(u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)));
+        let seed = case_seed(name, case);
+        let mut rng = TestRng::from_seed(seed);
         let value = strategy.generate(&mut rng);
         if let Err(e) = f(value) {
             panic!(
-                "property `{name}` failed at case {case}/{}: {e}",
+                "property `{name}` failed at case {case}/{} (rng seed {seed:#018x}): {e}",
                 config.cases
             );
         }
