@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use campion_bench::{load, print_rows};
 use campion_core::{compare_routers, CampionOptions, CampionReport};
+use campion_fleet::{gen as fleet_gen, Daemon};
 use campion_gen::capirca_acl_pair;
 
 /// Per-size measurement for the JSON report.
@@ -231,6 +232,38 @@ fn main() {
         rep_seq.bdd_stats.nodes
     );
 
+    // Fleet daemon incrementality: a cold whole-fleet ingest vs a warm
+    // re-ingest with one router perturbed. The warm path recomputes one
+    // pair and answers the rest from the store, so its wall time tracks a
+    // single compare plus hashing — the §2h service-mode speedup.
+    const FLEET_PAIRS: usize = 12;
+    const FLEET_RULES: usize = 400;
+    println!("\nFleet incremental ingest — {FLEET_PAIRS} pairs of {FLEET_RULES}-rule ACLs");
+    let store_dir =
+        std::env::temp_dir().join(format!("campion-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut daemon = Daemon::open(&store_dir, opts_with_jobs(0)).expect("open fleet store");
+    let cold_input = fleet_gen::fleet_input("cold", FLEET_PAIRS, FLEET_RULES, 10, 0xF1EE7, None);
+    let t_cold = Instant::now();
+    let cold = daemon.ingest(&cold_input).expect("cold ingest");
+    let cold_s = t_cold.elapsed().as_secs_f64();
+    let warm_input = fleet_gen::fleet_input("warm", FLEET_PAIRS, FLEET_RULES, 10, 0xF1EE7, Some(0));
+    let t_warm = Instant::now();
+    let warm = daemon.ingest(&warm_input).expect("warm ingest");
+    let warm_s = t_warm.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert_eq!(
+        (cold.pairs_computed, warm.pairs_computed, warm.pairs_cached),
+        (FLEET_PAIRS, 1, FLEET_PAIRS - 1),
+        "incrementality broke: warm ingest must recompute exactly the touched pair"
+    );
+    let fleet_speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "  cold: {cold_s:.3} s ({} pairs computed)   warm: {warm_s:.3} s \
+         ({} computed, {} cached)   speedup: {fleet_speedup:.1}x",
+        cold.pairs_computed, warm.pairs_computed, warm.pairs_cached
+    );
+
     if json {
         let mut out = String::from("{\n  \"sizes\": [\n");
         for (i, r) in size_results.iter().enumerate() {
@@ -305,6 +338,15 @@ fn main() {
         out.push_str("  \"localize_subitems\": {\n");
         out.push_str(&sub_entries.join(",\n"));
         out.push_str("\n  },\n");
+        let _ = write!(
+            out,
+            "  \"fleet_incremental\": {{\n    \
+             \"pairs\": {FLEET_PAIRS}, \"rules_per_pair\": {FLEET_RULES}, \
+             \"cold_s\": {cold_s:.6}, \"warm_s\": {warm_s:.6}, \
+             \"warm_pairs_computed\": {}, \"warm_pairs_cached\": {}, \
+             \"warm_parses_skipped\": {}, \"speedup\": {fleet_speedup:.3}\n  }},\n",
+            warm.pairs_computed, warm.pairs_cached, warm.router_parses_skipped
+        );
         let _ = write!(
             out,
             "  \"ratio_1k_to_10k\": {ratio:.2},\n  \"parallel\": {{\n    \

@@ -105,6 +105,33 @@ pub fn community_localize(space: &mut RouteSpace, input: Bdd) -> CommunityLocali
     CommunityLocalization { conditions }
 }
 
+/// The full set of community atoms a difference predicate actually depends
+/// on, in variable (interning) order.
+///
+/// This closes the gap the module header notes for the *default* report
+/// mode: instead of quoting a single example community from one satisfying
+/// assignment, `Present` lists every community the difference disagrees on
+/// (bounded at render time — see `COMMUNITY_LIST_CAP` in the driver). The
+/// set is computed from the BDD support, so an atom appears exactly when
+/// some pair of routes differing only in that community is treated
+/// differently by the two configurations — both polarities (must-carry and
+/// must-not-carry) count.
+pub fn disagreeing_communities(space: &mut RouteSpace, input: Bdd) -> Vec<AtomKey> {
+    let atoms = space.atoms();
+    if atoms.is_empty() {
+        return Vec::new();
+    }
+    let comm_base = PROTO_VARS.end;
+    let comm_end = comm_base + atoms.len() as u32;
+    space
+        .manager
+        .support(input)
+        .into_iter()
+        .filter(|v| (comm_base..comm_end).contains(v))
+        .map(|v| atoms[(v - comm_base) as usize].clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +191,63 @@ mod tests {
         for cond in &loc.conditions {
             assert!(!cond.without.is_empty(), "{loc}");
         }
+    }
+
+    /// Shared body for the per-direction disagreeing-set tests: compare
+    /// `first` against `second` and assert the community-dependent
+    /// difference reports the *complete* atom set, not one example.
+    fn assert_full_disagreeing_set(first: &str, second: &str) {
+        let a = lower(&parse_config(first).expect("parse")).expect("lower");
+        let b = lower(&parse_config(second).expect("parse")).expect("lower");
+        let p1 = &a.policies["POL"];
+        let p2 = &b.policies["POL"];
+        let mut space = RouteSpace::for_policies(&[p1, p2]);
+        let u = space.universe();
+        let paths1 = policy_paths(&mut space, p1, u);
+        let paths2 = policy_paths(&mut space, p2, u);
+        let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+        assert_eq!(diffs.len(), 2);
+        // The community bug is one of the two differences; which slot it
+        // lands in depends on the enumeration side, so find it by its
+        // non-prefix dependence.
+        let set = diffs
+            .iter()
+            .map(|d| disagreeing_communities(&mut space, d.input))
+            .max_by_key(Vec::len)
+            .expect("two diffs");
+        let c10 = AtomKey::Literal(Community::new(10, 10));
+        let c11 = AtomKey::Literal(Community::new(10, 11));
+        assert!(set.contains(&c10), "10:10 missing from {set:?}");
+        assert!(set.contains(&c11), "10:11 missing from {set:?}");
+        assert_eq!(set.len(), 2, "{set:?}");
+    }
+
+    #[test]
+    fn disagreeing_set_is_complete_forward_direction() {
+        // Cisco as router 1: the side whose community list fires.
+        assert_full_disagreeing_set(FIGURE1_CISCO, FIGURE1_JUNIPER);
+    }
+
+    #[test]
+    fn disagreeing_set_is_complete_reverse_direction() {
+        // Juniper as router 1: the same difference seen from the other
+        // side must report the identical community set.
+        assert_full_disagreeing_set(FIGURE1_JUNIPER, FIGURE1_CISCO);
+    }
+
+    #[test]
+    fn disagreeing_set_empty_without_community_dependence() {
+        let c =
+            lower(&parse_config("route-map A permit 10\nroute-map B deny 10\n").expect("parse"))
+                .expect("lower");
+        let p1 = &c.policies["A"];
+        let p2 = &c.policies["B"];
+        let mut space = RouteSpace::for_policies(&[p1, p2]);
+        let u = space.universe();
+        let paths1 = policy_paths(&mut space, p1, u);
+        let paths2 = policy_paths(&mut space, p2, u);
+        let diffs = semantic_diff(&mut space.manager, &paths1, &paths2);
+        assert!(disagreeing_communities(&mut space, diffs[0].input).is_empty());
     }
 
     #[test]

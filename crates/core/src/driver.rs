@@ -360,6 +360,22 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
     report
 }
 
+/// Reusable end-to-end entry: parse, lower and compare two raw
+/// configuration texts. The CLI's `compare` command and the fleet
+/// daemon's one-shot path both go through here, so their reports are the
+/// same bytes by construction.
+pub fn compare_config_texts(
+    text1: &str,
+    text2: &str,
+    opts: &CampionOptions,
+) -> Result<CampionReport, String> {
+    let load = |text: &str| -> Result<RouterIr, String> {
+        let cfg = campion_cfg::parse_config(text).map_err(|e| e.to_string())?;
+        campion_ir::lower(&cfg).map_err(|e| e.to_string())
+    };
+    Ok(compare_routers(&load(text1)?, &load(text2)?, opts))
+}
+
 /// Compare two route policies by name (the Figure-1 workflow) and return
 /// the localized difference reports.
 pub fn compare_policies_by_name(r1: &RouterIr, r2: &RouterIr, name: &str) -> Vec<PolicyDiffReport> {
@@ -539,9 +555,18 @@ fn present_policy_diff(
     }
 }
 
-/// Campion reports exhaustive prefix information but a single example for
-/// other route fields (§3.2). Produce that example when the difference
-/// constrains non-prefix dimensions.
+/// At most this many disagreeing communities are listed in a report's
+/// Example cell; past the cap the list is truncated with a `(+N more)`
+/// marker so a pathological difference cannot flood the table.
+const COMMUNITY_LIST_CAP: usize = 8;
+
+/// Campion reports exhaustive prefix information for the prefix dimension;
+/// for other route fields the paper shows a single example (§3.2). The
+/// community line goes further (the commloc extension): it lists the
+/// *complete* set of communities the difference disagrees on — every atom
+/// the difference predicate depends on — bounded at
+/// [`COMMUNITY_LIST_CAP`]. Tag/metric/protocol still come from one
+/// satisfying example.
 fn non_prefix_example(space: &mut RouteSpace, d: &SemanticDifference) -> Option<String> {
     // Only when a fired clause actually matched on a non-prefix field — a
     // difference localized purely by prefixes (Table 2a) shows no example.
@@ -563,8 +588,19 @@ fn non_prefix_example(space: &mut RouteSpace, d: &SemanticDifference) -> Option<
         .complete_with(false);
     let ex = space.concretize(&a);
     let mut parts = Vec::new();
-    if !ex.communities.is_empty() {
-        let cs: Vec<String> = ex.communities.iter().map(|c| c.to_string()).collect();
+    let disagreeing = crate::commloc::disagreeing_communities(space, d.input);
+    if !disagreeing.is_empty() {
+        let mut cs: Vec<String> = disagreeing
+            .iter()
+            .take(COMMUNITY_LIST_CAP)
+            .map(|c| c.to_string())
+            .collect();
+        if disagreeing.len() > COMMUNITY_LIST_CAP {
+            cs.push(format!(
+                "(+{} more)",
+                disagreeing.len() - COMMUNITY_LIST_CAP
+            ));
+        }
         parts.push(format!("Community: {}", cs.join(", ")));
     }
     if let Some(t) = ex.tag {

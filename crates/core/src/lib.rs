@@ -40,6 +40,7 @@
 pub mod commloc;
 pub mod driver;
 pub mod headerloc;
+pub mod json;
 pub mod matching;
 pub mod portloc;
 pub mod report;
@@ -48,12 +49,14 @@ pub mod structural;
 
 pub use commloc::{community_localize, CommunityCondition, CommunityLocalization};
 pub use driver::{
-    compare_policies_by_name, compare_routers, steal_indexed, CampionOptions, GcMode,
+    compare_config_texts, compare_policies_by_name, compare_routers, steal_indexed, CampionOptions,
+    GcMode,
 };
 pub use headerloc::{
     header_localize, header_localize_with, reencode, DstAddrSpace, HeaderLocalization, RangeDag,
     RangeEncoder, RangeTerm, SrcAddrSpace,
 };
+pub use json::{policy_diff_json, report_json, structural_finding_json};
 pub use matching::{match_policies, MatchedComponents, PolicyPair};
 pub use portloc::{dst_port_localize, src_port_localize};
 pub use report::{CampionReport, FindingSide, PolicyDiffReport, StructuralFinding};

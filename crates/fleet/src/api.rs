@@ -1,0 +1,66 @@
+//! The HTTP API surface: one routing function shared by the daemon binary
+//! and the in-process tests, so the e2e incrementality proof exercises the
+//! exact code the service runs.
+//!
+//! | Method | Path                          | Body                              |
+//! |--------|-------------------------------|-----------------------------------|
+//! | POST   | `/api/v1/snapshot`            | snapshot JSON → ingest summary    |
+//! | GET    | `/api/v1/status`              | latest-snapshot summary           |
+//! | GET    | `/api/v1/pairs`               | every pair's status + provenance  |
+//! | GET    | `/api/v1/pair/{a}/{b}`        | summary + embedded report         |
+//! | GET    | `/api/v1/pair/{a}/{b}/report` | structured report (stable JSON)   |
+//! | GET    | `/api/v1/pair/{a}/{b}/text`   | text report, byte-identical to CLI|
+//! | GET    | `/api/v1/metrics`             | counters + per-phase trace stats  |
+//! | POST   | `/api/v1/shutdown`            | acknowledges, then stops serving  |
+
+use crate::daemon::Daemon;
+use crate::http::{Request, Response};
+use crate::snapshot::SnapshotInput;
+
+/// Route one request. Returns the response plus the shutdown flag.
+pub fn handle(daemon: &mut Daemon, req: &Request) -> (Response, bool) {
+    let resp = route(daemon, req);
+    let shutdown = req.method == "POST" && req.path == "/api/v1/shutdown";
+    (resp, shutdown)
+}
+
+fn route(daemon: &mut Daemon, req: &Request) -> Response {
+    let segments: Vec<&str> = req
+        .path
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["api", "v1", "snapshot"]) => {
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(b) => b,
+                Err(_) => return Response::error(400, "snapshot body is not UTF-8"),
+            };
+            match SnapshotInput::from_json(body).and_then(|input| daemon.ingest(&input)) {
+                Ok(summary) => Response::json(200, summary.to_json()),
+                Err(e) => Response::error(400, &e),
+            }
+        }
+        ("POST", ["api", "v1", "shutdown"]) => Response::json(200, "{\"ok\": true}\n"),
+        ("GET", ["api", "v1", "status"]) => Response::json(200, daemon.status_json()),
+        ("GET", ["api", "v1", "pairs"]) => Response::json(200, daemon.pairs_json()),
+        ("GET", ["api", "v1", "metrics"]) => Response::json(200, daemon.metrics_json()),
+        ("GET", ["api", "v1", "pair", a, b]) => match daemon.pair_json(a, b) {
+            Some(body) => Response::json(200, body),
+            None => Response::error(404, &format!("no such pair: {a} {b}")),
+        },
+        ("GET", ["api", "v1", "pair", a, b, "report"]) => match daemon.pair_report_json(a, b) {
+            Some(body) => Response::json(200, body.as_bytes().to_vec()),
+            None => Response::error(404, &format!("no such pair: {a} {b}")),
+        },
+        ("GET", ["api", "v1", "pair", a, b, "text"]) => match daemon.pair_report_text(a, b) {
+            Some(body) => Response::text(200, body.as_bytes().to_vec()),
+            None => Response::error(404, &format!("no such pair: {a} {b}")),
+        },
+        ("GET", _) => Response::error(404, &format!("no such endpoint: {}", req.path)),
+        _ => Response::error(405, &format!("{} not allowed on {}", req.method, req.path)),
+    }
+}

@@ -1,0 +1,120 @@
+//! campion-fleet: the CLI client for `campion-fleetd`.
+//!
+//! Wraps the daemon's HTTP endpoints; `report --text` prints the stored
+//! text report byte-identically to a fresh `campion compare` of the same
+//! pair.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use campion_fleet::{gen, http, SnapshotInput};
+
+const USAGE: &str = "\
+usage: campion-fleet [--addr <host:port>] <command> [args]
+
+Commands:
+  ingest <dir>            POST the snapshot directory (*.cfg + pairs.manifest)
+  status                  print the latest-snapshot summary
+  pairs                   print every pair's status and provenance
+  report <r1> <r2>        print a pair's structured JSON report
+  report <r1> <r2> --text print a pair's text report (byte-identical to
+                          `campion compare <r1.cfg> <r2.cfg>`)
+  metrics                 print daemon counters and per-phase trace stats
+  shutdown                stop the daemon
+  gen-fleet <dir> <pairs> <rules> <diffs> <seed> [--perturb I]
+                          write a synthetic fleet snapshot directory
+                          (local; does not contact the daemon)
+
+Options:
+  --addr <hp>             daemon address   [default: 127.0.0.1:8180]
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("campion-fleet: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Issue a request and print the body; non-200 statuses go to stderr.
+fn call(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
+    match http::request(addr, method, path, body) {
+        Ok((200, body)) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, body)) => {
+            eprint!("campion-fleet: HTTP {status}: {body}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("campion-fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8180".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return fail("--addr needs a host:port"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let rest: Vec<&str> = rest.iter().map(String::as_str).collect();
+    match rest.as_slice() {
+        ["ingest", dir] => match SnapshotInput::from_dir(Path::new(dir)) {
+            Ok(input) => call(&addr, "POST", "/api/v1/snapshot", Some(&input.to_json())),
+            Err(e) => fail(&e),
+        },
+        ["status"] => call(&addr, "GET", "/api/v1/status", None),
+        ["pairs"] => call(&addr, "GET", "/api/v1/pairs", None),
+        ["metrics"] => call(&addr, "GET", "/api/v1/metrics", None),
+        ["shutdown"] => call(&addr, "POST", "/api/v1/shutdown", None),
+        ["report", r1, r2] => call(
+            &addr,
+            "GET",
+            &format!("/api/v1/pair/{r1}/{r2}/report"),
+            None,
+        ),
+        ["report", r1, r2, "--text"] => {
+            call(&addr, "GET", &format!("/api/v1/pair/{r1}/{r2}/text"), None)
+        }
+        ["gen-fleet", dir, pairs, rules, diffs, seed, perturb @ ..] => {
+            let (Ok(pairs), Ok(rules), Ok(diffs), Ok(seed)) = (
+                pairs.parse::<usize>(),
+                rules.parse::<usize>(),
+                diffs.parse::<usize>(),
+                seed.parse::<u64>(),
+            ) else {
+                return fail("gen-fleet needs numeric <pairs> <rules> <diffs> <seed>");
+            };
+            let perturb = match perturb {
+                [] => None,
+                ["--perturb", i] => match i.parse::<usize>() {
+                    Ok(i) => Some(i),
+                    Err(_) => return fail("--perturb needs a pair index"),
+                },
+                _ => return fail("unknown gen-fleet arguments"),
+            };
+            match gen::write_fleet(Path::new(dir), pairs, rules, diffs, seed, perturb) {
+                Ok(()) => {
+                    println!("wrote {pairs}-pair fleet to {dir}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        [] => fail("no command"),
+        other => fail(&format!("unknown command {:?}", other.join(" "))),
+    }
+}

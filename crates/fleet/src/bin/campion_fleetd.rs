@@ -1,0 +1,88 @@
+//! campion-fleetd: the fleet snapshot-diffing daemon.
+//!
+//! Serves the zero-dependency HTTP/1.1 JSON API (see `campion_fleet::api`)
+//! over a sequential accept loop, with incremental recompute backed by a
+//! versioned on-disk store.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use campion_core::{CampionOptions, GcMode};
+use campion_fleet::{api, http, Daemon};
+
+const USAGE: &str = "\
+usage: campion-fleetd --store <dir> [--addr <host:port>] [--jobs N] [--gc auto|off|aggressive]
+
+Options:
+  --store <dir>      snapshot store directory (created if missing; required)
+  --addr <hp>        listen address            [default: 127.0.0.1:8180]
+  --jobs N           diff worker threads, 0 = one per hardware thread
+  --gc MODE          BDD garbage collection: auto, off, aggressive
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("campion-fleetd: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:8180".to_string();
+    let mut opts = CampionOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => match args.next() {
+                Some(v) => store = Some(PathBuf::from(v)),
+                None => return fail("--store needs a directory"),
+            },
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return fail("--addr needs a host:port"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.jobs = v,
+                None => return fail("--jobs needs a number"),
+            },
+            "--gc" => match args.next().as_deref() {
+                Some("auto") => opts.gc = GcMode::Auto,
+                Some("off") => opts.gc = GcMode::Off,
+                Some("aggressive") => opts.gc = GcMode::Aggressive,
+                _ => return fail("--gc needs auto, off, or aggressive"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(store) = store else {
+        return fail("--store is required");
+    };
+
+    campion_trace::enable();
+    let mut daemon = match Daemon::open(&store, opts) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("bind {addr}: {e}")),
+    };
+    // The bound address matters when the caller asked for port 0.
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "campion-fleetd listening on http://{bound} (store: {}, resumed at seq {})",
+        store.display(),
+        daemon.latest().map_or(0, |s| s.seq),
+    );
+    if let Err(e) = http::serve(&listener, |req| api::handle(&mut daemon, req)) {
+        eprintln!("campion-fleetd: serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("campion-fleetd: shutdown requested, exiting");
+    ExitCode::SUCCESS
+}

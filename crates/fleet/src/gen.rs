@@ -1,0 +1,90 @@
+//! Synthetic fleet generation for tests, benches, and the CI smoke job.
+//!
+//! A fleet of `pairs` router pairs, each pair a Cisco/Juniper rendering of
+//! the same generated capirca-style policy (via
+//! [`campion_gen::capirca_acl_pair`]). With `perturb = Some(i)`, pair
+//! `i`'s Cisco config gains one extra static route — a single-router,
+//! single-component change, the canonical incremental-recompute probe.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::snapshot::{SnapshotInput, MANIFEST};
+
+/// The line appended to a perturbed router's configuration: one static
+/// route, touching only the structural component.
+pub const PERTURB_LINE: &str = "ip route 203.0.113.0 255.255.255.0 10.0.0.1\n";
+
+/// Build a synthetic fleet snapshot in memory.
+pub fn fleet_input(
+    name: &str,
+    pairs: usize,
+    rules: usize,
+    diffs: usize,
+    seed: u64,
+    perturb: Option<usize>,
+) -> SnapshotInput {
+    let mut configs = BTreeMap::new();
+    let mut manifest = Vec::new();
+    for i in 0..pairs {
+        let (mut cisco, juniper) =
+            campion_gen::capirca_acl_pair(rules, diffs, seed.wrapping_add(i as u64));
+        if perturb == Some(i) {
+            cisco.push_str(PERTURB_LINE);
+        }
+        let (c_name, j_name) = (format!("r{i:02}-cisco"), format!("r{i:02}-juniper"));
+        configs.insert(c_name.clone(), cisco);
+        configs.insert(j_name.clone(), juniper);
+        manifest.push((c_name, j_name));
+    }
+    SnapshotInput {
+        name: name.to_string(),
+        configs,
+        pairs: manifest,
+    }
+}
+
+/// Write a synthetic fleet snapshot as a directory (`*.cfg` files plus
+/// `pairs.manifest`), the shape `campion-fleet ingest <dir>` consumes.
+pub fn write_fleet(
+    dir: &Path,
+    pairs: usize,
+    rules: usize,
+    diffs: usize,
+    seed: u64,
+    perturb: Option<usize>,
+) -> Result<(), String> {
+    let input = fleet_input("fleet", pairs, rules, diffs, seed, perturb);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for (name, text) in &input.configs {
+        let path = dir.join(format!("{name}.cfg"));
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let manifest: String = input
+        .pairs
+        .iter()
+        .map(|(a, b)| format!("{a} {b}\n"))
+        .collect();
+    let path = dir.join(MANIFEST);
+    std::fs::write(&path, manifest).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_touches_exactly_one_router() {
+        let base = fleet_input("a", 3, 6, 1, 7, None);
+        let perturbed = fleet_input("b", 3, 6, 1, 7, Some(1));
+        let changed: Vec<&String> = base
+            .configs
+            .iter()
+            .filter(|(k, v)| perturbed.configs[k.as_str()] != **v)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(changed, vec!["r01-cisco"]);
+        assert_eq!(base.pairs, perturbed.pairs);
+    }
+}

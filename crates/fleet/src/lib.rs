@@ -1,0 +1,27 @@
+//! campion-fleet: Campion as a service (DESIGN.md §2h).
+//!
+//! A long-running daemon (`campion-fleetd`) ingests whole network
+//! snapshots — a directory of router configurations plus a pair manifest
+//! naming the routers expected to be behaviorally equivalent — runs every
+//! pair through the parse → lower → compare pipeline on the work-stealing
+//! pool, and persists the results in a versioned on-disk store.
+//!
+//! Ingest is *incremental*: each router's lowered VI model is
+//! content-hashed per component ([`campion_ir::hash`]), so on snapshot
+//! N+1 only the pairs whose relevant components changed are recomputed;
+//! every other pair is answered from the store with provenance
+//! (`computed @ snapshot k`). A zero-dependency HTTP/1.1 JSON API serves
+//! snapshot ingestion, per-pair reports (byte-identical to the one-shot
+//! `campion compare` CLI), and daemon metrics; `campion-fleet` is the
+//! matching CLI client.
+
+pub mod api;
+pub mod daemon;
+pub mod gen;
+pub mod http;
+pub mod snapshot;
+pub mod store;
+
+pub use daemon::{Counters, Daemon, IngestSummary};
+pub use snapshot::SnapshotInput;
+pub use store::{FleetStore, PairRecord, PairStatus, RouterRecord, SnapshotRecord, FORMAT_VERSION};

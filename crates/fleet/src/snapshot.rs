@@ -1,0 +1,208 @@
+//! Snapshot inputs: a named set of router configurations plus the pair
+//! manifest declaring which routers are expected to be behaviorally
+//! equivalent.
+//!
+//! Two ingestion forms, one model: a directory (`*.cfg` files plus
+//! `pairs.manifest`) for the CLI, and a JSON document for the HTTP API's
+//! `POST /api/v1/snapshot`. The CLI client reads the directory form and
+//! posts the JSON form, so the daemon only ever sees one shape.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use campion_trace::json::{escape, parse, Json};
+
+/// The name of the pair manifest inside a snapshot directory: one pair of
+/// router names per line (whitespace-separated), `#` starts a comment.
+pub const MANIFEST: &str = "pairs.manifest";
+
+/// One network snapshot, ready to ingest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotInput {
+    /// Operator-facing snapshot label (defaults to the directory name).
+    pub name: String,
+    /// Router name → raw configuration text.
+    pub configs: BTreeMap<String, String>,
+    /// Pairs of router names expected equivalent, in manifest order.
+    pub pairs: Vec<(String, String)>,
+}
+
+impl SnapshotInput {
+    /// Load a snapshot from a directory: every `*.cfg` file becomes a
+    /// router (named by file stem), and `pairs.manifest` names the pairs.
+    pub fn from_dir(dir: &Path) -> Result<Self, String> {
+        let mut configs = BTreeMap::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cfg") {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("{}: non-UTF-8 file name", path.display()))?
+                .to_string();
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            configs.insert(stem, text);
+        }
+        let manifest_path = dir.join(MANIFEST);
+        let manifest = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        let mut pairs = Vec::new();
+        for (lineno, line) in manifest.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), None) => pairs.push((a.to_string(), b.to_string())),
+                _ => {
+                    return Err(format!(
+                        "{}:{}: expected two router names, got {line:?}",
+                        manifest_path.display(),
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        let name = dir
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("snapshot")
+            .to_string();
+        let snap = SnapshotInput {
+            name,
+            configs,
+            pairs,
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Every pair must name a router that has a configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pairs.is_empty() {
+            return Err("snapshot has no pairs (empty or missing manifest)".to_string());
+        }
+        for (a, b) in &self.pairs {
+            for r in [a, b] {
+                if !self.configs.contains_key(r) {
+                    return Err(format!("pair names unknown router {r:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The JSON body of `POST /api/v1/snapshot`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::from("{");
+        let _ = write!(o, "\"name\": \"{}\", \"configs\": {{", escape(&self.name));
+        let configs: Vec<String> = self
+            .configs
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", escape(k), escape(v)))
+            .collect();
+        o.push_str(&configs.join(", "));
+        o.push_str("}, \"pairs\": [");
+        let pairs: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(a, b)| format!("[\"{}\", \"{}\"]", escape(a), escape(b)))
+            .collect();
+        o.push_str(&pairs.join(", "));
+        o.push_str("]}");
+        o
+    }
+
+    /// Parse the JSON body of `POST /api/v1/snapshot`.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = parse(text).map_err(|e| format!("snapshot body: {e}"))?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("snapshot")
+            .to_string();
+        let mut configs = BTreeMap::new();
+        match doc.get("configs") {
+            Some(Json::Obj(members)) => {
+                for (k, v) in members {
+                    let text = v
+                        .as_str()
+                        .ok_or_else(|| format!("config {k:?} is not a string"))?;
+                    configs.insert(k.clone(), text.to_string());
+                }
+            }
+            _ => return Err("snapshot body: missing \"configs\" object".to_string()),
+        }
+        let mut pairs = Vec::new();
+        match doc.get("pairs").and_then(Json::as_arr) {
+            Some(list) => {
+                for p in list {
+                    let p = p.as_arr().unwrap_or(&[]);
+                    match p {
+                        [a, b] => match (a.as_str(), b.as_str()) {
+                            (Some(a), Some(b)) => pairs.push((a.to_string(), b.to_string())),
+                            _ => return Err("pair entries must be strings".to_string()),
+                        },
+                        _ => return Err("each pair must be a two-element array".to_string()),
+                    }
+                }
+            }
+            None => return Err("snapshot body: missing \"pairs\" array".to_string()),
+        }
+        let snap = SnapshotInput {
+            name,
+            configs,
+            pairs,
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotInput {
+        SnapshotInput {
+            name: "snapA".to_string(),
+            configs: BTreeMap::from([
+                ("r1".to_string(), "hostname r1\n".to_string()),
+                ("r2".to_string(), "hostname r2\n".to_string()),
+            ]),
+            pairs: vec![("r1".to_string(), "r2".to_string())],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        assert_eq!(SnapshotInput::from_json(&s.to_json()).expect("parse"), s);
+    }
+
+    #[test]
+    fn unknown_router_in_pair_is_rejected() {
+        let mut s = sample();
+        s.pairs.push(("r1".to_string(), "ghost".to_string()));
+        assert!(s.validate().unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let dir = std::env::temp_dir().join(format!("campion-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("r1.cfg"), "hostname r1\n").expect("write");
+        std::fs::write(dir.join("r2.cfg"), "hostname r2\n").expect("write");
+        std::fs::write(dir.join(MANIFEST), "# fleet\nr1 r2\n").expect("write");
+        let s = SnapshotInput::from_dir(&dir).expect("load");
+        assert_eq!(s.pairs, vec![("r1".to_string(), "r2".to_string())]);
+        assert_eq!(s.configs.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

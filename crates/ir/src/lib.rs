@@ -26,6 +26,7 @@
 
 mod acl;
 mod error;
+pub mod hash;
 mod lower_cisco;
 mod lower_juniper;
 mod policy;

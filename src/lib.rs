@@ -21,6 +21,7 @@
 pub use campion_bdd as bdd;
 pub use campion_cfg as cfg;
 pub use campion_core as core;
+pub use campion_fleet as fleet;
 pub use campion_fuzz as fuzz;
 pub use campion_gen as gen;
 pub use campion_ir as ir;

@@ -4,7 +4,7 @@
 //! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
 //!                 [--no-structural] [--exhaustive-communities] [--jobs N]
 //!                 [--gc off|auto|aggressive] [--stats] [--metrics]
-//!                 [--trace <file>]
+//!                 [--trace <file>] [--format text|json]
 //! campion translate <config>            # emit the JunOS rewrite
 //! campion baseline <config1> <config2>  # Minesweeper-style single cex
 //! ```
@@ -31,7 +31,7 @@ fn usage() -> ExitCode {
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
          \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
          \x20                 [--gc off|auto|aggressive] [--stats] [--metrics]\n\
-         \x20                 [--trace <file>]\n\
+         \x20                 [--trace <file>] [--format text|json]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -48,6 +48,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut show_stats = false;
     let mut show_metrics = false;
+    let mut json_format = false;
     let mut trace_path: Option<String> = None;
     let mut opts = CampionOptions::default();
     let mut it = args.iter();
@@ -64,6 +65,14 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             "--exhaustive-communities" => opts.exhaustive_communities = true,
             "--stats" => show_stats = true,
             "--metrics" => show_metrics = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => json_format = false,
+                Some("json") => json_format = true,
+                _ => {
+                    eprintln!("--format requires one of: text, json");
+                    return usage();
+                }
+            },
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(p.clone()),
                 None => {
@@ -112,7 +121,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         }
     };
     let report = compare_routers(&r1, &r2, &opts);
-    println!("{report}");
+    if json_format {
+        // The same serializer the fleet daemon's store and API use, so a
+        // cached fleet report and a fresh CLI run emit identical documents.
+        print!("{}", campion::core::report_json(&report));
+    } else {
+        println!("{report}");
+    }
     if show_stats {
         println!("{}", report.render_stats());
     }

@@ -70,6 +70,47 @@ fn exhaustive_communities_flag() {
 }
 
 #[test]
+fn format_json_emits_stable_structured_report() {
+    let out = campion(&[
+        "compare",
+        "--format",
+        "json",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit code still signals diffs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let doc = campion::trace::json::parse(&stdout).expect("valid JSON");
+    use campion::trace::json::Json;
+    assert_eq!(
+        doc.get("router1").and_then(Json::as_str),
+        Some("cisco_router")
+    );
+    assert_eq!(doc.get("equivalent").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("total_differences").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    // The CLI uses the same serializer as the fleet daemon's API: the
+    // bytes must equal an in-process render of the same comparison.
+    let load = |p: &str| {
+        campion::ir::lower(
+            &campion::cfg::parse_config(&std::fs::read_to_string(p).expect("read")).expect("parse"),
+        )
+        .expect("lower")
+    };
+    let report = campion::core::compare_routers(
+        &load("testdata/figure1_cisco.cfg"),
+        &load("testdata/figure1_juniper.cfg"),
+        &campion::core::CampionOptions::default(),
+    );
+    assert_eq!(stdout, campion::core::report_json(&report));
+    // An unknown format is a usage error.
+    let out = campion(&["compare", "--format", "yaml", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn translate_then_compare_is_clean() {
     let out = campion(&["translate", "testdata/figure1_cisco.cfg"]);
     assert_eq!(out.status.code(), Some(0));

@@ -25,7 +25,8 @@ fn figure1_full_pipeline_from_text() {
         "10.100.0.0/16 : 16-32",
         "10.9.0.0/16 : 16-16",
         "0.0.0.0/0 : 0-32",
-        "Community: 10:10",
+        // The full disagreeing community set (commloc), not one example.
+        "Community: 10:10, 10:11",
         "REJECT",
         "SET LOCAL PREF 30",
         "route-map POL deny 10",
