@@ -1,0 +1,315 @@
+//! [`AnyManager`] — one handle type over both BDD engines.
+//!
+//! The symbolic and driver layers hold an `AnyManager` and never care which
+//! engine is behind it:
+//!
+//! * [`AnyManager::Private`] wraps the single-threaded [`Manager`] — the
+//!   default: zero atomics on the hot path, deep-`Clone` snapshots.
+//! * [`AnyManager::Shared`] wraps a [`SharedWorker`] on a process-wide
+//!   [`SharedManager`](crate::SharedManager) arena — chosen per run via
+//!   `--shared-manager`: cross-pair node sharing, cheap worker forks, and
+//!   intra-pair fan-out through [`AnyManager::try_split`].
+//!
+//! Every method mirrors the private [`Manager`] API name-for-name, so code
+//! written against `space.manager` compiles unchanged against either engine.
+
+use crate::cube::{Assignment, Cube, CubeIter, GeneralCubeIter};
+use crate::manager::{Bdd, GcPolicy, Manager, ManagerStats};
+use crate::shared::SharedWorker;
+
+/// A BDD manager handle: a private single-threaded engine or a per-thread
+/// worker on a shared concurrent one. See the module docs.
+///
+/// `Clone` snapshots: a private manager deep-copies its arena (indices
+/// preserved), a shared worker forks a sibling on the same arena (handles
+/// remain valid, caches start fresh) — both uphold the same contract that
+/// every handle valid in the original is valid, and means the same function,
+/// in the clone.
+#[derive(Debug, Clone)]
+pub enum AnyManager {
+    /// A private single-threaded [`Manager`].
+    Private(Manager),
+    /// A per-thread [`SharedWorker`] on a shared concurrent arena.
+    Shared(SharedWorker),
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident => $e:expr) => {
+        match $self {
+            AnyManager::Private($m) => $e,
+            AnyManager::Shared($m) => $e,
+        }
+    };
+}
+
+impl AnyManager {
+    /// A fresh private manager over `num_vars` variables.
+    pub fn new_private(num_vars: u32) -> AnyManager {
+        AnyManager::Private(Manager::new(num_vars))
+    }
+
+    /// A fresh private manager pre-sized for `expected_nodes`.
+    pub fn private_with_capacity(num_vars: u32, expected_nodes: usize) -> AnyManager {
+        AnyManager::Private(Manager::with_capacity(num_vars, expected_nodes))
+    }
+
+    /// Is this handle backed by the shared concurrent engine?
+    pub fn is_shared(&self) -> bool {
+        matches!(self, AnyManager::Shared(_))
+    }
+
+    /// Fork `n` sibling workers for intra-pair fan-out. `Some` only for the
+    /// shared engine (private arenas cannot share new nodes across threads);
+    /// callers fall back to their sequential path on `None`.
+    pub fn try_split(&self, n: usize) -> Option<Vec<AnyManager>> {
+        match self {
+            AnyManager::Private(_) => None,
+            AnyManager::Shared(w) => Some((0..n).map(|_| AnyManager::Shared(w.fork())).collect()),
+        }
+    }
+
+    /// Run `f` with this worker unregistered from the shared GC rendezvous,
+    /// so sub-workers fanned out inside `f` can collect while the caller
+    /// blocks joining them. Everything the caller still needs across `f`
+    /// must be protected. No-op wrapper for the private engine.
+    pub fn with_idle<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if let AnyManager::Shared(w) = self {
+            w.deactivate();
+        }
+        f()
+    }
+
+    /// Number of variables in this manager's order.
+    pub fn num_vars(&self) -> u32 {
+        delegate!(self, m => m.num_vars())
+    }
+
+    /// Live node count (private: this arena; shared: the whole shared arena).
+    pub fn node_count(&self) -> usize {
+        delegate!(self, m => m.node_count())
+    }
+
+    /// Counter snapshot. For the shared engine this is the *worker-local*
+    /// slice (see [`SharedWorker::stats`]); manager-wide node/GC/shard
+    /// figures come from the pool once per run.
+    pub fn stats(&self) -> ManagerStats {
+        delegate!(self, m => m.stats())
+    }
+
+    /// The constant-false function.
+    pub fn false_(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// The constant-true function.
+    pub fn true_(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// Is `f` the constant true?
+    pub fn is_true(&self, f: Bdd) -> bool {
+        f.is_const_true()
+    }
+
+    /// Is `f` the constant false?
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f.is_const_false()
+    }
+
+    /// The function `var = 1`.
+    pub fn var(&mut self, var: u32) -> Bdd {
+        delegate!(self, m => m.var(var))
+    }
+
+    /// The function `var = 0`.
+    pub fn nvar(&mut self, var: u32) -> Bdd {
+        delegate!(self, m => m.nvar(var))
+    }
+
+    /// A literal: positive if `value`, else negative.
+    pub fn literal(&mut self, var: u32, value: bool) -> Bdd {
+        delegate!(self, m => m.literal(var, value))
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        delegate!(self, m => m.not(f))
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.and(f, g))
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.or(f, g))
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.xor(f, g))
+    }
+
+    /// Set difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.diff(f, g))
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.implies(f, g))
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        delegate!(self, m => m.iff(f, g))
+    }
+
+    /// Conjunction over many operands.
+    pub fn and_all(&mut self, fs: &[Bdd]) -> Bdd {
+        delegate!(self, m => m.and_all(fs))
+    }
+
+    /// Disjunction over many operands.
+    pub fn or_all(&mut self, fs: &[Bdd]) -> Bdd {
+        delegate!(self, m => m.or_all(fs))
+    }
+
+    /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        delegate!(self, m => m.ite(c, t, e))
+    }
+
+    /// Are `f` and `g` the same function? (Handle equality is canonical —
+    /// in the shared engine, across every worker of the arena.)
+    pub fn equivalent(&self, f: Bdd, g: Bdd) -> bool {
+        f == g
+    }
+
+    /// Cofactor of `f` with `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        delegate!(self, m => m.restrict(f, var, value))
+    }
+
+    /// Existential quantification over sorted `vars`.
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        delegate!(self, m => m.exists(f, vars))
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        delegate!(self, m => m.forall(f, vars))
+    }
+
+    /// Number of satisfying assignments over the full variable set.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        delegate!(self, m => m.sat_count(f))
+    }
+
+    /// Evaluate `f` under a complete assignment.
+    pub fn eval(&self, f: Bdd, assignment: &Assignment) -> bool {
+        delegate!(self, m => m.eval(f, assignment))
+    }
+
+    /// Is `f` satisfiable?
+    pub fn is_sat(&self, f: Bdd) -> bool {
+        !f.is_const_false()
+    }
+
+    /// Lexicographically-first satisfying cube.
+    pub fn first_sat(&self, f: Bdd) -> Option<Cube> {
+        delegate!(self, m => m.first_sat(f))
+    }
+
+    /// First complete satisfying assignment.
+    pub fn first_sat_assignment(&self, f: Bdd) -> Option<Assignment> {
+        delegate!(self, m => m.first_sat_assignment(f))
+    }
+
+    /// First satisfying cube preferring the high branch.
+    pub fn first_sat_preferring_true(&self, f: Bdd) -> Option<Cube> {
+        delegate!(self, m => m.first_sat_preferring_true(f))
+    }
+
+    /// Deterministic lexicographic cube iterator.
+    pub fn sat_cubes(&self, f: Bdd) -> CubeIter<'_> {
+        delegate!(self, m => m.sat_cubes(f))
+    }
+
+    /// Most-general-first cube iterator.
+    pub fn sat_cubes_general(&self, f: Bdd) -> GeneralCubeIter<'_> {
+        delegate!(self, m => m.sat_cubes_general(f))
+    }
+
+    /// Variables `f` depends on, ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        delegate!(self, m => m.support(f))
+    }
+
+    /// Nodes reachable from `f`.
+    pub fn size(&self, f: Bdd) -> usize {
+        delegate!(self, m => m.size(f))
+    }
+
+    /// Root the handle across collections (refcounted).
+    pub fn protect(&mut self, f: Bdd) {
+        delegate!(self, m => m.protect(f))
+    }
+
+    /// Drop one protection reference.
+    pub fn unprotect(&mut self, f: Bdd) {
+        delegate!(self, m => m.unprotect(f))
+    }
+
+    /// Number of distinct protected handles.
+    pub fn root_count(&self) -> usize {
+        delegate!(self, m => m.root_count())
+    }
+
+    /// Install a collection trigger policy.
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        delegate!(self, m => m.set_gc_policy(policy))
+    }
+
+    /// The installed trigger policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        delegate!(self, m => m.gc_policy())
+    }
+
+    /// Force a collection (shared: stop-the-world rendezvous). Returns
+    /// nodes freed by a sweep this caller ran.
+    pub fn gc(&mut self) -> usize {
+        delegate!(self, m => m.gc())
+    }
+
+    /// Safe point: collect here if the policy (or a pending shared-manager
+    /// request) asks for one. Returns whether a collection completed.
+    pub fn gc_checkpoint(&mut self) -> bool {
+        delegate!(self, m => m.gc_checkpoint())
+    }
+
+    /// Monotone sweep counter: bumps exactly when a collection may have
+    /// recycled node indices (private: this arena's GC runs; shared: the
+    /// arena-wide GC generation, which workers can't observe mid-bump while
+    /// active). Stamp caches of *indices* with this, not [`Self::stats`]'s
+    /// worker-local counters.
+    pub fn sweep_count(&self) -> u64 {
+        match self {
+            AnyManager::Private(m) => m.stats().gc_runs,
+            AnyManager::Shared(w) => w.sweep_count(),
+        }
+    }
+}
+
+impl From<Manager> for AnyManager {
+    fn from(m: Manager) -> AnyManager {
+        AnyManager::Private(m)
+    }
+}
+
+impl From<SharedWorker> for AnyManager {
+    fn from(w: SharedWorker) -> AnyManager {
+        AnyManager::Shared(w)
+    }
+}

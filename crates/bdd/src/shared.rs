@@ -1,0 +1,1410 @@
+//! Sylvan-style shared concurrent BDD manager.
+//!
+//! One [`SharedManager`] serves many worker threads at once. The design
+//! follows the Sylvan decision-diagram package (van Dijk & van de Pol):
+//!
+//! * **Arena** — a chunked, append-only array of atomically-published node
+//!   cells. Handles ([`Bdd`]) are plain indices, identical in meaning to the
+//!   private [`Manager`]'s, and *stable across collections* so
+//!   `Clone`-snapshot fan-out (per-difference localization) keeps working.
+//! * **Sharded unique table** — 64 hash-striped shards. Lookups probe
+//!   lock-free with `Acquire` loads; insertions claim empty slots with a
+//!   single CAS (`Release` publishes the node cells written just before).
+//!   A lost CAS re-reads the winning slot — if the winner inserted the same
+//!   key the loser adopts it (canonicity), otherwise it keeps probing; every
+//!   lost race increments the shard's `cas_retries` counter. Segment growth
+//!   takes the shard's `RwLock` for writing (inserters hold it for reading),
+//!   so a new segment is only published when no insert is in flight —
+//!   cross-segment duplicates are impossible.
+//! * **Per-worker computed caches** — each [`SharedWorker`] owns private
+//!   direct-mapped apply/not/ite caches (shared-nothing, zero contention),
+//!   invalidated wholesale when the global GC generation moves.
+//! * **Stop-the-world GC at safe points** — workers *park* at
+//!   `gc_checkpoint()`; when every active worker is parked, the last one in
+//!   becomes the collector: it marks from the global root set, poisons dead
+//!   cells, rebuilds the free list and every shard, bumps the generation and
+//!   wakes the others. Workers that hold only protected handles may park;
+//!   workers holding unprotected intermediates simply do not checkpoint —
+//!   a pending collection then waits until they park, finish, or go idle
+//!   (`with_idle` on the `AnyManager` wrapper), which preserves liveness:
+//!   collection is deferred, never deadlocked.
+//!
+//! Report byte-identity across {shared, private} managers holds because all
+//! report output is *structural* (cubes, prefix ranges, rule labels) and
+//! ROBDD canonicity makes those a function of the Boolean function, never of
+//! handle values.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock, TryLockError};
+
+use crate::cube::{Assignment, Cube, CubeIter, GeneralCubeIter, NodeSrc};
+use crate::manager::{
+    fx_mix, node_hash, slot_of, Bdd, DirectCache, GcPolicy, ManagerStats, Op, APPLY_CACHE_BITS,
+    ITE_CACHE_BITS, NOT_CACHE_BITS, POISON,
+};
+
+/// log2 of the arena chunk size (nodes per chunk).
+const CHUNK_BITS: u32 = 16;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+/// Max chunks: 2^14 × 2^16 = 2^30 addressable nodes.
+const MAX_CHUNKS: usize = 1 << 14;
+/// log2 of the shard count.
+const SHARD_BITS: u32 = 6;
+const NSHARDS: usize = 1 << SHARD_BITS;
+/// Minimum slots per shard segment.
+const MIN_SEG: usize = 1 << 9;
+/// Free-list indices taken from the global pool per refill.
+const FREE_BATCH: usize = 128;
+/// Empty unique-table slot marker.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// One arena node, atomically published. `var` is the decision level
+/// (`num_vars` for terminals, [`POISON`] for freed slots); `lo_hi` packs the
+/// low child in the high 32 bits and the high child in the low 32 bits.
+struct NodeCell {
+    var: AtomicU32,
+    lo_hi: AtomicU64,
+}
+
+impl NodeCell {
+    fn poisoned() -> NodeCell {
+        NodeCell {
+            var: AtomicU32::new(POISON),
+            lo_hi: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One power-of-two open-addressing segment of a shard.
+struct Seg {
+    slots: Box<[AtomicU32]>,
+    mask: usize,
+}
+
+impl Seg {
+    fn new(capacity: usize) -> Seg {
+        debug_assert!(capacity.is_power_of_two());
+        Seg {
+            slots: (0..capacity).map(|_| AtomicU32::new(EMPTY_SLOT)).collect(),
+            mask: capacity - 1,
+        }
+    }
+}
+
+/// One stripe of the unique table. Inserters hold the `RwLock` for reading
+/// (they still CAS individual slots); segment growth and the post-sweep
+/// rebuild hold it for writing, so growth never races an in-flight insert.
+struct Shard {
+    segs: RwLock<Vec<Seg>>,
+    /// Entries in the newest segment (drives the 3/4-load growth trigger).
+    newest_fill: AtomicUsize,
+    grows: AtomicU64,
+    cas_retries: AtomicU64,
+    lock_waits: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            segs: RwLock::new(vec![Seg::new(MIN_SEG)]),
+            newest_fill: AtomicUsize::new(0),
+            grows: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    // Top bits — independent of the in-segment slot index (low bits).
+    (hash >> (64 - SHARD_BITS)) as usize
+}
+
+/// GC rendezvous state, all under one mutex (paired with a condvar).
+struct GcSync {
+    /// Workers currently registered as active (doing or about to do work).
+    active: usize,
+    /// Active workers currently parked at a checkpoint.
+    parked: usize,
+    /// A collection has been requested and not yet run.
+    pending: bool,
+    /// Bumped once per completed collection; workers reset their computed
+    /// caches when they observe a new generation.
+    generation: u64,
+    gc_runs: u64,
+    gc_nodes_freed: u64,
+    gc_pauses: u64,
+    gc_pause_us: u64,
+}
+
+/// The shared arena + unique table + GC rendezvous. Threads operate on it
+/// through [`SharedWorker`] handles; the manager itself is `Sync`.
+pub struct SharedManager {
+    num_vars: u32,
+    chunks: Box<[OnceLock<Box<[NodeCell]>>]>,
+    /// Bump allocator high-water mark (next never-used index).
+    next: AtomicU32,
+    shards: Box<[Shard]>,
+    /// Freed node indices awaiting reuse; workers take batches.
+    free: Mutex<Vec<u32>>,
+    /// `free.len()` mirror for lock-free in-use estimates.
+    free_count: AtomicUsize,
+    /// Global protect-refcounts (terminals implicit), shared by all workers.
+    roots: Mutex<HashMap<u32, u32>>,
+    policy: Mutex<GcPolicy>,
+    gc: Mutex<GcSync>,
+    gc_cv: Condvar,
+    /// Lock-free mirror of `GcSync::pending` for the checkpoint fast path.
+    gc_pending: AtomicBool,
+    live_after_gc: AtomicUsize,
+    peak_live: AtomicUsize,
+}
+
+impl std::fmt::Debug for SharedManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedManager")
+            .field("num_vars", &self.num_vars)
+            .field("next", &self.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+enum Probe {
+    Found(u32),
+    Vacant,
+    Full,
+}
+
+enum Insert {
+    Found(u32),
+    Inserted(u32),
+    Full,
+}
+
+/// Worker-local allocation state: a small batch of free node indices.
+#[derive(Default)]
+struct LocalAlloc {
+    buf: Vec<u32>,
+}
+
+impl SharedManager {
+    /// Create a shared manager over `num_vars` variables with the given GC
+    /// policy. Terminals live at indices 0 and 1, exactly as in the private
+    /// [`Manager`].
+    pub fn new(num_vars: u32, policy: GcPolicy) -> SharedManager {
+        let chunks: Box<[OnceLock<Box<[NodeCell]>>]> =
+            (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect();
+        let m = SharedManager {
+            num_vars,
+            chunks,
+            next: AtomicU32::new(2),
+            shards: (0..NSHARDS).map(|_| Shard::new()).collect(),
+            free: Mutex::new(Vec::new()),
+            free_count: AtomicUsize::new(0),
+            roots: Mutex::new(HashMap::new()),
+            policy: Mutex::new(policy),
+            gc: Mutex::new(GcSync {
+                active: 0,
+                parked: 0,
+                pending: false,
+                generation: 0,
+                gc_runs: 0,
+                gc_nodes_freed: 0,
+                gc_pauses: 0,
+                gc_pause_us: 0,
+            }),
+            gc_cv: Condvar::new(),
+            gc_pending: AtomicBool::new(false),
+            live_after_gc: AtomicUsize::new(0),
+            peak_live: AtomicUsize::new(2),
+        };
+        m.ensure_chunk(0);
+        // Terminal cells: var = num_vars (one past every decision level);
+        // terminal 1's children point at itself, mirroring the private arena.
+        m.write_cell(0, num_vars, Bdd::FALSE, Bdd::FALSE);
+        m.write_cell(1, num_vars, Bdd::TRUE, Bdd::TRUE);
+        m
+    }
+
+    /// Number of variables in this manager's order.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    fn ensure_chunk(&self, idx: u32) {
+        let c = (idx >> CHUNK_BITS) as usize;
+        self.chunks[c].get_or_init(|| {
+            (0..CHUNK_SIZE)
+                .map(|_| NodeCell::poisoned())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+    }
+
+    #[inline]
+    fn cell(&self, i: u32) -> &NodeCell {
+        let chunk = self.chunks[(i >> CHUNK_BITS) as usize]
+            .get()
+            .expect("BDD handle into unallocated chunk");
+        &chunk[(i as usize) & (CHUNK_SIZE - 1)]
+    }
+
+    #[inline]
+    fn write_cell(&self, i: u32, var: u32, low: Bdd, high: Bdd) {
+        let c = self.cell(i);
+        // Relaxed is enough: publication happens-before via the unique-table
+        // slot CAS (Release) that makes `i` reachable.
+        c.lo_hi.store(
+            (u64::from(low.0) << 32) | u64::from(high.0),
+            Ordering::Relaxed,
+        );
+        c.var.store(var, Ordering::Relaxed);
+    }
+
+    /// Read a node triple `(var, low, high)`. Callers must hold the handle
+    /// via an `Acquire`-published path (unique-table slot, protected root, or
+    /// a handle handed across a synchronizing edge).
+    #[inline]
+    pub(crate) fn node_view(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let c = self.cell(f.0);
+        let var = c.var.load(Ordering::Relaxed);
+        let lh = c.lo_hi.load(Ordering::Relaxed);
+        (var, Bdd((lh >> 32) as u32), Bdd(lh as u32))
+    }
+
+    #[inline]
+    fn var_of(&self, f: Bdd) -> u32 {
+        self.cell(f.0).var.load(Ordering::Relaxed)
+    }
+
+    /// In-use node estimate (allocated high-water minus pooled free slots).
+    fn in_use(&self) -> usize {
+        (self.next.load(Ordering::Relaxed) as usize)
+            .saturating_sub(self.free_count.load(Ordering::Relaxed))
+    }
+
+    fn alloc_node(&self, alloc: &mut LocalAlloc) -> u32 {
+        if let Some(i) = alloc.buf.pop() {
+            return i;
+        }
+        {
+            let mut free = self.free.lock().unwrap();
+            let take = free.len().min(FREE_BATCH);
+            if take > 0 {
+                let at = free.len() - take;
+                alloc.buf.extend(free.drain(at..));
+                self.free_count.fetch_sub(take, Ordering::Relaxed);
+            }
+        }
+        if let Some(i) = alloc.buf.pop() {
+            return i;
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (idx as usize) < MAX_CHUNKS * CHUNK_SIZE && idx != u32::MAX,
+            "shared BDD arena overflow"
+        );
+        self.ensure_chunk(idx);
+        idx
+    }
+
+    fn probe_find(
+        &self,
+        seg: &Seg,
+        hash: u64,
+        var: u32,
+        low: Bdd,
+        high: Bdd,
+        coll: &mut u64,
+    ) -> Probe {
+        let mut slot = slot_of(hash, seg.mask);
+        for _ in 0..=seg.mask {
+            let v = seg.slots[slot].load(Ordering::Acquire);
+            if v == EMPTY_SLOT {
+                return Probe::Vacant;
+            }
+            let (nv, nl, nh) = self.node_view(Bdd(v));
+            if nv == var && nl == low && nh == high {
+                return Probe::Found(v);
+            }
+            *coll += 1;
+            slot = (slot + 1) & seg.mask;
+        }
+        Probe::Full
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_insert(
+        &self,
+        seg: &Seg,
+        shard: &Shard,
+        hash: u64,
+        var: u32,
+        low: Bdd,
+        high: Bdd,
+        alloc: &mut LocalAlloc,
+        coll: &mut u64,
+    ) -> Insert {
+        let mut slot = slot_of(hash, seg.mask);
+        let mut reserved: Option<u32> = None;
+        for _ in 0..=seg.mask {
+            let v = seg.slots[slot].load(Ordering::Acquire);
+            if v == EMPTY_SLOT {
+                let idx = match reserved {
+                    Some(i) => i,
+                    None => {
+                        let i = self.alloc_node(alloc);
+                        self.write_cell(i, var, low, high);
+                        reserved = Some(i);
+                        i
+                    }
+                };
+                match seg.slots[slot].compare_exchange(
+                    EMPTY_SLOT,
+                    idx,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Insert::Inserted(idx),
+                    Err(cur) => {
+                        shard.cas_retries.fetch_add(1, Ordering::Relaxed);
+                        let (nv, nl, nh) = self.node_view(Bdd(cur));
+                        if nv == var && nl == low && nh == high {
+                            alloc.buf.push(idx);
+                            return Insert::Found(cur);
+                        }
+                        *coll += 1;
+                        slot = (slot + 1) & seg.mask;
+                        continue;
+                    }
+                }
+            }
+            let (nv, nl, nh) = self.node_view(Bdd(v));
+            if nv == var && nl == low && nh == high {
+                if let Some(i) = reserved {
+                    alloc.buf.push(i);
+                }
+                return Insert::Found(v);
+            }
+            *coll += 1;
+            slot = (slot + 1) & seg.mask;
+        }
+        if let Some(i) = reserved {
+            alloc.buf.push(i);
+        }
+        Insert::Full
+    }
+
+    /// Hash-cons `(var, low, high)`: return the existing index or insert a
+    /// new node. Returns `(index, was_hit, probe_collisions)`.
+    fn find_or_insert(
+        &self,
+        var: u32,
+        low: Bdd,
+        high: Bdd,
+        alloc: &mut LocalAlloc,
+    ) -> (u32, bool, u64) {
+        let hash = node_hash(var, low, high);
+        let shard = &self.shards[shard_of(hash)];
+        let mut coll = 0u64;
+        loop {
+            let segs = match shard.segs.try_read() {
+                Ok(g) => g,
+                Err(TryLockError::WouldBlock) => {
+                    shard.lock_waits.fetch_add(1, Ordering::Relaxed);
+                    shard.segs.read().unwrap()
+                }
+                Err(TryLockError::Poisoned(e)) => panic!("poisoned shard lock: {e}"),
+            };
+            let nsegs = segs.len();
+            // Older segments are frozen (inserts only target the newest), so
+            // a plain lock-free probe suffices.
+            let mut found = None;
+            for seg in segs[..nsegs - 1].iter() {
+                match self.probe_find(seg, hash, var, low, high, &mut coll) {
+                    Probe::Found(i) => {
+                        found = Some(i);
+                        break;
+                    }
+                    Probe::Vacant | Probe::Full => {}
+                }
+            }
+            if let Some(i) = found {
+                return (i, true, coll);
+            }
+            match self.probe_insert(
+                &segs[nsegs - 1],
+                shard,
+                hash,
+                var,
+                low,
+                high,
+                alloc,
+                &mut coll,
+            ) {
+                Insert::Found(i) => return (i, true, coll),
+                Insert::Inserted(i) => {
+                    let cap = segs[nsegs - 1].mask + 1;
+                    let fill = shard.newest_fill.fetch_add(1, Ordering::Relaxed) + 1;
+                    drop(segs);
+                    if fill * 4 >= cap * 3 {
+                        self.grow_shard(shard);
+                    }
+                    return (i, false, coll);
+                }
+                Insert::Full => {
+                    drop(segs);
+                    self.grow_shard(shard);
+                    // retry against the grown shard
+                }
+            }
+        }
+    }
+
+    fn grow_shard(&self, shard: &Shard) {
+        let mut segs = match shard.segs.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                shard.lock_waits.fetch_add(1, Ordering::Relaxed);
+                shard.segs.write().unwrap()
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("poisoned shard lock: {e}"),
+        };
+        let newest_cap = segs.last().map(|s| s.mask + 1).unwrap_or(MIN_SEG);
+        // Another grower may have raced us here; only grow if the newest
+        // segment is still past the load trigger.
+        if shard.newest_fill.load(Ordering::Relaxed) * 4 < newest_cap * 3 {
+            return;
+        }
+        segs.push(Seg::new(newest_cap * 2));
+        shard.newest_fill.store(0, Ordering::Relaxed);
+        shard.grows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The collector. Runs with the GC mutex held and **every active worker
+    /// parked** (blocked in the checkpoint condvar), so no mutator touches
+    /// the arena, table or caches concurrently.
+    fn collect_locked(&self, sync: &mut GcSync) {
+        let t0 = std::time::Instant::now();
+        let mut span = campion_trace::span("bdd.gc");
+        let next = self.next.load(Ordering::Relaxed) as usize;
+        let in_use_before = self.in_use();
+        self.peak_live.fetch_max(in_use_before, Ordering::Relaxed);
+
+        // Mark from the global root set.
+        let words = next.div_ceil(64);
+        let mut marks = vec![0u64; words];
+        marks[0] |= 0b11;
+        let mut live = 2usize;
+        let mut stack: Vec<u32> = {
+            let roots = self.roots.lock().unwrap();
+            roots.keys().copied().collect()
+        };
+        while let Some(i) = stack.pop() {
+            let (word, bit) = (i as usize / 64, i as usize % 64);
+            if marks[word] & (1 << bit) != 0 {
+                continue;
+            }
+            marks[word] |= 1 << bit;
+            live += 1;
+            let (var, low, high) = self.node_view(Bdd(i));
+            debug_assert!(var != POISON, "marked a dead node");
+            if !low.is_const() {
+                stack.push(low.0);
+            }
+            if !high.is_const() {
+                stack.push(high.0);
+            }
+        }
+        let marked = |i: usize| marks[i / 64] & (1 << (i % 64)) != 0;
+
+        // Sweep: poison every unmarked slot, rebuild the free list ascending.
+        {
+            let mut free = self.free.lock().unwrap();
+            free.clear();
+            for i in 2..next {
+                if !marked(i) {
+                    self.cell(i as u32).var.store(POISON, Ordering::Relaxed);
+                    free.push(i as u32);
+                }
+            }
+            self.free_count.store(free.len(), Ordering::Relaxed);
+        }
+
+        // Rebuild every shard over the survivors (single-threaded; plain
+        // stores are published to workers by the GC mutex hand-off).
+        let mut by_shard: Vec<Vec<u32>> = (0..NSHARDS).map(|_| Vec::new()).collect();
+        for i in 2..next {
+            if marked(i) {
+                let (var, low, high) = self.node_view(Bdd(i as u32));
+                by_shard[shard_of(node_hash(var, low, high))].push(i as u32);
+            }
+        }
+        for (shard, idxs) in self.shards.iter().zip(&by_shard) {
+            let mut segs = shard.segs.write().unwrap();
+            let cap = (idxs.len() * 4 / 3 + 1).next_power_of_two().max(MIN_SEG);
+            segs.clear();
+            segs.push(Seg::new(cap));
+            let seg = &segs[0];
+            for &i in idxs {
+                let (var, low, high) = self.node_view(Bdd(i));
+                let mut slot = slot_of(node_hash(var, low, high), seg.mask);
+                while seg.slots[slot].load(Ordering::Relaxed) != EMPTY_SLOT {
+                    slot = (slot + 1) & seg.mask;
+                }
+                seg.slots[slot].store(i, Ordering::Relaxed);
+            }
+            shard.newest_fill.store(idxs.len(), Ordering::Relaxed);
+        }
+
+        let garbage = in_use_before.saturating_sub(live);
+        self.live_after_gc.store(live, Ordering::Relaxed);
+        sync.gc_runs += 1;
+        sync.gc_nodes_freed += garbage as u64;
+        sync.gc_pauses += 1;
+        sync.gc_pause_us += t0.elapsed().as_micros() as u64;
+        sync.generation += 1;
+        span.counter("freed_nodes", garbage as i64);
+        span.counter("live_nodes", live as i64);
+    }
+
+    /// Global (manager-wide) counters: node/GC figures plus per-shard
+    /// contention totals. Per-worker cache counters live on each
+    /// [`SharedWorker::stats`]; merge both for a full picture.
+    pub fn global_stats(&self) -> ManagerStats {
+        let in_use = self.in_use();
+        self.peak_live.fetch_max(in_use, Ordering::Relaxed);
+        let sync = self.gc.lock().unwrap();
+        let mut grows = 0u64;
+        let mut cas = 0u64;
+        let mut waits = 0u64;
+        for s in self.shards.iter() {
+            grows += s.grows.load(Ordering::Relaxed);
+            cas += s.cas_retries.load(Ordering::Relaxed);
+            waits += s.lock_waits.load(Ordering::Relaxed);
+        }
+        ManagerStats {
+            nodes: in_use as u64,
+            peak_nodes: self.peak_live.load(Ordering::Relaxed) as u64,
+            post_gc_nodes: self.live_after_gc.load(Ordering::Relaxed) as u64,
+            gc_runs: sync.gc_runs,
+            gc_nodes_freed: sync.gc_nodes_freed,
+            gc_pauses: sync.gc_pauses,
+            gc_pause_us: sync.gc_pause_us,
+            unique_grows: grows,
+            shard_cas_retries: cas,
+            shard_lock_waits: waits,
+            ..ManagerStats::default()
+        }
+    }
+
+    /// Completed collections so far (the cache-invalidation generation).
+    pub fn generation(&self) -> u64 {
+        self.gc.lock().unwrap().generation
+    }
+}
+
+/// A per-thread handle onto a [`SharedManager`]: private computed caches, a
+/// private free-index batch, and the worker's slice of the GC rendezvous.
+///
+/// The full private-[`Manager`] operation surface is mirrored here; handles
+/// are interchangeable between workers of the same manager.
+///
+/// `Clone` forks a new worker on the same arena with fresh caches — the
+/// cheap-snapshot analogue of the private manager's deep `Clone`.
+pub struct SharedWorker {
+    mgr: Arc<SharedManager>,
+    /// Registered in `GcSync::active`? Workers activate lazily on their
+    /// first mutating operation, so pre-created fan-out states that no
+    /// thread has picked up yet can never stall a pending collection.
+    active: bool,
+    /// Last GC generation this worker's caches were valid for.
+    gen: u64,
+    policy: GcPolicy,
+    alloc: LocalAlloc,
+    apply_cache: DirectCache<(u8, Bdd, Bdd)>,
+    not_cache: DirectCache<Bdd>,
+    ite_cache: DirectCache<(Bdd, Bdd, Bdd)>,
+    unique_lookups: u64,
+    unique_hits: u64,
+    unique_collisions: u64,
+}
+
+impl std::fmt::Debug for SharedWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedWorker")
+            .field("mgr", &*self.mgr)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl Clone for SharedWorker {
+    fn clone(&self) -> Self {
+        self.fork()
+    }
+}
+
+impl Drop for SharedWorker {
+    fn drop(&mut self) {
+        self.deactivate();
+    }
+}
+
+impl SharedWorker {
+    /// Create a worker for `mgr`. The worker registers with the GC
+    /// rendezvous lazily, on its first mutating operation.
+    pub fn new(mgr: Arc<SharedManager>) -> SharedWorker {
+        let policy = *mgr.policy.lock().unwrap();
+        SharedWorker {
+            mgr,
+            active: false,
+            gen: 0,
+            policy,
+            alloc: LocalAlloc::default(),
+            apply_cache: DirectCache::new(APPLY_CACHE_BITS),
+            not_cache: DirectCache::new(NOT_CACHE_BITS),
+            ite_cache: DirectCache::new(ITE_CACHE_BITS),
+            unique_lookups: 0,
+            unique_hits: 0,
+            unique_collisions: 0,
+        }
+    }
+
+    /// Fork a sibling worker on the same arena (fresh caches, zeroed
+    /// counters). Handles remain valid across workers.
+    pub fn fork(&self) -> SharedWorker {
+        let mut w = SharedWorker::new(self.mgr.clone());
+        w.gen = self.gen;
+        w.policy = self.policy;
+        w
+    }
+
+    /// Arena-wide sweep generation (see [`SharedManager::generation`]).
+    /// While this worker is *active* the generation cannot advance under it
+    /// (collections wait for it to park), so a value read here stays
+    /// current until the worker's next safe point — valid for stamping
+    /// index-keyed memos.
+    pub fn sweep_count(&self) -> u64 {
+        self.mgr.generation()
+    }
+
+    /// The shared manager behind this worker.
+    pub fn manager(&self) -> &Arc<SharedManager> {
+        &self.mgr
+    }
+
+    fn reset_caches(&mut self) {
+        self.apply_cache.retain(|_, _| false);
+        self.not_cache.retain(|_, _| false);
+        self.ite_cache.retain(|_, _| false);
+        // Local free indices may have been re-derived by the sweep's free
+        // list rebuild; drop them so they are not handed out twice.
+        self.alloc.buf.clear();
+    }
+
+    fn ensure_active(&mut self) {
+        if self.active {
+            return;
+        }
+        let mut refresh = false;
+        {
+            let mut sync = self.mgr.gc.lock().unwrap();
+            sync.active += 1;
+            if self.gen != sync.generation {
+                self.gen = sync.generation;
+                refresh = true;
+            }
+        }
+        if refresh {
+            self.reset_caches();
+        }
+        self.active = true;
+    }
+
+    fn flush_free(&mut self) {
+        if self.alloc.buf.is_empty() {
+            return;
+        }
+        let mut free = self.mgr.free.lock().unwrap();
+        self.mgr
+            .free_count
+            .fetch_add(self.alloc.buf.len(), Ordering::Relaxed);
+        free.append(&mut self.alloc.buf);
+    }
+
+    /// Unregister from the GC rendezvous (flushing the local free batch).
+    /// The next mutating operation re-registers automatically. Exposed so a
+    /// parent blocked joining fanned-out sub-workers can let a pending
+    /// collection proceed (`AnyManager::with_idle`).
+    pub fn deactivate(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.flush_free();
+        let mut sync = self.mgr.gc.lock().unwrap();
+        sync.active -= 1;
+        if sync.pending {
+            if sync.active == 0 {
+                sync.pending = false;
+                self.mgr.gc_pending.store(false, Ordering::Release);
+            } else if sync.parked == sync.active {
+                // Our departure completes the rendezvous: promote a parked
+                // worker to collector.
+                self.mgr.gc_cv.notify_all();
+            }
+        }
+        self.active = false;
+    }
+
+    // === Mirrored Manager surface ==========================================
+
+    /// Number of variables in the shared order.
+    pub fn num_vars(&self) -> u32 {
+        self.mgr.num_vars
+    }
+
+    /// Manager-wide in-use node count (all workers).
+    pub fn node_count(&self) -> usize {
+        self.mgr.in_use()
+    }
+
+    /// Worker-local counters only (cache/unique-table activity by *this*
+    /// worker). Manager-wide node/GC/shard figures come from
+    /// [`SharedManager::global_stats`]; the split avoids double-counting the
+    /// shared arena when per-worker stats are merged.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            unique_lookups: self.unique_lookups,
+            unique_hits: self.unique_hits,
+            unique_collisions: self.unique_collisions,
+            apply_lookups: self.apply_cache.lookups,
+            apply_hits: self.apply_cache.hits,
+            not_lookups: self.not_cache.lookups,
+            not_hits: self.not_cache.hits,
+            ite_lookups: self.ite_cache.lookups,
+            ite_hits: self.ite_cache.hits,
+            ..ManagerStats::default()
+        }
+    }
+
+    /// The constant-false function.
+    pub fn false_(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// The constant-true function.
+    pub fn true_(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// Is `f` the constant true?
+    pub fn is_true(&self, f: Bdd) -> bool {
+        f.is_const_true()
+    }
+
+    /// Is `f` the constant false?
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f.is_const_false()
+    }
+
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        debug_assert!(var < self.mgr.num_vars, "variable {var} out of range");
+        debug_assert!(var < self.mgr.var_of(low) && var < self.mgr.var_of(high));
+        if low == high {
+            return low;
+        }
+        self.unique_lookups += 1;
+        let (idx, hit, coll) = self.mgr.find_or_insert(var, low, high, &mut self.alloc);
+        if hit {
+            self.unique_hits += 1;
+        }
+        self.unique_collisions += coll;
+        Bdd(idx)
+    }
+
+    /// The function `var = 1`.
+    pub fn var(&mut self, var: u32) -> Bdd {
+        self.ensure_active();
+        self.mk(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The function `var = 0`.
+    pub fn nvar(&mut self, var: u32) -> Bdd {
+        self.ensure_active();
+        self.mk(var, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A literal: positive if `value`, else negative.
+    pub fn literal(&mut self, var: u32, value: bool) -> Bdd {
+        if value {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ensure_active();
+        self.not_rec(f)
+    }
+
+    fn not_rec(&mut self, f: Bdd) -> Bdd {
+        if f.is_const_false() {
+            return Bdd::TRUE;
+        }
+        if f.is_const_true() {
+            return Bdd::FALSE;
+        }
+        let hash = fx_mix(0, u64::from(f.0));
+        if let Some(r) = self.not_cache.get(hash, f) {
+            return r;
+        }
+        let (var, low, high) = self.mgr.node_view(f);
+        let nl = self.not_rec(low);
+        let nh = self.not_rec(high);
+        let r = self.mk(var, nl, nh);
+        self.not_cache.put(hash, f, r);
+        let rhash = fx_mix(0, u64::from(r.0));
+        self.not_cache.put(rhash, r, f);
+        r
+    }
+
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+        if let Some(r) = op.terminal(f, g) {
+            return r;
+        }
+        let (f, g) = if op.commutative() && g < f {
+            (g, f)
+        } else {
+            (f, g)
+        };
+        let key = (op as u8, f, g);
+        let hash = fx_mix(
+            fx_mix(fx_mix(0, u64::from(op as u8)), u64::from(f.0)),
+            u64::from(g.0),
+        );
+        if let Some(r) = self.apply_cache.get(hash, key) {
+            return r;
+        }
+        let (vf, fl0, fh0) = self.mgr.node_view(f);
+        let (vg, gl0, gh0) = self.mgr.node_view(g);
+        let var = vf.min(vg);
+        let (fl, fh) = if vf == var { (fl0, fh0) } else { (f, f) };
+        let (gl, gh) = if vg == var { (gl0, gh0) } else { (g, g) };
+        let low = self.apply(op, fl, gl);
+        let high = self.apply(op, fh, gh);
+        let r = self.mk(var, low, high);
+        self.apply_cache.put(hash, key, r);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ensure_active();
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ensure_active();
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ensure_active();
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Set difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ensure_active();
+        self.apply(Op::Diff, f, g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let d = self.diff(f, g);
+        self.not(d)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Conjunction over many operands (balanced-tree reduction).
+    pub fn and_all(&mut self, fs: &[Bdd]) -> Bdd {
+        self.ensure_active();
+        self.balanced_reduce(fs, Op::And, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Disjunction over many operands (balanced-tree reduction).
+    pub fn or_all(&mut self, fs: &[Bdd]) -> Bdd {
+        self.ensure_active();
+        self.balanced_reduce(fs, Op::Or, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    fn balanced_reduce(&mut self, fs: &[Bdd], op: Op, identity: Bdd, absorbing: Bdd) -> Bdd {
+        if fs.is_empty() {
+            return identity;
+        }
+        let mut layer: Vec<Bdd> = fs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                let r = if chunk.len() == 2 {
+                    self.apply(op, chunk[0], chunk[1])
+                } else {
+                    chunk[0]
+                };
+                if r == absorbing {
+                    return absorbing;
+                }
+                next.push(r);
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        self.ensure_active();
+        self.ite_rec(c, t, e)
+    }
+
+    fn ite_rec(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        if c.is_const_true() {
+            return t;
+        }
+        if c.is_const_false() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t.is_const_true() && e.is_const_false() {
+            return c;
+        }
+        let key = (c, t, e);
+        let hash = fx_mix(
+            fx_mix(fx_mix(0, u64::from(c.0)), u64::from(t.0)),
+            u64::from(e.0),
+        );
+        if let Some(r) = self.ite_cache.get(hash, key) {
+            return r;
+        }
+        let (vc, cl0, ch0) = self.mgr.node_view(c);
+        let (vt, tl0, th0) = self.mgr.node_view(t);
+        let (ve, el0, eh0) = self.mgr.node_view(e);
+        let var = vc.min(vt).min(ve);
+        let (cl, ch) = if vc == var { (cl0, ch0) } else { (c, c) };
+        let (tl, th) = if vt == var { (tl0, th0) } else { (t, t) };
+        let (el, eh) = if ve == var { (el0, eh0) } else { (e, e) };
+        let low = self.ite_rec(cl, tl, el);
+        let high = self.ite_rec(ch, th, eh);
+        let r = self.mk(var, low, high);
+        self.ite_cache.put(hash, key, r);
+        r
+    }
+
+    /// Are `f` and `g` the same function? (Handle equality is canonical.)
+    pub fn equivalent(&self, f: Bdd, g: Bdd) -> bool {
+        f == g
+    }
+
+    /// Cofactor of `f` with `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        self.ensure_active();
+        self.restrict_rec(f, var, value)
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let (v, low, high) = self.mgr.node_view(f);
+        if v > var {
+            return f;
+        }
+        if v == var {
+            return if value { high } else { low };
+        }
+        let l = self.restrict_rec(low, var, value);
+        let h = self.restrict_rec(high, var, value);
+        self.mk(v, l, h)
+    }
+
+    /// Existential quantification over sorted `vars`.
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        self.ensure_active();
+        let mut memo = HashMap::new();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        let (v, low, high) = self.mgr.node_view(f);
+        let mut rest = vars;
+        while let Some((&first, tail)) = rest.split_first() {
+            if first < v {
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if rest[0] == v {
+            let l = self.exists_rec(low, &rest[1..], memo);
+            let h = self.exists_rec(high, &rest[1..], memo);
+            self.apply(Op::Or, l, h)
+        } else {
+            let l = self.exists_rec(low, rest, memo);
+            let h = self.exists_rec(high, rest, memo);
+            self.mk(v, l, h)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Number of satisfying assignments over the full variable set.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 127`.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        assert!(
+            self.mgr.num_vars <= 127,
+            "sat_count supports at most 127 variables"
+        );
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let below = self.sat_count_rec(f, &mut memo);
+        below << self.mgr.var_of(f)
+    }
+
+    fn sat_count_rec(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f.is_const_false() {
+            return 0;
+        }
+        if f.is_const_true() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let (var, low, high) = self.mgr.node_view(f);
+        let cl = self.sat_count_rec(low, memo) << (self.mgr.var_of(low) - var - 1);
+        let ch = self.sat_count_rec(high, memo) << (self.mgr.var_of(high) - var - 1);
+        let total = cl + ch;
+        memo.insert(f, total);
+        total
+    }
+
+    /// Evaluate `f` under a complete assignment.
+    pub fn eval(&self, f: Bdd, assignment: &Assignment) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let (var, low, high) = self.mgr.node_view(cur);
+            cur = if assignment.get(var) { high } else { low };
+        }
+        cur.is_const_true()
+    }
+
+    /// Is `f` satisfiable? (Constant time.)
+    pub fn is_sat(&self, f: Bdd) -> bool {
+        !f.is_const_false()
+    }
+
+    /// Lexicographically-first satisfying cube (low-branch-first).
+    pub fn first_sat(&self, f: Bdd) -> Option<Cube> {
+        if f.is_const_false() {
+            return None;
+        }
+        let mut values: Vec<Option<bool>> = vec![None; self.mgr.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_const() {
+            let (var, low, high) = self.mgr.node_view(cur);
+            if !low.is_const_false() {
+                values[var as usize] = Some(false);
+                cur = low;
+            } else {
+                values[var as usize] = Some(true);
+                cur = high;
+            }
+        }
+        Some(Cube::new(values))
+    }
+
+    /// First complete satisfying assignment (free variables → false).
+    pub fn first_sat_assignment(&self, f: Bdd) -> Option<Assignment> {
+        self.first_sat(f).map(|c| c.complete_with(false))
+    }
+
+    /// Like [`SharedWorker::first_sat`], preferring the high branch.
+    pub fn first_sat_preferring_true(&self, f: Bdd) -> Option<Cube> {
+        if f.is_const_false() {
+            return None;
+        }
+        let mut values: Vec<Option<bool>> = vec![None; self.mgr.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_const() {
+            let (var, low, high) = self.mgr.node_view(cur);
+            if !high.is_const_false() {
+                values[var as usize] = Some(true);
+                cur = high;
+            } else {
+                values[var as usize] = Some(false);
+                cur = low;
+            }
+        }
+        Some(Cube::new(values))
+    }
+
+    /// Deterministic lexicographic cube iterator (same order as the private
+    /// manager's — the order depends only on the function).
+    pub fn sat_cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter::new_src(NodeSrc::Shared(&self.mgr), f)
+    }
+
+    /// Most-general-first cube iterator.
+    pub fn sat_cubes_general(&self, f: Bdd) -> GeneralCubeIter<'_> {
+        GeneralCubeIter::new_src(NodeSrc::Shared(&self.mgr), f)
+    }
+
+    /// Variables `f` depends on, ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            let (var, low, high) = self.mgr.node_view(n);
+            vars.insert(var);
+            stack.push(low);
+            stack.push(high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Nodes reachable from `f`.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let (_, low, high) = self.mgr.node_view(n);
+            stack.push(low);
+            stack.push(high);
+        }
+        count
+    }
+
+    // === GC ================================================================
+
+    /// Add `f` to the *global* root set (refcounted, shared by all workers
+    /// of this manager). Activates the worker: a protect must not race a
+    /// concurrent mark, and activation blocks collections from starting.
+    pub fn protect(&mut self, f: Bdd) {
+        if f.is_const() {
+            return;
+        }
+        self.ensure_active();
+        debug_assert!(self.mgr.var_of(f) != POISON, "protecting a dead handle");
+        let mut roots = self.mgr.roots.lock().unwrap();
+        *roots.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Drop one protection reference from `f`. Safe from any worker; only
+    /// shrinks the root set (a concurrent mark is at worst conservative).
+    pub fn unprotect(&mut self, f: Bdd) {
+        if f.is_const() {
+            return;
+        }
+        let mut roots = self.mgr.roots.lock().unwrap();
+        match roots.get_mut(&f.0) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                roots.remove(&f.0);
+            }
+            None => debug_assert!(false, "unprotect without matching protect"),
+        }
+    }
+
+    /// Number of distinct protected handles (manager-wide).
+    pub fn root_count(&self) -> usize {
+        self.mgr.roots.lock().unwrap().len()
+    }
+
+    /// Install a trigger policy (updates the manager-wide default used by
+    /// new workers too).
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        *self.mgr.policy.lock().unwrap() = policy;
+        self.policy = policy;
+    }
+
+    /// This worker's trigger policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.policy
+    }
+
+    /// Request and wait for a full collection (stop-the-world: it runs once
+    /// every other active worker has parked or gone idle). Returns nodes
+    /// freed when this worker ran the sweep, 0 when another worker did.
+    pub fn gc(&mut self) -> usize {
+        self.ensure_active();
+        self.park_and_collect(true)
+    }
+
+    /// Safe point: parks if a collection is pending or this worker's policy
+    /// wants one. Everything the caller still needs must be protected.
+    /// Returns whether a collection completed at this checkpoint.
+    pub fn gc_checkpoint(&mut self) -> bool {
+        if !self.active {
+            // Nothing allocated since activation; nothing to park for.
+            return false;
+        }
+        let pending = self.mgr.gc_pending.load(Ordering::Acquire);
+        let want = match self.policy {
+            GcPolicy::Disabled => false,
+            GcPolicy::Aggressive => true,
+            GcPolicy::Automatic {
+                growth_factor,
+                min_nodes,
+            } => {
+                let in_use = self.mgr.in_use();
+                let floor = self
+                    .mgr
+                    .live_after_gc
+                    .load(Ordering::Relaxed)
+                    .max(min_nodes);
+                in_use >= floor.saturating_mul(growth_factor.max(1))
+            }
+        };
+        if !pending && !want {
+            return false;
+        }
+        // Once we park under a pending request, a collection completes
+        // (ours or another worker's) before park_and_collect returns.
+        self.park_and_collect(want);
+        true
+    }
+
+    /// Park at the rendezvous; the last active worker to park collects.
+    /// Returns nodes freed if *this* worker was the collector, else 0.
+    fn park_and_collect(&mut self, want: bool) -> usize {
+        self.flush_free();
+        let mut freed = 0usize;
+        let gen_after;
+        {
+            let mut sync = self.mgr.gc.lock().unwrap();
+            if want && !sync.pending {
+                sync.pending = true;
+                self.mgr.gc_pending.store(true, Ordering::Release);
+            }
+            if sync.pending {
+                sync.parked += 1;
+                let my_gen = sync.generation;
+                loop {
+                    if sync.generation != my_gen {
+                        // Another worker collected while we were parked.
+                        sync.parked -= 1;
+                        break;
+                    }
+                    if sync.parked == sync.active {
+                        let before = sync.gc_nodes_freed;
+                        self.mgr.collect_locked(&mut sync);
+                        freed = (sync.gc_nodes_freed - before) as usize;
+                        sync.pending = false;
+                        self.mgr.gc_pending.store(false, Ordering::Release);
+                        sync.parked -= 1;
+                        self.mgr.gc_cv.notify_all();
+                        break;
+                    }
+                    sync = self.mgr.gc_cv.wait(sync).unwrap();
+                }
+            }
+            gen_after = sync.generation;
+        }
+        if self.gen != gen_after {
+            self.gen = gen_after;
+            self.reset_caches();
+        }
+        freed
+    }
+}
+
+/// A process-wide pool of [`SharedManager`]s keyed by variable count.
+///
+/// Route-advertisement layouts vary per pair (atom/tag/metric counts), so
+/// pairs can only share an arena when their variable orders coincide; the
+/// pool hands every requester of the same `num_vars` the same manager.
+/// Scope one pool per compare run (or per fleet recompute batch) so the
+/// root-set leakage of per-space caches stays bounded.
+pub struct SharedPool {
+    policy: GcPolicy,
+    managers: Mutex<HashMap<u32, Arc<SharedManager>>>,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool").finish()
+    }
+}
+
+impl SharedPool {
+    /// Create an empty pool; every manager it creates starts with `policy`.
+    pub fn new(policy: GcPolicy) -> SharedPool {
+        SharedPool {
+            policy,
+            managers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A worker on the pool's manager for `num_vars` (created on first use).
+    pub fn worker(&self, num_vars: u32) -> SharedWorker {
+        let mgr = {
+            let mut managers = self.managers.lock().unwrap();
+            managers
+                .entry(num_vars)
+                .or_insert_with(|| Arc::new(SharedManager::new(num_vars, self.policy)))
+                .clone()
+        };
+        SharedWorker::new(mgr)
+    }
+
+    /// Merged [`SharedManager::global_stats`] over every pooled manager.
+    pub fn stats(&self) -> ManagerStats {
+        let managers = self.managers.lock().unwrap();
+        let mut out = ManagerStats::default();
+        for mgr in managers.values() {
+            out.merge(&mgr.global_stats());
+        }
+        out
+    }
+}

@@ -1,0 +1,318 @@
+//! Concurrent stress suite for the shared BDD manager.
+//!
+//! N worker threads hammer one shared arena with interleaved
+//! `var`/`not`/`and`/`or`/`xor`/`ite` chains — every function mirrored
+//! against a brute-force truth table over `NVARS` variables — while GC
+//! checkpoints (and explicit `gc()` requests) force stop-the-world
+//! collections at random points. Any lost CAS insert, cross-shard
+//! duplicate, stale cache entry surviving a sweep, or index recycled under
+//! a live root shows up as an `eval`/`sat_count` divergence from the
+//! oracle or as a canonicity violation (two handles, one function).
+//!
+//! The determinism half re-runs one deterministic script on {1, 2, 4}
+//! workers × every GC policy and checks the *functions* (truth tables) of
+//! the surviving handles are identical — handles themselves may differ
+//! across schedules; the semantics must not.
+
+use std::sync::Arc;
+
+use campion_bdd::{Assignment, Bdd, GcPolicy, SharedManager, SharedWorker};
+
+const NVARS: u32 = 8;
+const TABLE: usize = 1 << NVARS;
+
+/// Deterministic per-thread RNG (splitmix64) so failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+struct Entry {
+    bdd: Bdd,
+    table: Vec<bool>,
+}
+
+fn assignment(bits: usize) -> Assignment {
+    Assignment::new((0..NVARS).map(|v| bits >> v & 1 == 1).collect())
+}
+
+fn check_entry(w: &SharedWorker, e: &Entry, ctx: &str) {
+    for bits in 0..TABLE {
+        assert_eq!(
+            w.eval(e.bdd, &assignment(bits)),
+            e.table[bits],
+            "{ctx}: eval mismatch at bits={bits:#010b}"
+        );
+    }
+    let want = e.table.iter().filter(|&&b| b).count() as u128;
+    assert_eq!(w.sat_count(e.bdd), want, "{ctx}: sat_count mismatch");
+}
+
+/// One random step: build a function (mirrored in the oracle), or churn
+/// the root set / trigger GC. Entries are protected for their lifetime,
+/// so every table in `built` must stay valid across any collection.
+fn step(w: &mut SharedWorker, rng: &mut Rng, built: &mut Vec<Entry>) {
+    let r = rng.next();
+    let op = r % 16;
+    let pick = |x: u64, len: usize| (x % len as u64) as usize;
+    let entry = match op {
+        0 | 1 => {
+            let v = (r >> 8) as u32 % NVARS;
+            Entry {
+                bdd: w.var(v),
+                table: (0..TABLE).map(|bits| bits >> v & 1 == 1).collect(),
+            }
+        }
+        2 => {
+            let f = pick(r >> 8, built.len());
+            Entry {
+                bdd: w.not(built[f].bdd),
+                table: built[f].table.iter().map(|&x| !x).collect(),
+            }
+        }
+        3..=8 => {
+            let (f, g) = (pick(r >> 8, built.len()), pick(r >> 24, built.len()));
+            let (tf, tg) = (&built[f].table, &built[g].table);
+            let (bdd, table): (Bdd, Vec<bool>) = match op {
+                3 | 4 => (
+                    w.and(built[f].bdd, built[g].bdd),
+                    tf.iter().zip(tg).map(|(&a, &b)| a && b).collect(),
+                ),
+                5 | 6 => (
+                    w.or(built[f].bdd, built[g].bdd),
+                    tf.iter().zip(tg).map(|(&a, &b)| a || b).collect(),
+                ),
+                7 => (
+                    w.xor(built[f].bdd, built[g].bdd),
+                    tf.iter().zip(tg).map(|(&a, &b)| a ^ b).collect(),
+                ),
+                _ => (
+                    w.diff(built[f].bdd, built[g].bdd),
+                    tf.iter().zip(tg).map(|(&a, &b)| a && !b).collect(),
+                ),
+            };
+            Entry { bdd, table }
+        }
+        9 | 10 => {
+            let (c, t, e) = (
+                pick(r >> 8, built.len()),
+                pick(r >> 24, built.len()),
+                pick(r >> 40, built.len()),
+            );
+            let table = (0..TABLE)
+                .map(|bits| {
+                    if built[c].table[bits] {
+                        built[t].table[bits]
+                    } else {
+                        built[e].table[bits]
+                    }
+                })
+                .collect();
+            Entry {
+                bdd: w.ite(built[c].bdd, built[t].bdd, built[e].bdd),
+                table,
+            }
+        }
+        11 => {
+            // Drop a random root (keep a floor so binary ops have inputs).
+            if built.len() > 4 {
+                let i = pick(r >> 8, built.len());
+                let e = built.swap_remove(i);
+                w.unprotect(e.bdd);
+            }
+            w.gc_checkpoint();
+            return;
+        }
+        12 => {
+            // Request a full stop-the-world collection; siblings will
+            // rendezvous at their own checkpoints.
+            w.gc();
+            return;
+        }
+        _ => {
+            // Spot-check a surviving function right after a safe point —
+            // the window where a buggy sweep would have corrupted it.
+            w.gc_checkpoint();
+            let i = pick(r >> 8, built.len());
+            check_entry(w, &built[i], "post-checkpoint");
+            return;
+        }
+    };
+    w.protect(entry.bdd);
+    built.push(entry);
+    // Cap per-thread roots: the pool stays small enough that full
+    // truth-table checks remain cheap.
+    if built.len() > 24 {
+        let e = built.remove(0);
+        w.unprotect(e.bdd);
+    }
+    w.gc_checkpoint();
+}
+
+fn seed_entries(w: &mut SharedWorker) -> Vec<Entry> {
+    let mut built = Vec::new();
+    for v in 0..4u32 {
+        let bdd = w.var(v);
+        w.protect(bdd);
+        built.push(Entry {
+            bdd,
+            table: (0..TABLE).map(|bits| bits >> v & 1 == 1).collect(),
+        });
+    }
+    built
+}
+
+/// Steps per thread; `CAMPION_STRESS_STEPS` scales it up in CI.
+fn steps() -> usize {
+    std::env::var("CAMPION_STRESS_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 400 } else { 1500 })
+}
+
+fn run_threads(threads: usize, policy: GcPolicy, seed: u64) {
+    let mgr = Arc::new(SharedManager::new(NVARS, policy));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mgr = Arc::clone(&mgr);
+            scope.spawn(move || {
+                let mut w = SharedWorker::new(mgr);
+                let mut rng = Rng(seed ^ (t as u64).wrapping_mul(0xD1B54A32D192ED03));
+                let mut built = seed_entries(&mut w);
+                for _ in 0..steps() {
+                    step(&mut w, &mut rng, &mut built);
+                }
+                // Final exhaustive pass: every surviving root still means
+                // exactly its oracle function.
+                for e in &built {
+                    check_entry(&w, e, "final");
+                }
+                for e in &built {
+                    w.unprotect(e.bdd);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_ops_match_oracle_gc_aggressive() {
+    run_threads(4, GcPolicy::Aggressive, 0xA11CE);
+}
+
+#[test]
+fn concurrent_ops_match_oracle_gc_auto() {
+    run_threads(4, GcPolicy::automatic(), 0xB0B);
+}
+
+#[test]
+fn concurrent_ops_match_oracle_gc_disabled() {
+    run_threads(4, GcPolicy::Disabled, 0xCAFE);
+}
+
+#[test]
+fn concurrent_ops_match_oracle_many_workers() {
+    run_threads(8, GcPolicy::automatic(), 0xD00D);
+}
+
+/// Canonicity across workers: two threads building the same function from
+/// different operation orders must land on the same handle (the sharded
+/// unique table is one logical table).
+#[test]
+fn cross_worker_canonicity() {
+    let mgr = Arc::new(SharedManager::new(NVARS, GcPolicy::automatic()));
+    let handles: Vec<Bdd> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..4)
+            .map(|t| {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || {
+                    let mut w = SharedWorker::new(mgr);
+                    // (x0 ∧ x1) ∨ (x2 ∧ x3), assembled in four different
+                    // association orders.
+                    let v: Vec<Bdd> = (0..4).map(|i| w.var(i)).collect();
+                    let out = match t {
+                        0 => {
+                            let a = w.and(v[0], v[1]);
+                            let b = w.and(v[2], v[3]);
+                            w.or(a, b)
+                        }
+                        1 => {
+                            let b = w.and(v[3], v[2]);
+                            let a = w.and(v[1], v[0]);
+                            w.or(b, a)
+                        }
+                        2 => {
+                            let a = w.and(v[0], v[1]);
+                            let b = w.and(v[2], v[3]);
+                            let t1 = w.or(a, b);
+                            w.or(t1, a)
+                        }
+                        _ => {
+                            let nb = {
+                                let n2 = w.not(v[2]);
+                                let n3 = w.not(v[3]);
+                                w.or(n2, n3)
+                            };
+                            let b = w.not(nb);
+                            let a = w.and(v[0], v[1]);
+                            w.or(a, b)
+                        }
+                    };
+                    w.protect(out);
+                    out
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for h in &handles[1..] {
+        assert_eq!(*h, handles[0], "same function, different handle");
+    }
+}
+
+/// Same deterministic script on different worker counts and GC policies:
+/// surviving functions (as truth tables) must be identical everywhere.
+#[test]
+fn script_semantics_invariant_across_schedules() {
+    let tables_for = |threads: usize, policy: GcPolicy| -> Vec<Vec<Vec<bool>>> {
+        let mgr = Arc::new(SharedManager::new(NVARS, policy));
+        std::thread::scope(|scope| {
+            let tasks: Vec<_> = (0..threads)
+                .map(|t| {
+                    let mgr = Arc::clone(&mgr);
+                    scope.spawn(move || {
+                        let mut w = SharedWorker::new(mgr);
+                        // Thread t always runs script seed 1000 + t, so the
+                        // union of scripts is fixed regardless of count.
+                        let mut rng = Rng(1000 + t as u64);
+                        let mut built = seed_entries(&mut w);
+                        for _ in 0..200 {
+                            step(&mut w, &mut rng, &mut built);
+                        }
+                        let tables: Vec<Vec<bool>> =
+                            built.iter().map(|e| e.table.clone()).collect();
+                        for e in &built {
+                            check_entry(&w, e, "script");
+                            w.unprotect(e.bdd);
+                        }
+                        tables
+                    })
+                })
+                .collect();
+            tasks.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    // 4 scripts on 4 threads is the baseline; the same 4 scripts must
+    // produce the same surviving functions under every policy (the
+    // thread count stays at 4 so each script runs identically).
+    let base = tables_for(4, GcPolicy::Disabled);
+    assert_eq!(base, tables_for(4, GcPolicy::automatic()));
+    assert_eq!(base, tables_for(4, GcPolicy::Aggressive));
+}

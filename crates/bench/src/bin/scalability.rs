@@ -209,27 +209,67 @@ fn main() {
     );
     let (cisco, juniper) = multi_acl_pair(PAIRS, PAIR_RULES, 0xBEEF);
     let (t_seq, rep_seq) = timed_compare(&cisco, &juniper, &opts_with_jobs(1));
-    // On a single-core host a jobs=4 run just time-slices the same CPU
+    // On a single-core host a multi-job run just time-slices the same CPU
     // (and the driver now clamps to one worker anyway), so a "speedup"
-    // number is pure noise — skip the second run and say so.
+    // number is pure noise — skip the parallel runs and say so.
     let par = if hw < 2 {
-        println!("  jobs=1: {t_seq:.3} s   (parallel run skipped: single hardware thread)");
+        println!("  jobs=1: {t_seq:.3} s   (parallel runs skipped: single hardware thread)");
         None
     } else {
-        let (t_par, rep_par) = timed_compare(&cisco, &juniper, &opts_with_jobs(4));
-        assert_eq!(
-            rep_seq.to_string(),
-            rep_par.to_string(),
-            "parallel report must be byte-identical"
+        let (t_2, rep_2) = timed_compare(&cisco, &juniper, &opts_with_jobs(2));
+        let (t_4, rep_4) = timed_compare(&cisco, &juniper, &opts_with_jobs(4));
+        for rep in [&rep_2, &rep_4] {
+            assert_eq!(
+                rep_seq.to_string(),
+                rep.to_string(),
+                "parallel report must be byte-identical"
+            );
+        }
+        let speedup2 = t_seq / t_2.max(1e-9);
+        let speedup4 = t_seq / t_4.max(1e-9);
+        println!(
+            "  jobs=1: {t_seq:.3} s   jobs=2: {t_2:.3} s ({speedup2:.2}x)   \
+             jobs=4: {t_4:.3} s ({speedup4:.2}x)"
         );
-        let speedup = t_seq / t_par.max(1e-9);
-        println!("  jobs=1: {t_seq:.3} s   jobs=4: {t_par:.3} s   speedup: {speedup:.2}x");
-        Some((t_par, speedup))
+        Some((t_2, speedup2, t_4, speedup4))
     };
     println!(
         "  {} differences; {} BDD nodes across pair managers",
         rep_seq.acl_diffs.len(),
         rep_seq.bdd_stats.nodes
+    );
+
+    // Shared concurrent arena — the tentpole engine. Re-run the 10k-rule
+    // single pair (one semantic work item, so all parallelism is
+    // *intra-pair*: two-side enumeration plus the diff's row fan on forked
+    // workers) on the shared manager and check the report against the
+    // private engine's bytes.
+    const SHARED_RULES: usize = 10000;
+    let shared_jobs = if hw < 2 { 1 } else { 4.min(hw) };
+    println!(
+        "\nShared-manager engine — one {SHARED_RULES}-rule ACL pair, \
+         intra-pair jobs={shared_jobs}"
+    );
+    let (cisco1, juniper1) = capirca_acl_pair(SHARED_RULES, 10, 0xC0FFEE + SHARED_RULES as u64);
+    let (t_priv, rep_priv) = timed_compare(&cisco1, &juniper1, &opts_with_jobs(1));
+    let shared_opts = CampionOptions {
+        jobs: shared_jobs,
+        shared_manager: true,
+        ..CampionOptions::default()
+    };
+    let (t_shared, rep_shared) = timed_compare(&cisco1, &juniper1, &shared_opts);
+    assert_eq!(
+        rep_priv.to_string(),
+        rep_shared.to_string(),
+        "shared-manager report must be byte-identical to the private engine's"
+    );
+    let shared_speedup = t_priv / t_shared.max(1e-9);
+    let shard_cas = rep_shared.bdd_stats.shard_cas_retries;
+    let shard_waits = rep_shared.bdd_stats.shard_lock_waits;
+    println!(
+        "  private jobs=1: {t_priv:.3} s   shared jobs={shared_jobs}: {t_shared:.3} s \
+         (speedup {shared_speedup:.2}x)\n  \
+         shard CAS retries: {shard_cas}   shard lock waits: {shard_waits}"
     );
 
     // Fleet daemon incrementality: a cold whole-fleet ingest vs a warm
@@ -298,9 +338,11 @@ fn main() {
             });
         }
         let par_timing = match par {
-            Some((t_par, speedup)) => {
-                format!("\"jobs4_s\": {t_par:.6}, \"speedup\": {speedup:.3}")
-            }
+            Some((t_2, speedup2, t_4, speedup4)) => format!(
+                "\"jobs2_s\": {t_2:.6}, \"jobs2_speedup\": {speedup2:.3}, \
+                 \"jobs4_s\": {t_4:.6}, \"speedup\": {speedup4:.3}, \
+                 \"parallel_speedup\": {speedup4:.3}"
+            ),
             None => "\"skipped_single_core\": true".to_string(),
         };
         // Per-phase breakdowns for the gated sizes, keyed by rule count.
@@ -346,6 +388,16 @@ fn main() {
              \"warm_pairs_computed\": {}, \"warm_pairs_cached\": {}, \
              \"warm_parses_skipped\": {}, \"speedup\": {fleet_speedup:.3}\n  }},\n",
             warm.pairs_computed, warm.pairs_cached, warm.router_parses_skipped
+        );
+        let _ = write!(
+            out,
+            "  \"shared_manager\": {{\n    \
+             \"rules\": {SHARED_RULES}, \"jobs\": {shared_jobs}, \
+             \"private_s\": {t_priv:.6}, \"shared_s\": {t_shared:.6}, \
+             \"intra_pair_speedup\": {shared_speedup:.3}, \
+             \"shard_cas_retries\": {shard_cas}, \
+             \"shard_lock_waits\": {shard_waits}, \
+             \"hardware_threads\": {hw}\n  }},\n"
         );
         let _ = write!(
             out,

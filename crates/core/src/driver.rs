@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use campion_bdd::{GcPolicy, ManagerStats};
+use campion_bdd::{GcPolicy, ManagerStats, SharedPool};
 use campion_cfg::Span;
 use campion_ir::{AclIr, RoutePolicy, RouterIr};
 use campion_net::PrefixRange;
@@ -19,7 +19,7 @@ use crate::headerloc::{self, DstAddrSpace, SrcAddrSpace};
 use crate::matching::{match_policies, PolicyPair};
 use crate::report::{CampionReport, PolicyDiffReport, StructuralFinding};
 use crate::semantic::{
-    acl_diff_paths, policy_paths, release_paths, semantic_diff_stats, DiffPruneStats,
+    acl_diff_paths, policy_paths, release_paths, semantic_diff_jobs, DiffPruneStats,
     SemanticDifference,
 };
 use crate::structural;
@@ -74,6 +74,11 @@ pub struct CampionOptions {
     pub jobs: usize,
     /// Garbage-collection mode for the per-pair BDD managers.
     pub gc: GcMode,
+    /// Run every pair on one process-wide shared concurrent BDD arena
+    /// (per-thread workers, cross-pair node sharing, intra-pair fan-out)
+    /// instead of a private manager per pair. The report is identical
+    /// either way.
+    pub shared_manager: bool,
 }
 
 impl Default for CampionOptions {
@@ -88,6 +93,7 @@ impl Default for CampionOptions {
             exhaustive_communities: false,
             jobs: 0,
             gc: GcMode::default(),
+            shared_manager: false,
         }
     }
 }
@@ -142,14 +148,16 @@ fn run_item(
     r2: &RouterIr,
     item: &WorkItem<'_>,
     opts: &CampionOptions,
+    pool: Option<&SharedPool>,
 ) -> WorkOutput {
     match item {
         WorkItem::Policy(pair) => {
-            let (diffs, stats) = diff_policy_pair(r1, r2, pair, opts);
+            let (diffs, stats) = diff_policy_pair(r1, r2, pair, opts, pool);
             WorkOutput::RouteMaps(diffs, stats)
         }
         WorkItem::Acl(name) => {
-            let (diffs, stats) = diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name], opts);
+            let (diffs, stats) =
+                diff_acl_pair(r1, r2, &r1.acls[*name], &r2.acls[*name], opts, pool);
             WorkOutput::Acls(diffs, stats)
         }
         WorkItem::StaticRoutes => {
@@ -327,10 +335,17 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
     let mut diff_opts = opts.clone();
     diff_opts.jobs = inner.max(1);
     let diff_opts = &diff_opts;
+    // One shared arena pool for the whole run when requested; pair workers
+    // (one per thread, keyed by variable count) hang off it. `None` keeps
+    // the classic private-manager-per-pair layout.
+    let pool = opts
+        .shared_manager
+        .then(|| SharedPool::new(opts.effective_gc().policy()));
+    let pool = pool.as_ref();
     let outputs: Vec<WorkOutput> = if jobs <= 1 {
         items
             .iter()
-            .map(|it| run_item(r1, r2, it, diff_opts))
+            .map(|it| run_item(r1, r2, it, diff_opts, pool))
             .collect()
     } else {
         steal_indexed(
@@ -339,7 +354,7 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
             // Each worker gets its own trace track (lane in the Chrome
             // trace); track 0 is the coordinating thread.
             |w| campion_trace::set_track(w as u32 + 1),
-            |(), i| run_item(r1, r2, &items[i], diff_opts),
+            |(), i| run_item(r1, r2, &items[i], diff_opts, pool),
         )
     };
 
@@ -356,6 +371,11 @@ pub fn compare_routers(r1: &RouterIr, r2: &RouterIr, opts: &CampionOptions) -> C
             }
             WorkOutput::Structural(findings) => report.structural.extend(findings),
         }
+    }
+    // Shared mode: per-item stats carry only worker-local counters; the
+    // arena-wide node/GC/shard figures come from the pool, once.
+    if let Some(p) = pool {
+        report.bdd_stats.merge(&p.stats());
     }
     report
 }
@@ -388,6 +408,7 @@ pub fn compare_policies_by_name(r1: &RouterIr, r2: &RouterIr, name: &str) -> Vec
             name2: Some(name.to_string()),
         },
         &CampionOptions::default(),
+        None,
     )
     .0
 }
@@ -417,6 +438,7 @@ fn diff_policy_pair(
     r2: &RouterIr,
     pair: &PolicyPair,
     opts: &CampionOptions,
+    pool: Option<&SharedPool>,
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let mut item_span = campion_trace::span("item.policy_pair");
     let p1 = match &pair.name1 {
@@ -427,7 +449,7 @@ fn diff_policy_pair(
         Some(n) => r2.policy_or_permit(n),
         None => RoutePolicy::permit_all("(no policy)"),
     };
-    let mut space = RouteSpace::for_policies(&[&p1, &p2]);
+    let mut space = RouteSpace::for_policies_in(&[&p1, &p2], pool);
     space.manager.set_gc_policy(opts.effective_gc().policy());
     let stats_at_entry = space.manager.stats();
     let universe = space.universe();
@@ -437,7 +459,13 @@ fn diff_policy_pair(
     let paths1 = policy_paths(&mut space, &p1, universe);
     let paths2 = policy_paths(&mut space, &p2, universe);
     let mut prune = DiffPruneStats::default();
-    let diffs = semantic_diff_stats(&mut space.manager, &paths1, &paths2, &mut prune);
+    let diffs = semantic_diff_jobs(
+        &mut space.manager,
+        &paths1,
+        &paths2,
+        &mut prune,
+        opts.effective_jobs(),
+    );
     // The diffs' inputs are rooted by semantic_diff; the paths themselves
     // are now garbage.
     release_paths(&mut space.manager, &paths1);
@@ -460,12 +488,19 @@ fn diff_policy_pair(
         // localization intermediates then live (and die) in the clone's
         // arena exactly as they do in a parallel worker's, so the main
         // manager sees the same operation sequence — and the pair reports
-        // the same ManagerStats — at every worker count.
+        // the same ManagerStats — at every worker count. The parent worker
+        // goes idle for the duration: on a shared arena the clone is a
+        // sibling worker, and a collection it requests at a safe point
+        // can only proceed once the (blocked) parent is off the active
+        // roster. No-op for private managers.
         let (mut sp, dg) = (space.clone(), dag.clone());
-        let out = diffs
-            .iter()
-            .map(|d| present_policy_diff(r1, r2, &mut sp, &dg, &p1, &p2, pair, d, opts))
-            .collect();
+        let out = space.manager.with_idle(|| {
+            diffs
+                .iter()
+                .map(|d| present_policy_diff(r1, r2, &mut sp, &dg, &p1, &p2, pair, d, opts))
+                .collect()
+        });
+        drop(sp);
         for d in &diffs {
             space.manager.unprotect(d.input);
         }
@@ -477,18 +512,21 @@ fn diff_policy_pair(
         // space and the DAG (node indices survive cloning, so results are
         // the sequential ones bit for bit) and the differences are claimed
         // work-stealing style. The clones' arenas and stats are discarded;
-        // the original manager stays untouched until the roots are dropped
-        // below, at the same safe point a sequential run reaches.
+        // the original manager stays untouched (and idle, so sub-workers
+        // can collect) until the roots are dropped below, at the same safe
+        // point a sequential run reaches.
         let parent = campion_trace::track().unwrap_or(0);
         let states: Vec<(RouteSpace, headerloc::RangeDag)> = (0..inner_jobs)
             .map(|_| (space.clone(), dag.clone()))
             .collect();
-        let out = steal_indexed(
-            states,
-            diffs.len(),
-            |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
-            |(sp, dg), i| present_policy_diff(r1, r2, sp, dg, &p1, &p2, pair, &diffs[i], opts),
-        );
+        let out = space.manager.with_idle(|| {
+            steal_indexed(
+                states,
+                diffs.len(),
+                |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+                |(sp, dg), i| present_policy_diff(r1, r2, sp, dg, &p1, &p2, pair, &diffs[i], opts),
+            )
+        });
         for d in &diffs {
             space.manager.unprotect(d.input);
         }
@@ -706,17 +744,25 @@ fn diff_acl_pair(
     a1: &AclIr,
     a2: &AclIr,
     opts: &CampionOptions,
+    pool: Option<&SharedPool>,
 ) -> (Vec<PolicyDiffReport>, ManagerStats) {
     let mut item_span = campion_trace::span("item.acl_pair");
-    let mut space = PacketSpace::new();
+    let mut space = PacketSpace::new_in(pool);
     space.manager.set_gc_policy(opts.effective_gc().policy());
     let stats_at_entry = space.manager.stats();
     // Pair-aware enumeration: both sides' classes restricted to the
     // disagreement set, so the chain never materializes predicates the
-    // diff would prune anyway (the 10k-rule hot path).
-    let (paths1, paths2) = acl_diff_paths(&mut space, a1, a2);
+    // diff would prune anyway (the 10k-rule hot path). On a shared arena
+    // with spare workers the two sides enumerate in parallel.
+    let (paths1, paths2) = acl_diff_paths(&mut space, a1, a2, opts.effective_jobs());
     let mut prune = DiffPruneStats::default();
-    let diffs = semantic_diff_stats(&mut space.manager, &paths1, &paths2, &mut prune);
+    let diffs = semantic_diff_jobs(
+        &mut space.manager,
+        &paths1,
+        &paths2,
+        &mut prune,
+        opts.effective_jobs(),
+    );
     release_paths(&mut space.manager, &paths1);
     release_paths(&mut space.manager, &paths2);
     space.manager.gc_checkpoint();
@@ -757,13 +803,16 @@ fn diff_acl_pair(
     } else if inner_jobs <= 1 {
         // Sequential presentation runs on a snapshot clone too, keeping
         // the main manager's operation sequence (and so the pair's
-        // ManagerStats) identical at every worker count; see
-        // diff_policy_pair.
+        // ManagerStats) identical at every worker count; the parent goes
+        // idle for the clone's safe points — see diff_policy_pair.
         let (mut sp, ddag, sdag) = (space.clone(), dst_dag.clone(), src_dag.clone());
-        let out = diffs
-            .iter()
-            .map(|d| present_acl_diff(r1, r2, &mut sp, &ddag, &sdag, a1, a2, d))
-            .collect();
+        let out = space.manager.with_idle(|| {
+            diffs
+                .iter()
+                .map(|d| present_acl_diff(r1, r2, &mut sp, &ddag, &sdag, a1, a2, d))
+                .collect()
+        });
+        drop(sp);
         for d in &diffs {
             space.manager.unprotect(d.input);
         }
@@ -775,12 +824,14 @@ fn diff_acl_pair(
         let states: Vec<(PacketSpace, headerloc::RangeDag, headerloc::RangeDag)> = (0..inner_jobs)
             .map(|_| (space.clone(), dst_dag.clone(), src_dag.clone()))
             .collect();
-        let out = steal_indexed(
-            states,
-            diffs.len(),
-            |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
-            |(sp, ddag, sdag), i| present_acl_diff(r1, r2, sp, ddag, sdag, a1, a2, &diffs[i]),
-        );
+        let out = space.manager.with_idle(|| {
+            steal_indexed(
+                states,
+                diffs.len(),
+                |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+                |(sp, ddag, sdag), i| present_acl_diff(r1, r2, sp, ddag, sdag, a1, a2, &diffs[i]),
+            )
+        });
         for d in &diffs {
             space.manager.unprotect(d.input);
         }

@@ -49,7 +49,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
-use campion_bdd::{Bdd, Manager};
+use campion_bdd::{AnyManager, Bdd};
 use campion_net::{Prefix, PrefixRange, PrefixTrie};
 use campion_symbolic::{PacketSpace, RouteSpace};
 
@@ -70,7 +70,7 @@ pub enum RangeSemantics {
 /// ACLs (pure address dimensions for source or destination).
 pub trait RangeEncoder {
     /// The underlying manager.
-    fn manager(&mut self) -> &mut Manager;
+    fn manager(&mut self) -> &mut AnyManager;
     /// The set denoted by a prefix range in this space.
     fn encode(&mut self, r: &PrefixRange) -> Bdd;
     /// Which structural reading of a range [`RangeEncoder::encode`]
@@ -81,7 +81,7 @@ pub trait RangeEncoder {
 }
 
 impl RangeEncoder for RouteSpace {
-    fn manager(&mut self) -> &mut Manager {
+    fn manager(&mut self) -> &mut AnyManager {
         &mut self.manager
     }
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
@@ -98,7 +98,7 @@ impl RangeEncoder for RouteSpace {
 pub struct DstAddrSpace<'a>(pub &'a mut PacketSpace);
 
 impl RangeEncoder for DstAddrSpace<'_> {
-    fn manager(&mut self) -> &mut Manager {
+    fn manager(&mut self) -> &mut AnyManager {
         &mut self.0.manager
     }
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
@@ -113,7 +113,7 @@ impl RangeEncoder for DstAddrSpace<'_> {
 pub struct SrcAddrSpace<'a>(pub &'a mut PacketSpace);
 
 impl RangeEncoder for SrcAddrSpace<'_> {
-    fn manager(&mut self) -> &mut Manager {
+    fn manager(&mut self) -> &mut AnyManager {
         &mut self.0.manager
     }
     fn encode(&mut self, r: &PrefixRange) -> Bdd {
@@ -257,7 +257,7 @@ impl RangeDag {
     /// protects every node BDD and remainder so the DAG survives the
     /// collections the driver runs between differences). The DAG must not
     /// be used for localization afterwards (debug-asserted).
-    pub fn release(&self, manager: &mut Manager) {
+    pub fn release(&self, manager: &mut AnyManager) {
         debug_assert!(!self.released.get(), "RangeDag released twice");
         self.released.set(true);
         for &b in self.bdds.iter().chain(self.remainders.iter()) {
@@ -692,7 +692,7 @@ pub fn header_localize_with<E: RangeEncoder>(
     // may be recycled by one: key the table to the manager's sweep count.
     // (No sweep can happen inside this call — collection only runs at
     // explicit checkpoints, and there are none below.)
-    let gc_gen = space.manager().stats().gc_runs;
+    let gc_gen = space.manager().sweep_count();
     if ddnf.memo_gen.get() != gc_gen {
         ddnf.memo.borrow_mut().clear();
         ddnf.memo_gen.set(gc_gen);

@@ -22,10 +22,11 @@
 //! [`SemanticDifference`] inputs stay protected**: callers release them via
 //! [`release_paths`] (or per-handle `unprotect`) once done.
 
-use campion_bdd::{Bdd, Manager};
+use campion_bdd::{AnyManager, Bdd};
 use campion_cfg::Span;
-use campion_ir::{AclIr, RoutePolicy, Terminal};
-use campion_symbolic::{ActionEffect, PacketSpace, RouteSpace, SymbolicRoute};
+use campion_ir::{AclIr, AclRuleIr, RoutePolicy, Terminal};
+use campion_net::{PortRange, WildcardMask};
+use campion_symbolic::{ActionEffect, PacketSpace, RouteSpace, RuleKey, SymbolicRoute};
 
 /// One path equivalence class through a component.
 #[derive(Debug, Clone)]
@@ -78,7 +79,7 @@ pub fn policy_paths(
     // Every frame on the exploration stack is held across checkpoints, so
     // its predicate and symbolic community functions are rooted at push and
     // released once the frame has been fully processed.
-    fn protect_frame(m: &mut Manager, predicate: Bdd, state: &SymbolicRoute) {
+    fn protect_frame(m: &mut AnyManager, predicate: Bdd, state: &SymbolicRoute) {
         m.protect(predicate);
         for &b in &state.comm {
             m.protect(b);
@@ -249,118 +250,361 @@ pub fn acl_paths(space: &mut PacketSpace, acl: &AclIr, universe: Bdd) -> Vec<Pol
 /// ACL — the dominant cost at 10k rules, even though the diff only ever
 /// consumes the sliver of each class where the two sides disagree. Real
 /// comparison targets are near-identical, so this variant first *aligns*
-/// the two rule lists on content (condition BDD handle + action): a rule
-/// pair common to an order-preserving alignment decides every packet it
+/// the two rule lists — purely syntactically, on canonical match content
+/// plus action ([`RuleKey`]); equal keys encode to the same condition BDD
+/// by construction, so no BDD needs to exist before alignment. A rule pair
+/// common to an order-preserving alignment decides every packet it
 /// first-matches identically on both sides, so disagreements live entirely
 /// inside `R` = the union of the *unaligned* rules' conditions — a small
-/// set when the configs are close. Both sides' classes are then enumerated
-/// restricted to `R`, keeping every chain op small.
+/// set when the configs are close, and the only conditions that get
+/// encoded up front. Both sides' classes are then enumerated restricted to
+/// `R`, keeping every chain op small; rules structurally disjoint from all
+/// of `R`'s generators are skipped without encoding them at all.
 ///
 /// Every difference reported by [`semantic_diff`] satisfies
 /// `input = p₁ ∧ p₂ ⊆ R`, and restricting both sides' predicates to `R`
 /// leaves each such intersection — and by hash-consing its handle —
 /// unchanged, so feeding these paths to [`semantic_diff`] yields
-/// byte-identical differences to the full enumeration. Classes with an
-/// empty restriction are exactly the ones the pruned diff would skip. When
-/// the alignment finds little in common, `R` falls back to the universe
-/// and this degrades to plain [`acl_paths`] (minus shadowed duplicates).
+/// byte-identical differences to the full enumeration. (Any sound
+/// alignment gives a correct superset `R`; the syntactic one may align
+/// slightly less than the old handle-keyed one, never more than soundness
+/// allows.) Classes with an empty restriction are exactly the ones the
+/// pruned diff would skip. When the alignment finds little in common, `R`
+/// falls back to the universe and this degrades to plain [`acl_paths`]
+/// (minus shadowed duplicates).
 ///
-/// Returned predicates are protected, like [`acl_paths`]'s; release with
-/// [`release_paths`].
+/// With `jobs ≥ 2` on a shared-arena manager the two sides enumerate in
+/// parallel on forked workers (the parent goes idle for the join); the
+/// private engine ignores `jobs`. Returned predicates are protected, like
+/// [`acl_paths`]'s; release with [`release_paths`].
 pub fn acl_diff_paths(
     space: &mut PacketSpace,
     a1: &AclIr,
     a2: &AclIr,
+    jobs: usize,
 ) -> (Vec<PolicyPath>, Vec<PolicyPath>) {
     campion_trace::span!("semdiff.acl_paths");
-    let restrict = {
+    let unaligned: Option<Vec<&AclRuleIr>> = {
         campion_trace::span!("semdiff.align");
-        let conds1 = rule_contents(space, a1);
-        let conds2 = rule_contents(space, a2);
-        match unaligned_union(space, &conds1, &conds2) {
-            Some(r) => r,
-            None => space.universe(),
+        let k1 = syn_keys(a1);
+        let k2 = syn_keys(a2);
+        let (common1, common2) = align_common(&k1, &k2);
+        // Distinct-content unaligned rules of either side: the generator
+        // set of R.
+        let mut seen = std::collections::HashSet::new();
+        let mut rules = Vec::new();
+        for (acl, keys, common) in [(a1, &k1, &common1), (a2, &k2, &common2)] {
+            for (i, rule) in acl.rules.iter().enumerate() {
+                if !common[i] && seen.insert(&keys[i].0) {
+                    rules.push(rule);
+                }
+            }
+        }
+        // A wide restriction set costs more to build and subtract against
+        // than it saves; past a quarter of the rules, enumerate the full
+        // universe.
+        if rules.len() * 4 > a1.rules.len() + a2.rules.len() {
+            None
+        } else {
+            Some(rules)
         }
     };
+    let restrict = match &unaligned {
+        Some(rules) => {
+            let mut seen = std::collections::HashSet::new();
+            let mut conds = Vec::new();
+            for rule in rules {
+                let c = space.rule_bdd(rule);
+                if seen.insert(c) {
+                    conds.push(c);
+                }
+            }
+            space.manager.or_all(&conds)
+        }
+        None => space.universe(),
+    };
     space.manager.protect(restrict);
+    // Structural-skip generators: only worth screening against when the
+    // set is small (the screen is O(rules × generators)).
+    let gens: Option<&[&AclRuleIr]> = match &unaligned {
+        Some(rules) if rules.len() <= SKIP_GEN_MAX => Some(rules),
+        _ => None,
+    };
     let (paths1, paths2) = {
         campion_trace::span!("semdiff.enumerate");
-        (
-            acl_paths_within(space, a1, restrict),
-            acl_paths_within(space, a2, restrict),
-        )
+        let fan = jobs >= 2 && space.manager.is_shared();
+        if fan {
+            // Fork a worker per side on the shared arena; the parent goes
+            // idle so the sides can collect at their checkpoints while it
+            // blocks joining them. Rule-cache counter deltas fold back so
+            // `--stats` is fan-out-invariant.
+            let (l0, h0) = space.rule_cache_stats();
+            let clones: Vec<PacketSpace> = (0..2).map(|_| space.clone()).collect();
+            let parent = campion_trace::track().unwrap_or(0);
+            let mut results = space.manager.with_idle(|| {
+                crate::driver::steal_indexed(
+                    clones,
+                    2,
+                    |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+                    |sp, i| {
+                        let acl = if i == 0 { a1 } else { a2 };
+                        let paths = acl_paths_within(sp, acl, restrict, gens);
+                        let (l, h) = sp.rule_cache_stats();
+                        (paths, l - l0, h - h0)
+                    },
+                )
+            });
+            let (p2, l2, h2) = results.pop().expect("two sides");
+            let (p1, l1, h1) = results.pop().expect("two sides");
+            space.add_rule_cache_counts(l1 + l2, h1 + h2);
+            (p1, p2)
+        } else {
+            (
+                acl_paths_within(space, a1, restrict, gens),
+                acl_paths_within(space, a2, restrict, gens),
+            )
+        }
     };
     space.manager.unprotect(restrict);
     space.manager.gc_checkpoint();
     (paths1, paths2)
 }
 
-/// Content identity of each rule: `(condition handle, action)`. Handles are
-/// canonical, so equal pairs ⇔ behaviorally identical rules. The handles
-/// are rooted by the space's rule cache; no extra protection needed.
-fn rule_contents(space: &mut PacketSpace, acl: &AclIr) -> Vec<(Bdd, bool)> {
+/// Syntactic identity of each rule: canonical match content plus action.
+/// Equal keys ⇔ behaviorally identical rules (their condition BDDs are
+/// equal by construction) — so alignment needs no BDDs at all.
+fn syn_keys(acl: &AclIr) -> Vec<(RuleKey, bool)> {
     acl.rules
         .iter()
-        .map(|r| (space.rule_bdd(r), r.permit))
+        .map(|r| (RuleKey::of(r), r.permit))
         .collect()
 }
 
-/// The union of the conditions of rules *not* covered by an
-/// order-preserving alignment of the two content sequences, or `None` when
-/// the lists share too little for the restriction to pay for itself.
-/// Alignment: common prefix + common suffix, then a positional pass over
-/// equal-length middles (the in-place-edit shape) or an LCS when the
-/// middles are small; anything else counts as unaligned. No safe points.
-fn unaligned_union(space: &mut PacketSpace, c1: &[(Bdd, bool)], c2: &[(Bdd, bool)]) -> Option<Bdd> {
-    let mut common1 = vec![false; c1.len()];
-    let mut common2 = vec![false; c2.len()];
+/// Middle-segment size product under which the exact quadratic LCS runs
+/// directly (also the patience recursion's base case).
+const LCS_BASE: usize = 1 << 12;
+
+/// Generator-set cap for the structural-disjointness screen in
+/// [`acl_paths_within`]; past it the per-rule screen costs more than the
+/// BDD work it avoids.
+const SKIP_GEN_MAX: usize = 64;
+
+/// Order-preserving alignment of two key sequences, as per-side
+/// covered-by-the-alignment flags: common prefix + suffix trim, then a
+/// positional pass over equal-length middles (the in-place-edit shape
+/// real config pairs overwhelmingly take), else patience anchoring on
+/// keys unique to both middles with an LCS base case for small segments.
+/// Hashing only — `O(n log n)` in practice — replacing the former
+/// quadratic LCS over condition handles (the `semdiff.align` hotspot at
+/// 10k rules). Alignment quality only tunes the size of `R`; any common
+/// subsequence is sound.
+pub(crate) fn align_common<T: Eq + std::hash::Hash>(a: &[T], b: &[T]) -> (Vec<bool>, Vec<bool>) {
+    let mut common1 = vec![false; a.len()];
+    let mut common2 = vec![false; b.len()];
     let mut p = 0;
-    while p < c1.len() && p < c2.len() && c1[p] == c2[p] {
+    while p < a.len() && p < b.len() && a[p] == b[p] {
         common1[p] = true;
         common2[p] = true;
         p += 1;
     }
     let mut s = 0;
-    while s < c1.len() - p && s < c2.len() - p && c1[c1.len() - 1 - s] == c2[c2.len() - 1 - s] {
-        common1[c1.len() - 1 - s] = true;
-        common2[c2.len() - 1 - s] = true;
+    while s < a.len() - p && s < b.len() - p && a[a.len() - 1 - s] == b[b.len() - 1 - s] {
+        common1[a.len() - 1 - s] = true;
+        common2[b.len() - 1 - s] = true;
         s += 1;
     }
-    let (m1, m2) = (p..c1.len() - s, p..c2.len() - s);
+    let (m1, m2) = (p..a.len() - s, p..b.len() - s);
     if m1.len() == m2.len() {
-        for (i, j) in m1.clone().zip(m2.clone()) {
-            if c1[i] == c2[j] {
+        // Equal-length middles: the positional pass nails the in-place-edit
+        // shape, but a balanced insert+delete shifts everything between the
+        // two edits off-position. Run patience too and keep whichever
+        // aligns more (ties go positional).
+        let pos_pairs: Vec<(usize, usize)> = m1
+            .clone()
+            .zip(m2.clone())
+            .filter(|&(i, j)| a[i] == b[j])
+            .collect();
+        let mut t1 = vec![false; a.len()];
+        let mut t2 = vec![false; b.len()];
+        patience_mark(a, b, m1.clone(), m2.clone(), &mut t1, &mut t2);
+        if pos_pairs.len() >= t1.iter().filter(|&&x| x).count() {
+            for (i, j) in pos_pairs {
                 common1[i] = true;
                 common2[j] = true;
             }
-        }
-    } else if m1.len() * m2.len() <= 1 << 20 {
-        for (i, j) in lcs_pairs(&c1[m1.clone()], &c2[m2.clone()]) {
-            common1[p + i] = true;
-            common2[p + j] = true;
-        }
-    }
-    // Distinct conditions of unaligned rules on either side.
-    let mut seen = std::collections::HashSet::new();
-    let mut uncommon = Vec::new();
-    for (contents, common) in [(c1, &common1), (c2, &common2)] {
-        for (&(cond, _), &is_common) in contents.iter().zip(common.iter()) {
-            if !is_common && seen.insert(cond) {
-                uncommon.push(cond);
+        } else {
+            for i in m1 {
+                common1[i] |= t1[i];
+            }
+            for j in m2 {
+                common2[j] |= t2[j];
             }
         }
+    } else {
+        patience_mark(a, b, m1, m2, &mut common1, &mut common2);
     }
-    // A wide restriction set costs more to build and subtract against than
-    // it saves; past a quarter of the rules, enumerate the full universe.
-    if uncommon.len() * 4 > c1.len() + c2.len() {
-        return None;
+    (common1, common2)
+}
+
+/// Patience-diff marking pass over one segment pair: trim equal ends, LCS
+/// small segments exactly, otherwise anchor on keys occurring exactly once
+/// in both segments (longest increasing chain of anchor pairs) and recurse
+/// between consecutive anchors. Segments with no unique common key stay
+/// unaligned — sound (they only widen `R`) and the degenerate case the
+/// universe fallback already covers.
+fn patience_mark<T: Eq + std::hash::Hash>(
+    a: &[T],
+    b: &[T],
+    r1: std::ops::Range<usize>,
+    r2: std::ops::Range<usize>,
+    common1: &mut [bool],
+    common2: &mut [bool],
+) {
+    let (mut lo1, mut lo2) = (r1.start, r2.start);
+    let (mut hi1, mut hi2) = (r1.end, r2.end);
+    while lo1 < hi1 && lo2 < hi2 && a[lo1] == b[lo2] {
+        common1[lo1] = true;
+        common2[lo2] = true;
+        lo1 += 1;
+        lo2 += 1;
     }
-    Some(space.manager.or_all(&uncommon))
+    while hi1 > lo1 && hi2 > lo2 && a[hi1 - 1] == b[hi2 - 1] {
+        common1[hi1 - 1] = true;
+        common2[hi2 - 1] = true;
+        hi1 -= 1;
+        hi2 -= 1;
+    }
+    if lo1 == hi1 || lo2 == hi2 {
+        return;
+    }
+    if (hi1 - lo1) * (hi2 - lo2) <= LCS_BASE {
+        for (i, j) in lcs_pairs(&a[lo1..hi1], &b[lo2..hi2]) {
+            common1[lo1 + i] = true;
+            common2[lo2 + j] = true;
+        }
+        return;
+    }
+    #[derive(Default)]
+    struct Occ {
+        na: usize,
+        ia: usize,
+        nb: usize,
+        ib: usize,
+    }
+    let mut occ: std::collections::HashMap<&T, Occ> = std::collections::HashMap::new();
+    for (i, key) in a.iter().enumerate().take(hi1).skip(lo1) {
+        let e = occ.entry(key).or_default();
+        e.na += 1;
+        e.ia = i;
+    }
+    for (j, key) in b.iter().enumerate().take(hi2).skip(lo2) {
+        let e = occ.entry(key).or_default();
+        e.nb += 1;
+        e.ib = j;
+    }
+    let mut anchors: Vec<(usize, usize)> = occ
+        .values()
+        .filter(|o| o.na == 1 && o.nb == 1)
+        .map(|o| (o.ia, o.ib))
+        .collect();
+    anchors.sort_unstable();
+    let chain = lis_chain(&anchors);
+    if chain.is_empty() {
+        return;
+    }
+    let (mut prev1, mut prev2) = (lo1, lo2);
+    for &(i, j) in &chain {
+        patience_mark(a, b, prev1..i, prev2..j, common1, common2);
+        common1[i] = true;
+        common2[j] = true;
+        prev1 = i + 1;
+        prev2 = j + 1;
+    }
+    patience_mark(a, b, prev1..hi1, prev2..hi2, common1, common2);
+}
+
+/// Longest chain of anchor pairs increasing in both coordinates (`pairs`
+/// arrives sorted by the first; classic patience/LIS on the second, with
+/// backpointers).
+fn lis_chain(pairs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut tails: Vec<usize> = Vec::new();
+    let mut back: Vec<Option<usize>> = vec![None; pairs.len()];
+    for (idx, &(_, j)) in pairs.iter().enumerate() {
+        let pos = tails.partition_point(|&t| pairs[t].1 < j);
+        back[idx] = if pos > 0 { Some(tails[pos - 1]) } else { None };
+        if pos == tails.len() {
+            tails.push(idx);
+        } else {
+            tails[pos] = idx;
+        }
+    }
+    let mut chain = Vec::new();
+    let mut cur = tails.last().copied();
+    while let Some(i) = cur {
+        chain.push(pairs[i]);
+        cur = back[i];
+    }
+    chain.reverse();
+    chain
+}
+
+/// Conservative structural overlap test on two rules' match conditions:
+/// `false` *proves* the conditions disjoint (some field's constraint sets
+/// cannot both hold — exact in that direction); `true` means "maybe".
+/// Mirrors `rule_bdd`'s encoding, including the TCP/UDP gate a
+/// port-qualified rule carries.
+pub(crate) fn rules_may_overlap(a: &AclRuleIr, b: &AclRuleIr) -> bool {
+    /// Effective protocol set (`None` = unconstrained): the listed numbers
+    /// (an unnumbered "any" alternative unconstrains), narrowed to
+    /// TCP/UDP when the rule is port-qualified.
+    fn protos(r: &AclRuleIr) -> Option<Vec<u8>> {
+        let base: Option<Vec<u8>> = if r.protocols.is_empty() {
+            None
+        } else {
+            r.protocols.iter().map(|p| p.number()).collect()
+        };
+        let gated = !r.src_ports.is_empty() || !r.dst_ports.is_empty();
+        match (base, gated) {
+            (Some(s), true) => Some(s.into_iter().filter(|n| *n == 6 || *n == 17).collect()),
+            (Some(s), false) => Some(s),
+            (None, true) => Some(vec![6, 17]),
+            (None, false) => None,
+        }
+    }
+    if let (Some(pa), Some(pb)) = (protos(a), protos(b)) {
+        if !pa.iter().any(|x| pb.contains(x)) {
+            return false;
+        }
+    }
+    // Two wildcard terms overlap iff their fixed bits agree wherever both
+    // care; empty alternative lists are unconstrained.
+    fn addrs_overlap(xs: &[WildcardMask], ys: &[WildcardMask]) -> bool {
+        if xs.is_empty() || ys.is_empty() {
+            return true;
+        }
+        xs.iter().any(|x| {
+            ys.iter()
+                .any(|y| (x.addr ^ y.addr) & !x.wildcard & !y.wildcard == 0)
+        })
+    }
+    if !addrs_overlap(&a.src, &b.src) || !addrs_overlap(&a.dst, &b.dst) {
+        return false;
+    }
+    fn ports_overlap(xs: &[PortRange], ys: &[PortRange]) -> bool {
+        if xs.is_empty() || ys.is_empty() {
+            return true;
+        }
+        xs.iter()
+            .any(|x| ys.iter().any(|y| x.lo <= y.hi && y.lo <= x.hi))
+    }
+    ports_overlap(&a.src_ports, &b.src_ports) && ports_overlap(&a.dst_ports, &b.dst_ports)
 }
 
 /// Index pairs of one longest common subsequence (classic quadratic DP;
-/// callers bound the input product).
-fn lcs_pairs(a: &[(Bdd, bool)], b: &[(Bdd, bool)]) -> Vec<(usize, usize)> {
+/// callers bound the input product). Retained as the exact base case of
+/// [`patience_mark`] and as the reference oracle the alignment proptests
+/// compare against.
+pub(crate) fn lcs_pairs<T: Eq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
     let (n, m) = (a.len(), b.len());
     let mut dp = vec![0u32; (n + 1) * (m + 1)];
     let at = |i: usize, j: usize| i * (m + 1) + j;
@@ -392,7 +636,18 @@ fn lcs_pairs(a: &[(Bdd, bool)], b: &[(Bdd, bool)]) -> Vec<(usize, usize)> {
 /// [`acl_paths`] with the chain restricted to `within`: class predicates
 /// come out as `predicate ∧ within`, and enumeration stops once the
 /// restriction set is exhausted (every later class would restrict to ∅).
-fn acl_paths_within(space: &mut PacketSpace, acl: &AclIr, within: Bdd) -> Vec<PolicyPath> {
+///
+/// When `generators` carries the rules whose conditions union to `within`,
+/// a rule structurally disjoint from every generator is skipped without
+/// being encoded: `remaining ⊆ within = ⋃ generators`, so such a rule's
+/// restricted fire set is empty and subtracting it is a no-op — the
+/// resulting paths (and `remaining` chain) are identical.
+fn acl_paths_within(
+    space: &mut PacketSpace,
+    acl: &AclIr,
+    within: Bdd,
+    generators: Option<&[&AclRuleIr]>,
+) -> Vec<PolicyPath> {
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
     let mut remaining = within;
@@ -400,6 +655,11 @@ fn acl_paths_within(space: &mut PacketSpace, acl: &AclIr, within: Bdd) -> Vec<Po
     for rule in &acl.rules {
         if !space.manager.is_sat(remaining) {
             break;
+        }
+        if let Some(gens) = generators {
+            if !gens.iter().any(|g| rules_may_overlap(rule, g)) {
+                continue;
+            }
         }
         let cond = space.rule_bdd(rule);
         if !seen.insert(cond) {
@@ -510,7 +770,7 @@ pub struct DiffPruneStats {
 /// handles — identical to the all-pairs loop (kept as a `#[cfg(test)]`
 /// reference oracle below).
 pub fn semantic_diff(
-    manager: &mut Manager,
+    manager: &mut AnyManager,
     paths1: &[PolicyPath],
     paths2: &[PolicyPath],
 ) -> Vec<SemanticDifference> {
@@ -521,10 +781,26 @@ pub fn semantic_diff(
 /// [`semantic_diff`] with pruning counters reported through `stats`
 /// (counters accumulate, so one instance can span several components).
 pub fn semantic_diff_stats(
-    manager: &mut Manager,
+    manager: &mut AnyManager,
     paths1: &[PolicyPath],
     paths2: &[PolicyPath],
     stats: &mut DiffPruneStats,
+) -> Vec<SemanticDifference> {
+    semantic_diff_jobs(manager, paths1, paths2, stats, 1)
+}
+
+/// [`semantic_diff_stats`] with the row loop fanned across `jobs` forked
+/// workers when the manager is shared-arena (each row's remainder chain is
+/// independent of every other row's, so rows are embarrassingly parallel;
+/// results merge in row order, which with hash-consing keeps quintuples,
+/// order, and handles byte-identical to the sequential loop). The private
+/// engine, `jobs < 2`, or too few rows fall back to the sequential loop.
+pub fn semantic_diff_jobs(
+    manager: &mut AnyManager,
+    paths1: &[PolicyPath],
+    paths2: &[PolicyPath],
+    stats: &mut DiffPruneStats,
+    jobs: usize,
 ) -> Vec<SemanticDifference> {
     campion_trace::span!("semdiff.diff");
     let total_pairs = paths1.len() as u64 * paths2.len() as u64;
@@ -566,49 +842,107 @@ pub fn semantic_diff_stats(
     manager.gc_checkpoint();
 
     let mut out = Vec::new();
-    for p1 in paths1 {
-        // Step 2: the row remainder. Empty ⇒ no p2 can disagree with p1.
-        let mut rem = manager.and(p1.predicate, disagree);
-        if manager.is_sat(rem) {
-            for p2 in paths2 {
-                stats.pairs_examined += 1;
-                if p1.effect == p2.effect {
-                    // rem ∧ p2 = ∅: equal-effect intersections never meet D.
-                    continue;
-                }
-                // rem ⊆ p1 minus already-subtracted (disjoint) classes, and
-                // differing-effect intersections lie inside D, so this is
-                // exactly p1.predicate ∧ p2.predicate.
-                let inter = manager.and(rem, p2.predicate);
-                if manager.is_sat(inter) {
-                    // Returned inputs are rooted; the driver releases each
-                    // one after presenting it.
-                    manager.protect(inter);
-                    out.push(SemanticDifference {
-                        input: inter,
-                        effect1: p1.effect.clone(),
-                        effect2: p2.effect.clone(),
-                        labels1: p1.labels.clone(),
-                        labels2: p2.labels.clone(),
-                        spans1: p1.spans.clone(),
-                        spans2: p2.spans.clone(),
-                        default1: p1.is_default,
-                        default2: p2.is_default,
-                        non_prefix_match: p1.non_prefix_match || p2.non_prefix_match,
-                    });
-                    rem = manager.diff(rem, inter);
-                    if manager.is_false(rem) {
-                        stats.early_exits += 1;
-                        break;
-                    }
-                }
+    let workers = if jobs >= 2 && paths1.len() >= 2 {
+        manager.try_split(jobs.min(paths1.len()))
+    } else {
+        None
+    };
+    match workers {
+        Some(ws) => {
+            // Fan the rows across forked workers on the shared arena; the
+            // parent goes idle so workers can collect at their checkpoints
+            // while it blocks on the join. Each worker's row output and
+            // counters come back indexed, then merge in row order.
+            let nrows = paths1.len();
+            let parent = campion_trace::track().unwrap_or(0);
+            let rows = manager.with_idle(|| {
+                crate::driver::steal_indexed(
+                    ws,
+                    nrows,
+                    |w| campion_trace::set_track(campion_trace::sub_track(parent, w as u32)),
+                    |m, i| {
+                        let mut row_out = Vec::new();
+                        let mut row_stats = DiffPruneStats::default();
+                        diff_row(
+                            m,
+                            &paths1[i],
+                            paths2,
+                            disagree,
+                            &mut row_stats,
+                            &mut row_out,
+                        );
+                        m.gc_checkpoint();
+                        (row_out, row_stats)
+                    },
+                )
+            });
+            for (row_out, row_stats) in rows {
+                out.extend(row_out);
+                stats.pairs_examined += row_stats.pairs_examined;
+                stats.early_exits += row_stats.early_exits;
             }
         }
-        manager.gc_checkpoint();
+        None => {
+            for p1 in paths1 {
+                diff_row(manager, p1, paths2, disagree, stats, &mut out);
+                manager.gc_checkpoint();
+            }
+        }
     }
     manager.unprotect(disagree);
     stats.pairs_pruned += total_pairs - (stats.pairs_examined - examined_before);
     out
+}
+
+/// One row of the pruned comparison: `p1` against every side-2 class, with
+/// the remainder early exit. Emitted inputs are protected (on a shared
+/// arena roots are global, so a forked worker's protections survive the
+/// join and are released by the parent as usual).
+fn diff_row(
+    manager: &mut AnyManager,
+    p1: &PolicyPath,
+    paths2: &[PolicyPath],
+    disagree: Bdd,
+    stats: &mut DiffPruneStats,
+    out: &mut Vec<SemanticDifference>,
+) {
+    // Step 2: the row remainder. Empty ⇒ no p2 can disagree with p1.
+    let mut rem = manager.and(p1.predicate, disagree);
+    if manager.is_sat(rem) {
+        for p2 in paths2 {
+            stats.pairs_examined += 1;
+            if p1.effect == p2.effect {
+                // rem ∧ p2 = ∅: equal-effect intersections never meet D.
+                continue;
+            }
+            // rem ⊆ p1 minus already-subtracted (disjoint) classes, and
+            // differing-effect intersections lie inside D, so this is
+            // exactly p1.predicate ∧ p2.predicate.
+            let inter = manager.and(rem, p2.predicate);
+            if manager.is_sat(inter) {
+                // Returned inputs are rooted; the driver releases each
+                // one after presenting it.
+                manager.protect(inter);
+                out.push(SemanticDifference {
+                    input: inter,
+                    effect1: p1.effect.clone(),
+                    effect2: p2.effect.clone(),
+                    labels1: p1.labels.clone(),
+                    labels2: p2.labels.clone(),
+                    spans1: p1.spans.clone(),
+                    spans2: p2.spans.clone(),
+                    default1: p1.is_default,
+                    default2: p2.is_default,
+                    non_prefix_match: p1.non_prefix_match || p2.non_prefix_match,
+                });
+                rem = manager.diff(rem, inter);
+                if manager.is_false(rem) {
+                    stats.early_exits += 1;
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// The original all-pairs comparison, retained verbatim as the reference
@@ -617,7 +951,7 @@ pub fn semantic_diff_stats(
 /// random policy/ACL pairs under every GC mode.
 #[cfg(test)]
 pub(crate) fn semantic_diff_all_pairs(
-    manager: &mut Manager,
+    manager: &mut AnyManager,
     paths1: &[PolicyPath],
     paths2: &[PolicyPath],
 ) -> Vec<SemanticDifference> {
@@ -652,7 +986,7 @@ pub(crate) fn semantic_diff_all_pairs(
 /// Release the GC roots held by a set of path predicates (the counterpart
 /// of [`policy_paths`]/[`acl_paths`], which return their outputs rooted).
 /// Call once `semantic_diff` has consumed the paths.
-pub fn release_paths(manager: &mut Manager, paths: &[PolicyPath]) {
+pub fn release_paths(manager: &mut AnyManager, paths: &[PolicyPath]) {
     for p in paths {
         manager.unprotect(p.predicate);
     }

@@ -851,7 +851,7 @@ mod prune_oracle {
 
     /// Field-by-field comparison of two difference lists (order included).
     fn assert_same(
-        manager: &campion_bdd::Manager,
+        manager: &campion_bdd::AnyManager,
         pruned: &[SemanticDifference],
         reference: &[SemanticDifference],
         gc: GcMode,
@@ -933,6 +933,102 @@ mod prune_oracle {
                 let reference =
                     semantic_diff_all_pairs(&mut space.manager, &paths1, &paths2);
                 assert_same(&space.manager, &pruned, &reference, gc)?;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- alignment
+
+/// Property suite for the hashed-anchor (patience) alignment that replaced
+/// the quadratic handle-keyed LCS in `acl_diff_paths`: soundness (every
+/// mark pair is a valid order-preserving common subsequence — the property
+/// the restriction set's correctness rests on) and quality against the
+/// retained `lcs_pairs` oracle.
+mod alignment {
+    use crate::semantic::{align_common, lcs_pairs};
+    use proptest::prelude::*;
+
+    /// The marked positions, in order, per side.
+    fn marked(flags: &[bool]) -> Vec<usize> {
+        flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect()
+    }
+
+    /// Soundness: equal mark counts, and the k-th marked element of `a`
+    /// equals the k-th marked element of `b` — i.e. the marks spell one
+    /// common subsequence of both inputs.
+    fn assert_valid_alignment(
+        a: &[u16],
+        b: &[u16],
+    ) -> Result<(Vec<usize>, Vec<usize>), TestCaseError> {
+        let (c1, c2) = align_common(a, b);
+        let (m1, m2) = (marked(&c1), marked(&c2));
+        prop_assert_eq!(m1.len(), m2.len(), "mark counts differ");
+        for (&i, &j) in m1.iter().zip(m2.iter()) {
+            prop_assert_eq!(a[i], b[j], "marked pair ({}, {}) differs", i, j);
+        }
+        Ok((m1, m2))
+    }
+
+    proptest! {
+        /// Arbitrary sequences (duplicates included): alignment is always
+        /// a valid common subsequence, never longer than the true LCS.
+        #[test]
+        fn alignment_is_valid_common_subsequence(
+            a in proptest::collection::vec(0u16..12, 0..60),
+            b in proptest::collection::vec(0u16..12, 0..60),
+        ) {
+            let (m1, _) = assert_valid_alignment(&a, &b)?;
+            prop_assert!(m1.len() <= lcs_pairs(&a, &b).len());
+        }
+
+        /// Unique-keyed sequences under random edits — the shape real
+        /// config pairs take (rule lines rarely repeat verbatim): patience
+        /// anchoring recovers a *maximum* common subsequence, exactly
+        /// matching the LCS oracle's length.
+        #[test]
+        fn patience_matches_lcs_on_unique_keys(
+            n in 1usize..80,
+            edits in proptest::collection::vec((any::<u16>(), 0u8..3), 0..8),
+        ) {
+            let a: Vec<u16> = (0..n as u16).collect();
+            let mut b = a.clone();
+            for (r, kind) in &edits {
+                let pos = *r as usize % b.len().max(1);
+                match kind {
+                    0 if !b.is_empty() => { b.remove(pos); }
+                    1 => b.insert(pos.min(b.len()), 1000 + *r % 900),
+                    _ if !b.is_empty() => b[pos] = 2000 + *r % 900,
+                    _ => {}
+                }
+            }
+            let (m1, _) = assert_valid_alignment(&a, &b)?;
+            // `b` can still repeat an inserted/substituted key; the LCS
+            // oracle is the ground truth either way.
+            prop_assert_eq!(m1.len(), lcs_pairs(&a, &b).len());
+        }
+
+        /// Equal-length middles take the positional pass: an in-place
+        /// mutation leaves everything but the touched positions aligned.
+        #[test]
+        fn positional_pass_aligns_in_place_edits(
+            n in 2usize..100,
+            touched in proptest::collection::btree_set(0usize..100, 1..4),
+        ) {
+            let a: Vec<u16> = (0..n as u16).collect();
+            let mut b = a.clone();
+            let touched: Vec<usize> =
+                touched.into_iter().map(|t| t % n).collect();
+            for &t in &touched {
+                b[t] = 5000 + t as u16;
+            }
+            let (c1, _) = align_common(&a, &b);
+            for (i, &flag) in c1.iter().enumerate() {
+                prop_assert_eq!(flag, !touched.contains(&i), "position {}", i);
             }
         }
     }

@@ -134,15 +134,24 @@ fn write_response(stream: &mut TcpStream, resp: &Response) {
     let _ = stream.flush();
 }
 
+/// Per-socket read/write deadline: the accept loop is sequential, so one
+/// client that connects and then stalls (or never drains its response)
+/// would otherwise wedge the daemon for every other client.
+const SOCKET_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// Serve requests until the handler asks to shut down. The handler
 /// returns the response plus a `shutdown` flag; the flagged response is
-/// still delivered before the loop exits.
+/// still delivered before the loop exits. Accepted sockets get read and
+/// write timeouts ([`SOCKET_TIMEOUT`]): a stalled request times out, is
+/// dropped, and the loop moves to the next connection.
 pub fn serve(
     listener: &TcpListener,
     mut handler: impl FnMut(&Request) -> (Response, bool),
 ) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let mut stream = stream?;
+        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
         let Some(req) = read_request(&mut stream) else {
             continue;
         };

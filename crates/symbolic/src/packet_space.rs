@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use campion_bdd::{Assignment, Bdd, Manager};
+use campion_bdd::{AnyManager, Assignment, Bdd, SharedPool};
 use campion_ir::AclRuleIr;
 use campion_net::{Flow, IpProtocol, PortRange, Prefix, WildcardMask};
 
@@ -16,8 +16,12 @@ use crate::bits;
 /// conditions almost verbatim across the two sides of a pair, so keying the
 /// rule cache on this content hash makes the second side's encoding (and
 /// duplicated rules within one ACL) a lookup instead of a rebuild.
+///
+/// Public because the semantic layer aligns rule lists *syntactically* by
+/// this same canonical content (plus action) before building any BDDs —
+/// two rules with equal keys denote equal match sets by construction.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct RuleKey {
+pub struct RuleKey {
     protocols: Vec<IpProtocol>,
     src: Vec<WildcardMask>,
     dst: Vec<WildcardMask>,
@@ -26,7 +30,8 @@ struct RuleKey {
 }
 
 impl RuleKey {
-    fn of(rule: &AclRuleIr) -> Self {
+    /// The canonical match content of `rule`.
+    pub fn of(rule: &AclRuleIr) -> Self {
         RuleKey {
             protocols: rule.protocols.clone(),
             src: rule.src.clone(),
@@ -60,7 +65,7 @@ pub const NUM_VARS: u32 = 104;
 #[derive(Clone)]
 pub struct PacketSpace {
     /// The BDD manager (exposed so callers can run set operations).
-    pub manager: Manager,
+    pub manager: AnyManager,
     /// Memoized rule-condition BDDs keyed by canonical match content.
     /// Entries are GC-rooted at insert: the cache is consulted for the
     /// space's whole lifetime, so they must survive any collection between
@@ -77,13 +82,27 @@ impl Default for PacketSpace {
 }
 
 impl PacketSpace {
-    /// Create the space.
+    /// Create the space on a private single-threaded manager.
     pub fn new() -> Self {
         PacketSpace {
-            manager: Manager::new(NUM_VARS),
+            manager: AnyManager::new_private(NUM_VARS),
             rule_cache: HashMap::new(),
             rule_cache_lookups: 0,
             rule_cache_hits: 0,
+        }
+    }
+
+    /// Create the space on a worker of `pool`'s shared arena when given,
+    /// else privately (same as [`PacketSpace::new`]).
+    pub fn new_in(pool: Option<&SharedPool>) -> Self {
+        match pool {
+            Some(p) => PacketSpace {
+                manager: AnyManager::from(p.worker(NUM_VARS)),
+                rule_cache: HashMap::new(),
+                rule_cache_lookups: 0,
+                rule_cache_hits: 0,
+            },
+            None => Self::new(),
         }
     }
 
@@ -97,6 +116,13 @@ impl PacketSpace {
     /// report's [`campion_bdd::ManagerStats`].
     pub fn rule_cache_stats(&self) -> (u64, u64) {
         (self.rule_cache_lookups, self.rule_cache_hits)
+    }
+
+    /// Fold rule-cache counter deltas from forked clones back into this
+    /// space, keeping `--stats` invariant under intra-pair fan-out.
+    pub fn add_rule_cache_counts(&mut self, lookups: u64, hits: u64) {
+        self.rule_cache_lookups += lookups;
+        self.rule_cache_hits += hits;
     }
 
     /// Encode one ACL rule's match condition. Memoized on the rule's

@@ -3,8 +3,8 @@
 //! ```text
 //! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
 //!                 [--no-structural] [--exhaustive-communities] [--jobs N]
-//!                 [--gc off|auto|aggressive] [--stats] [--metrics]
-//!                 [--trace <file>] [--format text|json]
+//!                 [--shared-manager] [--gc off|auto|aggressive]
+//!                 [--stats] [--metrics] [--trace <file>] [--format text|json]
 //! campion translate <config>            # emit the JunOS rewrite
 //! campion baseline <config1> <config2>  # Minesweeper-style single cex
 //! ```
@@ -30,8 +30,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
          \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
-         \x20                 [--gc off|auto|aggressive] [--stats] [--metrics]\n\
-         \x20                 [--trace <file>] [--format text|json]\n\
+         \x20                 [--shared-manager] [--gc off|auto|aggressive]\n\
+         \x20                 [--stats] [--metrics] [--trace <file>] [--format text|json]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -63,6 +63,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                 opts.check_ospf = false;
             }
             "--exhaustive-communities" => opts.exhaustive_communities = true,
+            "--shared-manager" => opts.shared_manager = true,
             "--stats" => show_stats = true,
             "--metrics" => show_metrics = true,
             "--format" => match it.next().map(String::as_str) {

@@ -20,12 +20,18 @@ fn opts_with_jobs(jobs: usize) -> CampionOptions {
     }
 }
 
-/// Render every scenario pair under the given worker count and GC mode,
-/// concatenated.
-fn render_all_gc(pairs: &[campion::gen::ScenarioPair], jobs: usize, gc: GcMode) -> String {
+/// Render every scenario pair under the given engine, worker count and GC
+/// mode, concatenated.
+fn render_all_engine(
+    pairs: &[campion::gen::ScenarioPair],
+    shared: bool,
+    jobs: usize,
+    gc: GcMode,
+) -> String {
     let opts = CampionOptions {
         jobs,
         gc,
+        shared_manager: shared,
         ..CampionOptions::default()
     };
     let mut out = String::new();
@@ -34,6 +40,12 @@ fn render_all_gc(pairs: &[campion::gen::ScenarioPair], jobs: usize, gc: GcMode) 
         out.push_str(&format!("### {}\n{report}\n", p.name));
     }
     out
+}
+
+/// Render every scenario pair under the given worker count and GC mode,
+/// concatenated.
+fn render_all_gc(pairs: &[campion::gen::ScenarioPair], jobs: usize, gc: GcMode) -> String {
+    render_all_engine(pairs, false, jobs, gc)
 }
 
 /// Render every scenario pair under the given worker count, concatenated.
@@ -87,6 +99,61 @@ fn reports_identical_across_gc_modes_and_worker_counts() {
                 "report diverged under gc={gc:?} jobs={jobs}"
             );
         }
+    }
+    assert!(!baseline.is_empty());
+}
+
+#[test]
+fn reports_identical_across_engines_jobs_and_gc_modes() {
+    // The full determinism matrix for the shared concurrent engine:
+    // {private, shared} × jobs {1, 8} × every GC mode must render the same
+    // bytes. This covers both parallelism layers — pair fan-out plus the
+    // intra-pair two-side enumeration and diff-row fans the shared engine
+    // enables — and the stop-the-world collector's index-stable sweeps.
+    let pairs = scenario2(4, 17);
+    let baseline = render_all_engine(&pairs, false, 1, GcMode::Off);
+    for shared in [false, true] {
+        for jobs in [1, 8] {
+            for gc in [GcMode::Off, GcMode::Auto, GcMode::Aggressive] {
+                assert_eq!(
+                    baseline,
+                    render_all_engine(&pairs, shared, jobs, gc),
+                    "report diverged under shared={shared} jobs={jobs} gc={gc:?}"
+                );
+            }
+        }
+    }
+    assert!(!baseline.is_empty());
+}
+
+#[test]
+fn shared_engine_handles_single_pair_intra_parallelism() {
+    // One ACL work item only (structural checks off): all parallelism is
+    // intra-pair — the two-side enumeration and diff-row fans on forked
+    // workers — the shape the multi-pair matrix above cannot reach because
+    // its items outnumber its workers.
+    let (c, j) = campion::gen::capirca_acl_pair(300, 10, 7);
+    let (rc, rj) = (load(&c), load(&j));
+    let run = |shared: bool, jobs: usize, gc: GcMode| {
+        let opts = CampionOptions {
+            jobs,
+            gc,
+            shared_manager: shared,
+            check_static_routes: false,
+            check_connected_routes: false,
+            check_bgp_properties: false,
+            check_ospf: false,
+            ..CampionOptions::default()
+        };
+        compare_routers(&rc, &rj, &opts).to_string()
+    };
+    let baseline = run(false, 1, GcMode::Off);
+    for gc in [GcMode::Off, GcMode::Auto, GcMode::Aggressive] {
+        assert_eq!(
+            baseline,
+            run(true, 4, gc),
+            "single-pair shared run diverged under gc={gc:?}"
+        );
     }
     assert!(!baseline.is_empty());
 }
