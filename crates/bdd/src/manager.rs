@@ -452,6 +452,9 @@ pub struct ManagerStats {
     pub gc_pauses: u64,
     /// Total wall-clock time spent paused in the collector, microseconds.
     pub gc_pause_us: u64,
+    /// Longest single collector pause, microseconds (tail latency: one bad
+    /// pause hides inside `gc_pause_us / gc_pauses`).
+    pub gc_pause_max_us: u64,
     /// Unique-table lookups (one per `mk` after the reduction rule).
     pub unique_lookups: u64,
     /// Unique-table lookups that found an existing node.
@@ -532,6 +535,7 @@ impl ManagerStats {
         self.cache_resizes += other.cache_resizes;
         self.gc_pauses += other.gc_pauses;
         self.gc_pause_us += other.gc_pause_us;
+        self.gc_pause_max_us = self.gc_pause_max_us.max(other.gc_pause_max_us);
         self.unique_lookups += other.unique_lookups;
         self.unique_hits += other.unique_hits;
         self.unique_collisions += other.unique_collisions;
@@ -595,6 +599,7 @@ pub struct Manager {
     cache_resizes: u64,
     gc_pauses: u64,
     gc_pause_us: u64,
+    gc_pause_max_us: u64,
 }
 
 impl std::fmt::Debug for Manager {
@@ -648,6 +653,7 @@ impl Manager {
             cache_resizes: 0,
             gc_pauses: 0,
             gc_pause_us: 0,
+            gc_pause_max_us: 0,
         }
     }
 
@@ -674,6 +680,7 @@ impl Manager {
             cache_resizes: self.cache_resizes,
             gc_pauses: self.gc_pauses,
             gc_pause_us: self.gc_pause_us,
+            gc_pause_max_us: self.gc_pause_max_us,
             unique_lookups: self.unique.lookups,
             unique_hits: self.unique.hits,
             unique_collisions: self.unique.collisions,
@@ -1336,7 +1343,9 @@ impl Manager {
         let mut span = campion_trace::span("bdd.gc");
         let freed = self.collect_inner(force);
         self.gc_pauses += 1;
-        self.gc_pause_us += t0.elapsed().as_micros() as u64;
+        let pause_us = t0.elapsed().as_micros() as u64;
+        self.gc_pause_us += pause_us;
+        self.gc_pause_max_us = self.gc_pause_max_us.max(pause_us);
         span.counter("freed_nodes", freed as i64);
         span.counter("live_nodes", self.node_count() as i64);
         freed

@@ -137,6 +137,7 @@ struct GcSync {
     gc_nodes_freed: u64,
     gc_pauses: u64,
     gc_pause_us: u64,
+    gc_pause_max_us: u64,
 }
 
 /// The shared arena + unique table + GC rendezvous. Threads operate on it
@@ -214,6 +215,7 @@ impl SharedManager {
                 gc_nodes_freed: 0,
                 gc_pauses: 0,
                 gc_pause_us: 0,
+                gc_pause_max_us: 0,
             }),
             gc_cv: Condvar::new(),
             gc_pending: AtomicBool::new(false),
@@ -564,7 +566,9 @@ impl SharedManager {
         sync.gc_runs += 1;
         sync.gc_nodes_freed += garbage as u64;
         sync.gc_pauses += 1;
-        sync.gc_pause_us += t0.elapsed().as_micros() as u64;
+        let pause_us = t0.elapsed().as_micros() as u64;
+        sync.gc_pause_us += pause_us;
+        sync.gc_pause_max_us = sync.gc_pause_max_us.max(pause_us);
         sync.generation += 1;
         span.counter("freed_nodes", garbage as i64);
         span.counter("live_nodes", live as i64);
@@ -593,6 +597,7 @@ impl SharedManager {
             gc_nodes_freed: sync.gc_nodes_freed,
             gc_pauses: sync.gc_pauses,
             gc_pause_us: sync.gc_pause_us,
+            gc_pause_max_us: sync.gc_pause_max_us,
             unique_grows: grows,
             shard_cas_retries: cas,
             shard_lock_waits: waits,

@@ -272,6 +272,40 @@ fn main() {
          shard CAS retries: {shard_cas}   shard lock waits: {shard_waits}"
     );
 
+    // Tracing overhead: the observability bar is that the collector costs
+    // nothing when idle and close to nothing when armed. Reuse the 10k-rule
+    // pair, min-of-3 each way in the same process (min, not mean — the
+    // floor is the honest cost once the allocator and caches are warm). CI
+    // gates the enabled/disabled ratio at ≤ 1.02.
+    let (rc1, rj1) = (load(&cisco1), load(&juniper1));
+    let min_of_3 = |traced: bool| -> f64 {
+        (0..3)
+            .map(|_| {
+                if traced {
+                    campion_trace::enable();
+                }
+                let t = Instant::now();
+                let rep = compare_routers(&rc1, &rj1, &opts_with_jobs(1));
+                let dt = t.elapsed().as_secs_f64();
+                if traced {
+                    campion_trace::disable();
+                    let _ = campion_trace::drain();
+                }
+                assert!(!rep.acl_diffs.is_empty());
+                dt
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let _ = min_of_3(false); // warm-up, discarded
+    let overhead_off = min_of_3(false);
+    let overhead_on = min_of_3(true);
+    let overhead_ratio = overhead_on / overhead_off.max(1e-9);
+    println!(
+        "\nTracing overhead — {SHARED_RULES}-rule pair, min of 3:\n  \
+         collector off: {overhead_off:.3} s   on: {overhead_on:.3} s   \
+         ratio: {overhead_ratio:.3}x"
+    );
+
     // Fleet daemon incrementality: a cold whole-fleet ingest vs a warm
     // re-ingest with one router perturbed. The warm path recomputes one
     // pair and answers the rest from the store, so its wall time tracks a
@@ -398,6 +432,12 @@ fn main() {
              \"shard_cas_retries\": {shard_cas}, \
              \"shard_lock_waits\": {shard_waits}, \
              \"hardware_threads\": {hw}\n  }},\n"
+        );
+        let _ = write!(
+            out,
+            "  \"trace_overhead\": {{\n    \
+             \"rules\": {SHARED_RULES}, \"untraced_s\": {overhead_off:.6}, \
+             \"traced_s\": {overhead_on:.6}, \"ratio\": {overhead_ratio:.4}\n  }},\n"
         );
         let _ = write!(
             out,

@@ -256,14 +256,33 @@ where
                 let on_start = &on_start;
                 scope.spawn(move || {
                     on_start(w);
+                    // Per-worker utilization: how many items this worker
+                    // claimed and how long it spent inside them, vs. the
+                    // worker's total lifetime (the `pool.worker` span).
+                    let mut worker_span = campion_trace::span("pool.worker");
+                    let timed = worker_span.is_active();
+                    let mut claimed = 0i64;
+                    let mut busy_ns = 0u64;
                     let mut done = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(&mut state, i)));
+                        if timed {
+                            claimed += 1;
+                            let t0 = std::time::Instant::now();
+                            done.push((i, f(&mut state, i)));
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        } else {
+                            done.push((i, f(&mut state, i)));
+                        }
                     }
+                    if timed {
+                        worker_span.counter("claimed", claimed);
+                        worker_span.counter("busy_ns", busy_ns as i64);
+                    }
+                    drop(worker_span);
                     // Hand the buffered span events over before the scope
                     // observes this closure as finished — the thread-local
                     // backstop flush would race a drain that runs right

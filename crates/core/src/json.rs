@@ -15,6 +15,7 @@
 
 use std::fmt::Write as _;
 
+use campion_bdd::ManagerStats;
 use campion_cfg::Span;
 use campion_trace::json::escape;
 
@@ -115,6 +116,44 @@ pub fn report_json(r: &CampionReport) -> String {
     o
 }
 
+/// Serialize the aggregate BDD-engine counters (`campion compare
+/// --stats-json`): the machine twin of `CampionReport::render_stats`,
+/// field-for-field compatible with the per-size rows the scalability bench
+/// writes into `BENCH_campion.json`.
+pub fn stats_json(s: &ManagerStats) -> String {
+    let mut o = String::from("{\n  ");
+    let _ = write!(o, "\"bdd_nodes\": {}, ", s.nodes);
+    let _ = write!(o, "\"peak_nodes\": {}, ", s.peak_nodes);
+    let _ = write!(o, "\"post_gc_nodes\": {},\n  ", s.post_gc_nodes);
+    let _ = write!(o, "\"gc_runs\": {}, ", s.gc_runs);
+    let _ = write!(o, "\"gc_nodes_freed\": {}, ", s.gc_nodes_freed);
+    let _ = write!(o, "\"gc_pauses\": {}, ", s.gc_pauses);
+    let _ = write!(o, "\"gc_pause_us\": {}, ", s.gc_pause_us);
+    let _ = write!(o, "\"gc_pause_max_us\": {},\n  ", s.gc_pause_max_us);
+    let _ = write!(o, "\"cache_resizes\": {}, ", s.cache_resizes);
+    let _ = write!(o, "\"unique_grows\": {},\n  ", s.unique_grows);
+    let _ = write!(o, "\"unique_lookups\": {}, ", s.unique_lookups);
+    let _ = write!(o, "\"unique_hit_rate\": {:.4},\n  ", s.unique_hit_rate());
+    let _ = write!(o, "\"apply_lookups\": {}, ", s.apply_lookups);
+    let _ = write!(o, "\"apply_hit_rate\": {:.4},\n  ", s.apply_hit_rate());
+    let _ = write!(o, "\"not_lookups\": {}, ", s.not_lookups);
+    let _ = write!(o, "\"not_hits\": {}, ", s.not_hits);
+    let _ = write!(o, "\"ite_lookups\": {}, ", s.ite_lookups);
+    let _ = write!(o, "\"ite_hits\": {},\n  ", s.ite_hits);
+    let _ = write!(o, "\"rule_cache_lookups\": {}, ", s.rule_cache_lookups);
+    let _ = write!(
+        o,
+        "\"rule_cache_hit_rate\": {:.4},\n  ",
+        s.rule_cache_hit_rate()
+    );
+    let _ = write!(o, "\"pairs_examined\": {}, ", s.pairs_examined);
+    let _ = write!(o, "\"pairs_pruned\": {}, ", s.pairs_pruned);
+    let _ = write!(o, "\"early_exits\": {},\n  ", s.early_exits);
+    let _ = write!(o, "\"shard_cas_retries\": {}, ", s.shard_cas_retries);
+    let _ = write!(o, "\"shard_lock_waits\": {}\n}}\n", s.shard_lock_waits);
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +218,25 @@ mod tests {
                 Some(d.text1.as_str())
             );
         }
+    }
+
+    #[test]
+    fn stats_json_parses_and_matches_counters() {
+        let report = fig1_report();
+        let doc = stats_json(&report.bdd_stats);
+        let parsed = parse(&doc).expect("valid JSON");
+        let num = |k: &str| parsed.get(k).and_then(Json::as_f64).expect("numeric field");
+        assert_eq!(num("bdd_nodes") as u64, report.bdd_stats.nodes);
+        assert_eq!(num("peak_nodes") as u64, report.bdd_stats.peak_nodes);
+        assert_eq!(
+            num("unique_lookups") as u64,
+            report.bdd_stats.unique_lookups
+        );
+        assert!((num("apply_hit_rate") - report.bdd_stats.apply_hit_rate()).abs() < 1e-3);
+        assert_eq!(
+            num("gc_pause_max_us") as u64,
+            report.bdd_stats.gc_pause_max_us
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use headerloc::{
     header_localize, header_localize_with, reencode, DstAddrSpace, HeaderLocalization, RangeDag,
     RangeEncoder, RangeTerm, SrcAddrSpace,
 };
-pub use json::{policy_diff_json, report_json, structural_finding_json};
+pub use json::{policy_diff_json, report_json, stats_json, structural_finding_json};
 pub use matching::{match_policies, MatchedComponents, PolicyPair};
 pub use portloc::{dst_port_localize, src_port_localize};
 pub use report::{CampionReport, FindingSide, PolicyDiffReport, StructuralFinding};

@@ -7,19 +7,44 @@
 //! | POST   | `/api/v1/snapshot`            | snapshot JSON → ingest summary    |
 //! | GET    | `/api/v1/status`              | latest-snapshot summary           |
 //! | GET    | `/api/v1/pairs`               | every pair's status + provenance  |
-//! | GET    | `/api/v1/pair/{a}/{b}`        | summary + embedded report         |
+//! | GET    | `/api/v1/pair/{a}/{b}`        | summary + resources + report      |
 //! | GET    | `/api/v1/pair/{a}/{b}/report` | structured report (stable JSON)   |
 //! | GET    | `/api/v1/pair/{a}/{b}/text`   | text report, byte-identical to CLI|
 //! | GET    | `/api/v1/metrics`             | counters + per-phase trace stats  |
+//! | GET    | `/api/v1/flight`              | flight-recorder dump inventory    |
+//! | GET    | `/api/v1/flight/{seq}`        | one Chrome-trace flight artifact  |
+//! | GET    | `/metrics`                    | Prometheus text exposition 0.0.4  |
 //! | POST   | `/api/v1/shutdown`            | acknowledges, then stops serving  |
+//!
+//! Every request is timed and folded into the daemon's HTTP latency
+//! histogram and per-status-code counters (both exported at `/metrics`).
+
+use std::time::Instant;
+
+use campion_trace::log::{self, Value};
 
 use crate::daemon::Daemon;
 use crate::http::{Request, Response};
 use crate::snapshot::SnapshotInput;
 
+/// `Content-Type` of the Prometheus text exposition.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Route one request. Returns the response plus the shutdown flag.
 pub fn handle(daemon: &mut Daemon, req: &Request) -> (Response, bool) {
+    let t = Instant::now();
     let resp = route(daemon, req);
+    let dur_ns = t.elapsed().as_nanos() as u64;
+    daemon.record_http(resp.status, dur_ns);
+    log::debug(
+        "http.request",
+        &[
+            ("method", Value::Str(&req.method)),
+            ("path", Value::Str(&req.path)),
+            ("status", Value::U64(resp.status as u64)),
+            ("dur_us", Value::U64(dur_ns / 1_000)),
+        ],
+    );
     let shutdown = req.method == "POST" && req.path == "/api/v1/shutdown";
     (resp, shutdown)
 }
@@ -48,6 +73,19 @@ fn route(daemon: &mut Daemon, req: &Request) -> Response {
         ("GET", ["api", "v1", "status"]) => Response::json(200, daemon.status_json()),
         ("GET", ["api", "v1", "pairs"]) => Response::json(200, daemon.pairs_json()),
         ("GET", ["api", "v1", "metrics"]) => Response::json(200, daemon.metrics_json()),
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: PROMETHEUS_CONTENT_TYPE,
+            body: daemon.prometheus().into_bytes(),
+        },
+        ("GET", ["api", "v1", "flight"]) => Response::json(200, daemon.flight_json()),
+        ("GET", ["api", "v1", "flight", seq]) => match seq.parse::<u64>() {
+            Ok(seq) => match daemon.flight_dump(seq) {
+                Some(body) => Response::json(200, body),
+                None => Response::error(404, &format!("no flight dump for snapshot {seq}")),
+            },
+            Err(_) => Response::error(400, &format!("bad flight sequence number: {seq}")),
+        },
         ("GET", ["api", "v1", "pair", a, b]) => match daemon.pair_json(a, b) {
             Some(body) => Response::json(200, body),
             None => Response::error(404, &format!("no such pair: {a} {b}")),

@@ -26,10 +26,17 @@ use std::time::{Instant, SystemTime};
 use campion_core::{compare_routers, report_json, CampionOptions};
 use campion_ir::hash::{fnv1a64, fnv1a64_combine, hash_router, text_hash, ComponentHashes};
 use campion_ir::RouterIr;
+use campion_trace::hist::Histogram;
 use campion_trace::json::escape;
+use campion_trace::log::{self, Value};
+use campion_trace::prom::Exposition;
+use campion_trace::Trace;
 
+use crate::flight::FlightRecorder;
 use crate::snapshot::SnapshotInput;
-use crate::store::{FleetStore, PairRecord, PairStatus, RouterRecord, SnapshotRecord};
+use crate::store::{
+    FleetStore, PairRecord, PairResources, PairStatus, RouterRecord, SnapshotRecord,
+};
 
 /// Monotonic daemon-lifetime counters, exposed by `GET /api/v1/metrics`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,15 +95,19 @@ impl IngestSummary {
     }
 }
 
-/// Aggregated per-phase timing, merged across every drained trace.
-#[derive(Debug, Clone, Copy, Default)]
+/// Aggregated per-phase timing, merged across every drained trace. The
+/// histogram feeds the Prometheus exposition and the p50/p90/p99 columns
+/// of `metrics_json`.
+#[derive(Debug, Clone, Default)]
 struct PhaseTotal {
     count: u64,
     total_ns: u64,
     max_ns: u64,
+    hist: Histogram,
 }
 
-/// The daemon: a store, the latest snapshot's records, and counters.
+/// The daemon: a store, the latest snapshot's records, counters, latency
+/// histograms, and the flight recorder.
 #[derive(Debug)]
 pub struct Daemon {
     store: FleetStore,
@@ -104,6 +115,11 @@ pub struct Daemon {
     counters: Counters,
     opts: CampionOptions,
     phase_totals: BTreeMap<&'static str, PhaseTotal>,
+    ingest_hist: Histogram,
+    compute_hist: Histogram,
+    http_hist: Histogram,
+    http_codes: BTreeMap<u16, u64>,
+    flight: FlightRecorder,
 }
 
 impl Daemon {
@@ -118,7 +134,40 @@ impl Daemon {
             counters: Counters::default(),
             opts,
             phase_totals: BTreeMap::new(),
+            ingest_hist: Histogram::new(),
+            compute_hist: Histogram::new(),
+            http_hist: Histogram::new(),
+            http_codes: BTreeMap::new(),
+            flight: FlightRecorder::new(store_dir),
         })
+    }
+
+    /// Override the flight recorder's latency SLO (milliseconds).
+    pub fn set_slo_ms(&mut self, ms: u64) {
+        self.flight.set_slo_ms(ms);
+    }
+
+    /// Record one served HTTP request for the exposition (status code
+    /// counter plus the request-latency histogram).
+    pub fn record_http(&mut self, status: u16, dur_ns: u64) {
+        *self.http_codes.entry(status).or_insert(0) += 1;
+        self.http_hist.record(dur_ns);
+    }
+
+    /// The stored flight artifact for one sequence number, if any.
+    pub fn flight_dump(&self, seq: u64) -> Option<String> {
+        self.flight.read(seq)
+    }
+
+    /// JSON body of `GET /api/v1/flight`: the dumps available on disk.
+    pub fn flight_json(&self) -> String {
+        let seqs: Vec<String> = self.flight.list().iter().map(u64::to_string).collect();
+        format!(
+            "{{\"slo_ms\": {}, \"dumps\": {}, \"available\": [{}]}}\n",
+            self.flight.slo_ns() / 1_000_000,
+            self.flight.dumps(),
+            seqs.join(", "),
+        )
     }
 
     /// The latest ingested snapshot, if any.
@@ -132,8 +181,67 @@ impl Daemon {
     }
 
     /// Ingest one snapshot: hash, decide, recompute the changed pairs,
-    /// persist, and return the summary.
+    /// persist, and return the summary. Either way the ingest's trace is
+    /// drained into the daemon's aggregates, then offered to the flight
+    /// recorder: an SLO-busting pair or an ingest error dumps it.
     pub fn ingest(&mut self, input: &SnapshotInput) -> Result<IngestSummary, String> {
+        let result = self.ingest_inner(input);
+        let trace = self.absorb_trace();
+        match &result {
+            Ok(summary) => {
+                self.ingest_hist.record(summary.elapsed_ns);
+                let slo = self.flight.slo_ns();
+                let slow: Vec<(String, u64)> = self
+                    .latest
+                    .as_ref()
+                    .map(|s| {
+                        s.pairs
+                            .iter()
+                            .filter(|p| p.status == PairStatus::Computed && p.compute_ns >= slo)
+                            .map(|p| (format!("{} vs {}", p.router1, p.router2), p.compute_ns))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if let Some(path) = self.flight.maybe_dump(summary.seq, &trace, &slow, None) {
+                    log::warn(
+                        "fleet.flight.dump",
+                        &[
+                            ("seq", Value::U64(summary.seq)),
+                            ("slow_pairs", Value::U64(slow.len() as u64)),
+                            ("path", Value::Str(&path.display().to_string())),
+                        ],
+                    );
+                }
+                log::info(
+                    "fleet.ingest",
+                    &[
+                        ("seq", Value::U64(summary.seq)),
+                        ("pairs_total", Value::U64(summary.pairs_total as u64)),
+                        ("pairs_computed", Value::U64(summary.pairs_computed as u64)),
+                        ("pairs_cached", Value::U64(summary.pairs_cached as u64)),
+                        ("elapsed_us", Value::U64(summary.elapsed_ns / 1_000)),
+                    ],
+                );
+            }
+            Err(e) => {
+                // Key the error dump by the sequence number the snapshot
+                // would have received.
+                let seq = self.latest.as_ref().map_or(1, |s| s.seq + 1);
+                let path = self.flight.maybe_dump(seq, &trace, &[], Some(e));
+                log::error(
+                    "fleet.ingest.error",
+                    &[
+                        ("seq", Value::U64(seq)),
+                        ("error", Value::Str(e)),
+                        ("flight", Value::Bool(path.is_some())),
+                    ],
+                );
+            }
+        }
+        result
+    }
+
+    fn ingest_inner(&mut self, input: &SnapshotInput) -> Result<IngestSummary, String> {
         let t0 = Instant::now();
         let _ingest_span = campion_trace::span("fleet.ingest");
         input.validate()?;
@@ -204,6 +312,7 @@ impl Daemon {
                         equivalent: false,
                         differences: 0,
                         compute_ns: 0,
+                        resources: PairResources::default(),
                         report_text: String::new(),
                         report_json: String::new(),
                     });
@@ -251,9 +360,37 @@ impl Daemon {
         );
         for (k, (report, ns)) in results.into_iter().enumerate() {
             let p = &mut pairs[compute[k]];
+            let s = &report.bdd_stats;
             p.equivalent = report.is_equivalent();
             p.differences = report.total_differences() as u64;
             p.compute_ns = ns;
+            p.resources = PairResources {
+                wall_ns: ns,
+                bdd_nodes: s.nodes,
+                peak_nodes: s.peak_nodes,
+                post_gc_nodes: s.post_gc_nodes,
+                gc_runs: s.gc_runs,
+                gc_pauses: s.gc_pauses,
+                gc_pause_us: s.gc_pause_us,
+                gc_pause_max_us: s.gc_pause_max_us,
+                unique_lookups: s.unique_lookups,
+                unique_hits: s.unique_hits,
+                apply_lookups: s.apply_lookups,
+                apply_hits: s.apply_hits,
+                rule_cache_lookups: s.rule_cache_lookups,
+                rule_cache_hits: s.rule_cache_hits,
+            };
+            self.compute_hist.record(ns);
+            log::debug(
+                "fleet.pair.computed",
+                &[
+                    ("router1", Value::Str(&p.router1)),
+                    ("router2", Value::Str(&p.router2)),
+                    ("differences", Value::U64(p.differences)),
+                    ("wall_us", Value::U64(ns / 1_000)),
+                    ("peak_nodes", Value::U64(s.peak_nodes)),
+                ],
+            );
             // The CLI prints the report with a trailing newline (println);
             // store exactly those bytes so `/text` is byte-identical.
             p.report_text = format!("{report}\n");
@@ -289,23 +426,25 @@ impl Daemon {
         self.counters.routers_parsed += summary.routers_parsed as u64;
         self.counters.router_parses_skipped += summary.router_parses_skipped as u64;
         self.latest = Some(snap);
-        drop(_ingest_span);
-        self.absorb_trace();
         Ok(summary)
     }
 
-    /// Fold any drained trace into the daemon's per-phase totals.
-    fn absorb_trace(&mut self) {
+    /// Fold any drained trace into the daemon's per-phase totals and hand
+    /// it back for the flight recorder to keep or drop.
+    fn absorb_trace(&mut self) -> Trace {
         if !campion_trace::is_enabled() {
-            return;
+            return Trace::default();
         }
         campion_trace::flush();
-        for stat in campion_trace::drain().phase_stats() {
+        let trace = campion_trace::drain();
+        for stat in trace.phase_stats() {
             let t = self.phase_totals.entry(stat.name).or_default();
             t.count += stat.count;
             t.total_ns += stat.total_ns;
             t.max_ns = t.max_ns.max(stat.max_ns);
+            t.hist.merge(&stat.hist);
         }
+        trace
     }
 
     /// JSON body of `GET /api/v1/status`.
@@ -380,10 +519,14 @@ impl Daemon {
             .iter()
             .map(|(name, t)| {
                 format!(
-                    "{{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    "{{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+                     \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
                     escape(name),
                     t.count,
                     t.total_ns,
+                    t.hist.quantile(0.50),
+                    t.hist.quantile(0.90),
+                    t.hist.quantile(0.99),
                     t.max_ns,
                 )
             })
@@ -391,6 +534,129 @@ impl Daemon {
         o.push_str(&rows.join(", "));
         o.push_str("]}\n");
         o
+    }
+
+    /// The Prometheus text exposition (format 0.0.4) served at
+    /// `GET /metrics`: lifetime counters, latest-snapshot gauges, and the
+    /// latency histograms (ingest, per-pair compute, HTTP, per phase), all
+    /// in seconds. The output passes [`campion_trace::prom`]'s linter —
+    /// CI scrapes it and runs `promcheck`.
+    pub fn prometheus(&self) -> String {
+        let mut e = Exposition::new();
+        let c = &self.counters;
+        e.counter(
+            "campion_fleet_snapshots_total",
+            "Snapshots ingested over the daemon's lifetime.",
+            c.snapshots,
+        );
+        e.counter(
+            "campion_fleet_pairs_total",
+            "Pairs scheduled across all ingests.",
+            c.pairs_total,
+        );
+        e.counter(
+            "campion_fleet_pairs_computed_total",
+            "Pairs run through the compare pipeline.",
+            c.pairs_computed,
+        );
+        e.counter(
+            "campion_fleet_pairs_cached_total",
+            "Pairs served from the store (unchanged pair key).",
+            c.pairs_cached,
+        );
+        e.counter(
+            "campion_fleet_routers_parsed_total",
+            "Routers parsed and lowered.",
+            c.routers_parsed,
+        );
+        e.counter(
+            "campion_fleet_router_parses_skipped_total",
+            "Router parses skipped via the raw-text fast path.",
+            c.router_parses_skipped,
+        );
+        e.counter(
+            "campion_fleet_flight_dumps_total",
+            "Flight-recorder artifacts written (SLO breaches and errors).",
+            self.flight.dumps(),
+        );
+        if !self.http_codes.is_empty() {
+            let codes: Vec<String> = self.http_codes.keys().map(u16::to_string).collect();
+            let labels: Vec<[(&str, &str); 1]> =
+                codes.iter().map(|c| [("code", c.as_str())]).collect();
+            let series: Vec<(&[(&str, &str)], u64)> = labels
+                .iter()
+                .zip(self.http_codes.values())
+                .map(|(l, n)| (l.as_slice(), *n))
+                .collect();
+            e.counter_vec(
+                "campion_fleet_http_requests_total",
+                "HTTP requests served, by status code.",
+                &series,
+            );
+        }
+        let (seq, routers, pairs) = match &self.latest {
+            Some(s) => (s.seq, s.routers.len(), s.pairs.len()),
+            None => (0, 0, 0),
+        };
+        e.gauge(
+            "campion_fleet_latest_snapshot_seq",
+            "Sequence number of the newest ingested snapshot (0 when none).",
+            seq as f64,
+        );
+        e.gauge(
+            "campion_fleet_routers",
+            "Routers in the latest snapshot.",
+            routers as f64,
+        );
+        e.gauge(
+            "campion_fleet_pairs",
+            "Pairs in the latest snapshot.",
+            pairs as f64,
+        );
+        e.gauge(
+            "campion_fleet_peak_bdd_nodes",
+            "Largest per-pair peak BDD node count in the latest snapshot.",
+            self.latest
+                .as_ref()
+                .and_then(|s| s.pairs.iter().map(|p| p.resources.peak_nodes).max())
+                .unwrap_or(0) as f64,
+        );
+        e.histogram(
+            "campion_fleet_ingest_duration_seconds",
+            "Wall time of whole snapshot ingests.",
+            &self.ingest_hist,
+            1e-9,
+        );
+        e.histogram(
+            "campion_fleet_pair_compute_duration_seconds",
+            "Wall time of individual pair compares.",
+            &self.compute_hist,
+            1e-9,
+        );
+        e.histogram(
+            "campion_fleet_http_request_duration_seconds",
+            "Wall time of served HTTP requests.",
+            &self.http_hist,
+            1e-9,
+        );
+        if !self.phase_totals.is_empty() {
+            let series: Vec<(Vec<(&str, &str)>, &Histogram)> = self
+                .phase_totals
+                .iter()
+                .map(|(name, t)| (vec![("phase", *name)], &t.hist))
+                .collect();
+            let series: Vec<(&[(&str, &str)], &Histogram)> = series
+                .iter()
+                .map(|(labels, h)| (labels.as_slice(), *h))
+                .collect();
+            e.histogram_vec(
+                "campion_fleet_phase_duration_seconds",
+                "Span durations per campion-trace phase.",
+                &series,
+                1e-9,
+            );
+        }
+        e.finish()
     }
 }
 
@@ -444,7 +710,7 @@ fn pair_summary_json(p: &PairRecord) -> String {
     format!(
         "{{\"router1\": \"{}\", \"router2\": \"{}\", \"status\": \"{}\", \
          \"computed_at\": {}, \"changed\": [{}], \"equivalent\": {}, \
-         \"differences\": {}, \"compute_ns\": {}}}",
+         \"differences\": {}, \"compute_ns\": {}, \"resources\": {}}}",
         escape(&p.router1),
         escape(&p.router2),
         match p.status {
@@ -456,5 +722,6 @@ fn pair_summary_json(p: &PairRecord) -> String {
         p.equivalent,
         p.differences,
         p.compute_ns,
+        p.resources.encode(),
     )
 }

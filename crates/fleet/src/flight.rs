@@ -1,0 +1,297 @@
+//! The flight recorder: always-on, near-zero-cost crash/latency forensics.
+//!
+//! `campion-fleetd` runs with tracing enabled permanently; each ingest's
+//! spans are drained into the daemon's aggregates either way, so the only
+//! extra cost here is the *decision* of whether to keep them. When an
+//! ingest stays healthy the drained trace is dropped and nothing is
+//! written. When a computed pair blows the latency SLO — or the ingest
+//! errors outright — the recorder persists the whole ingest's trace as a
+//! Chrome trace-event artifact (`flight-<seq>.json`, loadable in
+//! Perfetto, checkable with `tracecheck`) next to the snapshot store, so
+//! the evidence of *what the daemon was doing* survives even if the
+//! process is gone by the time an operator looks.
+//!
+//! Dumps are bounded two ways: at most [`RETENTION`] artifacts are kept
+//! (oldest pruned first), and a single artifact carries at most
+//! [`MAX_DUMP_EVENTS`] events — oversized traces shed their deepest spans
+//! first and are rebuilt as a balanced begin/end stream, so a capped dump
+//! still validates.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use campion_trace::{Event, Phase, SpanRecord, Trace};
+
+/// Default latency SLO, milliseconds: a computed pair slower than this
+/// triggers a dump (`campion-fleetd --slo-ms` overrides).
+pub const DEFAULT_SLO_MS: u64 = 60_000;
+
+/// Flight artifacts kept on disk; beyond this the oldest is pruned.
+pub const RETENTION: usize = 8;
+
+/// Upper bound on Chrome trace events in one artifact.
+pub const MAX_DUMP_EVENTS: usize = 20_000;
+
+/// The recorder: a directory, an SLO, and a lifetime dump counter.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    slo_ns: u64,
+    dumps: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder writing into `dir` (the snapshot store directory; flight
+    /// artifacts use a distinct `flight-` prefix) with the default SLO.
+    pub fn new(dir: &Path) -> FlightRecorder {
+        FlightRecorder {
+            dir: dir.to_path_buf(),
+            slo_ns: DEFAULT_SLO_MS.saturating_mul(1_000_000),
+            dumps: 0,
+        }
+    }
+
+    /// Override the latency SLO (milliseconds). `0` dumps every ingest that
+    /// computed at least one pair — the forced-dump mode CI uses.
+    pub fn set_slo_ms(&mut self, ms: u64) {
+        self.slo_ns = ms.saturating_mul(1_000_000);
+    }
+
+    /// The SLO in nanoseconds, for comparing against pair wall times.
+    pub fn slo_ns(&self) -> u64 {
+        self.slo_ns
+    }
+
+    /// Artifacts written over the daemon's lifetime.
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+
+    fn path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("flight-{seq:06}.json"))
+    }
+
+    /// Keep or drop one ingest's drained trace. `slow` names the computed
+    /// pairs whose wall time exceeded the SLO; `error` is set when the
+    /// ingest failed (keyed by the sequence number it would have gotten).
+    /// Returns the artifact path when a dump was written.
+    pub fn maybe_dump(
+        &mut self,
+        seq: u64,
+        trace: &Trace,
+        slow: &[(String, u64)],
+        error: Option<&str>,
+    ) -> Option<PathBuf> {
+        if (slow.is_empty() && error.is_none()) || trace.is_empty() {
+            return None;
+        }
+        let path = self.path(seq);
+        fs::write(&path, bounded_chrome_json(trace)).ok()?;
+        self.dumps += 1;
+        self.prune();
+        Some(path)
+    }
+
+    /// Sequence numbers with an artifact on disk, ascending.
+    pub fn list(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(seq) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("flight-"))
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push(seq);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The stored artifact for one sequence number, if any.
+    pub fn read(&self, seq: u64) -> Option<String> {
+        fs::read_to_string(self.path(seq)).ok()
+    }
+
+    fn prune(&self) {
+        let seqs = self.list();
+        if seqs.len() > RETENTION {
+            for &seq in &seqs[..seqs.len() - RETENTION] {
+                let _ = fs::remove_file(self.path(seq));
+            }
+        }
+    }
+}
+
+/// The trace as Chrome trace-event JSON, bounded to [`MAX_DUMP_EVENTS`].
+/// Oversized traces shed their deepest spans first, then the latest-starting
+/// ones, and are rebuilt as a balanced begin/end stream per track.
+fn bounded_chrome_json(trace: &Trace) -> String {
+    if trace.events.len() <= MAX_DUMP_EVENTS {
+        return trace.chrome_json();
+    }
+    let budget = MAX_DUMP_EVENTS / 2; // each span costs one B and one E
+    let spans = trace.spans();
+    let mut depth_cap = spans.iter().map(|s| s.depth).max().unwrap_or(0);
+    while depth_cap > 0 && spans.iter().filter(|s| s.depth < depth_cap).count() >= budget {
+        depth_cap -= 1;
+    }
+    let mut kept: Vec<&SpanRecord> = spans.iter().filter(|s| s.depth <= depth_cap).collect();
+    // Ancestors start no later than their descendants, so a start-ordered
+    // prefix never keeps a child while dropping its parent.
+    kept.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.depth.cmp(&b.depth)));
+    kept.truncate(budget);
+    rebuild_balanced(&kept).chrome_json()
+}
+
+/// A span still awaiting its `End` event: name, end time, counters.
+type OpenSpan = (&'static str, u64, Vec<(&'static str, i64)>);
+
+/// Rebuild a per-track balanced event stream from complete spans: begins in
+/// start order, each end emitted once every span it encloses has ended.
+fn rebuild_balanced(kept: &[&SpanRecord]) -> Trace {
+    let mut tracks: Vec<u32> = kept.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut events: Vec<Event> = Vec::new();
+    for t in tracks {
+        let mut spans: Vec<&&SpanRecord> = kept.iter().filter(|s| s.track == t).collect();
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(a.depth.cmp(&b.depth))
+                .then(b.end_ns.cmp(&a.end_ns))
+        });
+        let mut open: Vec<OpenSpan> = Vec::new();
+        let close = |open: &mut Vec<OpenSpan>, events: &mut Vec<Event>| {
+            let (name, end_ns, counters) = open.pop().expect("caller checked non-empty");
+            events.push(Event {
+                track: t,
+                name,
+                phase: Phase::End,
+                t_ns: end_ns,
+                counters,
+            });
+        };
+        for s in spans {
+            while open.last().is_some_and(|&(_, end, _)| end <= s.start_ns) {
+                close(&mut open, &mut events);
+            }
+            events.push(Event {
+                track: t,
+                name: s.name,
+                phase: Phase::Begin,
+                t_ns: s.start_ns,
+                counters: Vec::new(),
+            });
+            open.push((s.name, s.end_ns, s.counters.clone()));
+        }
+        while !open.is_empty() {
+            close(&mut open, &mut events);
+        }
+    }
+    Trace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campion_trace::json::validate_chrome_trace;
+
+    fn span(track: u32, name: &'static str, depth: u32, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            track,
+            name,
+            depth,
+            start_ns: start,
+            end_ns: end,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rebuild_balances_nested_and_sequential_spans() {
+        let spans = [
+            span(0, "outer", 0, 0, 100),
+            span(0, "inner", 1, 10, 40),
+            span(0, "inner", 1, 50, 90),
+            span(1, "other", 0, 5, 25),
+        ];
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        let trace = rebuild_balanced(&refs);
+        let report = validate_chrome_trace(&trace.chrome_json()).expect("balanced");
+        assert_eq!(report.spans, 4);
+    }
+
+    #[test]
+    fn oversized_trace_dumps_are_capped_and_valid() {
+        let mut events = Vec::new();
+        for i in 0..(MAX_DUMP_EVENTS as u64) {
+            events.push(Event {
+                track: 0,
+                name: "fleet.compare",
+                phase: Phase::Begin,
+                t_ns: 2 * i,
+                counters: Vec::new(),
+            });
+            events.push(Event {
+                track: 0,
+                name: "fleet.compare",
+                phase: Phase::End,
+                t_ns: 2 * i + 1,
+                counters: Vec::new(),
+            });
+        }
+        let trace = Trace { events };
+        let json = bounded_chrome_json(&trace);
+        let report = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(report.spans <= MAX_DUMP_EVENTS / 2);
+    }
+
+    #[test]
+    fn recorder_dumps_prunes_and_serves() {
+        let dir = std::env::temp_dir().join(format!("campion-flight-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let mut rec = FlightRecorder::new(&dir);
+        rec.set_slo_ms(0);
+        let trace = Trace {
+            events: vec![
+                Event {
+                    track: 0,
+                    name: "fleet.ingest",
+                    phase: Phase::Begin,
+                    t_ns: 0,
+                    counters: Vec::new(),
+                },
+                Event {
+                    track: 0,
+                    name: "fleet.ingest",
+                    phase: Phase::End,
+                    t_ns: 10,
+                    counters: Vec::new(),
+                },
+            ],
+        };
+        // Healthy ingest: nothing written.
+        assert!(rec.maybe_dump(1, &trace, &[], None).is_none());
+        for seq in 1..=(RETENTION as u64 + 3) {
+            let slow = vec![("a vs b".to_string(), 123u64)];
+            assert!(rec.maybe_dump(seq, &trace, &slow, None).is_some());
+        }
+        let seqs = rec.list();
+        assert_eq!(seqs.len(), RETENTION);
+        assert_eq!(*seqs.first().expect("non-empty"), 4);
+        let body = rec.read(*seqs.last().expect("non-empty")).expect("stored");
+        validate_chrome_trace(&body).expect("valid dump");
+        assert!(rec.read(1).is_none(), "pruned dump is gone");
+        assert_eq!(rec.dumps(), RETENTION as u64 + 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

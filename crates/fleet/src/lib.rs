@@ -17,11 +17,15 @@
 
 pub mod api;
 pub mod daemon;
+pub mod flight;
 pub mod gen;
 pub mod http;
 pub mod snapshot;
 pub mod store;
 
 pub use daemon::{Counters, Daemon, IngestSummary};
+pub use flight::FlightRecorder;
 pub use snapshot::SnapshotInput;
-pub use store::{FleetStore, PairRecord, PairStatus, RouterRecord, SnapshotRecord, FORMAT_VERSION};
+pub use store::{
+    FleetStore, PairRecord, PairResources, PairStatus, RouterRecord, SnapshotRecord, FORMAT_VERSION,
+};

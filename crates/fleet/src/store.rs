@@ -12,11 +12,19 @@
 //! Hashes are 64-bit and stored as 16-digit hex **strings** — the decode
 //! side parses JSON numbers as `f64`, which silently drops bits above
 //! 2^53, so integers that must round-trip exactly never travel as
-//! numbers. Decoding uses the workspace's hand-rolled JSON parser
-//! (`campion_trace::json`); corruption surfaces as a clean `Err`, never a
-//! panic. Version-1 documents are pinned by a committed fixture
-//! (`testdata/fleet/snap-v1.json`) that the current reader must always
-//! decode — the backwards-compatibility gate.
+//! numbers. Resource-attribution counters (version 2) are plain numbers —
+//! they are bounded workload counts, far below 2^53. Decoding uses the
+//! workspace's hand-rolled JSON parser (`campion_trace::json`); corruption
+//! surfaces as a clean `Err`, never a panic. Old documents are pinned by
+//! committed fixtures (`testdata/fleet/snap-v1.json`, `snap-v2.json`) that
+//! the current reader must always decode — the backwards-compatibility
+//! gate. Version 1 predates per-pair resource attribution; its pairs
+//! decode with zeroed [`PairResources`].
+//!
+//! The store directory is single-writer: [`FleetStore::open`] takes a
+//! `lock` file (`create_new` + PID) so a second daemon pointed at the same
+//! directory fails fast with a clear error instead of interleaving
+//! snapshots; the lock is removed on drop (clean shutdown).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -25,8 +33,10 @@ use std::path::{Path, PathBuf};
 use campion_ir::hash::ComponentHashes;
 use campion_trace::json::{escape, parse, Json};
 
-/// The store format this build writes, and the newest it reads.
-pub const FORMAT_VERSION: u64 = 1;
+/// The store format this build writes, and the newest it reads. Version
+/// history: 1 = initial (PR 8); 2 adds per-pair `resources` (wall time,
+/// BDD node/GC/cache counters).
+pub const FORMAT_VERSION: u64 = 2;
 
 /// The format marker every snapshot document carries.
 pub const FORMAT_MARKER: &str = "campion-fleet-snapshot";
@@ -60,6 +70,90 @@ impl PairStatus {
     }
 }
 
+/// Per-pair resource attribution: what one compare cost, captured from the
+/// pair's `ManagerStats` at ingest and persisted so an operator can ask
+/// "which pair is eating the fleet's memory/GC budget" long after the
+/// compute happened. Cached pairs carry the figures of the ingest that
+/// actually computed them (provenance: `computed_at`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairResources {
+    /// Wall nanoseconds of the compare that produced this result (unlike
+    /// `PairRecord::compute_ns`, not zeroed when served from the store).
+    pub wall_ns: u64,
+    /// Live BDD nodes when the compare finished.
+    pub bdd_nodes: u64,
+    /// Peak live BDD nodes during the compare.
+    pub peak_nodes: u64,
+    /// Live nodes right after the last sweep (0 if GC never ran).
+    pub post_gc_nodes: u64,
+    /// Completed collections.
+    pub gc_runs: u64,
+    /// Collector entries (incl. mark-only passes).
+    pub gc_pauses: u64,
+    /// Total GC pause time, microseconds.
+    pub gc_pause_us: u64,
+    /// Longest single GC pause, microseconds.
+    pub gc_pause_max_us: u64,
+    /// Unique-table lookups / hits.
+    pub unique_lookups: u64,
+    /// Unique-table hits.
+    pub unique_hits: u64,
+    /// Apply-cache lookups.
+    pub apply_lookups: u64,
+    /// Apply-cache hits.
+    pub apply_hits: u64,
+    /// Rule-BDD cache lookups.
+    pub rule_cache_lookups: u64,
+    /// Rule-BDD cache hits.
+    pub rule_cache_hits: u64,
+}
+
+impl PairResources {
+    pub(crate) fn encode(&self) -> String {
+        format!(
+            "{{\"wall_ns\": {}, \"bdd_nodes\": {}, \"peak_nodes\": {}, \
+             \"post_gc_nodes\": {}, \"gc_runs\": {}, \"gc_pauses\": {}, \
+             \"gc_pause_us\": {}, \"gc_pause_max_us\": {}, \
+             \"unique_lookups\": {}, \"unique_hits\": {}, \
+             \"apply_lookups\": {}, \"apply_hits\": {}, \
+             \"rule_cache_lookups\": {}, \"rule_cache_hits\": {}}}",
+            self.wall_ns,
+            self.bdd_nodes,
+            self.peak_nodes,
+            self.post_gc_nodes,
+            self.gc_runs,
+            self.gc_pauses,
+            self.gc_pause_us,
+            self.gc_pause_max_us,
+            self.unique_lookups,
+            self.unique_hits,
+            self.apply_lookups,
+            self.apply_hits,
+            self.rule_cache_lookups,
+            self.rule_cache_hits,
+        )
+    }
+
+    fn decode(j: &Json) -> Result<PairResources, String> {
+        Ok(PairResources {
+            wall_ns: get_u64(j, "wall_ns")?,
+            bdd_nodes: get_u64(j, "bdd_nodes")?,
+            peak_nodes: get_u64(j, "peak_nodes")?,
+            post_gc_nodes: get_u64(j, "post_gc_nodes")?,
+            gc_runs: get_u64(j, "gc_runs")?,
+            gc_pauses: get_u64(j, "gc_pauses")?,
+            gc_pause_us: get_u64(j, "gc_pause_us")?,
+            gc_pause_max_us: get_u64(j, "gc_pause_max_us")?,
+            unique_lookups: get_u64(j, "unique_lookups")?,
+            unique_hits: get_u64(j, "unique_hits")?,
+            apply_lookups: get_u64(j, "apply_lookups")?,
+            apply_hits: get_u64(j, "apply_hits")?,
+            rule_cache_lookups: get_u64(j, "rule_cache_lookups")?,
+            rule_cache_hits: get_u64(j, "rule_cache_hits")?,
+        })
+    }
+}
+
 /// One pair's result within a snapshot, with provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairRecord {
@@ -83,6 +177,8 @@ pub struct PairRecord {
     pub differences: u64,
     /// Wall nanoseconds the compare took (0 when served from the store).
     pub compute_ns: u64,
+    /// What the compare cost (carried along when served from the store).
+    pub resources: PairResources,
     /// The rendered text report — byte-identical to `campion compare`.
     pub report_text: String,
     /// The structured JSON report — byte-identical to
@@ -210,6 +306,7 @@ impl SnapshotRecord {
                     "    {{\"router1\": \"{}\", \"router2\": \"{}\", \"pair_key\": \"{}\", \
                      \"status\": \"{}\", \"computed_at\": {}, \"changed\": [{}], \
                      \"equivalent\": {}, \"differences\": {}, \"compute_ns\": {}, \
+                     \"resources\": {}, \
                      \"report_text\": \"{}\", \"report_json\": \"{}\"}}",
                     escape(&p.router1),
                     escape(&p.router2),
@@ -220,6 +317,7 @@ impl SnapshotRecord {
                     p.equivalent,
                     p.differences,
                     p.compute_ns,
+                    p.resources.encode(),
                     escape(&p.report_text),
                     escape(&p.report_json),
                 )
@@ -285,6 +383,13 @@ impl SnapshotRecord {
                         .ok_or_else(|| "non-string changed entry".to_string())
                 })
                 .collect::<Result<Vec<_>, _>>()?;
+            // v1 predates resource attribution: decode those pairs with
+            // zeroed resources instead of refusing the document.
+            let resources = match p.get("resources") {
+                Some(r) => PairResources::decode(r)?,
+                None if version < 2 => PairResources::default(),
+                None => return Err("missing \"resources\" object".to_string()),
+            };
             pairs.push(PairRecord {
                 router1: get_str(p, "router1")?.to_string(),
                 router2: get_str(p, "router2")?.to_string(),
@@ -295,6 +400,7 @@ impl SnapshotRecord {
                 equivalent: get_bool(p, "equivalent")?,
                 differences: get_u64(p, "differences")?,
                 compute_ns: get_u64(p, "compute_ns")?,
+                resources,
                 report_text: get_str(p, "report_text")?.to_string(),
                 report_json: get_str(p, "report_json")?.to_string(),
             });
@@ -316,18 +422,50 @@ impl SnapshotRecord {
     }
 }
 
-/// A directory of snapshot documents.
+/// A directory of snapshot documents. Single-writer: holds a PID lock
+/// file for its lifetime (removed on drop).
 #[derive(Debug)]
 pub struct FleetStore {
     dir: PathBuf,
+    lock_path: PathBuf,
 }
 
 impl FleetStore {
-    /// Open (creating if needed) a store directory.
+    /// Open (creating if needed) a store directory, taking its exclusive
+    /// lock. Fails with a clear error naming the holder's PID when another
+    /// process already owns the directory.
     pub fn open(dir: &Path) -> Result<Self, String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let lock_path = dir.join("lock");
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                let _ = writeln!(f, "{}", std::process::id());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&lock_path)
+                    .map(|s| s.trim().to_string())
+                    .unwrap_or_default();
+                let holder = if holder.is_empty() {
+                    "unknown pid".to_string()
+                } else {
+                    format!("pid {holder}")
+                };
+                return Err(format!(
+                    "store {} is locked by another process ({holder});                      is a second campion-fleetd running? remove {} if it is stale",
+                    dir.display(),
+                    lock_path.display()
+                ));
+            }
+            Err(e) => return Err(format!("{}: {e}", lock_path.display())),
+        }
         Ok(FleetStore {
             dir: dir.to_path_buf(),
+            lock_path,
         })
     }
 
@@ -385,5 +523,14 @@ impl FleetStore {
         std::fs::write(&tmp, snap.encode()).map_err(|e| format!("{}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
         Ok(path)
+    }
+}
+
+impl Drop for FleetStore {
+    fn drop(&mut self) {
+        // Clean shutdown releases the directory for the next daemon. A
+        // crashed process leaves the lock behind on purpose: the error
+        // message tells the operator which PID to check and what to remove.
+        let _ = std::fs::remove_file(&self.lock_path);
     }
 }

@@ -7,10 +7,21 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use campion_core::{compare_config_texts, report_json, CampionOptions};
-use campion_fleet::store::{PairRecord, PairStatus, RouterRecord, SnapshotRecord};
+use campion_fleet::store::{PairRecord, PairResources, PairStatus, RouterRecord, SnapshotRecord};
 use campion_fleet::{api, gen, http, Daemon, FleetStore, SnapshotInput};
 use campion_ir::hash::ComponentHashes;
+use campion_trace::json::validate_chrome_trace;
+use campion_trace::prom::validate_exposition;
 use proptest::prelude::*;
+
+/// Serializes the tests that ingest snapshots: the trace collector is
+/// process-global, so once the flight-recorder test enables it, concurrent
+/// ingests would drain each other's spans.
+static TRACE_MUX: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn trace_guard() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_MUX.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A fresh per-test scratch directory (std-only; no tempfile crate).
 fn scratch(tag: &str) -> PathBuf {
@@ -24,8 +35,8 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-fn fixture_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testdata/fleet/snap-v1.json")
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../testdata/fleet/{name}"))
 }
 
 /// The canonical v1 snapshot record behind the committed fixture.
@@ -69,6 +80,7 @@ fn v1_fixture_record() -> SnapshotRecord {
                 equivalent: false,
                 differences: 2,
                 compute_ns: 0,
+                resources: PairResources::default(),
                 report_text: "Action difference\n  lines 1-2\n".to_string(),
                 report_json: "{\"equivalent\": false}\n".to_string(),
             },
@@ -82,6 +94,7 @@ fn v1_fixture_record() -> SnapshotRecord {
                 equivalent: true,
                 differences: 0,
                 compute_ns: 123_456,
+                resources: PairResources::default(),
                 report_text: String::new(),
                 report_json: String::new(),
             },
@@ -89,25 +102,61 @@ fn v1_fixture_record() -> SnapshotRecord {
     }
 }
 
-/// Regeneration tool for the committed fixture — only for a deliberate
-/// format bump: `cargo test -p campion-fleet -- --ignored regenerate`.
-#[test]
-#[ignore]
-fn regenerate_v1_fixture() {
-    let path = fixture_path();
-    std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
-    std::fs::write(&path, v1_fixture_record().encode()).expect("write fixture");
+/// The canonical v2 snapshot record behind the committed fixture: the v1
+/// record plus non-default per-pair resource attribution.
+fn v2_fixture_record() -> SnapshotRecord {
+    let mut snap = v1_fixture_record();
+    snap.name = "fixture \"v2\" snapshot".to_string();
+    snap.pairs[1].resources = PairResources {
+        wall_ns: 123_456,
+        bdd_nodes: 4_096,
+        peak_nodes: 10_240,
+        post_gc_nodes: 2_048,
+        gc_runs: 3,
+        gc_pauses: 5,
+        gc_pause_us: 700,
+        gc_pause_max_us: 250,
+        unique_lookups: 90_000,
+        unique_hits: 81_000,
+        apply_lookups: 40_000,
+        apply_hits: 30_000,
+        rule_cache_lookups: 600,
+        rule_cache_hits: 450,
+    };
+    snap
 }
 
-/// The backwards-compatibility gate: the committed v1 document must stay
-/// decodable by every future reader, bit-exactly.
+/// Regeneration tool for the committed current-format fixture — only for
+/// a deliberate format bump:
+/// `cargo test -p campion-fleet -- --ignored regenerate`.
+#[test]
+#[ignore]
+fn regenerate_v2_fixture() {
+    let path = fixture_path("snap-v2.json");
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    std::fs::write(&path, v2_fixture_record().encode()).expect("write fixture");
+}
+
+/// The backwards-compatibility gate: the committed v1 document (written
+/// before per-pair resources existed) must stay decodable by every future
+/// reader, bit-exactly, with resources defaulting to zero.
 #[test]
 fn committed_v1_fixture_decodes() {
-    let text = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    let text = std::fs::read_to_string(fixture_path("snap-v1.json")).expect("fixture present");
     let snap = SnapshotRecord::decode(&text).expect("v1 fixture must decode");
     assert_eq!(snap, v1_fixture_record());
     // Spot-check a full-width hash survived the hex-string encoding.
     assert_eq!(snap.routers["r00-juniper"].text_hash, 0xffff_ffff_ffff_fffe);
+    assert_eq!(snap.pairs[1].resources, PairResources::default());
+}
+
+/// The committed v2 document round-trips, resources included.
+#[test]
+fn committed_v2_fixture_decodes() {
+    let text = std::fs::read_to_string(fixture_path("snap-v2.json")).expect("fixture present");
+    let snap = SnapshotRecord::decode(&text).expect("v2 fixture must decode");
+    assert_eq!(snap, v2_fixture_record());
+    assert_eq!(snap.pairs[1].resources.peak_nodes, 10_240);
 }
 
 #[test]
@@ -122,8 +171,12 @@ fn corrupted_documents_error_cleanly() {
             "wrong format marker",
         ),
         (
-            good.replace("\"version\": 1", "\"version\": 99"),
+            good.replace("\"version\": 2", "\"version\": 99"),
             "future version",
+        ),
+        (
+            good.replace("\"resources\"", "\"sprockets\""),
+            "v2 without resources",
         ),
         (
             good.replace(
@@ -143,7 +196,7 @@ fn corrupted_documents_error_cleanly() {
     }
     // A future version must be named in the error, so operators know to
     // upgrade the reader rather than suspect corruption.
-    let err = SnapshotRecord::decode(&good.replace("\"version\": 1", "\"version\": 99"))
+    let err = SnapshotRecord::decode(&good.replace("\"version\": 2", "\"version\": 99"))
         .expect_err("future version");
     assert!(err.contains("version 99"), "unhelpful error: {err}");
 }
@@ -206,6 +259,9 @@ proptest! {
             );
         }
         for (r1, r2, key, ns, changed, (text, json)) in pairs {
+            // Resource counters are plain JSON numbers, so the encoder
+            // bounds them below 2^53; derive full-range-but-bounded values.
+            let bounded = |x: u64| x & ((1u64 << 50) - 1);
             snap.pairs.push(PairRecord {
                 router1: r1,
                 router2: r2,
@@ -216,6 +272,22 @@ proptest! {
                 equivalent: ns % 2 == 0,
                 differences: ns % 17,
                 compute_ns: ns,
+                resources: PairResources {
+                    wall_ns: ns,
+                    bdd_nodes: bounded(key),
+                    peak_nodes: bounded(key.rotate_left(13)),
+                    post_gc_nodes: bounded(key.rotate_left(26)),
+                    gc_runs: key % 11,
+                    gc_pauses: key % 13,
+                    gc_pause_us: bounded(ns.rotate_left(7)),
+                    gc_pause_max_us: bounded(ns.rotate_left(17)),
+                    unique_lookups: bounded(key.wrapping_mul(3)),
+                    unique_hits: bounded(key.wrapping_mul(5)),
+                    apply_lookups: bounded(key.wrapping_mul(7)),
+                    apply_hits: bounded(key.wrapping_mul(11)),
+                    rule_cache_lookups: bounded(key.wrapping_mul(13)),
+                    rule_cache_hits: bounded(key.wrapping_mul(17)),
+                },
                 report_text: text,
                 report_json: json,
             });
@@ -231,6 +303,7 @@ proptest! {
 /// and every served report is byte-identical to a fresh one-shot compare.
 #[test]
 fn single_router_change_recomputes_only_touched_pair() {
+    let _g = trace_guard();
     let dir = scratch("e2e");
     let opts = CampionOptions::default();
     let mut daemon = Daemon::open(&dir, opts.clone()).expect("open");
@@ -260,6 +333,10 @@ fn single_router_change_recomputes_only_touched_pair() {
             assert!(p.changed.is_empty());
             assert_eq!(p.compute_ns, 0);
         }
+        // Resource attribution rides along: the original compare's wall
+        // time and BDD footprint survive even on cached pairs.
+        assert!(p.resources.wall_ns > 0, "{}", p.router1);
+        assert!(p.resources.peak_nodes > 0, "{}", p.router1);
         // Served or recomputed, the stored reports are byte-identical to
         // a fresh one-shot `campion compare` of the same two configs.
         let fresh = compare_config_texts(
@@ -292,6 +369,7 @@ fn single_router_change_recomputes_only_touched_pair() {
 /// exact handler the daemon binary runs.
 #[test]
 fn http_api_round_trip() {
+    let _g = trace_guard();
     let dir = scratch("http");
     let opts = CampionOptions::default();
     let mut daemon = Daemon::open(&dir, opts.clone()).expect("open");
@@ -345,11 +423,29 @@ fn http_api_round_trip() {
     assert_eq!(status, 200);
     assert_eq!(json, report_json(&fresh));
 
+    // The embedded pair summary carries the resource attribution.
+    let (status, pair) =
+        http::request(addr, "GET", "/api/v1/pair/r00-cisco/r00-juniper", None).expect("pair");
+    assert_eq!(status, 200);
+    assert!(pair.contains("\"resources\": {\"wall_ns\": "), "{pair}");
+
     // Unknown pair → clean 404; metrics expose the counters.
     let (status, _) = http::request(addr, "GET", "/api/v1/pair/x/y", None).expect("404");
     assert_eq!(status, 404);
     let (_, metrics) = http::request(addr, "GET", "/api/v1/metrics", None).expect("metrics");
     assert!(metrics.contains("\"pairs_cached\": 1"), "{metrics}");
+
+    // The Prometheus exposition is linter-clean and carries at least one
+    // histogram family plus the ingest counters.
+    let (status, prom) = http::request(addr, "GET", "/metrics", None).expect("prom");
+    assert_eq!(status, 200);
+    let report = validate_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n{prom}"));
+    assert!(report.histograms >= 1, "{prom}");
+    assert!(prom.contains("campion_fleet_snapshots_total 2"), "{prom}");
+    assert!(
+        prom.contains("campion_fleet_http_requests_total{code=\"404\"} 1"),
+        "{prom}"
+    );
 
     let (status, _) = http::request(addr, "POST", "/api/v1/shutdown", None).expect("shutdown");
     assert_eq!(status, 200);
@@ -357,10 +453,79 @@ fn http_api_round_trip() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The store lock file: a second daemon over the same directory fails with
+/// an error naming the owning PID; a clean shutdown releases the lock.
+#[test]
+fn store_lock_rejects_second_daemon() {
+    let dir = scratch("lock");
+    let first = Daemon::open(&dir, CampionOptions::default()).expect("open");
+    let err = Daemon::open(&dir, CampionOptions::default()).expect_err("locked");
+    assert!(err.contains("locked"), "{err}");
+    assert!(err.contains(&std::process::id().to_string()), "{err}");
+    drop(first);
+    let _again = Daemon::open(&dir, CampionOptions::default()).expect("lock released");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The flight recorder end to end: with the SLO forced to zero every
+/// computed pair is "slow", so the ingest leaves a Chrome-trace artifact
+/// behind, listed and served by the flight endpoints and valid under the
+/// same checker CI runs on `--trace` output.
+#[test]
+fn slo_breach_produces_valid_flight_dump() {
+    let _g = trace_guard();
+    let dir = scratch("flight");
+    campion_trace::enable();
+    let mut daemon = Daemon::open(&dir, CampionOptions::default()).expect("open");
+    daemon.set_slo_ms(0);
+    let snap = gen::fleet_input("slow", 2, 5, 1, 11, None);
+    let summary = daemon.ingest(&snap).expect("ingest");
+    assert!(summary.pairs_computed > 0);
+
+    let (inv, _) = api_get(&mut daemon, "/api/v1/flight");
+    assert!(inv.contains("\"available\": [1]"), "{inv}");
+    let (dump, status) = api_get(&mut daemon, "/api/v1/flight/1");
+    assert_eq!(status, 200, "{dump}");
+    let report = validate_chrome_trace(&dump).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.spans > 0);
+    assert!(dump.contains("fleet.ingest"), "ingest span in the dump");
+
+    // No artifact for a never-ingested sequence number.
+    let (_, status) = api_get(&mut daemon, "/api/v1/flight/7");
+    assert_eq!(status, 404);
+
+    // A healthy SLO writes nothing on the next ingest.
+    daemon.set_slo_ms(3_600_000);
+    let snap2 = gen::fleet_input("fast", 2, 5, 1, 11, Some(0));
+    daemon.ingest(&snap2).expect("ingest 2");
+    let (inv, _) = api_get(&mut daemon, "/api/v1/flight");
+    assert!(inv.contains("\"available\": [1]"), "{inv}");
+    campion_trace::disable();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One in-process GET against the API router; returns (body, status).
+fn api_get(daemon: &mut Daemon, path: &str) -> (String, u16) {
+    let (resp, shutdown) = api::handle(
+        daemon,
+        &http::Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        },
+    );
+    assert!(!shutdown);
+    (
+        String::from_utf8(resp.body).expect("utf8 body"),
+        resp.status,
+    )
+}
+
 /// Malformed ingest bodies are rejected with 400 and do not advance the
 /// snapshot sequence.
 #[test]
 fn bad_snapshot_body_is_rejected() {
+    let _g = trace_guard();
     let dir = scratch("bad");
     let mut daemon = Daemon::open(&dir, CampionOptions::default()).expect("open");
     for body in [

@@ -1,0 +1,44 @@
+//! `promcheck <file>` — validate a Prometheus text exposition (format 0.0.4)
+//! document, e.g. a saved `GET /metrics` response from `campion-fleetd`,
+//! against [`campion_trace::prom::validate_exposition`]. Pass `-` to read
+//! stdin. Exit codes: 0 valid, 1 invalid, 2 usage/IO error. CI scrapes the
+//! fleetd-smoke daemon and runs this on the response body.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: promcheck <metrics.txt|->");
+        return ExitCode::from(2);
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match campion_trace::prom::validate_exposition(&text) {
+        Ok(summary) => {
+            println!("{path}: valid exposition ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID exposition: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

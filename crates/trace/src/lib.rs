@@ -24,11 +24,18 @@
 //! Three sinks consume a drained [`Trace`]:
 //!
 //! * [`Trace::render_table`] — the human-readable `--metrics` table
-//!   (per-phase count / total / p50 / max plus counter deltas);
+//!   (per-phase count / total / p50 / p90 / p99 / max plus counter deltas
+//!   and per-worker utilization);
 //! * [`Trace::chrome_json`] — Chrome trace-event JSON (`--trace <file>`),
 //!   loadable in `chrome://tracing` / Perfetto, one track per worker;
 //! * [`Trace::phases_json`] — the machine-readable `phases` object the
 //!   scalability bench appends to `BENCH_campion.json` for CI gating.
+//!
+//! Sibling modules round out the observability layer: [`hist`] is the
+//! log2-bucketed latency histogram behind the p90/p99 columns, [`log`] is a
+//! structured leveled JSON-lines logger (span-context enriched,
+//! rate-limited), and [`prom`] renders and lints Prometheus text exposition
+//! for the fleet daemon's `GET /metrics`.
 
 #![warn(missing_docs)]
 
@@ -37,10 +44,15 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod hist;
 pub mod json;
+pub mod log;
+pub mod prom;
 
 #[cfg(test)]
 mod tests;
+
+use hist::Histogram;
 
 /// Begin/end marker of an [`Event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +189,17 @@ pub fn set_track(track: u32) {
 /// driver consults this to derive sub-worker lanes from the parent lane).
 pub fn track() -> Option<u32> {
     LOCAL.with(|l| l.borrow().track)
+}
+
+/// Name of the innermost open span on the calling thread, or `None` when
+/// the collector is disabled or no span is open. The structured logger
+/// ([`log`]) stamps this onto every record so log lines tie back to the
+/// phase that emitted them.
+pub fn current_span() -> Option<&'static str> {
+    if !is_enabled() {
+        return None;
+    }
+    LOCAL.with(|l| l.borrow().stack.last().copied())
 }
 
 /// First track id of the per-difference localization sub-worker lanes.
@@ -343,12 +366,48 @@ pub struct PhaseStat {
     pub count: u64,
     /// Summed duration, nanoseconds.
     pub total_ns: u64,
-    /// Median (lower) duration, nanoseconds.
+    /// Median (lower) duration, nanoseconds — exact, from sorted samples.
     pub p50_ns: u64,
+    /// 90th percentile, nanoseconds — estimated from the log2 histogram.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds — estimated from the log2 histogram.
+    pub p99_ns: u64,
     /// Maximum duration, nanoseconds.
     pub max_ns: u64,
+    /// Log2-bucketed duration histogram (the daemon merges these across
+    /// drains into long-lived per-phase aggregates).
+    pub hist: Histogram,
     /// Counter deltas summed across the phase's spans, in first-seen order.
     pub counters: Vec<(&'static str, i64)>,
+}
+
+/// Per-worker utilization derived from `pool.worker` spans (one per worker
+/// per [`crate::span`]-instrumented steal pool run).
+#[derive(Debug, Clone)]
+pub struct WorkerStat {
+    /// Track the worker ran on.
+    pub track: u32,
+    /// Human label for the track (matches the Chrome trace lane name).
+    pub label: String,
+    /// Number of `pool.worker` spans (pool runs) on this track.
+    pub spans: u64,
+    /// Summed `pool.worker` span durations: time the worker existed.
+    pub wall_ns: u64,
+    /// Work items the worker claimed from the shared cursor.
+    pub claimed: u64,
+    /// Time spent inside item closures (the rest is steal/park overhead).
+    pub busy_ns: u64,
+}
+
+impl WorkerStat {
+    /// `busy_ns / wall_ns` as a fraction (0 when the worker never ran).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
 }
 
 /// A drained, merged event list plus its analyses.
@@ -429,12 +488,19 @@ impl Trace {
             .into_iter()
             .map(|(name, mut ds)| {
                 ds.sort_unstable();
+                let mut hist = Histogram::new();
+                for &d in &ds {
+                    hist.record(d);
+                }
                 PhaseStat {
                     name,
                     count: ds.len() as u64,
                     total_ns: ds.iter().sum(),
                     p50_ns: ds[(ds.len() - 1) / 2],
+                    p90_ns: hist.quantile(0.90),
+                    p99_ns: hist.quantile(0.99),
                     max_ns: *ds.last().expect("non-empty by construction"),
+                    hist,
                     counters: counters
                         .iter()
                         .find(|(n, _)| *n == name)
@@ -484,8 +550,45 @@ impl Trace {
         covered
     }
 
+    /// Per-worker utilization aggregated from `pool.worker` spans, ordered
+    /// by track. Empty when no steal pool ran (e.g. `--jobs 1` inline path).
+    pub fn worker_stats(&self) -> Vec<WorkerStat> {
+        let mut out: Vec<WorkerStat> = Vec::new();
+        for s in self.spans() {
+            if s.name != "pool.worker" {
+                continue;
+            }
+            let stat = match out.iter_mut().find(|w| w.track == s.track) {
+                Some(w) => w,
+                None => {
+                    out.push(WorkerStat {
+                        track: s.track,
+                        label: track_label(s.track),
+                        spans: 0,
+                        wall_ns: 0,
+                        claimed: 0,
+                        busy_ns: 0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            stat.spans += 1;
+            stat.wall_ns += s.dur_ns();
+            for &(name, v) in &s.counters {
+                match name {
+                    "claimed" => stat.claimed += v.max(0) as u64,
+                    "busy_ns" => stat.busy_ns += v.max(0) as u64,
+                    _ => {}
+                }
+            }
+        }
+        out.sort_by_key(|w| w.track);
+        out
+    }
+
     /// The human-readable `--metrics` table: per-phase count / total / p50 /
-    /// max, counter deltas, and a wall-clock coverage footer.
+    /// p90 / p99 / max, counter deltas, per-worker utilization, and a
+    /// wall-clock coverage footer.
     pub fn render_table(&self) -> String {
         let stats = self.phase_stats();
         let mut out = String::from("=== campion per-phase metrics ===\n");
@@ -494,16 +597,18 @@ impl Trace {
             return out;
         }
         out.push_str(&format!(
-            "{:<24} {:>7} {:>11} {:>11} {:>11}\n",
-            "phase", "count", "total", "p50", "max"
+            "{:<24} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
+            "phase", "count", "total", "p50", "p90", "p99", "max"
         ));
         for s in &stats {
             out.push_str(&format!(
-                "{:<24} {:>7} {:>11} {:>11} {:>11}\n",
+                "{:<24} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
                 s.name,
                 s.count,
                 fmt_dur(s.total_ns),
                 fmt_dur(s.p50_ns),
+                fmt_dur(s.p90_ns),
+                fmt_dur(s.p99_ns),
                 fmt_dur(s.max_ns)
             ));
         }
@@ -514,6 +619,20 @@ impl Trace {
             for s in with_counters {
                 let cs: Vec<String> = s.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
                 out.push_str(&format!("  {:<22} {}\n", s.name, cs.join(" ")));
+            }
+        }
+        let workers = self.worker_stats();
+        if !workers.is_empty() {
+            out.push_str("worker utilization:\n");
+            for w in &workers {
+                out.push_str(&format!(
+                    "  {:<22} claimed={} busy={} / {} ({:.1}%)\n",
+                    w.label,
+                    w.claimed,
+                    fmt_dur(w.busy_ns),
+                    fmt_dur(w.wall_ns),
+                    w.utilization() * 100.0
+                ));
             }
         }
         let wall = self.wall_ns();
@@ -592,8 +711,8 @@ impl Trace {
     }
 
     /// The machine-readable `phases` object for `BENCH_campion.json`:
-    /// `{"<phase>": {"count": N, "total_s": x, "p50_s": x, "max_s": x}}`,
-    /// keys sorted by name for stable diffs.
+    /// `{"<phase>": {"count": N, "total_s": x, "p50_s": x, "p90_s": x,
+    /// "p99_s": x, "max_s": x}}`, keys sorted by name for stable diffs.
     pub fn phases_json(&self) -> String {
         let mut stats = self.phase_stats();
         stats.sort_by(|a, b| a.name.cmp(b.name));
@@ -602,11 +721,14 @@ impl Trace {
             .map(|s| {
                 format!(
                     "\"{}\": {{\"count\": {}, \"total_s\": {:.6}, \
-                     \"p50_s\": {:.6}, \"max_s\": {:.6}}}",
+                     \"p50_s\": {:.6}, \"p90_s\": {:.6}, \"p99_s\": {:.6}, \
+                     \"max_s\": {:.6}}}",
                     json::escape(s.name),
                     s.count,
                     s.total_ns as f64 / 1e9,
                     s.p50_ns as f64 / 1e9,
+                    s.p90_ns as f64 / 1e9,
+                    s.p99_ns as f64 / 1e9,
                     s.max_ns as f64 / 1e9
                 )
             })

@@ -1,0 +1,647 @@
+//! Prometheus text exposition (format 0.0.4): a writer and a strict linter.
+//!
+//! The writer ([`Exposition`]) renders counters, gauges, and the log2
+//! histograms of [`crate::hist`] into the plain-text scrape format —
+//! `# HELP` / `# TYPE` headers, `name{labels} value` samples, cumulative
+//! `_bucket{le="..."}` series with `+Inf`, `_sum`, `_count`. The linter
+//! ([`validate_exposition`]) re-parses that text and checks everything a
+//! scraper relies on, in the spirit of `json::validate_chrome_trace` /
+//! `tracecheck`: it is what the `promcheck` binary and the CI fleetd-smoke
+//! job run against a live `GET /metrics` response.
+//!
+//! Strictness notes: the linter demands `HELP` + `TYPE` before every
+//! family's samples (our writer always emits them), contiguous family
+//! blocks, unique series, non-negative finite counters, and — for
+//! histograms — ascending `le` bounds, non-decreasing cumulative counts,
+//! and `+Inf == _count` with `_sum`/`_count` present per series.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+/// Borrowed label set: `&[("phase", "cfg.parse")]`.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+fn write_labels(out: &mut String, labels: Labels<'_>, extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter().copied().chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Escape a label value per the exposition format (`\\`, `\"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a sample value: integers stay integral, floats keep full
+/// precision via `Display` (scientific notation is valid in the format).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, typ: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {typ}");
+    }
+
+    /// One unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.counter_vec(name, help, &[(&[], value)]);
+    }
+
+    /// A counter family with one sample per label set.
+    pub fn counter_vec(&mut self, name: &str, help: &str, series: &[(Labels<'_>, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            self.out.push_str(name);
+            write_labels(&mut self.out, labels, None);
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// One unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+    }
+
+    /// A histogram family with one `(labels, histogram)` series each,
+    /// sample values scaled by `scale` (pass `1e-9` to export nanosecond
+    /// histograms in seconds). Bucket bounds come from the histogram's
+    /// non-empty log2 buckets; `+Inf`, `_sum`, and `_count` are appended
+    /// per series.
+    pub fn histogram_vec(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(Labels<'_>, &Histogram)],
+        scale: f64,
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, hist) in series {
+            for (bound, cum) in hist.cumulative_buckets() {
+                let le = format!("{}", bound as f64 * scale);
+                let _ = write!(self.out, "{name}_bucket");
+                write_labels(&mut self.out, labels, Some(("le", &le)));
+                let _ = writeln!(self.out, " {cum}");
+            }
+            let _ = write!(self.out, "{name}_bucket");
+            write_labels(&mut self.out, labels, Some(("le", "+Inf")));
+            let _ = writeln!(self.out, " {}", hist.count());
+            let _ = write!(self.out, "{name}_sum");
+            write_labels(&mut self.out, labels, None);
+            let _ = writeln!(self.out, " {}", fmt_value(hist.sum() as f64 * scale));
+            let _ = write!(self.out, "{name}_count");
+            write_labels(&mut self.out, labels, None);
+            let _ = writeln!(self.out, " {}", hist.count());
+        }
+    }
+
+    /// An unlabeled histogram family.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram, scale: f64) {
+        self.histogram_vec(name, help, &[(&[], hist)], scale);
+    }
+
+    /// The finished document (ends with a newline as the format requires).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Summary returned by a successful [`validate_exposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromReport {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Families declared `histogram`.
+    pub histograms: usize,
+}
+
+impl std::fmt::Display for PromReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} families ({} histograms), {} samples",
+            self.families, self.histograms, self.samples
+        )
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse the label body (between braces): `k="v",k2="v2"` with `\\`, `\"`,
+/// `\n` escapes inside values.
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let err = |m: String| format!("line {lineno}: {m}");
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip a separating comma (also tolerate a trailing one, as
+        // Prometheus does).
+        while chars.peek() == Some(&',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') {
+            return Err(err(format!("label `{name}` missing '='")));
+        }
+        if !valid_label_name(&name) {
+            return Err(err(format!("invalid label name `{name}`")));
+        }
+        if chars.next() != Some('"') {
+            return Err(err(format!("label `{name}` value not quoted")));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        return Err(err(format!("bad escape {other:?} in label `{name}`")));
+                    }
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(err(format!("unterminated value for label `{name}`"))),
+            }
+        }
+        labels.push((name, value));
+    }
+    Ok(labels)
+}
+
+/// Parse `name[{labels}] value [timestamp]`.
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |m: String| format!("line {lineno}: {m}");
+    let (name, labels, rest) = match line.find('{') {
+        Some(brace) => {
+            // Find the closing brace outside quoted label values.
+            let bytes = line.as_bytes();
+            let mut i = brace + 1;
+            let mut in_quotes = false;
+            let mut close = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if in_quotes => i += 1,
+                    b'"' => in_quotes = !in_quotes,
+                    b'}' if !in_quotes => {
+                        close = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            let close = close.ok_or_else(|| err("unterminated label set".into()))?;
+            let labels = parse_labels(&line[brace + 1..close], lineno)?;
+            (&line[..brace], labels, &line[close + 1..])
+        }
+        None => {
+            let sp = line
+                .find([' ', '\t'])
+                .ok_or_else(|| err("sample has no value".into()))?;
+            (&line[..sp], Vec::new(), &line[sp..])
+        }
+    };
+    if !valid_metric_name(name) {
+        return Err(err(format!("invalid metric name `{name}`")));
+    }
+    {
+        let mut seen: Vec<&str> = labels.iter().map(|(k, _)| k.as_str()).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(err(format!("duplicate label name on `{name}`")));
+        }
+    }
+    let mut parts = rest.split_ascii_whitespace();
+    let value_str = parts
+        .next()
+        .ok_or_else(|| err(format!("`{name}` has no value")))?;
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s
+            .parse::<f64>()
+            .map_err(|_| err(format!("`{name}` has unparseable value `{s}`")))?,
+    };
+    // Optional timestamp, then nothing.
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| err(format!("`{name}` has bad timestamp `{ts}`")))?;
+    }
+    if parts.next().is_some() {
+        return Err(err(format!("trailing garbage after `{name}` sample")));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Map a sample name to its family: strips `_bucket`/`_sum`/`_count` when
+/// the stripped prefix was declared a histogram.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Series key: labels minus `le`, canonically ordered.
+fn series_key(labels: &[(String, String)]) -> String {
+    let mut ls: Vec<&(String, String)> = labels.iter().filter(|(k, _)| k != "le").collect();
+    ls.sort();
+    let parts: Vec<String> = ls
+        .iter()
+        .map(|(k, v)| format!("{k}={}", escape_label(v)))
+        .collect();
+    parts.join(",")
+}
+
+/// Per-series histogram bookkeeping accumulated during the scan.
+#[derive(Default)]
+struct HistSeries {
+    buckets: Vec<(f64, f64)>, // (le, cumulative)
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validate a text exposition document (format 0.0.4). Returns a summary
+/// on success, the first problem found on failure.
+pub fn validate_exposition(text: &str) -> Result<PromReport, String> {
+    if text.is_empty() {
+        return Err("empty exposition".to_string());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+
+    let mut helps: HashMap<String, ()> = HashMap::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Family blocks must be contiguous: remember families we've moved past.
+    let mut current_family: Option<String> = None;
+    let mut closed_families: Vec<String> = Vec::new();
+    let mut seen_series: HashMap<String, ()> = HashMap::new();
+    let mut hist_series: HashMap<String, HashMap<String, HistSeries>> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |m: String| format!("line {lineno}: {m}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let (name, _help) = rest.split_once(' ').unwrap_or((rest, ""));
+                if !valid_metric_name(name) {
+                    return Err(err(format!("HELP for invalid metric name `{name}`")));
+                }
+                if helps.insert(name.to_string(), ()).is_some() {
+                    return Err(err(format!("duplicate HELP for `{name}`")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let (name, typ) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("TYPE line missing type".into()))?;
+                if !valid_metric_name(name) {
+                    return Err(err(format!("TYPE for invalid metric name `{name}`")));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&typ) {
+                    return Err(err(format!("unknown TYPE `{typ}` for `{name}`")));
+                }
+                if types.insert(name.to_string(), typ.to_string()).is_some() {
+                    return Err(err(format!("duplicate TYPE for `{name}`")));
+                }
+                if closed_families.iter().any(|f| f == name) {
+                    return Err(err(format!(
+                        "family `{name}` re-opened after other samples"
+                    )));
+                }
+            }
+            // Other comment lines are legal and ignored.
+            continue;
+        }
+
+        let sample = parse_sample(line, lineno)?;
+        samples += 1;
+        let family = family_of(&sample.name, &types).to_string();
+        let typ = types
+            .get(&family)
+            .ok_or_else(|| err(format!("sample `{}` has no TYPE declaration", sample.name)))?
+            .clone();
+        if !helps.contains_key(&family) {
+            return Err(err(format!(
+                "sample `{}` has no HELP declaration",
+                sample.name
+            )));
+        }
+        match &current_family {
+            Some(f) if *f == family => {}
+            Some(f) => {
+                closed_families.push(f.clone());
+                if closed_families.contains(&family) {
+                    return Err(err(format!("samples of `{family}` are not contiguous")));
+                }
+                current_family = Some(family.clone());
+            }
+            None => current_family = Some(family.clone()),
+        }
+
+        let series = format!("{}|{}", sample.name, {
+            let mut ls: Vec<&(String, String)> = sample.labels.iter().collect();
+            ls.sort();
+            ls.iter()
+                .map(|(k, v)| format!("{k}={}", escape_label(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        });
+        if seen_series.insert(series, ()).is_some() {
+            return Err(err(format!("duplicate series for `{}`", sample.name)));
+        }
+
+        match typ.as_str() {
+            "counter" if !sample.value.is_finite() || sample.value < 0.0 => {
+                return Err(err(format!(
+                    "counter `{}` has non-finite or negative value {}",
+                    sample.name, sample.value
+                )));
+            }
+            "counter" => {}
+            "gauge" if sample.value.is_nan() => {
+                return Err(err(format!("gauge `{}` is NaN", sample.name)));
+            }
+            "gauge" => {}
+            "histogram" => {
+                let entry = hist_series
+                    .entry(family.clone())
+                    .or_default()
+                    .entry(series_key(&sample.labels))
+                    .or_default();
+                if sample.name.ends_with("_bucket") {
+                    let le = sample
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| err(format!("`{}` missing le label", sample.name)))?;
+                    let bound = match le.1.as_str() {
+                        "+Inf" => f64::INFINITY,
+                        s => s.parse::<f64>().map_err(|_| {
+                            err(format!("`{}` has unparseable le `{s}`", sample.name))
+                        })?,
+                    };
+                    entry.buckets.push((bound, sample.value));
+                } else if sample.name.ends_with("_sum") {
+                    entry.sum = Some(sample.value);
+                } else if sample.name.ends_with("_count") {
+                    entry.count = Some(sample.value);
+                } else {
+                    return Err(err(format!(
+                        "histogram family `{family}` has non-histogram sample `{}`",
+                        sample.name
+                    )));
+                }
+            }
+            // summary/untyped samples only get the generic checks above.
+            _ => {}
+        }
+    }
+
+    // Histogram series invariants.
+    let mut sorted_hists: Vec<(&String, &HashMap<String, HistSeries>)> =
+        hist_series.iter().collect();
+    sorted_hists.sort_by_key(|(f, _)| (*f).clone());
+    for (family, by_series) in sorted_hists {
+        let mut keys: Vec<&String> = by_series.keys().collect();
+        keys.sort();
+        for key in keys {
+            let s = &by_series[key];
+            let ctx = if key.is_empty() {
+                format!("histogram `{family}`")
+            } else {
+                format!("histogram `{family}{{{key}}}`")
+            };
+            if s.buckets.is_empty() {
+                return Err(format!("{ctx}: no buckets"));
+            }
+            for w in s.buckets.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    return Err(format!("{ctx}: le bounds not strictly increasing"));
+                }
+                if w[1].1 < w[0].1 {
+                    return Err(format!("{ctx}: cumulative bucket counts decrease"));
+                }
+            }
+            let last = s.buckets.last().expect("checked non-empty");
+            if !last.0.is_infinite() {
+                return Err(format!("{ctx}: missing le=\"+Inf\" bucket"));
+            }
+            let count = s
+                .count
+                .ok_or_else(|| format!("{ctx}: missing _count sample"))?;
+            if s.sum.is_none() {
+                return Err(format!("{ctx}: missing _sum sample"));
+            }
+            if last.1 != count {
+                return Err(format!("{ctx}: +Inf bucket {} != _count {count}", last.1));
+            }
+        }
+    }
+
+    let histograms = types.values().filter(|t| t.as_str() == "histogram").count();
+    Ok(PromReport {
+        families: types.len(),
+        samples,
+        histograms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        let mut h = Histogram::new();
+        for v in [900u64, 1_000_000, 2_000_000, 40_000_000] {
+            h.record(v);
+        }
+        let mut e = Exposition::new();
+        e.counter("campion_requests_total", "Requests served.", 42);
+        e.gauge("campion_pairs", "Pairs tracked.", 12.0);
+        e.counter_vec(
+            "campion_http_responses_total",
+            "Responses by status code.",
+            &[(&[("code", "200")], 40), (&[("code", "404")], 2)],
+        );
+        e.histogram(
+            "campion_ingest_duration_seconds",
+            "Snapshot ingest latency.",
+            &h,
+            1e-9,
+        );
+        e.finish()
+    }
+
+    #[test]
+    fn writer_output_passes_linter() {
+        let doc = sample_doc();
+        let report = validate_exposition(&doc).expect("linter rejects writer output");
+        assert_eq!(report.families, 4);
+        assert_eq!(report.histograms, 1);
+        assert!(report.samples >= 8);
+    }
+
+    #[test]
+    fn empty_histogram_still_valid() {
+        let h = Histogram::new();
+        let mut e = Exposition::new();
+        e.histogram("x_seconds", "Empty.", &h, 1e-9);
+        let doc = e.finish();
+        validate_exposition(&doc).expect("empty histogram must still expose +Inf/_sum/_count");
+    }
+
+    #[test]
+    fn linter_rejects_missing_newline() {
+        let doc = sample_doc();
+        assert!(validate_exposition(doc.trim_end()).is_err());
+    }
+
+    #[test]
+    fn linter_rejects_missing_type() {
+        let doc = "# HELP x help\nx 1\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(err.contains("no TYPE"), "{err}");
+    }
+
+    #[test]
+    fn linter_rejects_negative_counter() {
+        let doc = "# HELP x h\n# TYPE x counter\nx -1\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn linter_rejects_duplicate_series() {
+        let doc = "# HELP x h\n# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn linter_rejects_non_contiguous_family() {
+        let doc = "# HELP x h\n# TYPE x gauge\n# HELP y h\n# TYPE y gauge\nx 1\ny 1\nx 2\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(
+            err.contains("not contiguous") || err.contains("duplicate"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn linter_rejects_non_cumulative_histogram() {
+        let doc = "# HELP h_seconds h\n# TYPE h_seconds histogram\n\
+                   h_seconds_bucket{le=\"0.1\"} 5\n\
+                   h_seconds_bucket{le=\"1\"} 3\n\
+                   h_seconds_bucket{le=\"+Inf\"} 5\n\
+                   h_seconds_sum 1\nh_seconds_count 5\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(err.contains("decrease"), "{err}");
+    }
+
+    #[test]
+    fn linter_rejects_inf_count_mismatch() {
+        let doc = "# HELP h_seconds h\n# TYPE h_seconds histogram\n\
+                   h_seconds_bucket{le=\"+Inf\"} 5\n\
+                   h_seconds_sum 1\nh_seconds_count 6\n";
+        let err = validate_exposition(doc).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let mut e = Exposition::new();
+        e.counter_vec("x_total", "h", &[(&[("p", "a\"b\\c\nd")], 1)]);
+        let doc = e.finish();
+        validate_exposition(&doc).expect("escaped labels must lint clean");
+    }
+}

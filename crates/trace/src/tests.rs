@@ -216,10 +216,146 @@ fn phases_json_is_parseable_and_sorted() {
     let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(keys, ["a.first", "b.second"], "keys sorted by name");
     for (_, v) in members {
-        for field in ["count", "total_s", "p50_s", "max_s"] {
+        for field in ["count", "total_s", "p50_s", "p90_s", "p99_s", "max_s"] {
             assert!(v.get(field).and_then(Json::as_f64).is_some(), "{text}");
         }
     }
+}
+
+#[test]
+fn phase_percentiles_come_from_the_histogram() {
+    let mk = |start: u64, end: u64| {
+        [
+            Event {
+                track: 0,
+                name: "p",
+                phase: Phase::Begin,
+                t_ns: start,
+                counters: Vec::new(),
+            },
+            Event {
+                track: 0,
+                name: "p",
+                phase: Phase::End,
+                t_ns: end,
+                counters: Vec::new(),
+            },
+        ]
+    };
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    // 99 fast spans (1us) and one slow outlier (1ms).
+    for _ in 0..99 {
+        events.extend(mk(t, t + 1_000));
+        t += 2_000;
+    }
+    events.extend(mk(t, t + 1_000_000));
+    let trace = Trace { events };
+    let stats = trace.phase_stats();
+    let p = stats.iter().find(|s| s.name == "p").expect("phase present");
+    assert_eq!(p.count, 100);
+    assert_eq!(p.p50_ns, 1_000, "p50 stays exact");
+    assert_eq!(p.max_ns, 1_000_000);
+    assert_eq!(p.hist.count(), 100);
+    // p90 stays in the fast bucket; p99 must not yet reach the outlier,
+    // which only the max (== quantile 1.0) reports exactly.
+    assert!(p.p90_ns < 10_000, "p90 = {}", p.p90_ns);
+    assert!(p.p99_ns < 1_000_000, "p99 = {}", p.p99_ns);
+    assert_eq!(p.hist.quantile(1.0), 1_000_000);
+    let table = trace.render_table();
+    assert!(table.contains("p90"), "{table}");
+    assert!(table.contains("p99"), "{table}");
+}
+
+#[test]
+fn worker_stats_aggregate_pool_worker_spans() {
+    let _g = locked_enabled();
+    std::thread::scope(|scope| {
+        for w in [1u32, 2] {
+            scope.spawn(move || {
+                set_track(w);
+                {
+                    let mut s = span("pool.worker");
+                    s.counter("claimed", 3 + w as i64);
+                    s.counter("busy_ns", 500);
+                }
+                flush();
+            });
+        }
+    });
+    disable();
+    let trace = drain();
+    let ws = trace.worker_stats();
+    assert_eq!(ws.len(), 2);
+    assert_eq!((ws[0].track, ws[0].claimed), (1, 4));
+    assert_eq!((ws[1].track, ws[1].claimed), (2, 5));
+    assert_eq!(ws[0].busy_ns, 500);
+    assert!(ws[0].wall_ns >= ws[0].busy_ns || ws[0].utilization() >= 0.0);
+    let table = trace.render_table();
+    assert!(table.contains("worker utilization:"), "{table}");
+    assert!(table.contains("worker-1"), "{table}");
+}
+
+#[test]
+fn logger_writes_json_lines_with_span_context() {
+    let _g = locked_enabled();
+    let buf = log::init_buffer(log::Level::Debug);
+    {
+        span!("fleet.ingest");
+        log::info(
+            "test.event",
+            &[("seq", log::Value::U64(7)), ("ok", log::Value::Bool(true))],
+        );
+    }
+    log::debug("test.detail", &[("msg", log::Value::Str("a\"b"))]);
+    log::shutdown();
+    disable();
+    let _ = drain();
+    let text = buf.lock().expect("buffer").clone();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let first = json::parse(lines[0]).expect("log line is JSON");
+    assert_eq!(
+        first.get("event").and_then(Json::as_str),
+        Some("test.event")
+    );
+    assert_eq!(first.get("level").and_then(Json::as_str), Some("info"));
+    assert_eq!(
+        first.get("span").and_then(Json::as_str),
+        Some("fleet.ingest"),
+        "span context stamped: {text}"
+    );
+    assert_eq!(first.get("seq").and_then(Json::as_f64), Some(7.0));
+    let second = json::parse(lines[1]).expect("second line is JSON");
+    assert_eq!(second.get("msg").and_then(Json::as_str), Some("a\"b"));
+    assert_eq!(second.get("span"), None, "no open span → no span field");
+}
+
+#[test]
+fn logger_respects_level_and_rate_limit() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    disable();
+    let _ = drain();
+    let buf = log::init_buffer(log::Level::Warn);
+    assert!(!log::enabled(log::Level::Info));
+    assert!(log::enabled(log::Level::Error));
+    log::info("dropped.event", &[]);
+    // Overflow one event's per-second window: the excess is counted and
+    // would surface as "suppressed" on the next record that passes.
+    for _ in 0..(log::MAX_PER_WINDOW + 10) {
+        log::warn("noisy.event", &[]);
+    }
+    log::shutdown();
+    assert!(
+        !log::enabled(log::Level::Error),
+        "shutdown turns logging off"
+    );
+    log::error("after.shutdown", &[]);
+    let text = buf.lock().expect("buffer").clone();
+    assert!(!text.contains("dropped.event"), "{text}");
+    assert!(!text.contains("after.shutdown"), "{text}");
+    let noisy = text.lines().filter(|l| l.contains("noisy.event")).count();
+    assert_eq!(noisy as u32, log::MAX_PER_WINDOW, "window caps emission");
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! campion compare <config1> <config2> [--no-acls] [--no-route-maps]
 //!                 [--no-structural] [--exhaustive-communities] [--jobs N]
 //!                 [--shared-manager] [--gc off|auto|aggressive]
-//!                 [--stats] [--metrics] [--trace <file>] [--format text|json]
+//!                 [--stats] [--stats-json] [--metrics] [--trace <file>]
+//!                 [--log <file|->] [--format text|json]
 //! campion translate <config>            # emit the JunOS rewrite
 //! campion baseline <config1> <config2>  # Minesweeper-style single cex
 //! ```
@@ -14,11 +15,14 @@
 //! so it drops straight into a change-management pipeline.
 //!
 //! Observability: `--stats` appends the aggregate BDD-engine counters to
-//! stdout; `--metrics` prints the per-phase timing table (count / total /
-//! p50 / max plus counter deltas) on **stderr**; `--trace <file>` writes
-//! Chrome trace-event JSON loadable in `chrome://tracing` / Perfetto, one
-//! track per worker. None of the three perturb the report: the rendered
-//! comparison is byte-identical with or without them.
+//! stdout (`--stats-json` the machine-readable twin, bench-JSON field
+//! names); `--metrics` prints the per-phase timing table (count / total /
+//! p50 / p90 / p99 / max plus counter deltas and per-worker utilization)
+//! on **stderr**; `--trace <file>` writes Chrome trace-event JSON loadable
+//! in `chrome://tracing` / Perfetto, one track per worker; `--log <file|->`
+//! emits structured JSON-lines logs (`-` = stderr). None of them perturb
+//! the report: the rendered comparison is byte-identical with or without
+//! them.
 
 use std::process::ExitCode;
 
@@ -31,7 +35,8 @@ fn usage() -> ExitCode {
         "usage:\n  campion compare <config1> <config2> [--no-acls] [--no-route-maps]\n\
          \x20                 [--no-structural] [--exhaustive-communities] [--jobs N]\n\
          \x20                 [--shared-manager] [--gc off|auto|aggressive]\n\
-         \x20                 [--stats] [--metrics] [--trace <file>] [--format text|json]\n\
+         \x20                 [--stats] [--stats-json] [--metrics] [--trace <file>]\n\
+         \x20                 [--log <file|->] [--format text|json]\n\
          \x20 campion translate <config>\n\
          \x20 campion baseline <config1> <config2>"
     );
@@ -47,9 +52,11 @@ fn load_file(path: &str) -> Result<RouterIr, String> {
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut show_stats = false;
+    let mut stats_json = false;
     let mut show_metrics = false;
     let mut json_format = false;
     let mut trace_path: Option<String> = None;
+    let mut log_dest: Option<String> = None;
     let mut opts = CampionOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +72,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             "--exhaustive-communities" => opts.exhaustive_communities = true,
             "--shared-manager" => opts.shared_manager = true,
             "--stats" => show_stats = true,
+            "--stats-json" => stats_json = true,
             "--metrics" => show_metrics = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => json_format = false,
@@ -78,6 +86,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                 Some(p) => trace_path = Some(p.clone()),
                 None => {
                     eprintln!("--trace requires an output file path");
+                    return usage();
+                }
+            },
+            "--log" => match it.next() {
+                Some(p) => log_dest = Some(p.clone()),
+                None => {
+                    eprintln!("--log requires an output file path (or - for stderr)");
                     return usage();
                 }
             },
@@ -114,6 +129,22 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     if tracing {
         campion::trace::enable();
     }
+    if let Some(dest) = &log_dest {
+        use campion::trace::log;
+        if dest == "-" {
+            log::init_stderr(log::Level::Info);
+        } else if let Err(e) = log::init_file(log::Level::Info, std::path::Path::new(dest)) {
+            eprintln!("error: {dest}: {e}");
+            return ExitCode::from(2);
+        }
+        log::info(
+            "compare.start",
+            &[
+                ("config1", log::Value::Str(p1)),
+                ("config2", log::Value::Str(p2)),
+            ],
+        );
+    }
     let (r1, r2) = match (load_file(p1), load_file(p2)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
@@ -121,7 +152,24 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let t0 = std::time::Instant::now();
     let report = compare_routers(&r1, &r2, &opts);
+    if log_dest.is_some() {
+        use campion::trace::log;
+        log::info(
+            "compare.done",
+            &[
+                (
+                    "differences",
+                    log::Value::U64(report.total_differences() as u64),
+                ),
+                ("equivalent", log::Value::Bool(report.is_equivalent())),
+                ("dur_us", log::Value::U64(t0.elapsed().as_micros() as u64)),
+                ("bdd_nodes", log::Value::U64(report.bdd_stats.nodes)),
+            ],
+        );
+        log::shutdown();
+    }
     if json_format {
         // The same serializer the fleet daemon's store and API use, so a
         // cached fleet report and a fresh CLI run emit identical documents.
@@ -131,6 +179,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     }
     if show_stats {
         println!("{}", report.render_stats());
+    }
+    if stats_json {
+        print!("{}", campion::core::stats_json(&report.bdd_stats));
     }
     if tracing {
         campion::trace::disable();

@@ -198,6 +198,81 @@ fn stats_flag_renders_gc_counters() {
 }
 
 #[test]
+fn stats_json_flag_emits_machine_readable_counters() {
+    let args = [
+        "compare",
+        "--stats-json",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ];
+    let out = campion(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    // The JSON block follows the report body; it is the machine twin of
+    // `--stats` and uses the same field names as the bench baseline.
+    let idx = stdout
+        .find("{\n  \"bdd_nodes\"")
+        .expect("stats JSON present");
+    use campion::trace::json::Json;
+    let doc = campion::trace::json::parse(&stdout[idx..]).expect("valid JSON");
+    let num = |k: &str| doc.get(k).and_then(Json::as_f64).expect("numeric field");
+    assert!(num("bdd_nodes") > 0.0);
+    assert!(num("unique_lookups") > 0.0);
+    assert!((0.0..=1.0).contains(&num("unique_hit_rate")));
+    assert!(num("gc_pause_max_us") <= num("gc_pause_us"));
+    // The report proper is untouched: --stats-json only appends.
+    let plain = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert!(stdout.starts_with(&String::from_utf8_lossy(&plain.stdout).into_owned()));
+}
+
+#[test]
+fn log_flag_writes_json_lines_and_leaves_the_report_alone() {
+    let plain = campion(&[
+        "compare",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    let tmp = std::env::temp_dir().join("campion_cli_log.jsonl");
+    let _ = std::fs::remove_file(&tmp);
+    let out = campion(&[
+        "compare",
+        "--log",
+        tmp.to_str().expect("utf8 path"),
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        out.stdout, plain.stdout,
+        "--log must not perturb the report"
+    );
+    let log = std::fs::read_to_string(&tmp).expect("log file written");
+    for line in log.lines() {
+        campion::trace::json::parse(line).expect("every log line is a JSON object");
+    }
+    assert!(log.contains("\"event\":\"compare.start\""), "{log}");
+    assert!(log.contains("\"event\":\"compare.done\""), "{log}");
+    assert!(log.contains("\"differences\":2"), "{log}");
+    // `--log -` routes the same lines to stderr instead.
+    let out = campion(&[
+        "compare",
+        "--log",
+        "-",
+        "testdata/figure1_cisco.cfg",
+        "testdata/figure1_juniper.cfg",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"event\":\"compare.done\""), "{stderr}");
+    // A missing destination is a usage error.
+    let out = campion(&["compare", "--log"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn gc_flag_modes_accepted_and_equal() {
     let mut reports = Vec::new();
     for mode in ["off", "auto", "aggressive"] {

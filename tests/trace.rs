@@ -58,12 +58,16 @@ fn render_scenarios(
     pairs: &[campion::gen::ScenarioPair],
     jobs: usize,
     gc: GcMode,
+    shared: bool,
     traced: bool,
 ) -> String {
     if traced {
         trace::enable();
     }
-    let o = opts(jobs, gc);
+    let o = CampionOptions {
+        shared_manager: shared,
+        ..opts(jobs, gc)
+    };
     let mut out = String::new();
     for p in pairs {
         let report = compare_routers(&load(&p.cisco), &load(&p.juniper), &o);
@@ -81,20 +85,65 @@ fn render_scenarios(
 fn reports_byte_identical_with_tracing_on_or_off() {
     let _g = collector();
     // The full matrix the issue asks for: tracing {off,on} × jobs {1,4} ×
-    // gc {Off,Auto,Aggressive} — every cell renders the same bytes.
+    // gc {Off,Auto,Aggressive} × manager {private,shared} — every cell
+    // renders the same bytes.
     let pairs = scenario2(4, 17);
-    let baseline = render_scenarios(&pairs, 1, GcMode::Off, false);
+    let baseline = render_scenarios(&pairs, 1, GcMode::Off, false, false);
     assert!(!baseline.is_empty());
     for traced in [false, true] {
         for jobs in [1, 4] {
             for gc in [GcMode::Off, GcMode::Auto, GcMode::Aggressive] {
-                assert_eq!(
-                    baseline,
-                    render_scenarios(&pairs, jobs, gc, traced),
-                    "report diverged under traced={traced} jobs={jobs} gc={gc:?}"
-                );
+                for shared in [false, true] {
+                    assert_eq!(
+                        baseline,
+                        render_scenarios(&pairs, jobs, gc, shared, traced),
+                        "report diverged under traced={traced} jobs={jobs} \
+                         gc={gc:?} shared={shared}"
+                    );
+                }
             }
         }
+    }
+}
+
+#[test]
+fn shared_manager_tracing_keeps_tracks_and_utilization_sane() {
+    let _g = collector();
+    let (r1, r2) = multi_acl_pair(6, 50, 0xC0DE);
+    let o = CampionOptions {
+        shared_manager: true,
+        ..opts(4, GcMode::Auto)
+    };
+    let untraced = compare_routers(&r1, &r2, &o).to_string();
+    trace::enable();
+    let report = compare_routers(&r1, &r2, &o);
+    trace::disable();
+    let t = trace::drain();
+    assert_eq!(report.to_string(), untraced, "tracing perturbed the report");
+    validate_chrome_trace(&t.chrome_json()).expect("chrome trace validates");
+    // Per-worker utilization derived from `pool.worker` spans: busy time
+    // cannot exceed the worker's wall time, every worker lives on a driver
+    // worker track, and anything claimed was actually worked on.
+    for w in t.worker_stats() {
+        assert!(
+            w.busy_ns <= w.wall_ns,
+            "{}: busy {} > wall {}",
+            w.label,
+            w.busy_ns,
+            w.wall_ns
+        );
+        assert!(w.utilization() <= 1.0);
+        assert!((1..trace::SUB_TRACK_BASE).contains(&w.track), "{}", w.track);
+        if w.claimed > 0 {
+            assert!(w.busy_ns > 0, "{}: claimed items but no busy time", w.label);
+        }
+    }
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if hw > 1 {
+        assert!(
+            !t.worker_stats().is_empty(),
+            "multi-worker run must produce pool.worker utilization"
+        );
     }
 }
 
